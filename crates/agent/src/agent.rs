@@ -1,0 +1,746 @@
+//! The Agent state machine.
+
+use gnf_api::messages::{AgentToManager, ManagerToAgent};
+use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
+use gnf_nf::{Direction, NfChain, NfContext, NfSpec, NfStateSnapshot, Verdict};
+use gnf_packet::Packet;
+use gnf_switch::{SoftwareSwitch, SteeringRule, TrafficSelector};
+use gnf_telemetry::StationReport;
+use gnf_types::{
+    AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr,
+    ResourceUsage, SimDuration, SimTime, StationId,
+};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Static configuration of one Agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentConfig {
+    /// The Agent's identity.
+    pub agent: AgentId,
+    /// The station it manages.
+    pub station: StationId,
+    /// Hardware class of the station.
+    pub host_class: HostClass,
+}
+
+/// A chain deployed on this station.
+pub struct DeployedChain {
+    /// The chain identifier assigned by the Manager.
+    pub chain_id: ChainId,
+    /// The client whose traffic the chain serves.
+    pub client: ClientId,
+    /// The client's MAC address (used to key the steering rule).
+    pub client_mac: MacAddr,
+    /// The NF specs the chain was built from.
+    pub specs: Vec<NfSpec>,
+    /// The executable chain.
+    pub chain: NfChain,
+    /// Container handles backing each NF, in chain order.
+    pub containers: Vec<u64>,
+    /// The traffic subset diverted through the chain.
+    pub selector: TrafficSelector,
+    /// End-to-end latency of deploying the chain on this station.
+    pub deploy_latency: SimDuration,
+}
+
+/// What happened to a packet handed to the station's data plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketOutcome {
+    /// The packet continues towards the network (upstream) or the client
+    /// (downstream), possibly rewritten by the chain.
+    Forwarded(Packet),
+    /// The packet was dropped by an NF (reason attached).
+    Dropped(String),
+    /// The packet was consumed and these replies go back towards its source.
+    Replied(Vec<Packet>),
+}
+
+/// The GNF Agent.
+pub struct Agent {
+    config: AgentConfig,
+    runtime: ContainerRuntime,
+    switch: SoftwareSwitch,
+    repository: ImageRepository,
+    chains: HashMap<ChainId, DeployedChain>,
+    clients: HashMap<ClientId, (MacAddr, Ipv4Addr)>,
+    reports_sent: u64,
+    commands_handled: u64,
+}
+
+impl Agent {
+    /// Creates an Agent and returns it together with the `Register` message it
+    /// must send to the Manager.
+    pub fn new(config: AgentConfig, repository: ImageRepository) -> (Self, AgentToManager) {
+        let runtime = ContainerRuntime::new(config.host_class);
+        let register = AgentToManager::Register {
+            agent: config.agent,
+            station: config.station,
+            host_class: config.host_class,
+            capacity: runtime.capacity(),
+        };
+        (
+            Agent {
+                config,
+                runtime,
+                switch: SoftwareSwitch::new(),
+                repository,
+                chains: HashMap::new(),
+                clients: HashMap::new(),
+                reports_sent: 0,
+                commands_handled: 0,
+            },
+            register,
+        )
+    }
+
+    /// The Agent's station.
+    pub fn station(&self) -> StationId {
+        self.config.station
+    }
+
+    /// The station's host class.
+    pub fn host_class(&self) -> HostClass {
+        self.config.host_class
+    }
+
+    /// The chains currently deployed on this station.
+    pub fn chains(&self) -> impl Iterator<Item = &DeployedChain> {
+        self.chains.values()
+    }
+
+    /// A deployed chain by id.
+    pub fn chain(&self, chain: ChainId) -> Option<&DeployedChain> {
+        self.chains.get(&chain)
+    }
+
+    /// Number of running NF containers.
+    pub fn running_nfs(&self) -> usize {
+        self.runtime.running_count()
+    }
+
+    /// Clients currently associated with this station.
+    pub fn connected_clients(&self) -> Vec<ClientId> {
+        let mut v: Vec<ClientId> = self.clients.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Read access to the software switch (counters, steering table).
+    pub fn switch(&self) -> &SoftwareSwitch {
+        &self.switch
+    }
+
+    /// Read access to the container runtime.
+    pub fn runtime(&self) -> &ContainerRuntime {
+        &self.runtime
+    }
+
+    /// Total commands handled from the Manager.
+    pub fn commands_handled(&self) -> u64 {
+        self.commands_handled
+    }
+
+    /// Handles a client associating with this station's cell.
+    pub fn client_associated(
+        &mut self,
+        client: ClientId,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+    ) -> Vec<AgentToManager> {
+        self.clients.insert(client, (mac, ip));
+        vec![AgentToManager::ClientConnected { client, mac, ip }]
+    }
+
+    /// Handles a client leaving this station's cell.
+    pub fn client_disassociated(&mut self, client: ClientId) -> Vec<AgentToManager> {
+        if self.clients.remove(&client).is_none() {
+            return Vec::new();
+        }
+        vec![AgentToManager::ClientDisconnected { client }]
+    }
+
+    /// Handles a command from the Manager, returning the messages to send
+    /// back.
+    pub fn handle_manager_msg(
+        &mut self,
+        msg: ManagerToAgent,
+        now: SimTime,
+    ) -> Vec<AgentToManager> {
+        self.commands_handled += 1;
+        match msg {
+            ManagerToAgent::RegisterAck { .. } => Vec::new(),
+            ManagerToAgent::Ping => vec![AgentToManager::Pong],
+            ManagerToAgent::DeployChain {
+                chain,
+                client,
+                client_mac,
+                specs,
+                selector,
+                restore_state,
+                migration,
+            } => match self.deploy_chain(chain, client, client_mac, &specs, selector, restore_state)
+            {
+                Ok(deployed) => vec![AgentToManager::ChainDeployed {
+                    chain,
+                    client,
+                    latency: deployed.0,
+                    images_cached: deployed.1,
+                    migration,
+                }],
+                Err(error) => vec![AgentToManager::CommandFailed {
+                    chain: Some(chain),
+                    error,
+                    migration,
+                }],
+            },
+            ManagerToAgent::RemoveChain {
+                chain,
+                client,
+                migration,
+            } => match self.remove_chain(chain) {
+                Ok(()) => vec![AgentToManager::ChainRemoved {
+                    chain,
+                    client,
+                    migration,
+                }],
+                Err(error) => vec![AgentToManager::CommandFailed {
+                    chain: Some(chain),
+                    error,
+                    migration,
+                }],
+            },
+            ManagerToAgent::CheckpointChain {
+                chain,
+                client,
+                migration,
+            } => match self.checkpoint_chain(chain) {
+                Ok((state, latency)) => vec![AgentToManager::ChainState {
+                    chain,
+                    client,
+                    migration,
+                    state,
+                    checkpoint_latency: latency,
+                }],
+                Err(error) => vec![AgentToManager::CommandFailed {
+                    chain: Some(chain),
+                    error,
+                    migration: Some(migration),
+                }],
+            },
+        }
+        .into_iter()
+        .chain(self.drain_nf_notifications(now))
+        .collect()
+    }
+
+    /// Builds the periodic station report ("reporting periodically the state
+    /// of the device").
+    pub fn make_report(&mut self, now: SimTime) -> AgentToManager {
+        self.reports_sent += 1;
+        let capacity = self.runtime.capacity();
+        let used = self.runtime.used();
+        let counters = self.switch.aggregate_counters(|_| true);
+        let usage = ResourceUsage {
+            cpu_fraction: (used.cpu_millicores as f64 / capacity.cpu_millicores.max(1) as f64)
+                .min(1.0),
+            memory_mb: used.memory_mb,
+            disk_mb: used.disk_mb,
+            rx_bps: counters.rx_bytes as f64 * 8.0 / now.as_secs_f64().max(1e-9),
+            tx_bps: counters.tx_bytes as f64 * 8.0 / now.as_secs_f64().max(1e-9),
+        };
+        AgentToManager::Report(StationReport {
+            station: self.config.station,
+            agent: self.config.agent,
+            produced_at: now,
+            host_class: self.config.host_class,
+            capacity,
+            usage,
+            connected_clients: self.connected_clients(),
+            running_nfs: self.runtime.running_count(),
+            cached_images: self
+                .repository
+                .images()
+                .iter()
+                .filter(|i| self.runtime.is_image_cached(i))
+                .count(),
+        })
+    }
+
+    /// Processes a packet arriving from a client (upstream) at this station.
+    pub fn process_upstream_packet(&mut self, packet: Packet, now: SimTime) -> PacketOutcome {
+        let port = self.switch.client_port();
+        self.process_packet(packet, port, now)
+    }
+
+    /// Processes a packet arriving from the uplink (downstream, towards a
+    /// client) at this station.
+    pub fn process_downstream_packet(&mut self, packet: Packet, now: SimTime) -> PacketOutcome {
+        let port = self.switch.uplink_port();
+        self.process_packet(packet, port, now)
+    }
+
+    /// Drains pending NF events into `NfNotification` messages for the Manager.
+    pub fn drain_nf_notifications(&mut self, _now: SimTime) -> Vec<AgentToManager> {
+        let mut out = Vec::new();
+        for deployed in self.chains.values_mut() {
+            for (nf_name, event) in deployed.chain.drain_events() {
+                out.push(AgentToManager::NfNotification {
+                    chain: deployed.chain_id,
+                    client: deployed.client,
+                    nf_name,
+                    event,
+                });
+            }
+        }
+        out
+    }
+
+    fn process_packet(&mut self, packet: Packet, in_port: gnf_switch::PortId, now: SimTime) -> PacketOutcome {
+        let decision = match self.switch.receive(&packet, in_port, now) {
+            Ok(d) => d,
+            Err(e) => return PacketOutcome::Dropped(e.to_string()),
+        };
+
+        let processed = match decision.steering {
+            Some((rule, upstream)) => {
+                let direction = if upstream {
+                    Direction::Ingress
+                } else {
+                    Direction::Egress
+                };
+                match self.chains.get_mut(&rule.chain) {
+                    Some(deployed) => {
+                        let ctx = NfContext::for_client(now, deployed.client);
+                        deployed.chain.process(packet, direction, &ctx)
+                    }
+                    // The steering rule exists but the chain is gone (mid
+                    // reconfiguration): forward unprocessed.
+                    None => Verdict::Forward(packet),
+                }
+            }
+            None => Verdict::Forward(packet),
+        };
+
+        match processed {
+            Verdict::Forward(p) => {
+                match decision.forwarding {
+                    gnf_switch::Forwarding::Unicast(port) => self.switch.record_tx(port, p.len()),
+                    gnf_switch::Forwarding::Flood(ports) => {
+                        for port in ports {
+                            self.switch.record_tx(port, p.len());
+                        }
+                    }
+                }
+                PacketOutcome::Forwarded(p)
+            }
+            Verdict::Drop(reason) => PacketOutcome::Dropped(reason),
+            Verdict::Reply(replies) => {
+                for reply in &replies {
+                    self.switch.record_tx(in_port, reply.len());
+                }
+                PacketOutcome::Replied(replies)
+            }
+        }
+    }
+
+    /// Installs a chain: pulls images, creates a container per NF, wires the
+    /// veth pairs into the switch, instantiates the NFs, optionally restores
+    /// migrated state and installs the steering rule. Returns (latency,
+    /// all-images-cached).
+    fn deploy_chain(
+        &mut self,
+        chain_id: ChainId,
+        client: ClientId,
+        client_mac: MacAddr,
+        specs: &[NfSpec],
+        selector: TrafficSelector,
+        restore_state: Option<Vec<NfStateSnapshot>>,
+    ) -> GnfResult<(SimDuration, bool)> {
+        if self.chains.contains_key(&chain_id) {
+            return Err(GnfError::already_exists("chain", chain_id));
+        }
+        let mut total_latency = SimDuration::ZERO;
+        let mut all_cached = true;
+        let mut containers = Vec::with_capacity(specs.len());
+        let mut chain = NfChain::new(&format!("chain-{}", chain_id.raw()));
+
+        let state_bytes: usize = restore_state
+            .as_ref()
+            .map(|s| s.iter().map(|x| x.approximate_size_bytes()).sum())
+            .unwrap_or(0);
+
+        for spec in specs {
+            let image = self.repository.by_name(spec.image_name())?.clone();
+            let deployed = self
+                .runtime
+                .deploy(&spec.name, &image, spec.container_footprint())?;
+            total_latency += deployed.total_duration;
+            all_cached &= deployed.image_was_cached;
+            self.switch.connect_container(deployed.handle, &spec.name);
+            containers.push(deployed.handle);
+            chain.push(spec.instantiate());
+        }
+
+        if let Some(state) = restore_state {
+            // Restoring state costs time proportional to its size on the
+            // first container of the chain (the transfer is serialised).
+            if let Some(first) = containers.first() {
+                // The container is already running after deploy(); model the
+                // restore cost explicitly via the cost model.
+                total_latency += self.runtime.cost_model().restore_time(state_bytes);
+                let _ = first;
+            }
+            chain.import_state(state);
+        }
+
+        self.switch.steering_mut().install(SteeringRule {
+            client,
+            client_mac,
+            selector,
+            chain: chain_id,
+        });
+
+        self.chains.insert(
+            chain_id,
+            DeployedChain {
+                chain_id,
+                client,
+                client_mac,
+                specs: specs.to_vec(),
+                chain,
+                containers,
+                selector,
+                deploy_latency: total_latency,
+            },
+        );
+        Ok((total_latency, all_cached))
+    }
+
+    /// Tears a chain down: removes steering, stops and removes its containers
+    /// and drops the NF instances.
+    fn remove_chain(&mut self, chain_id: ChainId) -> GnfResult<()> {
+        let deployed = self
+            .chains
+            .remove(&chain_id)
+            .ok_or_else(|| GnfError::not_found("chain", chain_id))?;
+        // Remove the steering rule first so no packet is steered into a chain
+        // that is being torn down.
+        self.switch
+            .steering_mut()
+            .remove_chain(deployed.client_mac, chain_id);
+        for handle in deployed.containers {
+            self.switch.disconnect_container(handle);
+            // Stop might fail if never started; ignore state errors, always remove.
+            let _ = self.runtime.stop(handle);
+            let _ = self.runtime.remove(handle);
+        }
+        Ok(())
+    }
+
+    /// Checkpoints a chain's NF state for migration. Returns the state and the
+    /// time the checkpoint took on this station.
+    fn checkpoint_chain(
+        &mut self,
+        chain_id: ChainId,
+    ) -> GnfResult<(Vec<NfStateSnapshot>, SimDuration)> {
+        let deployed = self
+            .chains
+            .get(&chain_id)
+            .ok_or_else(|| GnfError::not_found("chain", chain_id))?;
+        let state = deployed.chain.export_state();
+        let state_bytes: usize = state.iter().map(|s| s.approximate_size_bytes()).sum();
+        let mut latency = SimDuration::ZERO;
+        for handle in &deployed.containers {
+            latency += self.runtime.checkpoint(*handle, state_bytes / deployed.containers.len().max(1))?;
+        }
+        Ok((state, latency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_nf::testing::sample_specs;
+    use gnf_types::MigrationId;
+    use gnf_packet::builder;
+
+    fn agent() -> (Agent, AgentToManager) {
+        Agent::new(
+            AgentConfig {
+                agent: AgentId::new(1),
+                station: StationId::new(1),
+                host_class: HostClass::EdgeServer,
+            },
+            ImageRepository::with_standard_images(),
+        )
+    }
+
+    fn client_mac() -> MacAddr {
+        MacAddr::derived(1, 0)
+    }
+    fn client_ip() -> Ipv4Addr {
+        Ipv4Addr::new(172, 16, 0, 2)
+    }
+
+    fn deploy_msg(chain: u64, specs: Vec<NfSpec>) -> ManagerToAgent {
+        ManagerToAgent::DeployChain {
+            chain: ChainId::new(chain),
+            client: ClientId::new(0),
+            client_mac: client_mac(),
+            specs,
+            selector: TrafficSelector::all(),
+            restore_state: None,
+            migration: None,
+        }
+    }
+
+    #[test]
+    fn registration_announces_capacity() {
+        let (agent, register) = agent();
+        match register {
+            AgentToManager::Register {
+                station, capacity, ..
+            } => {
+                assert_eq!(station, StationId::new(1));
+                assert_eq!(capacity, HostClass::EdgeServer.capacity());
+            }
+            other => panic!("unexpected register message {other:?}"),
+        }
+        assert_eq!(agent.running_nfs(), 0);
+    }
+
+    #[test]
+    fn client_association_notifies_the_manager() {
+        let (mut agent, _) = agent();
+        let msgs = agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(agent.connected_clients(), vec![ClientId::new(0)]);
+        let msgs = agent.client_disassociated(ClientId::new(0));
+        assert_eq!(msgs.len(), 1);
+        assert!(agent.connected_clients().is_empty());
+        // Disassociating an unknown client is silent.
+        assert!(agent.client_disassociated(ClientId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn deploy_chain_starts_containers_and_installs_steering() {
+        let (mut agent, _) = agent();
+        agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+        let specs = vec![sample_specs()[0].clone(), sample_specs()[1].clone()];
+        let replies = agent.handle_manager_msg(deploy_msg(1, specs), SimTime::from_secs(1));
+        match &replies[0] {
+            AgentToManager::ChainDeployed {
+                chain,
+                latency,
+                images_cached,
+                ..
+            } => {
+                assert_eq!(*chain, ChainId::new(1));
+                assert!(!images_cached, "first deployment pulls images");
+                assert!(latency.as_millis() > 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(agent.running_nfs(), 2);
+        assert_eq!(agent.switch().steering().len(), 1);
+        // Two veth pairs per NF plus access+uplink.
+        assert_eq!(agent.switch().ports().len(), 2 + 2 * 2);
+        // A second deployment of the same chain id fails.
+        let replies = agent.handle_manager_msg(
+            deploy_msg(1, vec![sample_specs()[0].clone()]),
+            SimTime::from_secs(2),
+        );
+        assert!(matches!(replies[0], AgentToManager::CommandFailed { .. }));
+    }
+
+    #[test]
+    fn steered_traffic_is_processed_by_the_chain() {
+        let (mut agent, _) = agent();
+        agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+        // Firewall blocking ssh + HTTP filter blocking ads.example.
+        let specs = vec![sample_specs()[0].clone(), sample_specs()[1].clone()];
+        agent.handle_manager_msg(deploy_msg(1, specs), SimTime::from_secs(1));
+
+        let now = SimTime::from_secs(2);
+        // Allowed web traffic is forwarded.
+        let ok = builder::http_get(
+            client_mac(),
+            MacAddr::derived(0xA0, 1),
+            client_ip(),
+            Ipv4Addr::new(203, 0, 113, 10),
+            40_000,
+            "www.gla.ac.uk",
+            "/",
+        );
+        assert!(matches!(
+            agent.process_upstream_packet(ok, now),
+            PacketOutcome::Forwarded(_)
+        ));
+        // SSH is dropped by the firewall.
+        let ssh = builder::tcp_syn(
+            client_mac(),
+            MacAddr::derived(0xA0, 1),
+            client_ip(),
+            Ipv4Addr::new(203, 0, 113, 10),
+            40_001,
+            22,
+        );
+        assert!(matches!(
+            agent.process_upstream_packet(ssh, now),
+            PacketOutcome::Dropped(_)
+        ));
+        // A blocked URL gets a 403 reply.
+        let blocked = builder::http_get(
+            client_mac(),
+            MacAddr::derived(0xA0, 1),
+            client_ip(),
+            Ipv4Addr::new(203, 0, 113, 11),
+            40_002,
+            "ads.example",
+            "/banner",
+        );
+        match agent.process_upstream_packet(blocked, now) {
+            PacketOutcome::Replied(replies) => assert_eq!(replies.len(), 1),
+            other => panic!("expected a reply, got {other:?}"),
+        }
+        // The blocked request produced a notification for the Manager.
+        let notifications = agent.drain_nf_notifications(now);
+        assert_eq!(notifications.len(), 1);
+        assert!(matches!(
+            notifications[0],
+            AgentToManager::NfNotification { .. }
+        ));
+    }
+
+    #[test]
+    fn unsteered_traffic_passes_straight_through() {
+        let (mut agent, _) = agent();
+        let now = SimTime::from_secs(1);
+        let pkt = builder::tcp_syn(
+            MacAddr::derived(9, 9),
+            MacAddr::derived(0xA0, 1),
+            Ipv4Addr::new(172, 16, 0, 99),
+            Ipv4Addr::new(203, 0, 113, 10),
+            40_000,
+            443,
+        );
+        assert!(matches!(
+            agent.process_upstream_packet(pkt, now),
+            PacketOutcome::Forwarded(_)
+        ));
+    }
+
+    #[test]
+    fn remove_chain_releases_everything() {
+        let (mut agent, _) = agent();
+        agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+        agent.handle_manager_msg(
+            deploy_msg(1, vec![sample_specs()[0].clone()]),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(agent.running_nfs(), 1);
+        let replies = agent.handle_manager_msg(
+            ManagerToAgent::RemoveChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(0),
+                migration: None,
+            },
+            SimTime::from_secs(2),
+        );
+        assert!(matches!(replies[0], AgentToManager::ChainRemoved { .. }));
+        assert_eq!(agent.running_nfs(), 0);
+        assert_eq!(agent.switch().steering().len(), 0);
+        assert_eq!(agent.switch().ports().len(), 2);
+        // Removing again fails.
+        let replies = agent.handle_manager_msg(
+            ManagerToAgent::RemoveChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(0),
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        assert!(matches!(replies[0], AgentToManager::CommandFailed { .. }));
+    }
+
+    #[test]
+    fn checkpoint_then_restore_preserves_nf_state() {
+        // Source agent: deploy a firewall chain and let it track a connection.
+        let (mut source, _) = agent();
+        source.client_associated(ClientId::new(0), client_mac(), client_ip());
+        source.handle_manager_msg(
+            deploy_msg(1, vec![sample_specs()[0].clone()]),
+            SimTime::from_secs(1),
+        );
+        let now = SimTime::from_secs(2);
+        let flow = builder::tcp_syn(
+            client_mac(),
+            MacAddr::derived(0xA0, 1),
+            client_ip(),
+            Ipv4Addr::new(203, 0, 113, 10),
+            41_000,
+            443,
+        );
+        source.process_upstream_packet(flow, now);
+
+        let replies = source.handle_manager_msg(
+            ManagerToAgent::CheckpointChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(0),
+                migration: MigrationId::new(1),
+            },
+            SimTime::from_secs(3),
+        );
+        let AgentToManager::ChainState { state, checkpoint_latency, .. } = &replies[0] else {
+            panic!("expected chain state, got {:?}", replies[0]);
+        };
+        assert!(checkpoint_latency.as_millis() > 0);
+        assert!(state.iter().any(|s| !s.is_empty()), "conntrack state present");
+
+        // Target agent: deploy the same chain with the migrated state.
+        let (mut target, _) = agent();
+        target.client_associated(ClientId::new(0), client_mac(), client_ip());
+        let replies = target.handle_manager_msg(
+            ManagerToAgent::DeployChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(0),
+                client_mac: client_mac(),
+                specs: vec![sample_specs()[0].clone()],
+                selector: TrafficSelector::all(),
+                restore_state: Some(state.clone()),
+                migration: Some(MigrationId::new(1)),
+            },
+            SimTime::from_secs(4),
+        );
+        assert!(matches!(replies[0], AgentToManager::ChainDeployed { .. }));
+        assert!(target.chain(ChainId::new(1)).unwrap().chain.state_size_bytes() > 0);
+    }
+
+    #[test]
+    fn reports_reflect_running_nfs_and_clients() {
+        let (mut agent, _) = agent();
+        agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+        agent.handle_manager_msg(
+            deploy_msg(1, vec![sample_specs()[0].clone(), sample_specs()[2].clone()]),
+            SimTime::from_secs(1),
+        );
+        let report = agent.make_report(SimTime::from_secs(10));
+        let AgentToManager::Report(report) = report else {
+            panic!("expected a report");
+        };
+        assert_eq!(report.station, StationId::new(1));
+        assert_eq!(report.running_nfs, 2);
+        assert_eq!(report.connected_clients, vec![ClientId::new(0)]);
+        assert!(report.usage.memory_mb > 0);
+        assert_eq!(report.cached_images, 2);
+    }
+
+    #[test]
+    fn ping_gets_pong() {
+        let (mut agent, _) = agent();
+        let replies = agent.handle_manager_msg(ManagerToAgent::Ping, SimTime::ZERO);
+        assert_eq!(replies, vec![AgentToManager::Pong]);
+        assert_eq!(agent.commands_handled(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! # gnf-agent
+//!
+//! The GNF Agent: "a lightweight daemon running on the stations managed by the
+//! provider. It is responsible for the instantiation of the NFs on the hosting
+//! platform, notifying the Manager of clients' (dis)connection and reporting
+//! periodically the state of the device."
+//!
+//! The [`Agent`] here is a *sans-I/O* state machine: it consumes
+//! [`ManagerToAgent`] commands and local events (client association, packets,
+//! report timers) and produces [`AgentToManager`] messages plus packet-level
+//! outcomes. It never touches sockets or clocks, so the same code is driven by
+//! the discrete-event emulator in experiments and called directly in unit
+//! tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+
+pub use agent::{Agent, AgentConfig, DeployedChain, PacketOutcome};

@@ -1,0 +1,21 @@
+//! # gnf-api
+//!
+//! The Manager⇄Agent control protocol of the GNF reproduction: typed
+//! [`messages`], a length-prefixed JSON [`codec`], and in-process
+//! [`transport`] endpoints used by tests and the live demo mode.
+//!
+//! The Manager and the Agent themselves are sans-I/O state machines (in
+//! `gnf-manager` and `gnf-agent`); they consume and produce these message
+//! types without knowing how the bytes travel, which is what lets the
+//! discrete-event emulator inject realistic control-link latency while unit
+//! tests call the state machines directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod messages;
+pub mod transport;
+
+pub use messages::{AgentToManager, ManagerToAgent};
+pub use transport::{duplex, Endpoint};

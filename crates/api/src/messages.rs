@@ -1,0 +1,257 @@
+//! The typed messages exchanged between the GNF Manager and its Agents.
+//!
+//! The paper describes the Manager as "providing a set of APIs to control the
+//! state of NFs' containers across all stations and keeping a connection with
+//! all the Agents in the network"; Agents notify it of client
+//! (dis)connections, report device state periodically and relay NF
+//! notifications. These enums are that API, in both directions.
+
+use gnf_nf::{NfEvent, NfSpec, NfStateSnapshot};
+use gnf_switch::TrafficSelector;
+use gnf_telemetry::StationReport;
+use gnf_types::{
+    AgentId, ChainId, ClientId, GnfError, HostClass, MacAddr, MigrationId, ResourceSpec,
+    SimDuration, StationId,
+};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Commands the Manager sends to an Agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ManagerToAgent {
+    /// Acknowledge the Agent's registration.
+    RegisterAck {
+        /// The station id the Manager assigned/confirmed.
+        station: StationId,
+    },
+    /// Deploy a service chain for a client's traffic.
+    DeployChain {
+        /// Chain identifier allocated by the Manager.
+        chain: ChainId,
+        /// The client whose traffic is steered through the chain.
+        client: ClientId,
+        /// The client's MAC address (what steering matches on).
+        client_mac: MacAddr,
+        /// Ordered NF specs making up the chain.
+        specs: Vec<NfSpec>,
+        /// Which subset of the client's traffic to divert.
+        selector: TrafficSelector,
+        /// NF state to restore into the chain (present when this deployment
+        /// is the target side of a migration).
+        restore_state: Option<Vec<NfStateSnapshot>>,
+        /// The migration this deployment belongs to, if any.
+        migration: Option<MigrationId>,
+    },
+    /// Tear down a client's chain.
+    RemoveChain {
+        /// The chain to remove.
+        chain: ChainId,
+        /// The client it belonged to.
+        client: ClientId,
+        /// The migration this removal belongs to, if any.
+        migration: Option<MigrationId>,
+    },
+    /// Checkpoint the chain's NF state and send it back (source side of a
+    /// migration).
+    CheckpointChain {
+        /// The chain to checkpoint.
+        chain: ChainId,
+        /// The client it belongs to.
+        client: ClientId,
+        /// The migration the checkpoint belongs to.
+        migration: MigrationId,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Messages an Agent sends to the Manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentToManager {
+    /// First message after the Agent starts: announce the station.
+    Register {
+        /// The Agent's identifier.
+        agent: AgentId,
+        /// The station the Agent runs on.
+        station: StationId,
+        /// Hardware class of the station.
+        host_class: HostClass,
+        /// Total capacity of the station.
+        capacity: ResourceSpec,
+    },
+    /// A client associated with this station's cell.
+    ClientConnected {
+        /// The client.
+        client: ClientId,
+        /// Its MAC address.
+        mac: MacAddr,
+        /// The address it was assigned.
+        ip: Ipv4Addr,
+    },
+    /// A client left this station's cell.
+    ClientDisconnected {
+        /// The client.
+        client: ClientId,
+    },
+    /// Periodic station state report.
+    Report(StationReport),
+    /// A chain finished deploying.
+    ChainDeployed {
+        /// The chain.
+        chain: ChainId,
+        /// The client it serves.
+        client: ClientId,
+        /// End-to-end deployment latency on the station.
+        latency: SimDuration,
+        /// True when every image was already cached locally.
+        images_cached: bool,
+        /// The migration this deployment completed, if any.
+        migration: Option<MigrationId>,
+    },
+    /// A chain was removed.
+    ChainRemoved {
+        /// The chain.
+        chain: ChainId,
+        /// The client it served.
+        client: ClientId,
+        /// The migration this removal belonged to, if any.
+        migration: Option<MigrationId>,
+    },
+    /// The requested checkpoint of a chain's NF state.
+    ChainState {
+        /// The chain.
+        chain: ChainId,
+        /// The client it serves.
+        client: ClientId,
+        /// The migration the state belongs to.
+        migration: MigrationId,
+        /// Per-NF state snapshots in chain order.
+        state: Vec<NfStateSnapshot>,
+        /// How long the checkpoint took on the station.
+        checkpoint_latency: SimDuration,
+    },
+    /// An NF relayed an event (intrusion attempt, blocked URL, ...).
+    NfNotification {
+        /// The chain containing the NF.
+        chain: ChainId,
+        /// The client the NF serves.
+        client: ClientId,
+        /// Name of the NF instance that raised the event.
+        nf_name: String,
+        /// The event itself.
+        event: NfEvent,
+    },
+    /// A command failed on the Agent.
+    CommandFailed {
+        /// Which chain the failure concerns, if any.
+        chain: Option<ChainId>,
+        /// The error.
+        error: GnfError,
+        /// The migration affected, if any.
+        migration: Option<MigrationId>,
+    },
+    /// Reply to a ping.
+    Pong,
+}
+
+impl ManagerToAgent {
+    /// Short label for logging/telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ManagerToAgent::RegisterAck { .. } => "register-ack",
+            ManagerToAgent::DeployChain { .. } => "deploy-chain",
+            ManagerToAgent::RemoveChain { .. } => "remove-chain",
+            ManagerToAgent::CheckpointChain { .. } => "checkpoint-chain",
+            ManagerToAgent::Ping => "ping",
+        }
+    }
+}
+
+impl AgentToManager {
+    /// Short label for logging/telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AgentToManager::Register { .. } => "register",
+            AgentToManager::ClientConnected { .. } => "client-connected",
+            AgentToManager::ClientDisconnected { .. } => "client-disconnected",
+            AgentToManager::Report(_) => "report",
+            AgentToManager::ChainDeployed { .. } => "chain-deployed",
+            AgentToManager::ChainRemoved { .. } => "chain-removed",
+            AgentToManager::ChainState { .. } => "chain-state",
+            AgentToManager::NfNotification { .. } => "nf-notification",
+            AgentToManager::CommandFailed { .. } => "command-failed",
+            AgentToManager::Pong => "pong",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_nf::testing::sample_specs;
+
+    #[test]
+    fn messages_roundtrip_through_json() {
+        let deploy = ManagerToAgent::DeployChain {
+            chain: ChainId::new(1),
+            client: ClientId::new(2),
+            client_mac: MacAddr::derived(1, 2),
+            specs: sample_specs(),
+            selector: TrafficSelector::all(),
+            restore_state: Some(vec![NfStateSnapshot::Stateless]),
+            migration: Some(MigrationId::new(5)),
+        };
+        let json = serde_json::to_string(&deploy).unwrap();
+        let back: ManagerToAgent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, deploy);
+        assert_eq!(deploy.label(), "deploy-chain");
+
+        let register = AgentToManager::Register {
+            agent: AgentId::new(1),
+            station: StationId::new(1),
+            host_class: HostClass::HomeRouter,
+            capacity: HostClass::HomeRouter.capacity(),
+        };
+        let json = serde_json::to_string(&register).unwrap();
+        let back: AgentToManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, register);
+        assert_eq!(register.label(), "register");
+    }
+
+    #[test]
+    fn every_variant_has_a_label() {
+        let m2a = [
+            ManagerToAgent::RegisterAck {
+                station: StationId::new(1),
+            },
+            ManagerToAgent::RemoveChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: None,
+            },
+            ManagerToAgent::CheckpointChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+            },
+            ManagerToAgent::Ping,
+        ];
+        for msg in m2a {
+            assert!(!msg.label().is_empty());
+        }
+        let a2m = [
+            AgentToManager::ClientDisconnected {
+                client: ClientId::new(1),
+            },
+            AgentToManager::Pong,
+            AgentToManager::CommandFailed {
+                chain: None,
+                error: GnfError::internal("x"),
+                migration: None,
+            },
+        ];
+        for msg in a2m {
+            assert!(!msg.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! In-process transports for the Manager⇄Agent protocol.
+//!
+//! The discrete-event emulator delivers control messages itself (with
+//! configurable link latency), but tests, examples and the live demo mode
+//! need a real byte-carrying channel. [`duplex`] builds a pair of connected
+//! endpoints over crossbeam channels; every message crosses the boundary as
+//! encoded frames (through [`crate::codec`]), so the exact same bytes that
+//! would travel over TCP are exercised.
+
+use crate::codec;
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use gnf_types::{GnfError, GnfResult};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::marker::PhantomData;
+
+/// One end of a duplex control channel: sends `Out` messages, receives `In`
+/// messages.
+pub struct Endpoint<Out, In> {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    rx_buffer: BytesMut,
+    _marker: PhantomData<(Out, In)>,
+}
+
+impl<Out: Serialize, In: DeserializeOwned> Endpoint<Out, In> {
+    /// Sends one message to the peer.
+    pub fn send(&self, message: &Out) -> GnfResult<()> {
+        let frame = codec::encode_to_vec(message)?;
+        self.tx.send(frame).map_err(|_| GnfError::Codec {
+            reason: "peer endpoint dropped".to_string(),
+        })
+    }
+
+    /// Receives every message currently queued from the peer, without
+    /// blocking.
+    pub fn drain(&mut self) -> GnfResult<Vec<In>> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(frame) => self.rx_buffer.extend_from_slice(&frame),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let mut messages = Vec::new();
+        while let Some(message) = codec::decode(&mut self.rx_buffer)? {
+            messages.push(message);
+        }
+        Ok(messages)
+    }
+}
+
+/// Builds a connected (manager-side, agent-side) endpoint pair.
+///
+/// The manager side sends `M2A` and receives `A2M`; the agent side is the
+/// mirror image.
+pub fn duplex<M2A, A2M>() -> (Endpoint<M2A, A2M>, Endpoint<A2M, M2A>)
+where
+    M2A: Serialize + DeserializeOwned,
+    A2M: Serialize + DeserializeOwned,
+{
+    let (to_agent_tx, to_agent_rx) = unbounded();
+    let (to_manager_tx, to_manager_rx) = unbounded();
+    (
+        Endpoint {
+            tx: to_agent_tx,
+            rx: to_manager_rx,
+            rx_buffer: BytesMut::new(),
+            _marker: PhantomData,
+        },
+        Endpoint {
+            tx: to_manager_tx,
+            rx: to_agent_rx,
+            rx_buffer: BytesMut::new(),
+            _marker: PhantomData,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{AgentToManager, ManagerToAgent};
+    use gnf_types::StationId;
+
+    #[test]
+    fn duplex_delivers_messages_in_both_directions() {
+        let (mut manager_end, mut agent_end) =
+            duplex::<ManagerToAgent, AgentToManager>();
+
+        manager_end.send(&ManagerToAgent::Ping).unwrap();
+        manager_end
+            .send(&ManagerToAgent::RegisterAck {
+                station: StationId::new(3),
+            })
+            .unwrap();
+        let received = agent_end.drain().unwrap();
+        assert_eq!(received.len(), 2);
+        assert_eq!(received[0], ManagerToAgent::Ping);
+
+        agent_end.send(&AgentToManager::Pong).unwrap();
+        let received = manager_end.drain().unwrap();
+        assert_eq!(received, vec![AgentToManager::Pong]);
+
+        // Nothing further queued.
+        assert!(manager_end.drain().unwrap().is_empty());
+        assert!(agent_end.drain().unwrap().is_empty());
+    }
+
+    #[test]
+    fn messages_survive_a_thread_boundary() {
+        let (mut manager_end, mut agent_end) =
+            duplex::<ManagerToAgent, AgentToManager>();
+        let handle = std::thread::spawn(move || {
+            agent_end.send(&AgentToManager::Pong).unwrap();
+            // Wait for the manager's ping.
+            loop {
+                let msgs = agent_end.drain().unwrap();
+                if msgs.contains(&ManagerToAgent::Ping) {
+                    return true;
+                }
+                std::thread::yield_now();
+            }
+        });
+        manager_end.send(&ManagerToAgent::Ping).unwrap();
+        assert!(handle.join().unwrap());
+        let msgs = manager_end.drain().unwrap();
+        assert_eq!(msgs, vec![AgentToManager::Pong]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Control-plane micro-benchmarks (experiment E5 support): the cost of the
+//! Manager⇄Agent codec, of Manager report ingestion and of running a whole
+//! demo scenario through the emulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnf_api::codec;
+use gnf_api::messages::AgentToManager;
+use gnf_core::{Emulator, Scenario};
+use gnf_manager::Manager;
+use gnf_telemetry::StationReport;
+use gnf_types::{
+    AgentId, ClientId, GnfConfig, HostClass, ResourceUsage, SimTime, StationId,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sample_report(station: u64) -> AgentToManager {
+    AgentToManager::Report(StationReport {
+        station: StationId::new(station),
+        agent: AgentId::new(station),
+        produced_at: SimTime::from_secs(10),
+        host_class: HostClass::EdgeServer,
+        capacity: HostClass::EdgeServer.capacity(),
+        usage: ResourceUsage {
+            cpu_fraction: 0.35,
+            memory_mb: 900,
+            disk_mb: 4_000,
+            rx_bps: 10e6,
+            tx_bps: 2e6,
+        },
+        connected_clients: (0..20).map(ClientId::new).collect(),
+        running_nfs: 24,
+        cached_images: 7,
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_codec");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let msg = sample_report(3);
+    let encoded = codec::encode_to_vec(&msg).unwrap();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_report", |b| {
+        b.iter(|| black_box(codec::encode_to_vec(black_box(&msg)).unwrap()))
+    });
+    group.bench_function("decode_report", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::from(&encoded[..]);
+            let decoded: AgentToManager = codec::decode(&mut buf).unwrap().unwrap();
+            black_box(decoded)
+        })
+    });
+    group.finish();
+}
+
+fn bench_manager_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_ingest_reports");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for stations in [10u64, 100, 500] {
+        group.throughput(Throughput::Elements(stations));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stations),
+            &stations,
+            |b, &stations| {
+                // Register the stations once, outside the measured loop.
+                let mut manager = Manager::new(GnfConfig::default());
+                for s in 0..stations {
+                    manager.handle_agent_msg(
+                        StationId::new(s),
+                        AgentToManager::Register {
+                            agent: AgentId::new(s),
+                            station: StationId::new(s),
+                            host_class: HostClass::EdgeServer,
+                            capacity: HostClass::EdgeServer.capacity(),
+                        },
+                        SimTime::ZERO,
+                    );
+                }
+                let mut now = 1u64;
+                b.iter(|| {
+                    now += 1;
+                    for s in 0..stations {
+                        let actions = manager.handle_agent_msg(
+                            StationId::new(s),
+                            sample_report(s),
+                            SimTime::from_secs(now),
+                        );
+                        black_box(actions);
+                    }
+                    black_box(manager.tick(SimTime::from_secs(now)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_demo_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("demo_roaming_full_run", |b| {
+        b.iter(|| {
+            let mut emulator = Emulator::new(Scenario::demo_roaming(GnfConfig::default()));
+            black_box(emulator.run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_manager_ingest, bench_demo_scenario);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Data-plane micro-benchmarks (experiment E4): real wall-clock throughput of
+//! packet parsing, the firewall rule engine, NF chains of increasing length,
+//! the DNS load balancer and the software switch — the "high throughput, low
+//! latency" side of the paper's lightweight-NF argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnf_nf::firewall::{Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction};
+use gnf_nf::testing::sample_specs;
+use gnf_nf::{instantiate_chain, Direction, NetworkFunction, NfContext};
+use gnf_packet::{builder, Packet};
+use gnf_switch::{SoftwareSwitch, SteeringRule, TrafficSelector};
+use gnf_types::{ChainId, ClientId, MacAddr, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn sample_tcp(payload: usize) -> Packet {
+    builder::tcp_data(
+        MacAddr::derived(1, 1),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(203, 0, 113, 9),
+        40_000,
+        443,
+        &vec![0xAB; payload],
+    )
+}
+
+fn bench_packet_parsing(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("packet_parse");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for size in [64usize, 512, 1400] {
+        let pkt = sample_tcp(size.saturating_sub(54));
+        let bytes = pkt.bytes().clone();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("tcp", size), &bytes, |b, bytes| {
+            b.iter(|| Packet::parse(black_box(bytes.clone())).unwrap())
+        });
+    }
+    let dns = builder::dns_query(
+        MacAddr::derived(1, 1),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(8, 8, 8, 8),
+        5353,
+        7,
+        "www.gla.ac.uk",
+    );
+    group.bench_function("dns_query", |b| {
+        b.iter(|| {
+            let parsed = Packet::parse(black_box(dns.bytes().clone())).unwrap();
+            black_box(parsed.dns())
+        })
+    });
+    group.finish();
+}
+
+fn firewall_with_rules(rules: usize) -> Firewall {
+    let mut list = Vec::with_capacity(rules);
+    for i in 0..rules {
+        list.push(FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Exact(10_000 + i as u16),
+            action: RuleAction::Drop,
+            ..FirewallRule::any(format!("rule-{i}"), RuleAction::Drop)
+        });
+    }
+    // Disable conntrack so every packet walks the whole rule list (worst case).
+    Firewall::new(
+        "bench-fw",
+        FirewallConfig {
+            rules: list,
+            default_action: RuleAction::Accept,
+            track_connections: false,
+            conntrack_idle_timeout_secs: 60,
+        },
+    )
+}
+
+fn bench_firewall_rules(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("firewall_rule_count");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+    for rules in [10usize, 100, 1_000, 10_000] {
+        let mut fw = firewall_with_rules(rules);
+        let pkt = sample_tcp(64);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| {
+                let verdict = fw.process(black_box(pkt.clone()), Direction::Ingress, &ctx);
+                black_box(verdict)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_length(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("chain_length");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+    let specs = sample_specs();
+    for len in [1usize, 2, 4, 7] {
+        let mut chain = instantiate_chain("bench-chain", &specs[..len.min(specs.len())]);
+        let pkt = sample_tcp(256);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let verdict = chain.process(black_box(pkt.clone()), Direction::Ingress, &ctx);
+                black_box(verdict)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dns_lb_and_http_filter(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("nf_specialised");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+
+    let mut lb = sample_specs()[2].instantiate();
+    let dns = builder::dns_query(
+        MacAddr::derived(1, 1),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(8, 8, 8, 8),
+        5353,
+        7,
+        "svc.edge.example",
+    );
+    group.bench_function("dns_lb_answer", |b| {
+        b.iter(|| black_box(lb.process(black_box(dns.clone()), Direction::Ingress, &ctx)))
+    });
+
+    let mut filter = sample_specs()[1].instantiate();
+    let http = builder::http_get(
+        MacAddr::derived(1, 1),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(203, 0, 113, 9),
+        40_100,
+        "ads.example",
+        "/banner.js",
+    );
+    group.bench_function("http_filter_block", |b| {
+        b.iter(|| black_box(filter.process(black_box(http.clone()), Direction::Ingress, &ctx)))
+    });
+    group.finish();
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("switch");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut sw = SoftwareSwitch::new();
+    // 256 steered clients on the switch.
+    for i in 0..256u32 {
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(u64::from(i)),
+            client_mac: MacAddr::derived(1, i),
+            selector: TrafficSelector::all(),
+            chain: ChainId::new(u64::from(i)),
+        });
+    }
+    let pkt = builder::tcp_data(
+        MacAddr::derived(1, 77),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 77),
+        Ipv4Addr::new(203, 0, 113, 9),
+        40_000,
+        80,
+        b"data",
+    );
+    let client_port = sw.client_port();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("receive_steered_256_clients", |b| {
+        b.iter(|| {
+            black_box(
+                sw.receive(black_box(&pkt), client_port, SimTime::from_secs(1))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet_parsing,
+    bench_firewall_rules,
+    bench_chain_length,
+    bench_dns_lb_and_http_filter,
+    bench_switch
+);
+criterion_main!(benches);

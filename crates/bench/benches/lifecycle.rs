@@ -1,0 +1,117 @@
+//! Runtime-lifecycle micro-benchmarks (experiments E2/E3 support): the
+//! wall-clock cost of driving the container/VM runtime bookkeeping itself
+//! (deploy/remove cycles, density packing) and of NF state checkpointing.
+//! Virtual-time deployment latencies are reported by the `exp_e2_*` and
+//! `exp_e3_*` harnesses; these benchmarks show the framework overhead is
+//! negligible next to them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
+use gnf_nf::testing::sample_specs;
+use gnf_nf::{instantiate_chain, Direction, NfContext, NfKind};
+use gnf_packet::builder;
+use gnf_types::{HostClass, MacAddr, SimTime};
+use gnf_vm::{VmImageCatalog, VmRuntime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn bench_deploy_cycle(c: &mut Criterion) {
+    let repo = ImageRepository::with_standard_images();
+    let vm_catalog = VmImageCatalog::new();
+    let kind = NfKind::Firewall;
+
+    let mut group = c.benchmark_group("deploy_remove_cycle");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("container", |b| {
+        let image = repo.for_kind(kind).unwrap();
+        let mut rt = ContainerRuntime::new(HostClass::EdgeServer);
+        b.iter(|| {
+            let outcome = rt
+                .deploy("bench", image, kind.container_footprint())
+                .unwrap();
+            rt.stop(outcome.handle).unwrap();
+            rt.remove(outcome.handle).unwrap();
+            black_box(outcome.total_duration)
+        })
+    });
+
+    group.bench_function("vm", |b| {
+        let image = vm_catalog.for_kind(kind).unwrap();
+        let mut rt = VmRuntime::new(HostClass::PopServer);
+        b.iter(|| {
+            let outcome = rt.deploy("bench", image, kind.vm_footprint()).unwrap();
+            rt.stop(outcome.handle).unwrap();
+            rt.remove(outcome.handle).unwrap();
+            black_box(outcome.total_duration)
+        })
+    });
+    group.finish();
+}
+
+fn bench_density_packing(c: &mut Criterion) {
+    let repo = ImageRepository::with_standard_images();
+    let kind = NfKind::RateLimiter;
+    let mut group = c.benchmark_group("density_packing");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    group.bench_function("fill_edge_server_with_containers", |b| {
+        let image = repo.for_kind(kind).unwrap();
+        b.iter(|| {
+            let mut rt = ContainerRuntime::new(HostClass::EdgeServer);
+            rt.ensure_image(image).unwrap();
+            let mut count = 0u32;
+            while let Ok((handle, _)) =
+                rt.create(&format!("rl-{count}"), image, kind.container_footprint())
+            {
+                rt.start(handle).unwrap();
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn bench_state_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nf_state_checkpoint");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+    for flows in [10usize, 1_000, 10_000] {
+        // A firewall that has tracked `flows` connections.
+        let mut chain = instantiate_chain("bench", &sample_specs()[..1]);
+        for i in 0..flows {
+            let pkt = builder::tcp_syn(
+                MacAddr::derived(1, 1),
+                MacAddr::derived(0xA0, 0),
+                Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 2),
+                Ipv4Addr::new(203, 0, 113, 9),
+                40_000,
+                443,
+            );
+            let _ = chain.process(pkt, Direction::Ingress, &ctx);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("export_state", flows),
+            &flows,
+            |b, _| b.iter(|| black_box(chain.export_state())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deploy_cycle,
+    bench_density_packing,
+    bench_state_checkpoint
+);
+criterion_main!(benches);

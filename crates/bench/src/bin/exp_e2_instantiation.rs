@@ -1,0 +1,73 @@
+//! Experiment E2 — "NFs can be attached in seconds": per-NF instantiation
+//! latency, container runtime vs the VM baseline, cold cache vs warm cache,
+//! across host classes.
+
+use gnf_bench::section;
+use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
+use gnf_nf::NfKind;
+use gnf_types::HostClass;
+use gnf_vm::{VmImageCatalog, VmRuntime};
+
+fn main() {
+    println!("E2 — NF instantiation latency (virtual time from the calibrated cost model)");
+    let repo = ImageRepository::with_standard_images();
+    let vm_catalog = VmImageCatalog::new();
+
+    for host in [HostClass::HomeRouter, HostClass::EdgeServer, HostClass::PopServer] {
+        section(&format!("host class: {host}"));
+        println!(
+            "{:<14} {:>22} {:>22} {:>22}",
+            "NF", "container cold (ms)", "container warm (ms)", "VM cold (ms)"
+        );
+        for kind in NfKind::all() {
+            let image = repo.for_kind(kind).unwrap();
+            let mut containers = ContainerRuntime::new(host);
+            let cold = containers
+                .deploy("cold", image, kind.container_footprint())
+                .map(|d| d.total_duration.as_millis_f64())
+                .unwrap_or(f64::NAN);
+            let warm = containers
+                .deploy("warm", image, kind.container_footprint())
+                .map(|d| d.total_duration.as_millis_f64())
+                .unwrap_or(f64::NAN);
+
+            let vm_image = vm_catalog.for_kind(kind).unwrap();
+            let mut vms = VmRuntime::new(host);
+            let vm_cold = vms
+                .deploy("vm", vm_image, kind.vm_footprint())
+                .map(|d| d.total_duration.as_millis_f64());
+            let vm_text = match vm_cold {
+                Ok(ms) => format!("{ms:>22.1}"),
+                Err(_) => format!("{:>22}", "does not fit"),
+            };
+            println!(
+                "{:<14} {:>22.1} {:>22.1} {}",
+                kind.label(),
+                cold,
+                warm,
+                vm_text
+            );
+        }
+    }
+
+    section("speed-up summary (edge-server, firewall)");
+    let host = HostClass::EdgeServer;
+    let kind = NfKind::Firewall;
+    let mut containers = ContainerRuntime::new(host);
+    let image = repo.for_kind(kind).unwrap();
+    let c_cold = containers
+        .deploy("c", image, kind.container_footprint())
+        .unwrap()
+        .total_duration;
+    let mut vms = VmRuntime::new(host);
+    let v_cold = vms
+        .deploy("v", vm_catalog.for_kind(kind).unwrap(), kind.vm_footprint())
+        .unwrap()
+        .total_duration;
+    println!(
+        "container cold deploy {} vs VM cold deploy {} -> {:.0}x faster",
+        c_cold,
+        v_cold,
+        v_cold.as_millis_f64() / c_cold.as_millis_f64()
+    );
+}

@@ -1,0 +1,83 @@
+//! Experiment E3 — "commodity compute devices are now able to host up to
+//! hundreds of NFs": maximum NF instances per host, containers vs VMs, across
+//! host classes, plus the memory cost per instance.
+
+use gnf_bench::section;
+use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
+use gnf_nf::NfKind;
+use gnf_types::HostClass;
+use gnf_vm::{VmImageCatalog, VmRuntime};
+
+fn pack_containers(host: HostClass, kind: NfKind, repo: &ImageRepository) -> usize {
+    let image = repo.for_kind(kind).unwrap();
+    let mut rt = ContainerRuntime::new(host);
+    if rt.ensure_image(image).is_err() {
+        return 0;
+    }
+    let mut count = 0usize;
+    while let Ok((handle, _)) = rt.create(&format!("c-{count}"), image, kind.container_footprint()) {
+        rt.start(handle).unwrap();
+        count += 1;
+        if count > 100_000 {
+            break;
+        }
+    }
+    count
+}
+
+fn pack_vms(host: HostClass, kind: NfKind, catalog: &VmImageCatalog) -> usize {
+    let image = catalog.for_kind(kind).unwrap();
+    let mut rt = VmRuntime::new(host);
+    if rt.ensure_image(image).is_err() {
+        return 0;
+    }
+    let mut count = 0usize;
+    while let Ok((handle, _)) = rt.create(&format!("v-{count}"), image, kind.vm_footprint()) {
+        rt.start(handle).unwrap();
+        count += 1;
+        if count > 10_000 {
+            break;
+        }
+    }
+    count
+}
+
+fn main() {
+    println!("E3 — NF density per host (how many instances fit before resources exhaust)");
+    let repo = ImageRepository::with_standard_images();
+    let catalog = VmImageCatalog::new();
+    let kind = NfKind::Firewall;
+
+    section(&format!("NF: {} (container {} / VM {})", kind.label(), kind.container_footprint(), kind.vm_footprint()));
+    println!(
+        "{:<14} {:>22} {:>12} {:>12} {:>10}",
+        "host class", "capacity", "containers", "VMs", "ratio"
+    );
+    for host in HostClass::all() {
+        let containers = pack_containers(host, kind, &repo);
+        let vms = pack_vms(host, kind, &catalog);
+        let ratio = if vms == 0 {
+            "∞".to_string()
+        } else {
+            format!("{:.0}x", containers as f64 / vms as f64)
+        };
+        println!(
+            "{:<14} {:>22} {:>12} {:>12} {:>10}",
+            host.label(),
+            host.capacity().to_string(),
+            containers,
+            vms,
+            ratio
+        );
+    }
+
+    section("per-NF-kind container density on a home router");
+    println!("{:<16} {:>12}", "NF", "containers");
+    for kind in NfKind::all() {
+        println!(
+            "{:<16} {:>12}",
+            kind.label(),
+            pack_containers(HostClass::HomeRouter, kind, &repo)
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Experiment E4 — data-plane throughput and added latency of the lightweight
+//! NFs: packets per second through the firewall as the rule count grows,
+//! through chains of increasing length, and per-NF behaviour on a realistic
+//! traffic mix. Wall-clock measurement (this is real packet processing, not a
+//! cost model).
+
+use gnf_bench::section;
+use gnf_nf::firewall::{Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction};
+use gnf_nf::testing::{sample_specs, sample_traffic};
+use gnf_nf::{instantiate_chain, Direction, NetworkFunction, NfContext};
+use gnf_packet::builder;
+use gnf_types::{MacAddr, SimTime};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+fn tcp_packet(payload: usize) -> gnf_packet::Packet {
+    builder::tcp_data(
+        MacAddr::derived(1, 1),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(203, 0, 113, 9),
+        40_000,
+        443,
+        &vec![0xAB; payload],
+    )
+}
+
+fn measure<F: FnMut()>(iterations: u64, mut f: F) -> (f64, f64) {
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let pps = iterations as f64 / elapsed;
+    let us_per_packet = elapsed * 1e6 / iterations as f64;
+    (pps, us_per_packet)
+}
+
+fn main() {
+    println!("E4 — data-plane throughput and per-packet latency (wall clock)");
+    let ctx = NfContext::at(SimTime::from_secs(1));
+    let iterations = 200_000u64;
+
+    section("firewall throughput vs rule count (64 B packets, worst case: no rule matches)");
+    println!("{:>10} {:>16} {:>16}", "rules", "kpps", "us/packet");
+    for rules in [0usize, 10, 100, 1_000, 5_000] {
+        let list: Vec<FirewallRule> = (0..rules)
+            .map(|i| FirewallRule {
+                protocol: ProtocolMatch::Tcp,
+                dst_port: PortMatch::Exact(10_000 + i as u16),
+                action: RuleAction::Drop,
+                ..FirewallRule::any(format!("r{i}"), RuleAction::Drop)
+            })
+            .collect();
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig {
+                rules: list,
+                default_action: RuleAction::Accept,
+                track_connections: false,
+                conntrack_idle_timeout_secs: 60,
+            },
+        );
+        let pkt = tcp_packet(10);
+        let iters = if rules >= 1_000 { iterations / 10 } else { iterations };
+        let (pps, us) = measure(iters, || {
+            let _ = fw.process(pkt.clone(), Direction::Ingress, &ctx);
+        });
+        println!("{:>10} {:>16.0} {:>16.3}", rules, pps / 1e3, us);
+    }
+
+    section("stateful fast path: same firewall with connection tracking enabled (5000 rules)");
+    {
+        let list: Vec<FirewallRule> = (0..5_000)
+            .map(|i| FirewallRule {
+                protocol: ProtocolMatch::Tcp,
+                dst_port: PortMatch::Exact(10_000 + i as u16),
+                action: RuleAction::Drop,
+                ..FirewallRule::any(format!("r{i}"), RuleAction::Drop)
+            })
+            .collect();
+        let mut fw = Firewall::new("fw", FirewallConfig::with_rules(list));
+        let pkt = tcp_packet(10);
+        // First packet walks the rules and establishes the flow.
+        let _ = fw.process(pkt.clone(), Direction::Ingress, &ctx);
+        let (pps, us) = measure(iterations, || {
+            let _ = fw.process(pkt.clone(), Direction::Ingress, &ctx);
+        });
+        println!("established-flow fast path: {:.0} kpps, {:.3} us/packet", pps / 1e3, us);
+    }
+
+    section("chain length vs throughput (256 B packets)");
+    println!("{:>10} {:>30} {:>12} {:>12}", "length", "NFs", "kpps", "us/packet");
+    let specs = sample_specs();
+    for len in [1usize, 2, 4, 7] {
+        let mut chain = instantiate_chain("chain", &specs[..len]);
+        let names: Vec<&str> = specs[..len].iter().map(|s| s.kind().label()).collect();
+        let pkt = tcp_packet(200);
+        let (pps, us) = measure(iterations / 2, || {
+            let _ = chain.process(pkt.clone(), Direction::Ingress, &ctx);
+        });
+        println!(
+            "{:>10} {:>30} {:>12.0} {:>12.3}",
+            len,
+            names.join("+"),
+            pps / 1e3,
+            us
+        );
+    }
+
+    section("per-NF behaviour on the demo's mixed client traffic");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "NF", "in", "forwarded", "dropped", "replied", "kpps"
+    );
+    for spec in &specs {
+        let mut nf = spec.instantiate();
+        let traffic = sample_traffic(Ipv4Addr::new(10, 0, 0, 2));
+        let rounds = 20_000usize;
+        let start = Instant::now();
+        for i in 0..rounds {
+            let pkt = traffic[i % traffic.len()].clone();
+            let _ = nf.process(pkt, Direction::Ingress, &ctx);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = nf.stats();
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>12.0}",
+            spec.kind().label(),
+            stats.packets_in,
+            stats.packets_forwarded,
+            stats.packets_dropped,
+            stats.packets_replied,
+            rounds as f64 / elapsed / 1e3
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment E5 — Manager monitoring scalability and hotspot detection: the
+//! control-message load as the number of stations grows, and whether the
+//! hotspot detector flags exactly the overloaded stations.
+
+use gnf_bench::section;
+use gnf_api::messages::AgentToManager;
+use gnf_manager::Manager;
+use gnf_telemetry::StationReport;
+use gnf_types::{
+    AgentId, ClientId, GnfConfig, HostClass, ResourceUsage, SimDuration, SimTime, StationId,
+};
+use std::time::Instant;
+
+fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
+    AgentToManager::Report(StationReport {
+        station: StationId::new(station),
+        agent: AgentId::new(station),
+        produced_at: at,
+        host_class: HostClass::EdgeServer,
+        capacity: HostClass::EdgeServer.capacity(),
+        usage: ResourceUsage {
+            cpu_fraction: cpu,
+            memory_mb: 800,
+            disk_mb: 2_000,
+            rx_bps: 5e6,
+            tx_bps: 1e6,
+        },
+        connected_clients: (0..10).map(|c| ClientId::new(station * 100 + c)).collect(),
+        running_nfs: 12,
+        cached_images: 4,
+    })
+}
+
+fn main() {
+    println!("E5 — Manager monitoring scale and hotspot detection");
+    let config = GnfConfig::default();
+
+    section("control-plane load vs fleet size (10 minutes of virtual time)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>18} {:>14}",
+        "stations", "reports", "msgs/station/min", "wall-clock (ms)", "hotspots"
+    );
+    for stations in [10u64, 50, 100, 500, 1_000] {
+        let mut manager = Manager::new(config.clone());
+        for s in 0..stations {
+            manager.handle_agent_msg(
+                StationId::new(s),
+                AgentToManager::Register {
+                    agent: AgentId::new(s),
+                    station: StationId::new(s),
+                    host_class: HostClass::EdgeServer,
+                    capacity: HostClass::EdgeServer.capacity(),
+                },
+                SimTime::ZERO,
+            );
+        }
+        // 5% of the stations run hot.
+        let hot_threshold = (stations / 20).max(1);
+        let start = Instant::now();
+        let mut now = SimTime::ZERO;
+        let interval = config.agent_report_interval;
+        let duration = SimDuration::from_secs(600);
+        let mut reports = 0u64;
+        while now.duration_since(SimTime::ZERO) < duration {
+            now = now + interval;
+            for s in 0..stations {
+                let cpu = if s < hot_threshold { 0.95 } else { 0.30 };
+                manager.handle_agent_msg(StationId::new(s), report(s, cpu, now), now);
+                reports += 1;
+            }
+            manager.tick(now);
+        }
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let hotspots = manager
+            .notifications()
+            .entries()
+            .filter(|n| n.category == "hotspot")
+            .count();
+        let msgs_per_station_per_min =
+            manager.stats().messages_received as f64 / stations as f64 / 10.0;
+        println!(
+            "{:>10} {:>16} {:>16.1} {:>18.1} {:>14}",
+            stations, reports, msgs_per_station_per_min, elapsed_ms, hotspots
+        );
+    }
+
+    section("hotspot detection precision (100 stations, 7 genuinely overloaded)");
+    let mut manager = Manager::new(config.clone());
+    for s in 0..100u64 {
+        manager.handle_agent_msg(
+            StationId::new(s),
+            AgentToManager::Register {
+                agent: AgentId::new(s),
+                station: StationId::new(s),
+                host_class: HostClass::EdgeServer,
+                capacity: HostClass::EdgeServer.capacity(),
+            },
+            SimTime::ZERO,
+        );
+    }
+    let now = SimTime::from_secs(10);
+    for s in 0..100u64 {
+        let cpu = if s < 7 { 0.9 + (s as f64) * 0.01 } else { 0.4 };
+        manager.handle_agent_msg(StationId::new(s), report(s, cpu, now), now);
+    }
+    manager.tick(SimTime::from_secs(20));
+    let flagged: Vec<String> = manager
+        .notifications()
+        .entries()
+        .filter(|n| n.category == "hotspot")
+        .map(|n| n.message.clone())
+        .collect();
+    println!("flagged {} stations (expected 7):", flagged.len());
+    for f in &flagged {
+        println!("  {f}");
+    }
+}

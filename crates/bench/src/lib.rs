@@ -1,0 +1,35 @@
+//! # gnf-bench
+//!
+//! Benchmarks and experiment harnesses for the GNF reproduction.
+//!
+//! * `benches/` — Criterion micro-benchmarks of the data plane (packet
+//!   parsing, firewall, chains, switch), the runtime lifecycle (container vs
+//!   VM deployment, checkpoint/restore) and the control plane (codec,
+//!   Manager message handling). Run with `cargo bench --workspace`.
+//! * `src/bin/exp_*` — one harness per experiment in `EXPERIMENTS.md`
+//!   (E1–E7), each printing the table/series that reproduces the
+//!   corresponding claim or figure of the paper. Run with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p gnf-bench --bin exp_e1_roaming
+//! ```
+
+#![forbid(unsafe_code)]
+
+use gnf_sim::Histogram;
+
+/// Formats a histogram (in ms) as `mean/median/p99/max` for experiment tables.
+pub fn ms_row(h: &Histogram) -> String {
+    format!(
+        "mean {:>8.1} ms | median {:>8.1} ms | p99 {:>8.1} ms | max {:>8.1} ms",
+        h.mean(),
+        h.median(),
+        h.p99(),
+        h.max()
+    )
+}
+
+/// Prints a section header for experiment output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,33 @@
+//! # gnf-container
+//!
+//! The container-runtime substrate of the GNF reproduction.
+//!
+//! The paper encapsulates every network function in a lightweight Linux
+//! container started by the local Agent from images held in a central
+//! repository. None of that OS machinery exists in this environment, so this
+//! crate models it faithfully enough for every experiment that depends on it:
+//!
+//! * [`image`] — layered NF images and the central [`image::ImageRepository`]
+//!   Agents pull from (`glanf/firewall`, `glanf/http-filter`, ...).
+//! * [`cost`] — calibrated per-operation latencies (pull, create, start, stop,
+//!   checkpoint, restore) per host class and per technology (container vs VM).
+//! * [`runtime`] — the [`runtime::NfvRuntime`] trait the Agent drives, its
+//!   container implementation with cgroup-style resource accounting, and the
+//!   lifecycle state machine (created → running → paused/stopped → removed).
+//!
+//! The actual packet processing of an NF is *not* modelled here — it runs for
+//! real in `gnf-nf`; this crate only answers "how long does the lifecycle
+//! operation take and does it fit on this host".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod image;
+pub mod runtime;
+
+pub use cost::{CostModel, RuntimeKind};
+pub use image::{container_layers_for, vm_layers_for, ImageLayer, ImageRepository, NfImage};
+pub use runtime::{
+    ContainerRuntime, DeployOutcome, Instance, InstanceState, NfvRuntime, PullOutcome, RuntimePool,
+};

@@ -1,0 +1,206 @@
+//! Scenario descriptions: everything an experiment needs to reproduce a run —
+//! the topology, the clients and their traffic, the NF policies attached to
+//! them, the mobility model and the configuration knobs — in one seedable,
+//! serializable-in-spirit value.
+
+use gnf_edge::{EdgeTopology, Position, RandomWalkMobility, RoamTrace, TrafficProfile};
+use gnf_nf::NfSpec;
+use gnf_switch::TrafficSelector;
+use gnf_types::{ClientId, GnfConfig, HostClass, SimDuration, SimTime};
+
+/// Which mobility model drives the scenario.
+#[derive(Debug, Clone)]
+pub enum Mobility {
+    /// Nobody moves.
+    Static,
+    /// A scripted trace (the demo's deterministic handover).
+    Trace(RoamTrace),
+    /// Seeded random walk over adjacent cells.
+    RandomWalk(RandomWalkMobility),
+}
+
+/// An NF policy to attach to one client at scenario start.
+#[derive(Debug, Clone)]
+pub struct PolicyAttachment {
+    /// The client whose traffic is steered.
+    pub client: ClientId,
+    /// The ordered NF specs of the chain.
+    pub specs: Vec<NfSpec>,
+    /// Which subset of the client's traffic is steered.
+    pub selector: TrafficSelector,
+    /// When the operator issues the attach call.
+    pub at: SimTime,
+}
+
+/// One client's traffic description.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientWorkload {
+    /// The client.
+    pub client: ClientId,
+    /// The application mix it generates.
+    pub profile: TrafficProfile,
+}
+
+/// A complete scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Framework configuration (latencies, thresholds, seed, migration mode).
+    pub config: GnfConfig,
+    /// The edge topology with its clients.
+    pub topology: EdgeTopology,
+    /// The mobility model.
+    pub mobility: Mobility,
+    /// Per-client traffic profiles (clients not listed stay silent).
+    pub workloads: Vec<ClientWorkload>,
+    /// NF policies attached at scenario start.
+    pub policies: Vec<PolicyAttachment>,
+    /// Virtual duration of the run.
+    pub duration: SimDuration,
+}
+
+impl Scenario {
+    /// Starts building a scenario on a grid of `cells` stations of the given
+    /// class.
+    pub fn builder(cells: usize, host_class: HostClass) -> ScenarioBuilder {
+        ScenarioBuilder {
+            config: GnfConfig::default(),
+            topology: EdgeTopology::grid(cells, host_class, 100.0),
+            mobility: Mobility::Static,
+            workloads: Vec::new(),
+            policies: Vec::new(),
+            duration: SimDuration::from_secs(60),
+        }
+    }
+
+    /// The canonical two-cell roaming demo from Section 4 of the paper:
+    /// one smartphone with a firewall + HTTP-filter chain, roaming from cell 0
+    /// to cell 1 halfway through the run.
+    pub fn demo_roaming(config: GnfConfig) -> Scenario {
+        use gnf_nf::testing::sample_specs;
+        let mut builder = Scenario::builder(2, HostClass::HomeRouter)
+            .with_config(config)
+            .with_duration(SimDuration::from_secs(120));
+        let client = builder.add_client_at(Position::new(10.0, 0.0), TrafficProfile::smartphone());
+        let specs = vec![sample_specs()[0].clone(), sample_specs()[1].clone()];
+        builder = builder
+            .attach_policy(client, specs, TrafficSelector::all(), SimTime::from_secs(5))
+            .with_mobility(Mobility::Trace(RoamTrace::new().roam(
+                SimTime::from_secs(60),
+                client,
+                gnf_types::CellId::new(1),
+            )));
+        builder.build()
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    config: GnfConfig,
+    topology: EdgeTopology,
+    mobility: Mobility,
+    workloads: Vec<ClientWorkload>,
+    policies: Vec<PolicyAttachment>,
+    duration: SimDuration,
+}
+
+impl ScenarioBuilder {
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: GnfConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the run duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the mobility model.
+    pub fn with_mobility(mut self, mobility: Mobility) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Adds a client at a position with a traffic profile; it attaches to the
+    /// nearest cell. Returns its id.
+    pub fn add_client_at(&mut self, position: Position, profile: TrafficProfile) -> ClientId {
+        let client = self.topology.add_client(position, true);
+        self.workloads.push(ClientWorkload { client, profile });
+        client
+    }
+
+    /// Adds `count` clients spread across the cells, all with the same profile.
+    pub fn add_clients(&mut self, count: usize, profile: TrafficProfile) -> Vec<ClientId> {
+        let sites: Vec<Position> = self.topology.sites().iter().map(|s| s.position).collect();
+        (0..count)
+            .map(|i| {
+                let base = sites[i % sites.len()];
+                self.add_client_at(Position::new(base.x + 5.0, base.y + 5.0), profile)
+            })
+            .collect()
+    }
+
+    /// Attaches an NF chain policy to a client.
+    pub fn attach_policy(
+        mut self,
+        client: ClientId,
+        specs: Vec<NfSpec>,
+        selector: TrafficSelector,
+        at: SimTime,
+    ) -> Self {
+        self.policies.push(PolicyAttachment {
+            client,
+            specs,
+            selector,
+            at,
+        });
+        self
+    }
+
+    /// Finalises the scenario.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            config: self.config,
+            topology: self.topology,
+            mobility: self.mobility,
+            workloads: self.workloads,
+            policies: self.policies,
+            duration: self.duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_a_scenario() {
+        let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+        let clients = builder.add_clients(8, TrafficProfile::smartphone());
+        assert_eq!(clients.len(), 8);
+        let scenario = builder
+            .with_duration(SimDuration::from_secs(30))
+            .with_mobility(Mobility::RandomWalk(Default::default()))
+            .build();
+        assert_eq!(scenario.topology.cell_count(), 4);
+        assert_eq!(scenario.topology.client_count(), 8);
+        assert_eq!(scenario.workloads.len(), 8);
+        assert_eq!(scenario.duration, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn demo_scenario_matches_the_paper_setup() {
+        let scenario = Scenario::demo_roaming(GnfConfig::default());
+        assert_eq!(scenario.topology.cell_count(), 2);
+        assert_eq!(scenario.topology.client_count(), 1);
+        assert_eq!(scenario.policies.len(), 1);
+        assert_eq!(scenario.policies[0].specs.len(), 2);
+        match &scenario.mobility {
+            Mobility::Trace(trace) => assert_eq!(trace.events().len(), 1),
+            other => panic!("expected a trace, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # gnf-edge
+//!
+//! The edge-infrastructure model of the GNF reproduction: the cells, stations
+//! and clients of Fig. 1, the mobility models that roam clients between cells
+//! (the trigger for NF migration) and the traffic generators producing the
+//! packet workloads the NFs process.
+//!
+//! * [`topology`] — cells/stations on a plane, host classes, gateway
+//!   addressing, client association and handover detection.
+//! * [`mobility`] — deterministic roam traces (the demo's scripted handover)
+//!   and a seeded random-walk model for fleet-scale experiments.
+//! * [`traffic`] — per-client workload generation (web browsing with Zipf
+//!   host popularity, constant-bit-rate streams, DNS-heavy chatter), emitting
+//!   real `gnf-packet` frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mobility;
+pub mod topology;
+pub mod traffic;
+
+pub use mobility::{MobilityModel, RandomWalkMobility, RoamEvent, RoamTrace};
+pub use topology::{ClientDevice, EdgeTopology, Position, StationSite};
+pub use traffic::{GeneratedPacket, TrafficGenerator, TrafficProfile};

@@ -1,0 +1,228 @@
+//! Client mobility: the roaming events that drive NF migration.
+//!
+//! The demo roams smartphones between two wireless networks by hand; at scale
+//! the emulator needs a mobility model. Two are provided: a deterministic
+//! [`RoamTrace`] (exactly reproducing the demo's scripted handover) and a
+//! seeded random-walk model over adjacent cells for fleet-scale experiments.
+
+use crate::topology::EdgeTopology;
+use gnf_sim::Rng;
+use gnf_types::{CellId, ClientId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One handover: at `at`, `client` re-associates with `to_cell`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoamEvent {
+    /// When the handover happens.
+    pub at: SimTime,
+    /// The roaming client.
+    pub client: ClientId,
+    /// The cell the client moves to.
+    pub to_cell: CellId,
+}
+
+/// A mobility model produces the full schedule of handovers for a scenario.
+pub trait MobilityModel {
+    /// Generates every roam event up to `until`, sorted by time.
+    fn schedule(&self, topology: &EdgeTopology, until: SimTime, rng: &mut Rng) -> Vec<RoamEvent>;
+}
+
+/// A scripted, fully deterministic sequence of handovers — the mobility model
+/// of the paper's demo (one client walking between two access points).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoamTrace {
+    events: Vec<RoamEvent>,
+}
+
+impl RoamTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a handover to the trace.
+    pub fn roam(mut self, at: SimTime, client: ClientId, to_cell: CellId) -> Self {
+        self.events.push(RoamEvent {
+            at,
+            client,
+            to_cell,
+        });
+        self
+    }
+
+    /// A client bouncing back and forth between two cells every `period`,
+    /// starting at `start`, for `count` handovers.
+    pub fn ping_pong(
+        client: ClientId,
+        cell_a: CellId,
+        cell_b: CellId,
+        start: SimTime,
+        period: SimDuration,
+        count: usize,
+    ) -> Self {
+        let mut trace = Self::new();
+        let mut at = start;
+        for i in 0..count {
+            let target = if i % 2 == 0 { cell_b } else { cell_a };
+            trace.events.push(RoamEvent {
+                at,
+                client,
+                to_cell: target,
+            });
+            at += period;
+        }
+        trace
+    }
+
+    /// The scripted events.
+    pub fn events(&self) -> &[RoamEvent] {
+        &self.events
+    }
+}
+
+impl MobilityModel for RoamTrace {
+    fn schedule(&self, _topology: &EdgeTopology, until: SimTime, _rng: &mut Rng) -> Vec<RoamEvent> {
+        let mut events: Vec<RoamEvent> =
+            self.events.iter().copied().filter(|e| e.at <= until).collect();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+/// A seeded random-walk mobility model: every client independently roams to a
+/// uniformly chosen *adjacent* cell after an exponentially distributed
+/// residence time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalkMobility {
+    /// Mean time a client stays in a cell before roaming.
+    pub mean_residence: SimDuration,
+    /// Fraction of clients that are mobile at all (the paper's observation is
+    /// that most traffic is consumed by largely static indoor users).
+    pub mobile_fraction: f64,
+}
+
+impl Default for RandomWalkMobility {
+    fn default() -> Self {
+        RandomWalkMobility {
+            mean_residence: SimDuration::from_secs(60),
+            mobile_fraction: 1.0,
+        }
+    }
+}
+
+impl MobilityModel for RandomWalkMobility {
+    fn schedule(&self, topology: &EdgeTopology, until: SimTime, rng: &mut Rng) -> Vec<RoamEvent> {
+        let mut events = Vec::new();
+        for device in topology.clients() {
+            let mut rng = rng.derive(&format!("mobility-client-{}", device.client.raw()));
+            if !rng.chance(self.mobile_fraction) {
+                continue;
+            }
+            let mut current_cell = match device.attached_cell {
+                Some(cell) => cell,
+                None => continue,
+            };
+            let mut now = SimTime::ZERO;
+            loop {
+                now += rng.exponential_duration(self.mean_residence);
+                if now > until {
+                    break;
+                }
+                let neighbours = topology.neighbours(current_cell);
+                let Some(target) = rng.choose(&neighbours).copied() else {
+                    break;
+                };
+                events.push(RoamEvent {
+                    at: now,
+                    client: device.client,
+                    to_cell: target,
+                });
+                current_cell = target;
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.client));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Position;
+    use gnf_types::HostClass;
+
+    fn topology(clients: usize) -> EdgeTopology {
+        let mut topo = EdgeTopology::grid(9, HostClass::HomeRouter, 100.0);
+        for i in 0..clients {
+            topo.add_client(Position::new(10.0 * i as f64, 10.0), true);
+        }
+        topo
+    }
+
+    #[test]
+    fn ping_pong_trace_alternates_cells() {
+        let trace = RoamTrace::ping_pong(
+            ClientId::new(0),
+            CellId::new(0),
+            CellId::new(1),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(30),
+            4,
+        );
+        let events = trace.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].to_cell, CellId::new(1));
+        assert_eq!(events[1].to_cell, CellId::new(0));
+        assert_eq!(events[2].to_cell, CellId::new(1));
+        assert_eq!(events[1].at, SimTime::from_secs(40));
+
+        // Scheduling clips to the horizon.
+        let topo = topology(1);
+        let mut rng = Rng::new(1);
+        let scheduled = trace.schedule(&topo, SimTime::from_secs(60), &mut rng);
+        assert_eq!(scheduled.len(), 2);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed_and_respects_adjacency() {
+        let topo = topology(10);
+        let model = RandomWalkMobility {
+            mean_residence: SimDuration::from_secs(30),
+            mobile_fraction: 1.0,
+        };
+        let until = SimTime::from_secs(600);
+        let a = model.schedule(&topo, until, &mut Rng::new(7));
+        let b = model.schedule(&topo, until, &mut Rng::new(7));
+        let c = model.schedule(&topo, until, &mut Rng::new(8));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(!a.is_empty());
+        // Sorted by time.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // Every target cell exists.
+        for event in &a {
+            assert!(topo.site_for_cell(event.to_cell).is_ok());
+            assert!(event.at <= until);
+        }
+    }
+
+    #[test]
+    fn static_clients_never_roam() {
+        let topo = topology(20);
+        let model = RandomWalkMobility {
+            mean_residence: SimDuration::from_secs(10),
+            mobile_fraction: 0.0,
+        };
+        let events = model.schedule(&topo, SimTime::from_secs(3_600), &mut Rng::new(3));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn longer_horizons_produce_more_roams() {
+        let topo = topology(5);
+        let model = RandomWalkMobility::default();
+        let short = model.schedule(&topo, SimTime::from_secs(120), &mut Rng::new(5));
+        let long = model.schedule(&topo, SimTime::from_secs(1_200), &mut Rng::new(5));
+        assert!(long.len() > short.len());
+    }
+}

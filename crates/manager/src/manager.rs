@@ -1,0 +1,1286 @@
+//! The Manager state machine.
+
+use crate::migration::{MigrationPhase, MigrationRecord};
+use gnf_api::messages::{AgentToManager, ManagerToAgent};
+use gnf_nf::{NfEventSeverity, NfSpec, NfStateSnapshot};
+use gnf_switch::TrafficSelector;
+use gnf_telemetry::{
+    HotspotDetector, MonitoringStore, NotificationLog, NotificationSeverity,
+    NotificationSource,
+};
+use gnf_types::{
+    ChainId, ClientId, GnfConfig, GnfError, GnfResult, HostClass, MacAddr, MigrationId,
+    NfInstanceId, ResourceSpec, SimDuration, SimTime, StationId,
+};
+use gnf_types::ids::IdAllocator;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// An output of the Manager: a message that must be delivered to the Agent of
+/// a given station.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerAction {
+    /// Send `message` to the Agent on `station`.
+    Send {
+        /// Target station.
+        station: StationId,
+        /// The command to deliver.
+        message: ManagerToAgent,
+    },
+}
+
+impl ManagerAction {
+    /// Convenience constructor.
+    fn send(station: StationId, message: ManagerToAgent) -> Self {
+        ManagerAction::Send { station, message }
+    }
+}
+
+/// A station known to the Manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationRecord {
+    /// The station.
+    pub station: StationId,
+    /// Its hardware class.
+    pub host_class: HostClass,
+    /// Its capacity.
+    pub capacity: ResourceSpec,
+    /// When it registered.
+    pub registered_at: SimTime,
+}
+
+/// A client known to the Manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientRecord {
+    /// The client.
+    pub client: ClientId,
+    /// Its MAC address.
+    pub mac: MacAddr,
+    /// Its IP address.
+    pub ip: Ipv4Addr,
+    /// The station it is currently associated with (None while roaming /
+    /// disconnected).
+    pub station: Option<StationId>,
+}
+
+/// A chain attachment: the association between a client's traffic subset and
+/// a service chain, wherever that chain currently runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttachmentRecord {
+    /// The chain id.
+    pub chain: ChainId,
+    /// The client whose traffic is steered.
+    pub client: ClientId,
+    /// Ordered NF specs of the chain.
+    pub specs: Vec<NfSpec>,
+    /// The traffic subset steered through the chain.
+    pub selector: TrafficSelector,
+    /// The station the chain currently runs on (None while not deployed).
+    pub station: Option<StationId>,
+    /// True once the chain is serving traffic.
+    pub active: bool,
+    /// Deployment latency reported by the Agent for the most recent
+    /// deployment of this chain.
+    pub last_deploy_latency: Option<SimDuration>,
+    /// Whether the most recent deployment found every image cached.
+    pub last_images_cached: Option<bool>,
+    /// Optional activation window (the paper's "scheduled to be enabled only
+    /// during specific time periods").
+    pub window: Option<(SimTime, SimTime)>,
+}
+
+/// Aggregate counters the experiments and the UI read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerStats {
+    /// Messages received from Agents.
+    pub messages_received: u64,
+    /// Messages sent to Agents.
+    pub messages_sent: u64,
+    /// Migrations started.
+    pub migrations_started: u64,
+    /// Migrations completed successfully.
+    pub migrations_completed: u64,
+    /// Migrations that failed.
+    pub migrations_failed: u64,
+    /// Hotspot notifications raised.
+    pub hotspot_alerts: u64,
+}
+
+/// The GNF Manager.
+pub struct Manager {
+    config: GnfConfig,
+    stations: BTreeMap<StationId, StationRecord>,
+    clients: BTreeMap<ClientId, ClientRecord>,
+    attachments: BTreeMap<ChainId, AttachmentRecord>,
+    migrations: BTreeMap<MigrationId, MigrationRecord>,
+    monitoring: MonitoringStore,
+    hotspot_detector: HotspotDetector,
+    notifications: NotificationLog,
+    chain_ids: IdAllocator,
+    migration_ids: IdAllocator,
+    last_hotspot_scan: SimTime,
+    stats: ManagerStats,
+}
+
+impl Manager {
+    /// Creates a Manager with the given configuration.
+    pub fn new(config: GnfConfig) -> Self {
+        let monitoring = MonitoringStore::new(
+            config.agent_report_interval,
+            config.missed_reports_for_offline,
+        );
+        let hotspot_detector = HotspotDetector::new(config.hotspot_threshold);
+        Manager {
+            config,
+            stations: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            attachments: BTreeMap::new(),
+            migrations: BTreeMap::new(),
+            monitoring,
+            hotspot_detector,
+            notifications: NotificationLog::default(),
+            chain_ids: IdAllocator::new(),
+            migration_ids: IdAllocator::new(),
+            last_hotspot_scan: SimTime::ZERO,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operator API (what the UI calls)
+    // ------------------------------------------------------------------
+
+    /// Attaches a chain of NFs to (a subset of) a client's traffic. The chain
+    /// is deployed on the station the client is currently associated with and
+    /// follows the client on every subsequent roam.
+    pub fn attach_chain(
+        &mut self,
+        client: ClientId,
+        specs: Vec<NfSpec>,
+        selector: TrafficSelector,
+        now: SimTime,
+    ) -> GnfResult<(ChainId, Vec<ManagerAction>)> {
+        self.attach_chain_with_window(client, specs, selector, None, now)
+    }
+
+    /// Like [`Manager::attach_chain`], but only active inside the given
+    /// virtual-time window; outside it the chain is removed from the station.
+    pub fn attach_chain_with_window(
+        &mut self,
+        client: ClientId,
+        specs: Vec<NfSpec>,
+        selector: TrafficSelector,
+        window: Option<(SimTime, SimTime)>,
+        now: SimTime,
+    ) -> GnfResult<(ChainId, Vec<ManagerAction>)> {
+        if specs.is_empty() {
+            return Err(GnfError::invalid_state("a chain needs at least one NF"));
+        }
+        let record = self
+            .clients
+            .get(&client)
+            .ok_or_else(|| GnfError::not_found("client", client))?
+            .clone();
+        let chain: ChainId = self.chain_ids.next_id();
+        let mut attachment = AttachmentRecord {
+            chain,
+            client,
+            specs,
+            selector,
+            station: None,
+            active: false,
+            last_deploy_latency: None,
+            last_images_cached: None,
+            window,
+        };
+        let mut actions = Vec::new();
+        let in_window = window.map(|(from, to)| now >= from && now < to).unwrap_or(true);
+        if in_window {
+            if let Some(station) = record.station {
+                actions.push(self.deploy_action(&mut attachment, station, None));
+            }
+        }
+        self.attachments.insert(chain, attachment);
+        self.stats.messages_sent += actions.len() as u64;
+        Ok((chain, actions))
+    }
+
+    /// Detaches (removes) a chain from its client.
+    pub fn detach_chain(&mut self, chain: ChainId, _now: SimTime) -> GnfResult<Vec<ManagerAction>> {
+        let attachment = self
+            .attachments
+            .get(&chain)
+            .ok_or_else(|| GnfError::not_found("chain", chain))?
+            .clone();
+        let mut actions = Vec::new();
+        if let Some(station) = attachment.station {
+            actions.push(ManagerAction::send(
+                station,
+                ManagerToAgent::RemoveChain {
+                    chain,
+                    client: attachment.client,
+                    migration: None,
+                },
+            ));
+        } else {
+            self.attachments.remove(&chain);
+        }
+        self.stats.messages_sent += actions.len() as u64;
+        Ok(actions)
+    }
+
+    // ------------------------------------------------------------------
+    // Agent messages
+    // ------------------------------------------------------------------
+
+    /// Handles one message from the Agent on `from`, returning the commands to
+    /// send out in response.
+    pub fn handle_agent_msg(
+        &mut self,
+        from: StationId,
+        msg: AgentToManager,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        self.stats.messages_received += 1;
+        let actions = match msg {
+            AgentToManager::Register {
+                station,
+                host_class,
+                capacity,
+                ..
+            } => {
+                self.stations.insert(
+                    station,
+                    StationRecord {
+                        station,
+                        host_class,
+                        capacity,
+                        registered_at: now,
+                    },
+                );
+                self.monitoring.register_station(station);
+                self.notifications.raise(
+                    now,
+                    NotificationSeverity::Info,
+                    NotificationSource::Station { station },
+                    "station-registered",
+                    format!("station {station} ({host_class}) registered"),
+                    None,
+                );
+                vec![ManagerAction::send(
+                    station,
+                    ManagerToAgent::RegisterAck { station },
+                )]
+            }
+            AgentToManager::ClientConnected { client, mac, ip } => {
+                self.on_client_connected(from, client, mac, ip, now)
+            }
+            AgentToManager::ClientDisconnected { client } => {
+                if let Some(record) = self.clients.get_mut(&client) {
+                    if record.station == Some(from) {
+                        record.station = None;
+                    }
+                }
+                Vec::new()
+            }
+            AgentToManager::Report(report) => {
+                self.monitoring.ingest(report, now);
+                Vec::new()
+            }
+            AgentToManager::ChainDeployed {
+                chain,
+                client,
+                latency,
+                images_cached,
+                migration,
+            } => self.on_chain_deployed(from, chain, client, latency, images_cached, migration, now),
+            AgentToManager::ChainRemoved {
+                chain, migration, ..
+            } => self.on_chain_removed(from, chain, migration, now),
+            AgentToManager::ChainState {
+                chain,
+                client,
+                migration,
+                state,
+                ..
+            } => self.on_chain_state(chain, client, migration, state),
+            AgentToManager::NfNotification {
+                chain,
+                client,
+                nf_name,
+                event,
+            } => {
+                let severity = match event.severity {
+                    NfEventSeverity::Info => NotificationSeverity::Info,
+                    NfEventSeverity::Warning => NotificationSeverity::Warning,
+                    NfEventSeverity::Alert => NotificationSeverity::Critical,
+                };
+                self.notifications.raise(
+                    now,
+                    severity,
+                    NotificationSource::NetworkFunction {
+                        nf: NfInstanceId::new(chain.raw()),
+                        station: from,
+                    },
+                    &event.category,
+                    format!("{nf_name}: {}", event.message),
+                    Some(client),
+                );
+                Vec::new()
+            }
+            AgentToManager::CommandFailed {
+                chain,
+                error,
+                migration,
+            } => {
+                self.notifications.raise(
+                    now,
+                    NotificationSeverity::Critical,
+                    NotificationSource::Station { station: from },
+                    "command-failed",
+                    format!("command failed on {from}: {error}"),
+                    None,
+                );
+                if let Some(id) = migration {
+                    if let Some(record) = self.migrations.get_mut(&id) {
+                        record.phase = MigrationPhase::Failed;
+                        record.failure = Some(error.to_string());
+                        self.stats.migrations_failed += 1;
+                    }
+                }
+                let _ = chain;
+                Vec::new()
+            }
+            AgentToManager::Pong => Vec::new(),
+        };
+        self.stats.messages_sent += actions.len() as u64;
+        actions
+    }
+
+    /// Periodic housekeeping: liveness refresh, hotspot detection and
+    /// scheduled-window enforcement. Call at least every
+    /// [`GnfConfig::hotspot_scan_interval`].
+    pub fn tick(&mut self, now: SimTime) -> Vec<ManagerAction> {
+        let mut actions = Vec::new();
+
+        // Station liveness.
+        for station in self.monitoring.refresh_liveness(now) {
+            self.notifications.raise(
+                now,
+                NotificationSeverity::Critical,
+                NotificationSource::Station { station },
+                "station-offline",
+                format!("station {station} stopped reporting"),
+                None,
+            );
+        }
+
+        // Hotspot detection.
+        if now.duration_since(self.last_hotspot_scan) >= self.config.hotspot_scan_interval {
+            self.last_hotspot_scan = now;
+            for (station, utilisation) in self.hotspot_detector.hotspots(&self.monitoring) {
+                self.stats.hotspot_alerts += 1;
+                self.notifications.raise(
+                    now,
+                    NotificationSeverity::Warning,
+                    NotificationSource::Manager,
+                    "hotspot",
+                    format!(
+                        "station {station} at {:.0}% of capacity — consider upgrading",
+                        utilisation * 100.0
+                    ),
+                    None,
+                );
+            }
+        }
+
+        // Scheduled activation windows.
+        let chains: Vec<ChainId> = self.attachments.keys().copied().collect();
+        for chain in chains {
+            let attachment = self.attachments.get(&chain).unwrap().clone();
+            let Some((from, to)) = attachment.window else {
+                continue;
+            };
+            let in_window = now >= from && now < to;
+            if in_window && attachment.station.is_none() {
+                // Time to enable the chain on the client's current station.
+                if let Some(station) = self.clients.get(&attachment.client).and_then(|c| c.station)
+                {
+                    let mut updated = attachment.clone();
+                    let action = self.deploy_action(&mut updated, station, None);
+                    self.attachments.insert(chain, updated);
+                    actions.push(action);
+                }
+            } else if !in_window && attachment.station.is_some() {
+                // Window closed: remove the chain but keep the attachment for
+                // the next window.
+                actions.push(ManagerAction::send(
+                    attachment.station.unwrap(),
+                    ManagerToAgent::RemoveChain {
+                        chain,
+                        client: attachment.client,
+                        migration: None,
+                    },
+                ));
+            }
+        }
+
+        self.stats.messages_sent += actions.len() as u64;
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Views (consumed by the UI and by experiments)
+    // ------------------------------------------------------------------
+
+    /// Registered stations.
+    pub fn stations(&self) -> impl Iterator<Item = &StationRecord> {
+        self.stations.values()
+    }
+
+    /// Known clients.
+    pub fn clients(&self) -> impl Iterator<Item = &ClientRecord> {
+        self.clients.values()
+    }
+
+    /// Chain attachments.
+    pub fn attachments(&self) -> impl Iterator<Item = &AttachmentRecord> {
+        self.attachments.values()
+    }
+
+    /// One attachment.
+    pub fn attachment(&self, chain: ChainId) -> Option<&AttachmentRecord> {
+        self.attachments.get(&chain)
+    }
+
+    /// Migration history (including in-flight migrations).
+    pub fn migrations(&self) -> impl Iterator<Item = &MigrationRecord> {
+        self.migrations.values()
+    }
+
+    /// The notification log.
+    pub fn notifications(&self) -> &NotificationLog {
+        &self.notifications
+    }
+
+    /// The monitoring store.
+    pub fn monitoring(&self) -> &MonitoringStore {
+        &self.monitoring
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &GnfConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Internal transitions
+    // ------------------------------------------------------------------
+
+    fn deploy_action(
+        &mut self,
+        attachment: &mut AttachmentRecord,
+        station: StationId,
+        migration: Option<(MigrationId, Vec<NfStateSnapshot>)>,
+    ) -> ManagerAction {
+        let client_record = self.clients.get(&attachment.client);
+        let client_mac = client_record.map(|c| c.mac).unwrap_or(MacAddr::ZERO);
+        let (migration_id, restore_state) = match migration {
+            Some((id, state)) => (Some(id), Some(state)),
+            None => (None, None),
+        };
+        attachment.station = Some(station);
+        attachment.active = false;
+        ManagerAction::send(
+            station,
+            ManagerToAgent::DeployChain {
+                chain: attachment.chain,
+                client: attachment.client,
+                client_mac,
+                specs: attachment.specs.clone(),
+                selector: attachment.selector,
+                restore_state,
+                migration: migration_id,
+            },
+        )
+    }
+
+    fn on_client_connected(
+        &mut self,
+        station: StationId,
+        client: ClientId,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        let previous_station = self.clients.get(&client).and_then(|c| c.station);
+        self.clients.insert(
+            client,
+            ClientRecord {
+                client,
+                mac,
+                ip,
+                station: Some(station),
+            },
+        );
+        let mut actions = Vec::new();
+
+        // Every chain attached to this client must now run on `station`.
+        let chains: Vec<ChainId> = self
+            .attachments
+            .values()
+            .filter(|a| a.client == client)
+            .map(|a| a.chain)
+            .collect();
+        for chain in chains {
+            let attachment = self.attachments.get(&chain).unwrap().clone();
+            // Respect scheduling windows.
+            if let Some((from, to)) = attachment.window {
+                if !(now >= from && now < to) {
+                    continue;
+                }
+            }
+            match attachment.station {
+                // Already on the right station: nothing to do.
+                Some(current) if current == station => {}
+                // Running somewhere else: migrate ("function roaming").
+                Some(old_station) => {
+                    actions.extend(self.start_migration(chain, client, old_station, station, now));
+                }
+                // Not deployed anywhere yet: plain deployment.
+                None => {
+                    let mut updated = attachment;
+                    let action = self.deploy_action(&mut updated, station, None);
+                    self.attachments.insert(chain, updated);
+                    actions.push(action);
+                }
+            }
+        }
+        let _ = previous_station;
+        actions
+    }
+
+    fn start_migration(
+        &mut self,
+        chain: ChainId,
+        client: ClientId,
+        from: StationId,
+        to: StationId,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        let id: MigrationId = self.migration_ids.next_id();
+        let with_state = self.config.make_before_break;
+        let record = MigrationRecord::new(id, chain, client, from, to, now, with_state);
+        self.migrations.insert(id, record);
+        self.stats.migrations_started += 1;
+        self.notifications.raise(
+            now,
+            NotificationSeverity::Info,
+            NotificationSource::Manager,
+            "migration-started",
+            format!("migrating {chain} of {client} from {from} to {to}"),
+            Some(client),
+        );
+
+        if with_state {
+            // Make-before-break: fetch the state first, deploy on the target,
+            // and only then tear down the source.
+            vec![ManagerAction::send(
+                from,
+                ManagerToAgent::CheckpointChain {
+                    chain,
+                    client,
+                    migration: id,
+                },
+            )]
+        } else {
+            // Break-before-make: remove the old instance immediately and
+            // deploy a fresh (stateless) chain on the target in parallel.
+            let mut attachment = self.attachments.get(&chain).unwrap().clone();
+            let deploy = self.deploy_action(&mut attachment, to, Some((id, Vec::new())));
+            self.attachments.insert(chain, attachment);
+            vec![
+                ManagerAction::send(
+                    from,
+                    ManagerToAgent::RemoveChain {
+                        chain,
+                        client,
+                        migration: Some(id),
+                    },
+                ),
+                deploy,
+            ]
+        }
+    }
+
+    fn on_chain_state(
+        &mut self,
+        chain: ChainId,
+        client: ClientId,
+        migration: MigrationId,
+        state: Vec<NfStateSnapshot>,
+    ) -> Vec<ManagerAction> {
+        let Some(record) = self.migrations.get_mut(&migration) else {
+            return Vec::new();
+        };
+        record.state_bytes = state.iter().map(|s| s.approximate_size_bytes()).sum();
+        record.phase = MigrationPhase::Deploying;
+        let to = record.to;
+        let Some(attachment) = self.attachments.get(&chain).cloned() else {
+            return Vec::new();
+        };
+        let mut updated = attachment;
+        let action = self.deploy_action(&mut updated, to, Some((migration, state)));
+        self.attachments.insert(chain, updated);
+        let _ = client;
+        vec![action]
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_chain_deployed(
+        &mut self,
+        from: StationId,
+        chain: ChainId,
+        client: ClientId,
+        latency: SimDuration,
+        images_cached: bool,
+        migration: Option<MigrationId>,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        if let Some(attachment) = self.attachments.get_mut(&chain) {
+            attachment.station = Some(from);
+            attachment.active = true;
+            attachment.last_deploy_latency = Some(latency);
+            attachment.last_images_cached = Some(images_cached);
+        }
+        self.notifications.raise(
+            now,
+            NotificationSeverity::Info,
+            NotificationSource::Station { station: from },
+            "chain-deployed",
+            format!("{chain} for {client} active on {from} after {latency}"),
+            Some(client),
+        );
+        let mut actions = Vec::new();
+        if let Some(id) = migration {
+            if let Some(record) = self.migrations.get_mut(&id) {
+                record.service_restored_at = Some(now);
+                if record.phase == MigrationPhase::Deploying
+                    || record.phase == MigrationPhase::AwaitingState
+                {
+                    if self.config.make_before_break {
+                        record.phase = MigrationPhase::RemovingOld;
+                        actions.push(ManagerAction::send(
+                            record.from,
+                            ManagerToAgent::RemoveChain {
+                                chain,
+                                client,
+                                migration: Some(id),
+                            },
+                        ));
+                    } else {
+                        // Break-before-make: the old side was already told to
+                        // remove; deployment completes the migration unless
+                        // the removal is still outstanding (handled in
+                        // on_chain_removed).
+                        if record.completed_at.is_some() {
+                            record.phase = MigrationPhase::Complete;
+                            self.stats.migrations_completed += 1;
+                        } else {
+                            record.phase = MigrationPhase::RemovingOld;
+                        }
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    fn on_chain_removed(
+        &mut self,
+        from: StationId,
+        chain: ChainId,
+        migration: Option<MigrationId>,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        match migration {
+            Some(id) => {
+                if let Some(record) = self.migrations.get_mut(&id) {
+                    record.completed_at = Some(now);
+                    if record.service_restored_at.is_some() {
+                        record.phase = MigrationPhase::Complete;
+                        self.stats.migrations_completed += 1;
+                        self.notifications.raise(
+                            now,
+                            NotificationSeverity::Info,
+                            NotificationSource::Manager,
+                            "migration-complete",
+                            format!(
+                                "{chain} migrated {} -> {} in {}",
+                                record.from,
+                                record.to,
+                                record
+                                    .total_duration()
+                                    .unwrap_or(SimDuration::ZERO)
+                            ),
+                            Some(record.client),
+                        );
+                    }
+                    // else: break-before-make with the deploy still pending;
+                    // on_chain_deployed completes it.
+                }
+            }
+            None => {
+                // A plain detach (or a scheduling window closing).
+                if let Some(attachment) = self.attachments.get_mut(&chain) {
+                    if attachment.window.is_some() {
+                        attachment.station = None;
+                        attachment.active = false;
+                    } else {
+                        self.attachments.remove(&chain);
+                    }
+                }
+                let _ = from;
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_nf::testing::sample_specs;
+    use gnf_telemetry::Notification;
+    use gnf_types::HostClass;
+
+    fn register(manager: &mut Manager, station: u64, now: SimTime) {
+        manager.handle_agent_msg(
+            StationId::new(station),
+            AgentToManager::Register {
+                agent: gnf_types::AgentId::new(station),
+                station: StationId::new(station),
+                host_class: HostClass::HomeRouter,
+                capacity: HostClass::HomeRouter.capacity(),
+            },
+            now,
+        );
+    }
+
+    fn connect_client(manager: &mut Manager, station: u64, client: u64, now: SimTime) -> Vec<ManagerAction> {
+        manager.handle_agent_msg(
+            StationId::new(station),
+            AgentToManager::ClientConnected {
+                client: ClientId::new(client),
+                mac: MacAddr::derived(1, client as u32),
+                ip: Ipv4Addr::new(172, 16, 0, client as u8),
+            },
+            now,
+        )
+    }
+
+    fn manager() -> Manager {
+        Manager::new(GnfConfig::default())
+    }
+
+    fn firewall_spec() -> Vec<NfSpec> {
+        vec![sample_specs()[0].clone()]
+    }
+
+    #[test]
+    fn registration_is_acknowledged_and_tracked() {
+        let mut m = manager();
+        let actions = m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::Register {
+                agent: gnf_types::AgentId::new(0),
+                station: StationId::new(0),
+                host_class: HostClass::EdgeServer,
+                capacity: HostClass::EdgeServer.capacity(),
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ManagerAction::Send {
+                message: ManagerToAgent::RegisterAck { .. },
+                ..
+            }
+        ));
+        assert_eq!(m.stations().count(), 1);
+        assert_eq!(m.notifications().len(), 1);
+    }
+
+    #[test]
+    fn attach_chain_requires_a_known_client() {
+        let mut m = manager();
+        let err = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err.category(), "not_found");
+        // Empty chains are rejected too.
+        register(&mut m, 0, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::ZERO);
+        assert!(m
+            .attach_chain(ClientId::new(0), vec![], TrafficSelector::all(), SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn attach_chain_deploys_on_the_clients_station() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, actions) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            ManagerAction::Send { station, message } => {
+                assert_eq!(*station, StationId::new(0));
+                assert!(matches!(message, ManagerToAgent::DeployChain { .. }));
+            }
+        }
+        // The agent confirms.
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(300),
+                images_cached: false,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        let attachment = m.attachment(chain).unwrap();
+        assert!(attachment.active);
+        assert_eq!(attachment.station, Some(StationId::new(0)));
+        assert_eq!(
+            attachment.last_deploy_latency,
+            Some(SimDuration::from_millis(300))
+        );
+    }
+
+    /// Drives a full make-before-break migration through the Manager and
+    /// returns it for inspection.
+    fn run_migration(m: &mut Manager) -> MigrationRecord {
+        register(m, 0, SimTime::ZERO);
+        register(m, 1, SimTime::ZERO);
+        connect_client(m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(200),
+                images_cached: false,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+
+        // The client roams to station 1.
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ClientDisconnected {
+                client: ClientId::new(0),
+            },
+            SimTime::from_secs(10),
+        );
+        let actions = connect_client(m, 1, 0, SimTime::from_secs(10));
+        // Make-before-break: first ask the old station for the state.
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(0));
+        let ManagerToAgent::CheckpointChain { migration, .. } = message else {
+            panic!("expected a checkpoint command, got {message:?}");
+        };
+        let migration = *migration;
+
+        // Old station returns the state.
+        let actions = m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainState {
+                chain,
+                client: ClientId::new(0),
+                migration,
+                state: vec![NfStateSnapshot::Firewall {
+                    established: vec![],
+                }],
+                checkpoint_latency: SimDuration::from_millis(30),
+            },
+            SimTime::from_millis(10_200),
+        );
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(1));
+        assert!(matches!(message, ManagerToAgent::DeployChain { restore_state: Some(_), .. }));
+
+        // New station confirms deployment → old chain is removed.
+        let actions = m.handle_agent_msg(
+            StationId::new(1),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(250),
+                images_cached: false,
+                migration: Some(migration),
+            },
+            SimTime::from_millis(10_600),
+        );
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(0));
+        assert!(matches!(message, ManagerToAgent::RemoveChain { .. }));
+
+        // Old station confirms removal.
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainRemoved {
+                chain,
+                client: ClientId::new(0),
+                migration: Some(migration),
+            },
+            SimTime::from_millis(10_700),
+        );
+        m.migrations().next().unwrap().clone()
+    }
+
+    #[test]
+    fn roaming_triggers_a_complete_migration() {
+        let mut m = manager();
+        let record = run_migration(&mut m);
+        assert_eq!(record.phase, MigrationPhase::Complete);
+        assert_eq!(record.from, StationId::new(0));
+        assert_eq!(record.to, StationId::new(1));
+        // Handover at t=10 s, service restored at t=10.6 s.
+        assert_eq!(record.downtime().unwrap(), SimDuration::from_millis(600));
+        assert_eq!(record.total_duration().unwrap(), SimDuration::from_millis(700));
+        assert_eq!(m.stats().migrations_started, 1);
+        assert_eq!(m.stats().migrations_completed, 1);
+        // The attachment now lives on station 1.
+        let attachment = m.attachments().next().unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(1)));
+        assert!(attachment.active);
+    }
+
+    #[test]
+    fn break_before_make_removes_then_deploys() {
+        let mut config = GnfConfig::default();
+        config.make_before_break = false;
+        let mut m = Manager::new(config);
+        register(&mut m, 0, SimTime::ZERO);
+        register(&mut m, 1, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(200),
+                images_cached: true,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        let actions = connect_client(&mut m, 1, 0, SimTime::from_secs(10));
+        // Both the removal and the fresh deployment go out immediately.
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0],
+            ManagerAction::Send {
+                message: ManagerToAgent::RemoveChain { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[1],
+            ManagerAction::Send {
+                message: ManagerToAgent::DeployChain {
+                    restore_state: Some(ref s),
+                    ..
+                },
+                ..
+            } if s.is_empty()
+        ));
+    }
+
+    #[test]
+    fn detach_removes_the_chain_from_its_station() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(100),
+                images_cached: true,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        let actions = m.detach_chain(chain, SimTime::from_secs(4)).unwrap();
+        assert_eq!(actions.len(), 1);
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainRemoved {
+                chain,
+                client: ClientId::new(0),
+                migration: None,
+            },
+            SimTime::from_secs(5),
+        );
+        assert!(m.attachment(chain).is_none());
+        assert!(m.detach_chain(chain, SimTime::from_secs(6)).is_err());
+    }
+
+    #[test]
+    fn nf_notifications_are_logged_with_severity() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::NfNotification {
+                chain: ChainId::new(0),
+                client: ClientId::new(0),
+                nf_name: "ids-0".into(),
+                event: gnf_nf::NfEvent::alert("syn-flood", "flood from 10.0.0.9"),
+            },
+            SimTime::from_secs(5),
+        );
+        let critical = m
+            .notifications()
+            .at_least(NotificationSeverity::Critical);
+        assert_eq!(critical.len(), 1);
+        assert!(critical[0].message.contains("ids-0"));
+    }
+
+    #[test]
+    fn hotspot_detection_raises_warnings_via_tick() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        // A report showing 95% CPU.
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::Report(gnf_telemetry::StationReport {
+                station: StationId::new(0),
+                agent: gnf_types::AgentId::new(0),
+                produced_at: SimTime::from_secs(4),
+                host_class: HostClass::HomeRouter,
+                capacity: HostClass::HomeRouter.capacity(),
+                usage: gnf_types::ResourceUsage {
+                    cpu_fraction: 0.95,
+                    memory_mb: 10,
+                    disk_mb: 5,
+                    rx_bps: 0.0,
+                    tx_bps: 0.0,
+                },
+                connected_clients: vec![],
+                running_nfs: 5,
+                cached_images: 1,
+            }),
+            SimTime::from_secs(4),
+        );
+        m.tick(SimTime::from_secs(10));
+        assert_eq!(m.stats().hotspot_alerts, 1);
+        assert!(m
+            .notifications()
+            .entries()
+            .any(|n| n.category == "hotspot"));
+    }
+
+    #[test]
+    fn station_silence_raises_offline_notification_once() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::Report(gnf_telemetry::StationReport {
+                station: StationId::new(0),
+                agent: gnf_types::AgentId::new(0),
+                produced_at: SimTime::from_secs(2),
+                host_class: HostClass::HomeRouter,
+                capacity: HostClass::HomeRouter.capacity(),
+                usage: gnf_types::ResourceUsage::IDLE,
+                connected_clients: vec![],
+                running_nfs: 0,
+                cached_images: 0,
+            }),
+            SimTime::from_secs(2),
+        );
+        m.tick(SimTime::from_secs(60));
+        m.tick(SimTime::from_secs(120));
+        let offline: Vec<&Notification> = m
+            .notifications()
+            .entries()
+            .filter(|n| n.category == "station-offline")
+            .collect();
+        assert_eq!(offline.len(), 1, "one notification per transition");
+    }
+
+    #[test]
+    fn scheduled_windows_enable_and_disable_chains() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let window = Some((SimTime::from_secs(100), SimTime::from_secs(200)));
+        let (chain, actions) = m
+            .attach_chain_with_window(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                window,
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        // Outside the window: nothing deployed yet.
+        assert!(actions.is_empty());
+        assert!(m.tick(SimTime::from_secs(50)).is_empty());
+
+        // Window opens.
+        let actions = m.tick(SimTime::from_secs(100));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ManagerAction::Send {
+                message: ManagerToAgent::DeployChain { .. },
+                ..
+            }
+        ));
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(100),
+                images_cached: true,
+                migration: None,
+            },
+            SimTime::from_secs(101),
+        );
+
+        // Window closes.
+        let actions = m.tick(SimTime::from_secs(210));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ManagerAction::Send {
+                message: ManagerToAgent::RemoveChain { .. },
+                ..
+            }
+        ));
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainRemoved {
+                chain,
+                client: ClientId::new(0),
+                migration: None,
+            },
+            SimTime::from_secs(211),
+        );
+        // The attachment survives for the next window.
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, None);
+        assert!(!attachment.active);
+    }
+
+    #[test]
+    fn failed_commands_mark_migrations_failed() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        register(&mut m, 1, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(100),
+                images_cached: true,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        let actions = connect_client(&mut m, 1, 0, SimTime::from_secs(10));
+        let ManagerAction::Send { message, .. } = &actions[0];
+        let ManagerToAgent::CheckpointChain { migration, .. } = message else {
+            panic!()
+        };
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::CommandFailed {
+                chain: Some(chain),
+                error: GnfError::internal("checkpoint failed"),
+                migration: Some(*migration),
+            },
+            SimTime::from_secs(11),
+        );
+        assert_eq!(m.stats().migrations_failed, 1);
+        assert_eq!(
+            m.migrations().next().unwrap().phase,
+            MigrationPhase::Failed
+        );
+    }
+
+    #[test]
+    fn message_counters_track_control_plane_load() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let stats = m.stats();
+        assert_eq!(stats.messages_received, 2);
+        assert!(stats.messages_sent >= 1);
+    }
+}

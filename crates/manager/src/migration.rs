@@ -1,0 +1,144 @@
+//! The per-migration state machine.
+//!
+//! When a client roams, its chains must follow it. The Manager drives one
+//! [`MigrationRecord`] per (chain, handover): checkpoint the NF state on the
+//! old station, deploy the chain (with the state) on the new station, switch
+//! steering over, and finally tear the old instance down. The record captures
+//! the timeline so experiments can report migration latency and service
+//! downtime.
+
+use gnf_types::{ChainId, ClientId, MigrationId, SimDuration, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+
+/// Phases of a chain migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationPhase {
+    /// Waiting for the source station to return the chain's NF state.
+    AwaitingState,
+    /// Waiting for the target station to finish deploying the chain.
+    Deploying,
+    /// Waiting for the source station to confirm removal of the old chain.
+    RemovingOld,
+    /// The migration finished successfully.
+    Complete,
+    /// The migration failed (reason recorded).
+    Failed,
+}
+
+/// One chain migration, from trigger to completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Migration identifier.
+    pub id: MigrationId,
+    /// The chain being migrated.
+    pub chain: ChainId,
+    /// The roaming client.
+    pub client: ClientId,
+    /// The station the chain is moving away from.
+    pub from: StationId,
+    /// The station the chain is moving to.
+    pub to: StationId,
+    /// Current phase.
+    pub phase: MigrationPhase,
+    /// When the handover was observed (the client attached to the new cell).
+    pub started_at: SimTime,
+    /// When the chain became active on the new station (steering switched).
+    pub service_restored_at: Option<SimTime>,
+    /// When the old chain was fully removed.
+    pub completed_at: Option<SimTime>,
+    /// Bytes of NF state transferred.
+    pub state_bytes: usize,
+    /// Failure reason, when `phase == Failed`.
+    pub failure: Option<String>,
+}
+
+impl MigrationRecord {
+    /// Creates a record in its initial phase.
+    pub fn new(
+        id: MigrationId,
+        chain: ChainId,
+        client: ClientId,
+        from: StationId,
+        to: StationId,
+        started_at: SimTime,
+        with_state: bool,
+    ) -> Self {
+        MigrationRecord {
+            id,
+            chain,
+            client,
+            from,
+            to,
+            phase: if with_state {
+                MigrationPhase::AwaitingState
+            } else {
+                MigrationPhase::Deploying
+            },
+            started_at,
+            service_restored_at: None,
+            completed_at: None,
+            state_bytes: 0,
+            failure: None,
+        }
+    }
+
+    /// Service downtime: from the handover until the chain was serving again
+    /// on the new station. `None` while the migration is still in progress.
+    pub fn downtime(&self) -> Option<SimDuration> {
+        self.service_restored_at
+            .map(|restored| restored.duration_since(self.started_at))
+    }
+
+    /// Total migration duration (until the old chain was removed).
+    pub fn total_duration(&self) -> Option<SimDuration> {
+        self.completed_at
+            .map(|done| done.duration_since(self.started_at))
+    }
+
+    /// True when the migration reached a terminal phase.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, MigrationPhase::Complete | MigrationPhase::Failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_and_duration_are_derived_from_timestamps() {
+        let mut record = MigrationRecord::new(
+            MigrationId::new(1),
+            ChainId::new(1),
+            ClientId::new(1),
+            StationId::new(0),
+            StationId::new(1),
+            SimTime::from_secs(10),
+            true,
+        );
+        assert_eq!(record.phase, MigrationPhase::AwaitingState);
+        assert!(record.downtime().is_none());
+        assert!(!record.is_finished());
+
+        record.service_restored_at = Some(SimTime::from_secs(11));
+        record.completed_at = Some(SimTime::from_secs(12));
+        record.phase = MigrationPhase::Complete;
+        assert_eq!(record.downtime().unwrap(), SimDuration::from_secs(1));
+        assert_eq!(record.total_duration().unwrap(), SimDuration::from_secs(2));
+        assert!(record.is_finished());
+    }
+
+    #[test]
+    fn stateless_migrations_skip_the_checkpoint_phase() {
+        let record = MigrationRecord::new(
+            MigrationId::new(2),
+            ChainId::new(1),
+            ClientId::new(1),
+            StationId::new(0),
+            StationId::new(1),
+            SimTime::ZERO,
+            false,
+        );
+        assert_eq!(record.phase, MigrationPhase::Deploying);
+    }
+}

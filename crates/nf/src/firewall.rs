@@ -1,0 +1,642 @@
+//! The iptables-style packet firewall NF — the first of the three functions
+//! demonstrated in the paper's mobility use case.
+//!
+//! The firewall evaluates an ordered rule list (first match wins) over the
+//! packet's addresses, protocol, ports and direction, with an optional
+//! stateful connection-tracking fast path: once a flow has been accepted its
+//! return traffic is accepted without re-evaluating the rules, exactly like
+//! `iptables -m state --state ESTABLISHED`.
+//!
+//! The connection-tracking table is the firewall's migratable state: when the
+//! client roams, the table travels with it so established connections are not
+//! reset by the move.
+
+use crate::nf::{Direction, NetworkFunction, NfContext, NfStats, Verdict};
+use crate::spec::NfKind;
+use crate::state::NfStateSnapshot;
+use gnf_packet::{builder, FiveTuple, IpProtocol, Packet, TcpFlags};
+use gnf_types::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IPv4 prefix used in rule matching (e.g. `10.0.0.0/8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CidrV4 {
+    /// Network address.
+    pub addr: Ipv4Addr,
+    /// Prefix length in bits (0–32).
+    pub prefix: u8,
+}
+
+impl CidrV4 {
+    /// Creates a prefix, clamping the length to 32.
+    pub fn new(addr: Ipv4Addr, prefix: u8) -> Self {
+        CidrV4 {
+            addr,
+            prefix: prefix.min(32),
+        }
+    }
+
+    /// A /32 prefix matching exactly one address.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Self::new(addr, 32)
+    }
+
+    /// The prefix matching every address.
+    pub fn any() -> Self {
+        Self::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    /// True when `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        if self.prefix == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(self.prefix));
+        (u32::from(self.addr) & mask) == (u32::from(addr) & mask)
+    }
+}
+
+impl fmt::Display for CidrV4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix)
+    }
+}
+
+/// Port matching in a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortMatch {
+    /// Matches any port.
+    Any,
+    /// Matches one port.
+    Exact(u16),
+    /// Matches an inclusive range.
+    Range(u16, u16),
+}
+
+impl PortMatch {
+    /// True when `port` matches.
+    pub fn matches(&self, port: u16) -> bool {
+        match self {
+            PortMatch::Any => true,
+            PortMatch::Exact(p) => *p == port,
+            PortMatch::Range(lo, hi) => (*lo..=*hi).contains(&port),
+        }
+    }
+}
+
+/// Protocol matching in a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolMatch {
+    /// Matches any protocol.
+    Any,
+    /// Matches TCP only.
+    Tcp,
+    /// Matches UDP only.
+    Udp,
+    /// Matches ICMP only.
+    Icmp,
+}
+
+impl ProtocolMatch {
+    /// True when the protocol matches.
+    pub fn matches(&self, protocol: IpProtocol) -> bool {
+        match self {
+            ProtocolMatch::Any => true,
+            ProtocolMatch::Tcp => protocol == IpProtocol::Tcp,
+            ProtocolMatch::Udp => protocol == IpProtocol::Udp,
+            ProtocolMatch::Icmp => protocol == IpProtocol::Icmp,
+        }
+    }
+}
+
+/// What a matching rule does with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Accept and forward the packet.
+    Accept,
+    /// Silently drop the packet.
+    Drop,
+    /// Drop the packet and actively signal the sender (TCP RST for TCP flows;
+    /// other protocols are dropped silently).
+    Reject,
+}
+
+/// One firewall rule. Fields set to their "any" value do not constrain the
+/// match.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirewallRule {
+    /// Rule name shown in statistics and notifications.
+    pub name: String,
+    /// Direction the rule applies to (`None` = both).
+    pub direction: Option<Direction>,
+    /// Source prefix.
+    pub src: CidrV4,
+    /// Destination prefix.
+    pub dst: CidrV4,
+    /// Protocol constraint.
+    pub protocol: ProtocolMatch,
+    /// Source port constraint.
+    pub src_port: PortMatch,
+    /// Destination port constraint.
+    pub dst_port: PortMatch,
+    /// Action on match.
+    pub action: RuleAction,
+}
+
+impl FirewallRule {
+    /// A rule matching everything, with the given name and action.
+    pub fn any(name: impl Into<String>, action: RuleAction) -> Self {
+        FirewallRule {
+            name: name.into(),
+            direction: None,
+            src: CidrV4::any(),
+            dst: CidrV4::any(),
+            protocol: ProtocolMatch::Any,
+            src_port: PortMatch::Any,
+            dst_port: PortMatch::Any,
+            action,
+        }
+    }
+
+    /// Convenience: block a destination TCP port in the ingress direction.
+    pub fn block_tcp_dst_port(name: impl Into<String>, port: u16) -> Self {
+        FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Exact(port),
+            direction: Some(Direction::Ingress),
+            action: RuleAction::Drop,
+            ..FirewallRule::any(name, RuleAction::Drop)
+        }
+    }
+
+    /// Convenience: block every packet towards a destination prefix.
+    pub fn block_dst(name: impl Into<String>, dst: CidrV4) -> Self {
+        FirewallRule {
+            dst,
+            action: RuleAction::Drop,
+            ..FirewallRule::any(name, RuleAction::Drop)
+        }
+    }
+
+    /// True when the rule matches the given packet attributes.
+    pub fn matches(&self, tuple: &FiveTuple, direction: Direction) -> bool {
+        if let Some(d) = self.direction {
+            if d != direction {
+                return false;
+            }
+        }
+        self.src.contains(tuple.src_ip)
+            && self.dst.contains(tuple.dst_ip)
+            && self.protocol.matches(tuple.protocol)
+            && self.src_port.matches(tuple.src_port)
+            && self.dst_port.matches(tuple.dst_port)
+    }
+}
+
+/// Firewall configuration: ordered rules plus the default policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirewallConfig {
+    /// Rules evaluated in order; the first match decides.
+    pub rules: Vec<FirewallRule>,
+    /// Policy applied when no rule matches.
+    pub default_action: RuleAction,
+    /// Whether return traffic of accepted flows bypasses rule evaluation.
+    pub track_connections: bool,
+    /// Idle timeout after which tracked connections are forgotten.
+    pub conntrack_idle_timeout_secs: u64,
+}
+
+impl Default for FirewallConfig {
+    fn default() -> Self {
+        FirewallConfig {
+            rules: Vec::new(),
+            default_action: RuleAction::Accept,
+            track_connections: true,
+            conntrack_idle_timeout_secs: 120,
+        }
+    }
+}
+
+impl FirewallConfig {
+    /// An accept-by-default configuration with the given rules.
+    pub fn with_rules(rules: Vec<FirewallRule>) -> Self {
+        FirewallConfig {
+            rules,
+            ..Default::default()
+        }
+    }
+
+    /// A drop-by-default (allowlist) configuration with the given rules.
+    pub fn allowlist(rules: Vec<FirewallRule>) -> Self {
+        FirewallConfig {
+            rules,
+            default_action: RuleAction::Drop,
+            ..Default::default()
+        }
+    }
+}
+
+/// The firewall NF.
+pub struct Firewall {
+    name: String,
+    config: FirewallConfig,
+    conntrack: HashMap<FiveTuple, SimTime>,
+    rule_hits: Vec<u64>,
+    default_hits: u64,
+    stats: NfStats,
+}
+
+impl Firewall {
+    /// Creates a firewall from its configuration.
+    pub fn new(name: &str, config: FirewallConfig) -> Self {
+        let rule_count = config.rules.len();
+        Firewall {
+            name: name.to_string(),
+            config,
+            conntrack: HashMap::new(),
+            rule_hits: vec![0; rule_count],
+            default_hits: 0,
+            stats: NfStats::default(),
+        }
+    }
+
+    /// Number of currently tracked connections.
+    pub fn tracked_connections(&self) -> usize {
+        self.conntrack.len()
+    }
+
+    /// Hit count per rule, in rule order.
+    pub fn rule_hits(&self) -> &[u64] {
+        &self.rule_hits
+    }
+
+    /// Hit count of the default policy.
+    pub fn default_hits(&self) -> u64 {
+        self.default_hits
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[FirewallRule] {
+        &self.config.rules
+    }
+
+    /// Removes tracked connections idle for longer than the configured
+    /// timeout. Returns how many entries were evicted.
+    pub fn expire_idle_connections(&mut self, now: SimTime) -> usize {
+        let timeout = self.config.conntrack_idle_timeout_secs;
+        let before = self.conntrack.len();
+        self.conntrack
+            .retain(|_, last_seen| now.duration_since(*last_seen).as_nanos() < timeout * 1_000_000_000);
+        before - self.conntrack.len()
+    }
+
+    fn evaluate(&mut self, tuple: &FiveTuple, direction: Direction) -> RuleAction {
+        for (ix, rule) in self.config.rules.iter().enumerate() {
+            if rule.matches(tuple, direction) {
+                self.rule_hits[ix] += 1;
+                return rule.action;
+            }
+        }
+        self.default_hits += 1;
+        self.config.default_action
+    }
+
+    fn reject_reply(packet: &Packet) -> Option<Packet> {
+        let tuple = packet.five_tuple()?;
+        if tuple.protocol != IpProtocol::Tcp {
+            return None;
+        }
+        let tcp = packet.tcp()?;
+        let mut rst_flags = TcpFlags::RST;
+        rst_flags.ack = true;
+        // Send the RST back towards the packet's source, swapping the
+        // Ethernet and IP endpoints.
+        Some(builder::tcp_packet(
+            packet.dst_mac(),
+            packet.src_mac(),
+            tuple.dst_ip,
+            tuple.src_ip,
+            tcp.dst_port,
+            tcp.src_port,
+            rst_flags,
+            b"",
+        ))
+    }
+}
+
+impl NetworkFunction for Firewall {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> NfKind {
+        NfKind::Firewall
+    }
+
+    fn process(&mut self, packet: Packet, direction: Direction, ctx: &NfContext) -> Verdict {
+        self.stats.record_in(packet.len());
+        let Some(tuple) = packet.five_tuple() else {
+            // Non-IP traffic (e.g. ARP) is not firewalled.
+            let verdict = Verdict::Forward(packet);
+            self.stats.record_verdict(&verdict);
+            return verdict;
+        };
+
+        // Stateful fast path: established flows pass without rule evaluation.
+        if self.config.track_connections {
+            let key = tuple.canonical();
+            if let Some(last_seen) = self.conntrack.get_mut(&key) {
+                *last_seen = ctx.now;
+                let verdict = Verdict::Forward(packet);
+                self.stats.record_verdict(&verdict);
+                return verdict;
+            }
+        }
+
+        let action = self.evaluate(&tuple, direction);
+        let verdict = match action {
+            RuleAction::Accept => {
+                if self.config.track_connections {
+                    self.conntrack.insert(tuple.canonical(), ctx.now);
+                }
+                Verdict::Forward(packet)
+            }
+            RuleAction::Drop => Verdict::Drop(format!("firewall drop: {tuple}")),
+            RuleAction::Reject => match Self::reject_reply(&packet) {
+                Some(rst) => Verdict::Reply(vec![rst]),
+                None => Verdict::Drop(format!("firewall reject: {tuple}")),
+            },
+        };
+        self.stats.record_verdict(&verdict);
+        verdict
+    }
+
+    fn stats(&self) -> NfStats {
+        self.stats
+    }
+
+    fn export_state(&self) -> NfStateSnapshot {
+        let mut established: Vec<(FiveTuple, u64)> = self
+            .conntrack
+            .iter()
+            .map(|(tuple, time)| (*tuple, time.as_nanos()))
+            .collect();
+        established.sort_by_key(|(_, t)| *t);
+        NfStateSnapshot::Firewall { established }
+    }
+
+    fn import_state(&mut self, state: NfStateSnapshot) {
+        if let NfStateSnapshot::Firewall { established } = state {
+            for (tuple, nanos) in established {
+                self.conntrack.insert(tuple, SimTime::from_nanos(nanos));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_types::MacAddr;
+
+    fn client_ip() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 2)
+    }
+    fn server_ip() -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, 10)
+    }
+
+    fn tcp_to_port(port: u16) -> Packet {
+        builder::tcp_syn(
+            MacAddr::derived(1, 1),
+            MacAddr::derived(2, 1),
+            client_ip(),
+            server_ip(),
+            40_000,
+            port,
+        )
+    }
+
+    fn ctx() -> NfContext {
+        NfContext::at(SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn cidr_matching() {
+        let net = CidrV4::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        assert!(net.contains(Ipv4Addr::new(10, 200, 3, 4)));
+        assert!(!net.contains(Ipv4Addr::new(11, 0, 0, 1)));
+        assert!(CidrV4::any().contains(Ipv4Addr::new(255, 255, 255, 255)));
+        let host = CidrV4::host(client_ip());
+        assert!(host.contains(client_ip()));
+        assert!(!host.contains(server_ip()));
+        assert_eq!(host.to_string(), "10.0.0.2/32");
+        // Prefix lengths above 32 are clamped.
+        assert_eq!(CidrV4::new(client_ip(), 40).prefix, 32);
+    }
+
+    #[test]
+    fn port_and_protocol_matching() {
+        assert!(PortMatch::Any.matches(1234));
+        assert!(PortMatch::Exact(80).matches(80));
+        assert!(!PortMatch::Exact(80).matches(81));
+        assert!(PortMatch::Range(1000, 2000).matches(1500));
+        assert!(!PortMatch::Range(1000, 2000).matches(2001));
+        assert!(ProtocolMatch::Any.matches(IpProtocol::Udp));
+        assert!(ProtocolMatch::Tcp.matches(IpProtocol::Tcp));
+        assert!(!ProtocolMatch::Tcp.matches(IpProtocol::Udp));
+        assert!(ProtocolMatch::Icmp.matches(IpProtocol::Icmp));
+    }
+
+    #[test]
+    fn default_accept_forwards_everything() {
+        let mut fw = Firewall::new("fw", FirewallConfig::default());
+        let verdict = fw.process(tcp_to_port(80), Direction::Ingress, &ctx());
+        assert!(verdict.is_forward());
+        assert_eq!(fw.stats().packets_forwarded, 1);
+        assert_eq!(fw.default_hits(), 1);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let config = FirewallConfig::with_rules(vec![
+            FirewallRule::block_tcp_dst_port("block-http", 80),
+            FirewallRule::any("accept-all", RuleAction::Accept),
+        ]);
+        let mut fw = Firewall::new("fw", config);
+        assert!(fw
+            .process(tcp_to_port(80), Direction::Ingress, &ctx())
+            .is_drop());
+        assert!(fw
+            .process(tcp_to_port(443), Direction::Ingress, &ctx())
+            .is_forward());
+        assert_eq!(fw.rule_hits(), &[1, 1]);
+    }
+
+    #[test]
+    fn direction_specific_rules_only_match_their_direction() {
+        let config = FirewallConfig::with_rules(vec![FirewallRule::block_tcp_dst_port(
+            "block-http-up",
+            80,
+        )]);
+        let mut fw = Firewall::new("fw", config);
+        // Ingress (client → network) is blocked…
+        assert!(fw
+            .process(tcp_to_port(80), Direction::Ingress, &ctx())
+            .is_drop());
+        // …but the same packet seen on egress is not.
+        assert!(fw
+            .process(tcp_to_port(80), Direction::Egress, &ctx())
+            .is_forward());
+    }
+
+    #[test]
+    fn allowlist_drops_unmatched_traffic() {
+        let allow_dns = FirewallRule {
+            protocol: ProtocolMatch::Udp,
+            dst_port: PortMatch::Exact(53),
+            action: RuleAction::Accept,
+            ..FirewallRule::any("allow-dns", RuleAction::Accept)
+        };
+        let mut fw = Firewall::new("fw", FirewallConfig::allowlist(vec![allow_dns]));
+        let dns = builder::dns_query(
+            MacAddr::derived(1, 1),
+            MacAddr::derived(2, 1),
+            client_ip(),
+            Ipv4Addr::new(8, 8, 8, 8),
+            5353,
+            1,
+            "example.com",
+        );
+        assert!(fw.process(dns, Direction::Ingress, &ctx()).is_forward());
+        assert!(fw
+            .process(tcp_to_port(22), Direction::Ingress, &ctx())
+            .is_drop());
+    }
+
+    #[test]
+    fn reject_sends_tcp_rst_back_to_the_sender() {
+        let reject_ssh = FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Exact(22),
+            action: RuleAction::Reject,
+            ..FirewallRule::any("reject-ssh", RuleAction::Reject)
+        };
+        let mut fw = Firewall::new("fw", FirewallConfig::with_rules(vec![reject_ssh]));
+        let verdict = fw.process(tcp_to_port(22), Direction::Ingress, &ctx());
+        let Verdict::Reply(replies) = verdict else {
+            panic!("expected a reply verdict");
+        };
+        assert_eq!(replies.len(), 1);
+        let rst = &replies[0];
+        let tcp = rst.tcp().unwrap();
+        assert!(tcp.flags.rst);
+        // The RST flows back towards the client.
+        assert_eq!(rst.ipv4().unwrap().dst, client_ip());
+        assert_eq!(tcp.dst_port, 40_000);
+    }
+
+    #[test]
+    fn established_connections_bypass_later_blocking_rules() {
+        // Accept by default, then track the flow; even if we subsequently see
+        // the reverse direction with a rule that would block it, conntrack
+        // accepts it first.
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig::with_rules(vec![FirewallRule {
+                direction: Some(Direction::Egress),
+                action: RuleAction::Drop,
+                ..FirewallRule::any("block-all-down", RuleAction::Drop)
+            }]),
+        );
+        let up = tcp_to_port(443);
+        assert!(fw.process(up, Direction::Ingress, &ctx()).is_forward());
+        assert_eq!(fw.tracked_connections(), 1);
+        // The response packet (reversed tuple) is allowed because the flow is
+        // established.
+        let down = builder::tcp_data(
+            MacAddr::derived(2, 1),
+            MacAddr::derived(1, 1),
+            server_ip(),
+            client_ip(),
+            443,
+            40_000,
+            b"response",
+        );
+        assert!(fw.process(down, Direction::Egress, &ctx()).is_forward());
+    }
+
+    #[test]
+    fn conntrack_state_migrates() {
+        let mut fw1 = Firewall::new("fw", FirewallConfig::default());
+        fw1.process(tcp_to_port(443), Direction::Ingress, &ctx());
+        assert_eq!(fw1.tracked_connections(), 1);
+        let snapshot = fw1.export_state();
+        assert!(!snapshot.is_empty());
+
+        // Build the same firewall on the "target station" with a
+        // drop-everything policy: only the imported established flow passes.
+        let mut fw2 = Firewall::new(
+            "fw",
+            FirewallConfig {
+                rules: vec![],
+                default_action: RuleAction::Drop,
+                track_connections: true,
+                conntrack_idle_timeout_secs: 120,
+            },
+        );
+        fw2.import_state(snapshot);
+        assert_eq!(fw2.tracked_connections(), 1);
+        let down = builder::tcp_data(
+            MacAddr::derived(2, 1),
+            MacAddr::derived(1, 1),
+            server_ip(),
+            client_ip(),
+            443,
+            40_000,
+            b"resumed",
+        );
+        assert!(fw2.process(down, Direction::Egress, &ctx()).is_forward());
+        // A new, untracked flow is still dropped.
+        assert!(fw2
+            .process(tcp_to_port(80), Direction::Ingress, &ctx())
+            .is_drop());
+    }
+
+    #[test]
+    fn idle_connections_expire() {
+        let mut fw = Firewall::new("fw", FirewallConfig::default());
+        fw.process(tcp_to_port(443), Direction::Ingress, &ctx());
+        assert_eq!(fw.tracked_connections(), 1);
+        let evicted = fw.expire_idle_connections(SimTime::from_secs(300));
+        assert_eq!(evicted, 1);
+        assert_eq!(fw.tracked_connections(), 0);
+        // Fresh traffic is unaffected by expiry.
+        assert_eq!(fw.expire_idle_connections(SimTime::from_secs(301)), 0);
+    }
+
+    #[test]
+    fn non_ip_traffic_is_forwarded_untouched() {
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig::allowlist(vec![]), // drop everything IP
+        );
+        let arp = builder::arp_request(
+            MacAddr::derived(1, 1),
+            client_ip(),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert!(fw.process(arp, Direction::Ingress, &ctx()).is_forward());
+    }
+
+    #[test]
+    fn mismatched_state_import_is_ignored() {
+        let mut fw = Firewall::new("fw", FirewallConfig::default());
+        fw.import_state(NfStateSnapshot::Stateless);
+        fw.import_state(NfStateSnapshot::HttpCache { entries: vec![] });
+        assert_eq!(fw.tracked_connections(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # gnf-nf
+//!
+//! The network functions shipped with the Glasgow Network Functions
+//! reproduction, together with the [`NetworkFunction`] trait they implement
+//! and the chaining / state-migration machinery the roaming use case needs.
+//!
+//! The paper demonstrates three NFs — an iptables-based packet [`firewall`],
+//! an [`http_filter`] and a [`dns_lb`] (DNS load balancer) — and motivates
+//! caches and rate limiters at the edge. This crate implements all of those
+//! plus a source [`nat`] and a small [`ids`] (which produces the
+//! "intrusion attempt" notifications the Manager relays):
+//!
+//! | Module | NF | Migratable state |
+//! |---|---|---|
+//! | [`firewall`] | ordered rule list + connection tracking | conntrack table |
+//! | [`http_filter`] | host/URL block list, 403 responses | none |
+//! | [`dns_lb`] | authoritative answers for a service, RR/least-assigned/hash | scheduling counters |
+//! | [`rate_limiter`] | token bucket per client or flow | bucket levels |
+//! | [`nat`] | source NAT behind a public address | translation table |
+//! | [`cache`] | transparent HTTP cache with LRU eviction | cached responses |
+//! | [`ids`] | SYN-flood + signature detection, alert events | per-source counters |
+//!
+//! NFs process *real* packets ([`gnf_packet::Packet`]); nothing about their
+//! behaviour is mocked. Chains ([`chain::NfChain`]) compose them in order, and
+//! [`spec::NfSpec`] is the serializable descriptor the Manager ships to Agents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chain;
+pub mod dns_lb;
+pub mod firewall;
+pub mod http_filter;
+pub mod ids;
+pub mod nat;
+pub mod nf;
+pub mod rate_limiter;
+pub mod spec;
+pub mod state;
+pub mod testing;
+
+pub use chain::NfChain;
+pub use nf::{
+    Direction, NetworkFunction, NfContext, NfEvent, NfEventSeverity, NfStats, Verdict,
+};
+pub use spec::{instantiate_chain, NfConfig, NfKind, NfSpec};
+pub use state::NfStateSnapshot;

@@ -1,0 +1,314 @@
+//! The [`NetworkFunction`] trait: the contract every GNF network function
+//! implements, together with the verdict, direction, context, statistics and
+//! event types shared by all NFs.
+//!
+//! The paper encapsulates each NF in its own container and connects it to the
+//! local software switch with an ingress and an egress veth pair. In this
+//! reproduction the "container" boundary is the trait object boundary: the
+//! Agent instantiates a `Box<dyn NetworkFunction>` per container, and the
+//! switch hands packets to it tagged with the direction they entered from.
+
+use crate::spec::NfKind;
+use crate::state::NfStateSnapshot;
+use gnf_packet::Packet;
+use gnf_types::{ClientId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which side of the client's traffic a packet was captured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Traffic sent *by* the client towards the network (upstream).
+    Ingress,
+    /// Traffic destined *to* the client (downstream).
+    Egress,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(&self) -> Direction {
+        match self {
+            Direction::Ingress => Direction::Egress,
+            Direction::Egress => Direction::Ingress,
+        }
+    }
+}
+
+/// What an NF decided to do with a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Forward the (possibly rewritten) packet along the chain.
+    Forward(Packet),
+    /// Drop the packet. The string is a human-readable reason recorded in the
+    /// NF's statistics and, for notable drops, surfaced as a notification.
+    Drop(String),
+    /// Consume the packet and instead send these packets back towards its
+    /// source (e.g. an HTTP 403 page or a locally answered DNS response).
+    Reply(Vec<Packet>),
+}
+
+impl Verdict {
+    /// True if the verdict forwards a packet.
+    pub fn is_forward(&self) -> bool {
+        matches!(self, Verdict::Forward(_))
+    }
+
+    /// True if the verdict drops the packet.
+    pub fn is_drop(&self) -> bool {
+        matches!(self, Verdict::Drop(_))
+    }
+
+    /// True if the verdict replies on behalf of the destination.
+    pub fn is_reply(&self) -> bool {
+        matches!(self, Verdict::Reply(_))
+    }
+
+    /// The forwarded packet, if any.
+    pub fn into_forwarded(self) -> Option<Packet> {
+        match self {
+            Verdict::Forward(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Per-packet context handed to the NF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfContext {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The client this NF instance is attached to, when known.
+    pub client: Option<ClientId>,
+}
+
+impl NfContext {
+    /// Context with just a timestamp.
+    pub fn at(now: SimTime) -> Self {
+        NfContext { now, client: None }
+    }
+
+    /// Context with a timestamp and client.
+    pub fn for_client(now: SimTime, client: ClientId) -> Self {
+        NfContext {
+            now,
+            client: Some(client),
+        }
+    }
+}
+
+/// Counters every NF maintains; displayed by the UI and used by experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NfStats {
+    /// Packets handed to the NF.
+    pub packets_in: u64,
+    /// Packets forwarded onwards.
+    pub packets_forwarded: u64,
+    /// Packets dropped.
+    pub packets_dropped: u64,
+    /// Packets answered locally (replies generated).
+    pub packets_replied: u64,
+    /// Bytes handed to the NF.
+    pub bytes_in: u64,
+    /// Bytes forwarded onwards.
+    pub bytes_out: u64,
+}
+
+impl NfStats {
+    /// Records an observed input packet of `len` bytes.
+    pub fn record_in(&mut self, len: usize) {
+        self.packets_in += 1;
+        self.bytes_in += len as u64;
+    }
+
+    /// Records the verdict applied to a packet.
+    pub fn record_verdict(&mut self, verdict: &Verdict) {
+        match verdict {
+            Verdict::Forward(p) => {
+                self.packets_forwarded += 1;
+                self.bytes_out += p.len() as u64;
+            }
+            Verdict::Drop(_) => self.packets_dropped += 1,
+            Verdict::Reply(_) => self.packets_replied += 1,
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &NfStats) {
+        self.packets_in += other.packets_in;
+        self.packets_forwarded += other.packets_forwarded;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_replied += other.packets_replied;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+/// Severity of an NF-originated event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NfEventSeverity {
+    /// Routine informational event.
+    Info,
+    /// Anomalous but expected event (e.g. rate limit engaged).
+    Warning,
+    /// Security-relevant event (e.g. intrusion attempt detected).
+    Alert,
+}
+
+/// An event an NF wants relayed (via its Agent) to the Manager — the paper's
+/// "intrusion attempt or detected malware" notifications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NfEvent {
+    /// Severity class.
+    pub severity: NfEventSeverity,
+    /// Short machine-readable category (e.g. `syn-flood`, `blocked-url`).
+    pub category: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl NfEvent {
+    /// Creates an alert-severity event.
+    pub fn alert(category: &str, message: impl Into<String>) -> Self {
+        NfEvent {
+            severity: NfEventSeverity::Alert,
+            category: category.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity event.
+    pub fn warning(category: &str, message: impl Into<String>) -> Self {
+        NfEvent {
+            severity: NfEventSeverity::Warning,
+            category: category.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates an info-severity event.
+    pub fn info(category: &str, message: impl Into<String>) -> Self {
+        NfEvent {
+            severity: NfEventSeverity::Info,
+            category: category.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// The contract implemented by every GNF network function.
+///
+/// Implementations must be deterministic functions of their configuration,
+/// their accumulated state and the packets they have seen — all sources of
+/// randomness (e.g. the DNS load balancer's backend choice) are seeded
+/// explicitly so that experiment runs are reproducible.
+pub trait NetworkFunction: Send {
+    /// The NF's human-readable instance name (e.g. `firewall-client-3`).
+    fn name(&self) -> &str;
+
+    /// Which kind of NF this is.
+    fn kind(&self) -> NfKind;
+
+    /// Processes one packet travelling in `direction`, returning a verdict.
+    fn process(&mut self, packet: Packet, direction: Direction, ctx: &NfContext) -> Verdict;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> NfStats;
+
+    /// Exports the NF's dynamic state for migration to another station.
+    ///
+    /// The default implementation reports an empty state (stateless NF).
+    fn export_state(&self) -> NfStateSnapshot {
+        NfStateSnapshot::Stateless
+    }
+
+    /// Imports dynamic state previously produced by [`export_state`]
+    /// (on the migration target). State of a mismatched kind is ignored.
+    ///
+    /// [`export_state`]: NetworkFunction::export_state
+    fn import_state(&mut self, _state: NfStateSnapshot) {}
+
+    /// Drains any pending events to be relayed to the Manager.
+    ///
+    /// The default implementation returns no events.
+    fn drain_events(&mut self) -> Vec<NfEvent> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_packet::builder;
+    use gnf_types::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn sample_packet() -> Packet {
+        builder::udp_packet(
+            MacAddr::derived(1, 1),
+            MacAddr::derived(2, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 3),
+            1000,
+            2000,
+            b"abc",
+        )
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Ingress.reverse(), Direction::Egress);
+        assert_eq!(Direction::Egress.reverse(), Direction::Ingress);
+    }
+
+    #[test]
+    fn verdict_predicates() {
+        let fwd = Verdict::Forward(sample_packet());
+        let drop = Verdict::Drop("policy".into());
+        let reply = Verdict::Reply(vec![sample_packet()]);
+        assert!(fwd.is_forward() && !fwd.is_drop() && !fwd.is_reply());
+        assert!(drop.is_drop());
+        assert!(reply.is_reply());
+        assert!(fwd.into_forwarded().is_some());
+        assert!(drop.into_forwarded().is_none());
+    }
+
+    #[test]
+    fn stats_accumulate_per_verdict() {
+        let mut stats = NfStats::default();
+        let pkt = sample_packet();
+        stats.record_in(pkt.len());
+        stats.record_verdict(&Verdict::Forward(pkt.clone()));
+        stats.record_in(pkt.len());
+        stats.record_verdict(&Verdict::Drop("x".into()));
+        stats.record_in(pkt.len());
+        stats.record_verdict(&Verdict::Reply(vec![pkt.clone()]));
+        assert_eq!(stats.packets_in, 3);
+        assert_eq!(stats.packets_forwarded, 1);
+        assert_eq!(stats.packets_dropped, 1);
+        assert_eq!(stats.packets_replied, 1);
+        assert_eq!(stats.bytes_in, 3 * pkt.len() as u64);
+        assert_eq!(stats.bytes_out, pkt.len() as u64);
+
+        let mut merged = NfStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.packets_in, 6);
+    }
+
+    #[test]
+    fn events_carry_severity() {
+        let e = NfEvent::alert("intrusion", "SYN flood from 10.0.0.9");
+        assert_eq!(e.severity, NfEventSeverity::Alert);
+        assert!(NfEventSeverity::Alert > NfEventSeverity::Warning);
+        assert!(NfEventSeverity::Warning > NfEventSeverity::Info);
+        assert_eq!(NfEvent::info("x", "y").severity, NfEventSeverity::Info);
+        assert_eq!(NfEvent::warning("x", "y").severity, NfEventSeverity::Warning);
+    }
+
+    #[test]
+    fn context_constructors() {
+        let ctx = NfContext::at(SimTime::from_secs(1));
+        assert_eq!(ctx.client, None);
+        let ctx = NfContext::for_client(SimTime::from_secs(2), ClientId::new(9));
+        assert_eq!(ctx.client, Some(ClientId::new(9)));
+    }
+}

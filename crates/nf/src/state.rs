@@ -1,0 +1,155 @@
+//! Serializable snapshots of NF dynamic state, used when a function roams
+//! with its client: the old instance exports its state, the state travels to
+//! the target station inside the migration protocol, and the new instance
+//! imports it before steering is switched over.
+
+use gnf_packet::FiveTuple;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Snapshot of one NF instance's dynamic state.
+///
+/// Configuration is *not* part of the snapshot — the target Agent recreates
+/// the NF from its [`crate::spec::NfSpec`] and then layers this state on top.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NfStateSnapshot {
+    /// The NF carries no dynamic state worth migrating.
+    Stateless,
+    /// Firewall connection-tracking table: established flows and the virtual
+    /// time (nanoseconds) they were last seen.
+    Firewall {
+        /// Established (allowed) flows.
+        established: Vec<(FiveTuple, u64)>,
+    },
+    /// Rate limiter bucket levels per flow key.
+    RateLimiter {
+        /// Remaining tokens per canonical flow.
+        buckets: Vec<(FiveTuple, f64)>,
+        /// Nanosecond timestamp of the last refill.
+        last_refill_nanos: u64,
+    },
+    /// NAT translation table.
+    Nat {
+        /// Forward mappings: original five-tuple → translated source port.
+        mappings: Vec<(FiveTuple, u16)>,
+        /// Next ephemeral port to allocate.
+        next_port: u16,
+    },
+    /// DNS load-balancer scheduling state.
+    DnsLoadBalancer {
+        /// Index of the next backend for round-robin.
+        next_backend: usize,
+        /// Outstanding per-backend assignment counts.
+        assignments: Vec<(Ipv4Addr, u64)>,
+    },
+    /// Cached HTTP responses (URL → serialized response bytes).
+    HttpCache {
+        /// Cached entries in LRU order (least recent first).
+        entries: Vec<(String, Vec<u8>)>,
+    },
+    /// IDS per-source counters.
+    Ids {
+        /// SYN counts per source address in the current window.
+        syn_counts: BTreeMap<Ipv4Addr, u64>,
+        /// Window start, nanoseconds of virtual time.
+        window_start_nanos: u64,
+    },
+}
+
+impl NfStateSnapshot {
+    /// Approximate serialized size in bytes, used by the migration cost model
+    /// (transferring more NF state takes longer).
+    pub fn approximate_size_bytes(&self) -> usize {
+        match self {
+            NfStateSnapshot::Stateless => 0,
+            NfStateSnapshot::Firewall { established } => established.len() * 24,
+            NfStateSnapshot::RateLimiter { buckets, .. } => buckets.len() * 28 + 8,
+            NfStateSnapshot::Nat { mappings, .. } => mappings.len() * 22 + 2,
+            NfStateSnapshot::DnsLoadBalancer { assignments, .. } => assignments.len() * 12 + 8,
+            NfStateSnapshot::HttpCache { entries } => entries
+                .iter()
+                .map(|(url, body)| url.len() + body.len())
+                .sum(),
+            NfStateSnapshot::Ids { syn_counts, .. } => syn_counts.len() * 12 + 8,
+        }
+    }
+
+    /// True when there is nothing to transfer.
+    pub fn is_empty(&self) -> bool {
+        self.approximate_size_bytes() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_packet::IpProtocol;
+
+    fn tuple(i: u8) -> FiveTuple {
+        FiveTuple::new(
+            Ipv4Addr::new(10, 0, 0, i),
+            Ipv4Addr::new(192, 0, 2, 1),
+            IpProtocol::Tcp,
+            1000 + u16::from(i),
+            80,
+        )
+    }
+
+    #[test]
+    fn stateless_is_empty() {
+        assert!(NfStateSnapshot::Stateless.is_empty());
+        assert_eq!(NfStateSnapshot::Stateless.approximate_size_bytes(), 0);
+    }
+
+    #[test]
+    fn sizes_scale_with_content() {
+        let small = NfStateSnapshot::Firewall {
+            established: vec![(tuple(1), 0)],
+        };
+        let large = NfStateSnapshot::Firewall {
+            established: (0..100).map(|i| (tuple(i), 0)).collect(),
+        };
+        assert!(large.approximate_size_bytes() > small.approximate_size_bytes() * 50);
+        assert!(!small.is_empty());
+
+        let cache = NfStateSnapshot::HttpCache {
+            entries: vec![("example.com/".into(), vec![0u8; 4096])],
+        };
+        assert!(cache.approximate_size_bytes() > 4000);
+    }
+
+    #[test]
+    fn snapshots_serialize_roundtrip() {
+        let snapshots = vec![
+            NfStateSnapshot::Stateless,
+            NfStateSnapshot::Firewall {
+                established: vec![(tuple(1), 42)],
+            },
+            NfStateSnapshot::RateLimiter {
+                buckets: vec![(tuple(2), 3.5)],
+                last_refill_nanos: 99,
+            },
+            NfStateSnapshot::Nat {
+                mappings: vec![(tuple(3), 40_001)],
+                next_port: 40_002,
+            },
+            NfStateSnapshot::DnsLoadBalancer {
+                next_backend: 1,
+                assignments: vec![(Ipv4Addr::new(10, 1, 0, 1), 17)],
+            },
+            NfStateSnapshot::HttpCache {
+                entries: vec![("a/b".into(), b"body".to_vec())],
+            },
+            NfStateSnapshot::Ids {
+                syn_counts: [(Ipv4Addr::new(10, 0, 0, 9), 120u64)].into_iter().collect(),
+                window_start_nanos: 5,
+            },
+        ];
+        for s in snapshots {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: NfStateSnapshot = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

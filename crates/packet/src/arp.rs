@@ -1,0 +1,197 @@
+//! ARP (RFC 826) requests and replies for IPv4 over Ethernet.
+//!
+//! Clients resolve their gateway with ARP when they associate with a new cell,
+//! so the switch and the edge model need to parse and generate these packets.
+
+use bytes::{BufMut, BytesMut};
+use gnf_types::{GnfError, GnfResult, MacAddr};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Wire size of an IPv4-over-Ethernet ARP packet.
+pub const ARP_PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArpOperation {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+    /// Any other opcode, preserved verbatim.
+    Other(u16),
+}
+
+impl ArpOperation {
+    /// Numeric opcode.
+    pub fn value(&self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+            ArpOperation::Other(v) => *v,
+        }
+    }
+}
+
+impl From<u16> for ArpOperation {
+    fn from(value: u16) -> Self {
+        match value {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            other => ArpOperation::Other(other),
+        }
+    }
+}
+
+/// A parsed ARP packet (IPv4 over Ethernet only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub operation: ArpOperation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request asking for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the reply answering `request` with the given MAC.
+    pub fn reply_to(request: &ArpPacket, responder_mac: MacAddr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Reply,
+            sender_mac: responder_mac,
+            sender_ip: request.target_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Parses an ARP packet, validating the hardware/protocol types.
+    pub fn parse(data: &[u8]) -> GnfResult<(Self, usize)> {
+        if data.len() < ARP_PACKET_LEN {
+            return Err(GnfError::malformed_packet(
+                "arp",
+                format!("packet too short: {} bytes", data.len()),
+            ));
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        let hlen = data[4];
+        let plen = data[5];
+        if htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4 {
+            return Err(GnfError::malformed_packet(
+                "arp",
+                format!("unsupported hardware/protocol: htype={htype} ptype={ptype:#x}"),
+            ));
+        }
+        let operation = ArpOperation::from(u16::from_be_bytes([data[6], data[7]]));
+        let mut sender_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&data[8..14]);
+        let sender_ip = Ipv4Addr::new(data[14], data[15], data[16], data[17]);
+        let mut target_mac = [0u8; 6];
+        target_mac.copy_from_slice(&data[18..24]);
+        let target_ip = Ipv4Addr::new(data[24], data[25], data[26], data[27]);
+        Ok((
+            ArpPacket {
+                operation,
+                sender_mac: MacAddr(sender_mac),
+                sender_ip,
+                target_mac: MacAddr(target_mac),
+                target_ip,
+            },
+            ARP_PACKET_LEN,
+        ))
+    }
+
+    /// Appends the wire representation to `buf`.
+    pub fn emit(&self, buf: &mut BytesMut) {
+        buf.put_u16(1); // hardware type: Ethernet
+        buf.put_u16(0x0800); // protocol type: IPv4
+        buf.put_u8(6); // hardware length
+        buf.put_u8(4); // protocol length
+        buf.put_u16(self.operation.value());
+        buf.put_slice(&self.sender_mac.octets());
+        buf.put_slice(&self.sender_ip.octets());
+        buf.put_slice(&self.target_mac.octets());
+        buf.put_slice(&self.target_ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let client_mac = MacAddr::derived(1, 1);
+        let gw_mac = MacAddr::derived(2, 1);
+        let req = ArpPacket::request(
+            client_mac,
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert_eq!(req.operation, ArpOperation::Request);
+        assert_eq!(req.target_mac, MacAddr::ZERO);
+
+        let reply = ArpPacket::reply_to(&req, gw_mac);
+        assert_eq!(reply.operation, ArpOperation::Reply);
+        assert_eq!(reply.sender_mac, gw_mac);
+        assert_eq!(reply.sender_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(reply.target_mac, client_mac);
+        assert_eq!(reply.target_ip, Ipv4Addr::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let pkt = ArpPacket::request(
+            MacAddr::derived(1, 9),
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let mut buf = BytesMut::new();
+        pkt.emit(&mut buf);
+        assert_eq!(buf.len(), ARP_PACKET_LEN);
+        let (parsed, consumed) = ArpPacket::parse(&buf).unwrap();
+        assert_eq!(parsed, pkt);
+        assert_eq!(consumed, ARP_PACKET_LEN);
+    }
+
+    #[test]
+    fn short_and_non_ipv4_packets_are_rejected() {
+        assert!(ArpPacket::parse(&[0u8; 10]).is_err());
+        let pkt = ArpPacket::request(
+            MacAddr::derived(1, 9),
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let mut buf = BytesMut::new();
+        pkt.emit(&mut buf);
+        // Corrupt the protocol type to IPv6.
+        buf[2] = 0x86;
+        buf[3] = 0xdd;
+        assert!(ArpPacket::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn opcode_mapping() {
+        assert_eq!(ArpOperation::from(1), ArpOperation::Request);
+        assert_eq!(ArpOperation::from(2), ArpOperation::Reply);
+        assert_eq!(ArpOperation::from(9), ArpOperation::Other(9));
+        assert_eq!(ArpOperation::Other(9).value(), 9);
+    }
+}

@@ -1,0 +1,319 @@
+//! Convenience constructors for complete, well-formed frames.
+//!
+//! Traffic generators, tests and benchmarks build frames through these
+//! functions so that checksums, lengths and layer offsets are always
+//! consistent. Each function returns a fully parsed [`Packet`].
+
+use crate::arp::ArpPacket;
+use crate::dns::{DnsMessage, DNS_PORT};
+use crate::ethernet::{EtherType, EthernetHeader};
+use crate::http::{HttpRequest, HttpResponse, HTTP_PORT};
+use crate::icmp::IcmpMessage;
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::packet::Packet;
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::udp::UdpHeader;
+use bytes::BytesMut;
+use gnf_types::MacAddr;
+use std::net::Ipv4Addr;
+
+/// Builds an Ethernet + IPv4 + TCP frame carrying `payload`.
+#[allow(clippy::too_many_arguments)]
+pub fn tcp_packet(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    flags: TcpFlags,
+    payload: &[u8],
+) -> Packet {
+    let mut tcp = TcpHeader::new(src_port, dst_port, flags);
+    tcp.seq = 1;
+    let mut l4 = BytesMut::with_capacity(20 + payload.len());
+    tcp.emit(&mut l4, src_ip, dst_ip, payload);
+
+    build_ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProtocol::Tcp, &l4)
+}
+
+/// Builds a TCP data segment with the `ACK|PSH` flags set (a typical in-flow
+/// data packet).
+pub fn tcp_data(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Packet {
+    let flags = TcpFlags {
+        ack: true,
+        psh: !payload.is_empty(),
+        ..TcpFlags::default()
+    };
+    tcp_packet(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, flags, payload,
+    )
+}
+
+/// Builds a TCP SYN (connection-opening) segment.
+pub fn tcp_syn(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+) -> Packet {
+    tcp_packet(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        TcpFlags::SYN,
+        b"",
+    )
+}
+
+/// Builds an Ethernet + IPv4 + UDP frame carrying `payload`.
+#[allow(clippy::too_many_arguments)]
+pub fn udp_packet(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Packet {
+    let udp = UdpHeader::new(src_port, dst_port, payload.len());
+    let mut l4 = BytesMut::with_capacity(8 + payload.len());
+    udp.emit(&mut l4, src_ip, dst_ip, payload);
+    build_ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProtocol::Udp, &l4)
+}
+
+/// Builds an ICMP echo request frame.
+pub fn icmp_echo_request(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    identifier: u16,
+    sequence: u16,
+) -> Packet {
+    let msg = IcmpMessage::echo_request(identifier, sequence, vec![0x47; 32]);
+    let mut l4 = BytesMut::with_capacity(msg.len());
+    msg.emit(&mut l4);
+    build_ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProtocol::Icmp, &l4)
+}
+
+/// Builds a broadcast ARP who-has request.
+pub fn arp_request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Packet {
+    let arp = ArpPacket::request(sender_mac, sender_ip, target_ip);
+    let mut payload = BytesMut::with_capacity(28);
+    arp.emit(&mut payload);
+    build_frame(sender_mac, MacAddr::BROADCAST, EtherType::Arp, &payload)
+}
+
+/// Builds a unicast ARP reply answering `request`.
+pub fn arp_reply(request: &ArpPacket, responder_mac: MacAddr) -> Packet {
+    let arp = ArpPacket::reply_to(request, responder_mac);
+    let mut payload = BytesMut::with_capacity(28);
+    arp.emit(&mut payload);
+    build_frame(responder_mac, request.sender_mac, EtherType::Arp, &payload)
+}
+
+/// Builds a DNS A-record query carried over UDP to port 53.
+#[allow(clippy::too_many_arguments)]
+pub fn dns_query(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    id: u16,
+    name: &str,
+) -> Packet {
+    let msg = DnsMessage::query(id, name);
+    udp_packet(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        src_port,
+        DNS_PORT,
+        &msg.to_bytes(),
+    )
+}
+
+/// Builds a DNS response frame for the given query packet contents.
+#[allow(clippy::too_many_arguments)]
+pub fn dns_response(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    dst_port: u16,
+    query: &DnsMessage,
+    addresses: &[Ipv4Addr],
+    ttl: u32,
+) -> Packet {
+    let msg = DnsMessage::response_to(query, addresses, ttl);
+    udp_packet(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        DNS_PORT,
+        dst_port,
+        &msg.to_bytes(),
+    )
+}
+
+/// Builds an HTTP GET request frame to port 80.
+#[allow(clippy::too_many_arguments)]
+pub fn http_get(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    host: &str,
+    path: &str,
+) -> Packet {
+    let req = HttpRequest::get(host, path);
+    tcp_data(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        src_port,
+        HTTP_PORT,
+        &req.to_bytes(),
+    )
+}
+
+/// Builds an HTTP response frame from port 80 back to the client.
+#[allow(clippy::too_many_arguments)]
+pub fn http_response(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    dst_port: u16,
+    response: &HttpResponse,
+) -> Packet {
+    tcp_data(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        HTTP_PORT,
+        dst_port,
+        &response.to_bytes(),
+    )
+}
+
+/// Builds a raw IPv4 frame around an already-encoded transport payload.
+fn build_ipv4_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    protocol: IpProtocol,
+    l4: &[u8],
+) -> Packet {
+    let ip = Ipv4Header::new(src_ip, dst_ip, protocol, l4.len());
+    let mut payload = BytesMut::with_capacity(20 + l4.len());
+    ip.emit(&mut payload, l4.len());
+    payload.extend_from_slice(l4);
+    build_frame(src_mac, dst_mac, EtherType::Ipv4, &payload)
+}
+
+/// Builds an Ethernet frame around an already-encoded payload.
+fn build_frame(src_mac: MacAddr, dst_mac: MacAddr, ethertype: EtherType, payload: &[u8]) -> Packet {
+    let eth = EthernetHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype,
+    };
+    let mut frame = BytesMut::with_capacity(14 + payload.len());
+    eth.emit(&mut frame);
+    frame.extend_from_slice(payload);
+    Packet::parse(frame.freeze()).expect("builder produced an unparseable frame")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (MacAddr::derived(1, 1), MacAddr::derived(2, 1))
+    }
+    fn ips() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(203, 0, 113, 5))
+    }
+
+    #[test]
+    fn every_builder_produces_parseable_frames() {
+        let (cm, gm) = macs();
+        let (ci, si) = ips();
+        let packets = vec![
+            tcp_syn(cm, gm, ci, si, 40000, 443),
+            tcp_data(cm, gm, ci, si, 40000, 443, b"data"),
+            udp_packet(cm, gm, ci, si, 5000, 5001, b"payload"),
+            icmp_echo_request(cm, gm, ci, si, 1, 1),
+            arp_request(cm, ci, si),
+            dns_query(cm, gm, ci, si, 4242, 7, "edge.example"),
+            http_get(cm, gm, ci, si, 40001, "www.example", "/"),
+        ];
+        for pkt in packets {
+            // Re-parsing the raw bytes must give back an identical packet.
+            let reparsed = Packet::parse(pkt.bytes().clone()).unwrap();
+            assert_eq!(&reparsed, &pkt);
+        }
+    }
+
+    #[test]
+    fn dns_response_builder_answers_the_query() {
+        let (cm, gm) = macs();
+        let (ci, si) = ips();
+        let query_pkt = dns_query(cm, gm, ci, si, 4242, 7, "service.example");
+        let query = query_pkt.dns().unwrap();
+        let addrs = [Ipv4Addr::new(10, 10, 0, 1)];
+        let resp_pkt = dns_response(gm, cm, si, ci, 4242, &query, &addrs, 60);
+        let resp = resp_pkt.dns().unwrap();
+        assert!(resp.is_response);
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.a_records(), addrs.to_vec());
+    }
+
+    #[test]
+    fn http_response_builder_is_parseable() {
+        let (cm, gm) = macs();
+        let (ci, si) = ips();
+        let resp = HttpResponse::forbidden();
+        let pkt = http_response(gm, cm, si, ci, 40001, &resp);
+        let tcp = pkt.tcp().unwrap();
+        assert_eq!(tcp.src_port, HTTP_PORT);
+        let parsed = HttpResponse::parse(pkt.tcp_payload().unwrap()).unwrap();
+        assert_eq!(parsed.status, 403);
+    }
+
+    #[test]
+    fn arp_reply_targets_the_requester() {
+        let (cm, gm) = macs();
+        let (ci, si) = ips();
+        let req_pkt = arp_request(cm, ci, si);
+        let req = req_pkt.arp().unwrap();
+        let reply_pkt = arp_reply(req, gm);
+        assert_eq!(reply_pkt.dst_mac(), cm);
+        let reply = reply_pkt.arp().unwrap();
+        assert_eq!(reply.sender_mac, gm);
+        assert_eq!(reply.target_ip, ci);
+    }
+}

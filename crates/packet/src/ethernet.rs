@@ -1,0 +1,152 @@
+//! Ethernet II framing.
+//!
+//! Every packet handled by the GNF data plane is an Ethernet frame: clients
+//! emit them, the software switch forwards them by destination MAC, and the
+//! veth pairs connecting containers carry them unchanged.
+
+use bytes::{BufMut, BytesMut};
+use gnf_types::{GnfError, GnfResult, MacAddr};
+use serde::{Deserialize, Serialize};
+
+/// Length of an Ethernet II header (dst + src + ethertype), without 802.1Q.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// EtherType values understood by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86dd) — recognised but not processed by the NFs.
+    Ipv6,
+    /// Any other EtherType, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Numeric value carried on the wire.
+    pub fn value(&self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => *v,
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> Self {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Parses the first [`ETHERNET_HEADER_LEN`] bytes of `data`.
+    ///
+    /// Returns the header and the number of bytes consumed.
+    pub fn parse(data: &[u8]) -> GnfResult<(Self, usize)> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(GnfError::malformed_packet(
+                "ethernet",
+                format!("frame too short: {} bytes", data.len()),
+            ));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = u16::from_be_bytes([data[12], data[13]]);
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: EtherType::from(ethertype),
+            },
+            ETHERNET_HEADER_LEN,
+        ))
+    }
+
+    /// Appends the wire representation of the header to `buf`.
+    pub fn emit(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.dst.octets());
+        buf.put_slice(&self.src.octets());
+        buf.put_u16(self.ethertype.value());
+    }
+
+    /// Serialised length in bytes.
+    pub const fn len(&self) -> usize {
+        ETHERNET_HEADER_LEN
+    }
+
+    /// Always false; present for API symmetry with collection types.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EthernetHeader {
+        EthernetHeader {
+            dst: MacAddr::derived(1, 2),
+            src: MacAddr::derived(1, 1),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let hdr = sample();
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf);
+        assert_eq!(buf.len(), ETHERNET_HEADER_LEN);
+        let (parsed, consumed) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(consumed, ETHERNET_HEADER_LEN);
+    }
+
+    #[test]
+    fn short_frames_are_rejected() {
+        assert!(EthernetHeader::parse(&[0u8; 13]).is_err());
+        assert!(EthernetHeader::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Ipv6);
+        assert_eq!(EtherType::from(0x88cc), EtherType::Other(0x88cc));
+        assert_eq!(EtherType::Ipv4.value(), 0x0800);
+        assert_eq!(EtherType::Other(0x1234).value(), 0x1234);
+    }
+
+    #[test]
+    fn parse_extracts_addresses() {
+        let mut buf = BytesMut::new();
+        sample().emit(&mut buf);
+        let (hdr, _) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(hdr.dst, MacAddr::derived(1, 2));
+        assert_eq!(hdr.src, MacAddr::derived(1, 1));
+    }
+}

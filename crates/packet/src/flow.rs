@@ -1,0 +1,126 @@
+//! Transport-level flow identification.
+//!
+//! The switch's steering rules, the firewall's connection tracking, the NAT
+//! and the rate limiter all key their state on the classic five-tuple.
+
+use crate::ipv4::IpProtocol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The classic five-tuple identifying a transport flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+    /// Source port (0 for protocols without ports, e.g. ICMP).
+    pub src_port: u16,
+    /// Destination port (0 for protocols without ports).
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Creates a five-tuple.
+    pub fn new(
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        protocol: IpProtocol,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            protocol,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// The tuple of the reverse direction (responses of the same flow).
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            protocol: self.protocol,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A direction-agnostic key: both directions of a flow map to the same
+    /// canonical tuple (the lexicographically smaller endpoint first).
+    pub fn canonical(&self) -> FiveTuple {
+        let forward = (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port);
+        if forward {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// True when this tuple and `other` belong to the same bidirectional flow.
+    pub fn same_flow(&self, other: &FiveTuple) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({:?})",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            IpProtocol::Tcp,
+            49152,
+            80,
+        )
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = tuple();
+        let r = t.reversed();
+        assert_eq!(r.src_ip, t.dst_ip);
+        assert_eq!(r.dst_port, t.src_port);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn canonical_is_direction_agnostic() {
+        let t = tuple();
+        assert_eq!(t.canonical(), t.reversed().canonical());
+        assert!(t.same_flow(&t.reversed()));
+        let other = FiveTuple::new(
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(93, 184, 216, 34),
+            IpProtocol::Tcp,
+            49152,
+            80,
+        );
+        assert!(!t.same_flow(&other));
+    }
+
+    #[test]
+    fn display_contains_endpoints() {
+        let text = tuple().to_string();
+        assert!(text.contains("10.0.0.2:49152"));
+        assert!(text.contains("93.184.216.34:80"));
+    }
+}

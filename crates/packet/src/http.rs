@@ -1,0 +1,381 @@
+//! Minimal HTTP/1.x request and response handling — the subset the HTTP
+//! filter NF and the transparent cache NF need: request line, Host header,
+//! arbitrary headers and an opaque body.
+
+use gnf_types::{GnfError, GnfResult};
+use serde::{Deserialize, Serialize};
+
+/// The default HTTP port inspected by the HTTP filter.
+pub const HTTP_PORT: u16 = 80;
+
+/// HTTP request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HttpMethod {
+    /// GET.
+    Get,
+    /// HEAD.
+    Head,
+    /// POST.
+    Post,
+    /// PUT.
+    Put,
+    /// DELETE.
+    Delete,
+    /// CONNECT (used by proxied TLS).
+    Connect,
+    /// OPTIONS.
+    Options,
+}
+
+impl HttpMethod {
+    /// Canonical token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Head => "HEAD",
+            HttpMethod::Post => "POST",
+            HttpMethod::Put => "PUT",
+            HttpMethod::Delete => "DELETE",
+            HttpMethod::Connect => "CONNECT",
+            HttpMethod::Options => "OPTIONS",
+        }
+    }
+
+    /// Parses a method token.
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "GET" => Some(HttpMethod::Get),
+            "HEAD" => Some(HttpMethod::Head),
+            "POST" => Some(HttpMethod::Post),
+            "PUT" => Some(HttpMethod::Put),
+            "DELETE" => Some(HttpMethod::Delete),
+            "CONNECT" => Some(HttpMethod::Connect),
+            "OPTIONS" => Some(HttpMethod::Options),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: HttpMethod,
+    /// Request target (path and query).
+    pub path: String,
+    /// Protocol version string (e.g. `HTTP/1.1`).
+    pub version: String,
+    /// Header name/value pairs in order of appearance (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Opaque body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Builds a GET request for `host` + `path` with standard headers.
+    pub fn get(host: &str, path: &str) -> Self {
+        HttpRequest {
+            method: HttpMethod::Get,
+            path: path.to_string(),
+            version: "HTTP/1.1".to_string(),
+            headers: vec![
+                ("host".to_string(), host.to_string()),
+                ("user-agent".to_string(), "gnf-client/0.1".to_string()),
+                ("accept".to_string(), "*/*".to_string()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    /// Returns the value of a header (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns the Host header, if present.
+    pub fn host(&self) -> Option<&str> {
+        self.header("host")
+    }
+
+    /// Returns `host + path`, the string the HTTP filter's URL rules match on.
+    pub fn url(&self) -> String {
+        format!("{}{}", self.host().unwrap_or(""), self.path)
+    }
+
+    /// Parses a request from the beginning of a TCP payload.
+    pub fn parse(data: &[u8]) -> GnfResult<Self> {
+        let (head, body) = split_head(data)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| GnfError::malformed_packet("http", "missing request line"))?;
+        let mut parts = request_line.split_whitespace();
+        let method_token = parts
+            .next()
+            .ok_or_else(|| GnfError::malformed_packet("http", "missing method"))?;
+        let method = HttpMethod::parse(method_token).ok_or_else(|| {
+            GnfError::malformed_packet("http", format!("unknown method {method_token:?}"))
+        })?;
+        let path = parts
+            .next()
+            .ok_or_else(|| GnfError::malformed_packet("http", "missing request target"))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| GnfError::malformed_packet("http", "missing version"))?
+            .to_string();
+        if !version.starts_with("HTTP/") {
+            return Err(GnfError::malformed_packet(
+                "http",
+                format!("bad version {version:?}"),
+            ));
+        }
+        let headers = parse_headers(lines)?;
+        Ok(HttpRequest {
+            method,
+            path,
+            version,
+            headers,
+            body: body.to_vec(),
+        })
+    }
+
+    /// Serialises the request into wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} {}\r\n", self.method.as_str(), self.path, self.version);
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Protocol version string.
+    pub version: String,
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header name/value pairs (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Opaque body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Builds a response with the given status, reason and body.
+    pub fn new(status: u16, reason: &str, body: &[u8]) -> Self {
+        HttpResponse {
+            version: "HTTP/1.1".to_string(),
+            status,
+            reason: reason.to_string(),
+            headers: vec![
+                ("content-length".to_string(), body.len().to_string()),
+                ("connection".to_string(), "close".to_string()),
+            ],
+            body: body.to_vec(),
+        }
+    }
+
+    /// The `403 Forbidden` page the HTTP filter returns for blocked URLs.
+    pub fn forbidden() -> Self {
+        Self::new(403, "Forbidden", b"<html><body>Blocked by GNF HTTP filter</body></html>")
+    }
+
+    /// A plain `200 OK` response.
+    pub fn ok(body: &[u8]) -> Self {
+        Self::new(200, "OK", body)
+    }
+
+    /// Returns the value of a header (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a response from the beginning of a TCP payload.
+    pub fn parse(data: &[u8]) -> GnfResult<Self> {
+        let (head, body) = split_head(data)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| GnfError::malformed_packet("http", "missing status line"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts
+            .next()
+            .ok_or_else(|| GnfError::malformed_packet("http", "missing version"))?
+            .to_string();
+        if !version.starts_with("HTTP/") {
+            return Err(GnfError::malformed_packet(
+                "http",
+                format!("bad version {version:?}"),
+            ));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GnfError::malformed_packet("http", "bad status code"))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(lines)?;
+        Ok(HttpResponse {
+            version,
+            status,
+            reason,
+            headers,
+            body: body.to_vec(),
+        })
+    }
+
+    /// Serialises the response into wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} {}\r\n", self.version, self.status, self.reason);
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+}
+
+/// Returns true if a TCP payload looks like the start of an HTTP request.
+pub fn looks_like_http_request(data: &[u8]) -> bool {
+    const PREFIXES: [&[u8]; 7] = [
+        b"GET ", b"HEAD ", b"POST ", b"PUT ", b"DELETE ", b"CONNECT ", b"OPTIONS ",
+    ];
+    PREFIXES.iter().any(|p| data.starts_with(p))
+}
+
+/// Splits the header block from the body at the first blank line.
+fn split_head(data: &[u8]) -> GnfResult<(String, &[u8])> {
+    let separator = data
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| GnfError::malformed_packet("http", "incomplete header block"))?;
+    let head = std::str::from_utf8(&data[..separator])
+        .map_err(|_| GnfError::malformed_packet("http", "non-UTF8 header block"))?;
+    Ok((head.to_string(), &data[separator + 4..]))
+}
+
+/// Parses `Name: value` lines into lower-cased pairs.
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> GnfResult<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| GnfError::malformed_packet("http", format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_request_roundtrip() {
+        let req = HttpRequest::get("www.gla.ac.uk", "/research/");
+        let bytes = req.to_bytes();
+        assert!(looks_like_http_request(&bytes));
+        let parsed = HttpRequest::parse(&bytes).unwrap();
+        assert_eq!(parsed.method, HttpMethod::Get);
+        assert_eq!(parsed.path, "/research/");
+        assert_eq!(parsed.host(), Some("www.gla.ac.uk"));
+        assert_eq!(parsed.url(), "www.gla.ac.uk/research/");
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn request_with_body_preserves_it() {
+        let mut req = HttpRequest::get("api.example", "/submit");
+        req.method = HttpMethod::Post;
+        req.body = b"key=value".to_vec();
+        let parsed = HttpRequest::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.method, HttpMethod::Post);
+        assert_eq!(parsed.body, b"key=value");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok(b"hello world");
+        let parsed = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.body, b"hello world");
+        assert_eq!(parsed.header("content-length"), Some("11"));
+    }
+
+    #[test]
+    fn forbidden_response_is_a_403() {
+        let resp = HttpResponse::forbidden();
+        assert_eq!(resp.status, 403);
+        let parsed = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed.status, 403);
+        assert!(String::from_utf8_lossy(&parsed.body).contains("GNF"));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(HttpRequest::parse(b"").is_err());
+        assert!(HttpRequest::parse(b"GET /\r\n\r\n").is_err()); // missing version
+        assert!(HttpRequest::parse(b"BREW /coffee HTTP/1.1\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(b"GET / HTTP/1.1\r\nbad header\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(b"GET / HTTP/1.1\r\nHost: x").is_err()); // no blank line
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = HttpRequest::parse(b"GET / HTTP/1.1\r\nHoSt: Example.COM\r\n\r\n").unwrap();
+        assert_eq!(req.header("Host"), Some("Example.COM"));
+        assert_eq!(req.header("HOST"), Some("Example.COM"));
+        assert_eq!(req.header("missing"), None);
+    }
+
+    #[test]
+    fn http_request_detection() {
+        assert!(looks_like_http_request(b"GET / HTTP/1.1\r\n"));
+        assert!(looks_like_http_request(b"POST /x HTTP/1.1\r\n"));
+        assert!(!looks_like_http_request(b"\x16\x03\x01")); // TLS client hello
+        assert!(!looks_like_http_request(b""));
+    }
+
+    #[test]
+    fn method_tokens_roundtrip() {
+        for method in [
+            HttpMethod::Get,
+            HttpMethod::Head,
+            HttpMethod::Post,
+            HttpMethod::Put,
+            HttpMethod::Delete,
+            HttpMethod::Connect,
+            HttpMethod::Options,
+        ] {
+            assert_eq!(HttpMethod::parse(method.as_str()), Some(method));
+        }
+        assert_eq!(HttpMethod::parse("PATCH"), None);
+    }
+}

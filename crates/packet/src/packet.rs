@@ -1,0 +1,476 @@
+//! The high-level [`Packet`] type passed between clients, the software switch
+//! and the network functions.
+//!
+//! A `Packet` owns the raw frame bytes plus the parsed view of every layer the
+//! framework understands (Ethernet, ARP or IPv4, TCP/UDP/ICMP). Parsing
+//! happens exactly once, when the frame enters the data plane; NFs then
+//! inspect the typed view and, when they need to rewrite fields (NAT, DNS load
+//! balancer), build a new frame through [`crate::builder`].
+
+use crate::arp::ArpPacket;
+use crate::dns::{DnsMessage, DNS_PORT};
+use crate::ethernet::{EtherType, EthernetHeader};
+use crate::flow::FiveTuple;
+use crate::http::{looks_like_http_request, HttpRequest, HTTP_PORT};
+use crate::icmp::IcmpMessage;
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use bytes::Bytes;
+use gnf_types::{GnfError, GnfResult, MacAddr};
+use serde::{Deserialize, Serialize};
+
+/// The parsed network layer of a frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkLayer {
+    /// An ARP packet.
+    Arp(ArpPacket),
+    /// An IPv4 packet with its transport layer.
+    Ipv4 {
+        /// The IPv4 header.
+        header: Ipv4Header,
+        /// The transport layer carried inside.
+        transport: TransportLayer,
+    },
+    /// Any other EtherType; payload left opaque.
+    Other,
+}
+
+/// The parsed transport layer of an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportLayer {
+    /// TCP segment: header plus the offset of its payload within the frame.
+    Tcp {
+        /// Parsed TCP header.
+        header: TcpHeader,
+        /// Offset of the TCP payload from the start of the frame.
+        payload_offset: usize,
+    },
+    /// UDP datagram: header plus the offset of its payload within the frame.
+    Udp {
+        /// Parsed UDP header.
+        header: UdpHeader,
+        /// Offset of the UDP payload from the start of the frame.
+        payload_offset: usize,
+    },
+    /// ICMP message (fully parsed, including payload).
+    Icmp(IcmpMessage),
+    /// Unknown IP protocol; payload left opaque.
+    Other,
+}
+
+/// A fully parsed Ethernet frame flowing through the GNF data plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    bytes: Bytes,
+    ethernet: EthernetHeader,
+    network: NetworkLayer,
+}
+
+impl Packet {
+    /// Parses a raw Ethernet frame.
+    pub fn parse(bytes: Bytes) -> GnfResult<Self> {
+        let (ethernet, eth_len) = EthernetHeader::parse(&bytes)?;
+        let rest = &bytes[eth_len..];
+        let network = match ethernet.ethertype {
+            EtherType::Arp => {
+                let (arp, _) = ArpPacket::parse(rest)?;
+                NetworkLayer::Arp(arp)
+            }
+            EtherType::Ipv4 => {
+                let (ip, ip_len) = Ipv4Header::parse(rest)?;
+                let l4_offset = eth_len + ip_len;
+                // Respect the IPv4 total length: anything beyond it is padding.
+                let ip_end = (eth_len + ip.total_length as usize).min(bytes.len());
+                let l4 = &bytes[l4_offset..ip_end];
+                let transport = match ip.protocol {
+                    IpProtocol::Tcp => {
+                        let (header, consumed) = TcpHeader::parse(l4)?;
+                        TransportLayer::Tcp {
+                            header,
+                            payload_offset: l4_offset + consumed,
+                        }
+                    }
+                    IpProtocol::Udp => {
+                        let (header, consumed) = UdpHeader::parse(l4)?;
+                        TransportLayer::Udp {
+                            header,
+                            payload_offset: l4_offset + consumed,
+                        }
+                    }
+                    IpProtocol::Icmp => {
+                        let (msg, _) = IcmpMessage::parse(l4)?;
+                        TransportLayer::Icmp(msg)
+                    }
+                    IpProtocol::Other(_) => TransportLayer::Other,
+                };
+                NetworkLayer::Ipv4 {
+                    header: ip,
+                    transport,
+                }
+            }
+            _ => NetworkLayer::Other,
+        };
+        Ok(Packet {
+            bytes,
+            ethernet,
+            network,
+        })
+    }
+
+    /// Parses a frame from a byte vector.
+    pub fn from_vec(bytes: Vec<u8>) -> GnfResult<Self> {
+        Self::parse(Bytes::from(bytes))
+    }
+
+    /// The raw frame bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the frame is empty (never the case for parsed packets).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The Ethernet header.
+    pub fn ethernet(&self) -> &EthernetHeader {
+        &self.ethernet
+    }
+
+    /// Source MAC address.
+    pub fn src_mac(&self) -> MacAddr {
+        self.ethernet.src
+    }
+
+    /// Destination MAC address.
+    pub fn dst_mac(&self) -> MacAddr {
+        self.ethernet.dst
+    }
+
+    /// The parsed network layer.
+    pub fn network(&self) -> &NetworkLayer {
+        &self.network
+    }
+
+    /// The ARP packet, if this frame carries one.
+    pub fn arp(&self) -> Option<&ArpPacket> {
+        match &self.network {
+            NetworkLayer::Arp(arp) => Some(arp),
+            _ => None,
+        }
+    }
+
+    /// The IPv4 header, if this is an IPv4 frame.
+    pub fn ipv4(&self) -> Option<&Ipv4Header> {
+        match &self.network {
+            NetworkLayer::Ipv4 { header, .. } => Some(header),
+            _ => None,
+        }
+    }
+
+    /// The TCP header, if this is a TCP frame.
+    pub fn tcp(&self) -> Option<&TcpHeader> {
+        match &self.network {
+            NetworkLayer::Ipv4 {
+                transport: TransportLayer::Tcp { header, .. },
+                ..
+            } => Some(header),
+            _ => None,
+        }
+    }
+
+    /// The UDP header, if this is a UDP frame.
+    pub fn udp(&self) -> Option<&UdpHeader> {
+        match &self.network {
+            NetworkLayer::Ipv4 {
+                transport: TransportLayer::Udp { header, .. },
+                ..
+            } => Some(header),
+            _ => None,
+        }
+    }
+
+    /// The ICMP message, if this is an ICMP frame.
+    pub fn icmp(&self) -> Option<&IcmpMessage> {
+        match &self.network {
+            NetworkLayer::Ipv4 {
+                transport: TransportLayer::Icmp(msg),
+                ..
+            } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// The TCP payload bytes, if any.
+    pub fn tcp_payload(&self) -> Option<&[u8]> {
+        match &self.network {
+            NetworkLayer::Ipv4 {
+                header,
+                transport: TransportLayer::Tcp { payload_offset, .. },
+            } => {
+                let end = (14 + header.total_length as usize).min(self.bytes.len());
+                Some(&self.bytes[*payload_offset..end.max(*payload_offset)])
+            }
+            _ => None,
+        }
+    }
+
+    /// The UDP payload bytes, if any.
+    pub fn udp_payload(&self) -> Option<&[u8]> {
+        match &self.network {
+            NetworkLayer::Ipv4 {
+                transport:
+                    TransportLayer::Udp {
+                        header,
+                        payload_offset,
+                    },
+                ..
+            } => {
+                let end = (payload_offset + header.payload_len()).min(self.bytes.len());
+                Some(&self.bytes[*payload_offset..end])
+            }
+            _ => None,
+        }
+    }
+
+    /// The five-tuple of this packet, if it is TCP, UDP or ICMP over IPv4.
+    pub fn five_tuple(&self) -> Option<FiveTuple> {
+        let header = self.ipv4()?;
+        let (src_port, dst_port) = match &self.network {
+            NetworkLayer::Ipv4 { transport, .. } => match transport {
+                TransportLayer::Tcp { header, .. } => (header.src_port, header.dst_port),
+                TransportLayer::Udp { header, .. } => (header.src_port, header.dst_port),
+                TransportLayer::Icmp(_) => (0, 0),
+                TransportLayer::Other => return None,
+            },
+            _ => return None,
+        };
+        Some(FiveTuple::new(
+            header.src,
+            header.dst,
+            header.protocol,
+            src_port,
+            dst_port,
+        ))
+    }
+
+    /// Attempts to parse the payload as a DNS message (UDP port 53 on either
+    /// side).
+    pub fn dns(&self) -> Option<DnsMessage> {
+        let udp = self.udp()?;
+        if udp.src_port != DNS_PORT && udp.dst_port != DNS_PORT {
+            return None;
+        }
+        DnsMessage::parse(self.udp_payload()?).ok()
+    }
+
+    /// Attempts to parse the payload as an HTTP request (TCP port 80 on the
+    /// destination side, payload starting with a known method token).
+    pub fn http_request(&self) -> Option<HttpRequest> {
+        let tcp = self.tcp()?;
+        if tcp.dst_port != HTTP_PORT {
+            return None;
+        }
+        let payload = self.tcp_payload()?;
+        if !looks_like_http_request(payload) {
+            return None;
+        }
+        HttpRequest::parse(payload).ok()
+    }
+
+    /// True when this packet is an IPv4 packet addressed *from* the given MAC
+    /// (used by the switch's per-client steering).
+    pub fn is_from_mac(&self, mac: MacAddr) -> bool {
+        self.ethernet.src == mac
+    }
+
+    /// A one-line human-readable summary used in logs and the UI event feed.
+    pub fn summary(&self) -> String {
+        match &self.network {
+            NetworkLayer::Arp(arp) => format!(
+                "ARP {:?} {} -> {}",
+                arp.operation, arp.sender_ip, arp.target_ip
+            ),
+            NetworkLayer::Ipv4 { header, transport } => match transport {
+                TransportLayer::Tcp { header: tcp, .. } => format!(
+                    "TCP {}:{} -> {}:{} [{}] {}B",
+                    header.src,
+                    tcp.src_port,
+                    header.dst,
+                    tcp.dst_port,
+                    tcp.flags,
+                    self.len()
+                ),
+                TransportLayer::Udp { header: udp, .. } => format!(
+                    "UDP {}:{} -> {}:{} {}B",
+                    header.src, udp.src_port, header.dst, udp.dst_port, self.len()
+                ),
+                TransportLayer::Icmp(icmp) => format!(
+                    "ICMP {:?} {} -> {}",
+                    icmp.kind, header.src, header.dst
+                ),
+                TransportLayer::Other => format!(
+                    "IPv4 proto {} {} -> {}",
+                    header.protocol.value(),
+                    header.src,
+                    header.dst
+                ),
+            },
+            NetworkLayer::Other => format!(
+                "L2 {} -> {} ethertype {:#06x}",
+                self.ethernet.src,
+                self.ethernet.dst,
+                self.ethernet.ethertype.value()
+            ),
+        }
+    }
+}
+
+impl TryFrom<Vec<u8>> for Packet {
+    type Error = GnfError;
+    fn try_from(bytes: Vec<u8>) -> Result<Self, Self::Error> {
+        Packet::from_vec(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use std::net::Ipv4Addr;
+
+    fn client_mac() -> MacAddr {
+        MacAddr::derived(1, 1)
+    }
+    fn gw_mac() -> MacAddr {
+        MacAddr::derived(2, 1)
+    }
+
+    #[test]
+    fn tcp_packet_accessors() {
+        let pkt = builder::tcp_data(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40000,
+            80,
+            b"hello",
+        );
+        assert_eq!(pkt.src_mac(), client_mac());
+        assert_eq!(pkt.dst_mac(), gw_mac());
+        assert!(pkt.ipv4().is_some());
+        assert!(pkt.tcp().is_some());
+        assert!(pkt.udp().is_none());
+        assert_eq!(pkt.tcp_payload().unwrap(), b"hello");
+        let ft = pkt.five_tuple().unwrap();
+        assert_eq!(ft.dst_port, 80);
+        assert_eq!(ft.protocol, IpProtocol::Tcp);
+        assert!(pkt.summary().contains("TCP"));
+    }
+
+    #[test]
+    fn dns_packet_is_detected() {
+        let pkt = builder::dns_query(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(8, 8, 8, 8),
+            4444,
+            0x1234,
+            "example.com",
+        );
+        let dns = pkt.dns().expect("should parse DNS");
+        assert_eq!(dns.first_question_name(), Some("example.com"));
+        assert!(!dns.is_response);
+        assert!(pkt.http_request().is_none());
+    }
+
+    #[test]
+    fn http_request_is_detected() {
+        let pkt = builder::http_get(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40001,
+            "blocked.example",
+            "/index.html",
+        );
+        let req = pkt.http_request().expect("should parse HTTP");
+        assert_eq!(req.host(), Some("blocked.example"));
+        assert_eq!(req.path, "/index.html");
+        // A non-port-80 TCP packet is not treated as HTTP.
+        let other = builder::tcp_data(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40001,
+            8080,
+            b"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(other.http_request().is_none());
+    }
+
+    #[test]
+    fn arp_packet_accessors() {
+        let pkt = builder::arp_request(
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert!(pkt.arp().is_some());
+        assert!(pkt.ipv4().is_none());
+        assert!(pkt.five_tuple().is_none());
+        assert_eq!(pkt.dst_mac(), MacAddr::BROADCAST);
+        assert!(pkt.summary().contains("ARP"));
+    }
+
+    #[test]
+    fn icmp_packet_accessors() {
+        let pkt = builder::icmp_echo_request(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(1, 1, 1, 1),
+            7,
+            1,
+        );
+        assert!(pkt.icmp().is_some());
+        let ft = pkt.five_tuple().unwrap();
+        assert_eq!(ft.src_port, 0);
+        assert_eq!(ft.protocol, IpProtocol::Icmp);
+    }
+
+    #[test]
+    fn garbage_frames_are_rejected() {
+        assert!(Packet::from_vec(vec![0u8; 5]).is_err());
+        // Valid Ethernet header claiming IPv4 but with a garbage IP header.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MacAddr::BROADCAST.octets());
+        bytes.extend_from_slice(&client_mac().octets());
+        bytes.extend_from_slice(&0x0800u16.to_be_bytes());
+        bytes.extend_from_slice(&[0xff; 20]);
+        assert!(Packet::from_vec(bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_ethertype_is_kept_opaque() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&gw_mac().octets());
+        bytes.extend_from_slice(&client_mac().octets());
+        bytes.extend_from_slice(&0x88ccu16.to_be_bytes()); // LLDP
+        bytes.extend_from_slice(&[0u8; 30]);
+        let pkt = Packet::from_vec(bytes).unwrap();
+        assert_eq!(pkt.network(), &NetworkLayer::Other);
+        assert!(pkt.five_tuple().is_none());
+        assert!(pkt.summary().contains("L2"));
+    }
+}

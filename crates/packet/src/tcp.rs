@@ -1,0 +1,331 @@
+//! TCP segment headers (RFC 793): the fields the firewall matches on (ports,
+//! flags) and enough state to let the NAT and the HTTP filter follow
+//! connections. Options are carried opaquely.
+
+use crate::checksum::transport_checksum;
+use crate::ipv4::IpProtocol;
+use bytes::{BufMut, BytesMut};
+use gnf_types::{GnfError, GnfResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// FIN: sender has finished sending.
+    pub fin: bool,
+    /// SYN: synchronise sequence numbers.
+    pub syn: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// PSH: push buffered data to the application.
+    pub psh: bool,
+    /// ACK: acknowledgement field is significant.
+    pub ack: bool,
+    /// URG: urgent pointer is significant.
+    pub urg: bool,
+}
+
+impl TcpFlags {
+    /// The flag set of a connection-opening SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
+
+    /// The flag set of a SYN-ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+        urg: false,
+    };
+
+    /// The flag set of a plain data/acknowledgement segment.
+    pub const ACK: TcpFlags = TcpFlags {
+        ack: true,
+        syn: false,
+        fin: false,
+        rst: false,
+        psh: false,
+        urg: false,
+    };
+
+    /// The flag set of a connection-closing FIN-ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        fin: true,
+        ack: true,
+        syn: false,
+        rst: false,
+        psh: false,
+        urg: false,
+    };
+
+    /// The flag set of a reset.
+    pub const RST: TcpFlags = TcpFlags {
+        rst: true,
+        syn: false,
+        fin: false,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
+
+    /// Encodes the flags into the low byte of the TCP header's 13th/14th bytes.
+    pub fn to_byte(&self) -> u8 {
+        let mut b = 0u8;
+        if self.fin {
+            b |= 0x01;
+        }
+        if self.syn {
+            b |= 0x02;
+        }
+        if self.rst {
+            b |= 0x04;
+        }
+        if self.psh {
+            b |= 0x08;
+        }
+        if self.ack {
+            b |= 0x10;
+        }
+        if self.urg {
+            b |= 0x20;
+        }
+        b
+    }
+
+    /// Decodes the flag byte.
+    pub fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+            urg: b & 0x20 != 0,
+        }
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if self.psh {
+            parts.push("PSH");
+        }
+        if self.urg {
+            parts.push("URG");
+        }
+        if parts.is_empty() {
+            f.write_str("-")
+        } else {
+            f.write_str(&parts.join("|"))
+        }
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Raw option bytes (length must be a multiple of 4).
+    pub options: Vec<u8>,
+}
+
+impl TcpHeader {
+    /// Creates a header with the given ports and flags and sensible defaults.
+    pub fn new(src_port: u16, dst_port: u16, flags: TcpFlags) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags,
+            window: 65_535,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length including options.
+    pub fn header_len(&self) -> usize {
+        TCP_HEADER_LEN + self.options.len()
+    }
+
+    /// Parses a TCP header from `data`. Returns the header and bytes consumed.
+    pub fn parse(data: &[u8]) -> GnfResult<(Self, usize)> {
+        if data.len() < TCP_HEADER_LEN {
+            return Err(GnfError::malformed_packet(
+                "tcp",
+                format!("header too short: {} bytes", data.len()),
+            ));
+        }
+        let data_offset = ((data[12] >> 4) as usize) * 4;
+        if data_offset < TCP_HEADER_LEN || data.len() < data_offset {
+            return Err(GnfError::malformed_packet(
+                "tcp",
+                format!("invalid data offset {data_offset}"),
+            ));
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                flags: TcpFlags::from_byte(data[13]),
+                window: u16::from_be_bytes([data[14], data[15]]),
+                urgent: u16::from_be_bytes([data[18], data[19]]),
+                options: data[TCP_HEADER_LEN..data_offset].to_vec(),
+            },
+            data_offset,
+        ))
+    }
+
+    /// Appends the header and payload to `buf`, computing the checksum against
+    /// the given IPv4 endpoint addresses.
+    pub fn emit(&self, buf: &mut BytesMut, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        debug_assert_eq!(self.options.len() % 4, 0, "TCP options must pad to 32-bit words");
+        let header_len = self.header_len();
+        let start = buf.len();
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8(((header_len / 4) as u8) << 4);
+        buf.put_u8(self.flags.to_byte());
+        buf.put_u16(self.window);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u16(self.urgent);
+        buf.put_slice(&self.options);
+        buf.put_slice(payload);
+
+        let segment = &buf[start..];
+        let checksum = transport_checksum(src, dst, IpProtocol::Tcp.value(), segment);
+        buf[start + 16..start + 18].copy_from_slice(&checksum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::Checksum;
+
+    #[test]
+    fn flags_roundtrip_through_byte() {
+        for byte in 0u8..64 {
+            let flags = TcpFlags::from_byte(byte);
+            assert_eq!(flags.to_byte(), byte & 0x3f);
+        }
+        assert_eq!(TcpFlags::SYN.to_byte(), 0x02);
+        assert_eq!(TcpFlags::SYN_ACK.to_byte(), 0x12);
+        assert_eq!(TcpFlags::RST.to_byte(), 0x04);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_with_payload() {
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(93, 184, 216, 34);
+        let mut hdr = TcpHeader::new(49152, 80, TcpFlags::ACK);
+        hdr.seq = 1000;
+        hdr.ack = 2000;
+        let payload = b"GET / HTTP/1.1\r\n\r\n";
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf, src, dst, payload);
+        assert_eq!(buf.len(), TCP_HEADER_LEN + payload.len());
+
+        let (parsed, consumed) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(consumed, TCP_HEADER_LEN);
+        assert_eq!(parsed.src_port, 49152);
+        assert_eq!(parsed.dst_port, 80);
+        assert_eq!(parsed.seq, 1000);
+        assert_eq!(parsed.ack, 2000);
+        assert_eq!(parsed.flags, TcpFlags::ACK);
+        assert_eq!(&buf[consumed..], payload);
+    }
+
+    #[test]
+    fn emitted_checksum_verifies() {
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let dst = Ipv4Addr::new(8, 8, 8, 8);
+        let hdr = TcpHeader::new(1234, 443, TcpFlags::SYN);
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf, src, dst, b"");
+        let mut cs = Checksum::new();
+        cs.add_u32(u32::from(src));
+        cs.add_u32(u32::from(dst));
+        cs.add_u16(6);
+        cs.add_u16(buf.len() as u16);
+        cs.add_bytes(&buf);
+        assert_eq!(cs.finish(), 0);
+    }
+
+    #[test]
+    fn short_or_bad_offset_headers_are_rejected() {
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+        let mut buf = BytesMut::new();
+        TcpHeader::new(1, 2, TcpFlags::SYN).emit(
+            &mut buf,
+            Ipv4Addr::LOCALHOST,
+            Ipv4Addr::LOCALHOST,
+            b"",
+        );
+        buf[12] = 0x20; // data offset 8 bytes < 20
+        assert!(TcpHeader::parse(&buf).is_err());
+        buf[12] = 0xf0; // data offset 60 bytes > buffer
+        assert!(TcpHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn options_are_preserved() {
+        let mut hdr = TcpHeader::new(5000, 80, TcpFlags::SYN);
+        hdr.options = vec![0x02, 0x04, 0x05, 0xb4]; // MSS 1460
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf, Ipv4Addr::LOCALHOST, Ipv4Addr::LOCALHOST, b"x");
+        let (parsed, consumed) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(consumed, 24);
+        assert_eq!(parsed.options, hdr.options);
+    }
+}

@@ -1,0 +1,129 @@
+//! UDP datagram headers (RFC 768). DNS traffic — the workload of the DNS load
+//! balancer NF — is carried over UDP.
+
+use crate::checksum::transport_checksum;
+use crate::ipv4::IpProtocol;
+use bytes::{BufMut, BytesMut};
+use gnf_types::{GnfError, GnfResult};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload, as carried on the wire.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for a payload of `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: (UDP_HEADER_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Payload length implied by the length field.
+    pub fn payload_len(&self) -> usize {
+        (self.length as usize).saturating_sub(UDP_HEADER_LEN)
+    }
+
+    /// Parses a UDP header. Returns the header and bytes consumed.
+    pub fn parse(data: &[u8]) -> GnfResult<(Self, usize)> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(GnfError::malformed_packet(
+                "udp",
+                format!("header too short: {} bytes", data.len()),
+            ));
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]);
+        if (length as usize) < UDP_HEADER_LEN {
+            return Err(GnfError::malformed_packet(
+                "udp",
+                format!("length field {length} below header size"),
+            ));
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length,
+            },
+            UDP_HEADER_LEN,
+        ))
+    }
+
+    /// Appends the header and payload to `buf`, computing the checksum against
+    /// the given IPv4 endpoint addresses.
+    pub fn emit(&self, buf: &mut BytesMut, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        let start = buf.len();
+        let length = (UDP_HEADER_LEN + payload.len()) as u16;
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(length);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(payload);
+        let segment = &buf[start..];
+        let checksum = transport_checksum(src, dst, IpProtocol::Udp.value(), segment);
+        buf[start + 6..start + 8].copy_from_slice(&checksum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::Checksum;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(8, 8, 4, 4);
+        let payload = b"dns-query-bytes";
+        let hdr = UdpHeader::new(53124, 53, payload.len());
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf, src, dst, payload);
+        assert_eq!(buf.len(), UDP_HEADER_LEN + payload.len());
+
+        let (parsed, consumed) = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(consumed, UDP_HEADER_LEN);
+        assert_eq!(parsed.src_port, 53124);
+        assert_eq!(parsed.dst_port, 53);
+        assert_eq!(parsed.payload_len(), payload.len());
+        assert_eq!(&buf[consumed..], payload);
+    }
+
+    #[test]
+    fn emitted_checksum_verifies() {
+        let src = Ipv4Addr::new(172, 16, 0, 1);
+        let dst = Ipv4Addr::new(172, 16, 0, 2);
+        let hdr = UdpHeader::new(9999, 53, 4);
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf, src, dst, b"abcd");
+        let mut cs = Checksum::new();
+        cs.add_u32(u32::from(src));
+        cs.add_u32(u32::from(dst));
+        cs.add_u16(17);
+        cs.add_u16(buf.len() as u16);
+        cs.add_bytes(&buf);
+        assert_eq!(cs.finish(), 0);
+    }
+
+    #[test]
+    fn short_or_inconsistent_headers_are_rejected() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+        let mut buf = BytesMut::new();
+        UdpHeader::new(1, 2, 0).emit(&mut buf, Ipv4Addr::LOCALHOST, Ipv4Addr::LOCALHOST, b"");
+        buf[4] = 0;
+        buf[5] = 3; // length 3 < 8
+        assert!(UdpHeader::parse(&buf).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the packet layer: every frame produced by the
+//! builders must survive a parse → re-parse cycle, checksums must verify, and
+//! random byte strings must never cause a panic.
+
+use gnf_packet::builder;
+use gnf_packet::{DnsMessage, HttpRequest, Packet, TcpFlags};
+use gnf_types::MacAddr;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    (any::<u8>(), any::<u32>()).prop_map(|(ns, ix)| MacAddr::derived(ns, ix))
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    any::<u8>().prop_map(TcpFlags::from_byte)
+}
+
+fn arb_dns_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,12}", 1..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #[test]
+    fn tcp_frames_roundtrip(
+        src_mac in arb_mac(),
+        dst_mac in arb_mac(),
+        src_ip in arb_ipv4(),
+        dst_ip in arb_ipv4(),
+        src_port in 1u16..,
+        dst_port in 1u16..,
+        flags in arb_flags(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let pkt = builder::tcp_packet(
+            src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, flags, &payload,
+        );
+        let reparsed = Packet::parse(pkt.bytes().clone()).unwrap();
+        prop_assert_eq!(&reparsed, &pkt);
+        let tcp = reparsed.tcp().unwrap();
+        prop_assert_eq!(tcp.src_port, src_port);
+        prop_assert_eq!(tcp.dst_port, dst_port);
+        prop_assert_eq!(tcp.flags, flags);
+        prop_assert_eq!(reparsed.tcp_payload().unwrap(), &payload[..]);
+        let ft = reparsed.five_tuple().unwrap();
+        prop_assert_eq!(ft.src_ip, src_ip);
+        prop_assert_eq!(ft.dst_ip, dst_ip);
+        // The canonical flow key must be direction-agnostic.
+        prop_assert_eq!(ft.canonical(), ft.reversed().canonical());
+    }
+
+    #[test]
+    fn udp_frames_roundtrip(
+        src_ip in arb_ipv4(),
+        dst_ip in arb_ipv4(),
+        src_port in 1u16..,
+        dst_port in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 0..900),
+    ) {
+        let pkt = builder::udp_packet(
+            MacAddr::derived(1, 1), MacAddr::derived(2, 2),
+            src_ip, dst_ip, src_port, dst_port, &payload,
+        );
+        let reparsed = Packet::parse(pkt.bytes().clone()).unwrap();
+        prop_assert_eq!(reparsed.udp_payload().unwrap(), &payload[..]);
+        prop_assert_eq!(reparsed.udp().unwrap().payload_len(), payload.len());
+    }
+
+    #[test]
+    fn dns_messages_roundtrip(
+        id in any::<u16>(),
+        name in arb_dns_name(),
+        addrs in proptest::collection::vec(arb_ipv4(), 0..8),
+        ttl in 0u32..86_400,
+    ) {
+        let query = DnsMessage::query(id, &name);
+        let parsed_query = DnsMessage::parse(&query.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed_query, &query);
+
+        let response = DnsMessage::response_to(&query, &addrs, ttl);
+        let parsed_response = DnsMessage::parse(&response.to_bytes()).unwrap();
+        prop_assert_eq!(parsed_response.a_records(), addrs);
+        prop_assert_eq!(parsed_response.id, id);
+    }
+
+    #[test]
+    fn http_requests_roundtrip(
+        host in "[a-z]{1,10}(\\.[a-z]{2,6}){1,2}",
+        path in "/[a-zA-Z0-9/_.-]{0,40}",
+    ) {
+        let req = HttpRequest::get(&host, &path);
+        let parsed = HttpRequest::parse(&req.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.host(), Some(host.as_str()));
+        prop_assert_eq!(&parsed.path, &path);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_parser(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic.
+        let _ = Packet::from_vec(bytes.clone());
+        let _ = DnsMessage::parse(&bytes);
+        let _ = HttpRequest::parse(&bytes);
+    }
+
+    #[test]
+    fn icmp_echo_frames_roundtrip(
+        identifier in any::<u16>(),
+        sequence in any::<u16>(),
+        src_ip in arb_ipv4(),
+        dst_ip in arb_ipv4(),
+    ) {
+        let pkt = builder::icmp_echo_request(
+            MacAddr::derived(1, 1), MacAddr::derived(2, 2),
+            src_ip, dst_ip, identifier, sequence,
+        );
+        let icmp = pkt.icmp().unwrap();
+        prop_assert_eq!(icmp.identifier, identifier);
+        prop_assert_eq!(icmp.sequence, sequence);
+    }
+}

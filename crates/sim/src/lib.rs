@@ -1,0 +1,34 @@
+//! # gnf-sim
+//!
+//! The deterministic discrete-event simulation kernel used by the GNF
+//! emulator.
+//!
+//! The original GNF demo measured behaviour on a physical testbed (OpenWRT
+//! home routers, real Wi-Fi roaming). This reproduction replaces wall-clock
+//! time with *virtual* time so that every control-plane latency — container
+//! start, image pull, migration downtime, agent report intervals — is exact,
+//! reproducible from a seed and independent of the machine running the
+//! experiments.
+//!
+//! The kernel is deliberately tiny and domain-agnostic:
+//!
+//! * [`queue::EventQueue`] — a time-ordered event queue with a virtual clock
+//!   and deterministic tie-breaking.
+//! * [`rng::Rng`] — a PCG-32 PRNG with named sub-streams and the handful of
+//!   distributions the edge/traffic models need.
+//! * [`stats`] — counters, summaries, histograms (with quantiles/CDFs) and
+//!   time series used by experiments and telemetry.
+//!
+//! The world model itself (stations, clients, the Manager, ...) lives in
+//! `gnf-core`, which defines its own event enum and drives this queue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use queue::{EventQueue, Scheduled};
+pub use rng::Rng;
+pub use stats::{rate_per_second, Counter, Histogram, Summary, TimeSeries};

@@ -1,0 +1,249 @@
+//! The deterministic event queue and virtual clock at the heart of the
+//! emulator.
+//!
+//! [`EventQueue`] is a time-ordered priority queue of `(SimTime, sequence,
+//! event)` entries. Ties in time are broken by insertion order (the sequence
+//! number), which — together with the seeded PRNG — makes every run of a
+//! scenario bit-for-bit reproducible.
+//!
+//! The queue is generic over the event payload so the kernel can be tested in
+//! isolation and reused by any world model (the GNF emulator defines its own
+//! event enum in `gnf-core`).
+
+use gnf_types::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry. Ordered so that the *earliest* time pops first and,
+/// within a time, the lowest sequence number pops first.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A scheduled event popped from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// The virtual time at which the event fires.
+    pub time: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+/// A deterministic, time-ordered event queue with a virtual clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+    processed_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+            processed_total: 0,
+        }
+    }
+
+    /// The current virtual time (the time of the most recently popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events popped so far.
+    pub fn processed_total(&self) -> u64 {
+        self.processed_total
+    }
+
+    /// Schedules an event at an absolute time. Times in the past are clamped
+    /// to `now` (the event will still run, immediately, preserving causality).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules an event at the current time (runs after already-pending
+    /// events with the same timestamp).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "virtual time must not go backwards");
+        self.now = entry.time;
+        self.processed_total += 1;
+        Some(Scheduled {
+            time: entry.time,
+            event: entry.event,
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<Scheduled<E>> {
+        match self.peek_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `time` without processing anything (used at the
+    /// end of a run to account for trailing idle time). Does nothing if `time`
+    /// is in the past.
+    pub fn advance_to(&mut self, time: SimTime) {
+        if time > self.now {
+            self.now = time;
+        }
+    }
+
+    /// Drops every pending event (used when a scenario is aborted).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_millis(30));
+        assert_eq!(q.processed_total(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        let expected: Vec<i32> = (0..100).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn clock_advances_with_pops_and_relative_scheduling_uses_it() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_secs(5), "first");
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, SimTime::from_secs(5));
+        q.schedule_after(SimDuration::from_secs(2), "second");
+        let second = q.pop().unwrap();
+        assert_eq!(second.time, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "late");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), "early-but-clamped");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn pop_until_respects_the_limit() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(3), 3);
+        assert_eq!(q.pop_until(SimTime::from_secs(2)).unwrap().event, 1);
+        assert!(q.pop_until(SimTime::from_secs(2)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(SimTime::from_secs(10)).unwrap().event, 3);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_secs(4));
+        assert_eq!(q.now(), SimTime::from_secs(4));
+        q.advance_to(SimTime::from_secs(2));
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_now(1);
+        q.schedule_now(2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

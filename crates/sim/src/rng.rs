@@ -1,0 +1,353 @@
+//! A small, deterministic pseudo-random number generator and the sampling
+//! distributions the edge model needs.
+//!
+//! The framework deliberately does not use the `rand` crate: experiment runs
+//! must be bit-reproducible from a single seed across platforms and crate
+//! upgrades, and the generator must be cheaply cloneable so that every
+//! component (traffic generators, mobility models, cost models) can own an
+//! independent, named stream derived from the scenario seed.
+//!
+//! The core generator is PCG-XSH-RR 64/32 (O'Neill 2014), seeded through
+//! SplitMix64.
+
+use gnf_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A PCG-XSH-RR 64/32 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rng {
+    state: u64,
+    increment: u64,
+}
+
+impl Rng {
+    const MULTIPLIER: u64 = 6_364_136_223_846_793_005;
+
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = splitmix64(&mut sm);
+        let increment = splitmix64(&mut sm) | 1; // must be odd
+        let mut rng = Rng { state, increment };
+        // Warm up so that nearby seeds diverge immediately.
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent named stream from this generator's seed without
+    /// advancing `self`. Components use this to get their own generators
+    /// (`rng.derive("mobility")`, `rng.derive("traffic")`) so that adding a
+    /// draw in one component does not perturb any other component's sequence.
+    pub fn derive(&self, label: &str) -> Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Rng::new(self.state ^ h.rotate_left(17) ^ self.increment)
+    }
+
+    /// Next raw 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old
+            .wrapping_mul(Self::MULTIPLIER)
+            .wrapping_add(self.increment);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform integer in `[0, bound)`. Returns 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire-style rejection to remove modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let candidate = self.next_u64();
+            if candidate >= threshold {
+                return candidate % bound;
+            }
+        }
+    }
+
+    /// A uniform integer in `[low, high]` (inclusive). `low > high` is treated
+    /// as the single value `low`.
+    pub fn range_inclusive(&mut self, low: u64, high: u64) -> u64 {
+        if high <= low {
+            return low;
+        }
+        low + self.next_below(high - low + 1)
+    }
+
+    /// A uniform float in `[low, high)`.
+    pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        low + (high - low) * self.next_f64()
+    }
+
+    /// A Bernoulli draw with probability `p` of returning true.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Chooses a uniformly random element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let ix = self.next_below(items.len() as u64) as usize;
+            Some(&items[ix])
+        }
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// An exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// A normally distributed value (Box–Muller) with the given mean and
+    /// standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// A normally distributed value truncated below at zero.
+    pub fn normal_non_negative(&mut self, mean: f64, std_dev: f64) -> f64 {
+        self.normal(mean, std_dev).max(0.0)
+    }
+
+    /// A Pareto-distributed value with scale `x_min` and shape `alpha`
+    /// (heavy-tailed flow sizes / content popularity).
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        let u = 1.0 - self.next_f64();
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// A Zipf-distributed rank in `[0, n)` with exponent `s`, via inverse
+    /// transform on the truncated harmonic series. Used for content/domain
+    /// popularity in the traffic model.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let harmonic: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.next_f64() * harmonic;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// An exponentially distributed duration with the given mean — the
+    /// inter-arrival time of a Poisson process.
+    pub fn exponential_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// A duration drawn from a normal distribution truncated at zero.
+    pub fn normal_duration(&mut self, mean: SimDuration, std_dev: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.normal_non_negative(mean.as_secs_f64(), std_dev.as_secs_f64()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_same_sequence() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "sequences should differ almost everywhere");
+    }
+
+    #[test]
+    fn derived_streams_are_independent_and_deterministic() {
+        let root = Rng::new(7);
+        let mut m1 = root.derive("mobility");
+        let mut m2 = root.derive("mobility");
+        let mut t = root.derive("traffic");
+        assert_eq!(m1.next_u64(), m2.next_u64());
+        assert_ne!(m1.next_u64(), t.next_u64());
+    }
+
+    #[test]
+    fn uniform_floats_stay_in_range_and_cover_it() {
+        let mut rng = Rng::new(3);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            if x < 0.1 {
+                low = true;
+            }
+            if x > 0.9 {
+                high = true;
+            }
+        }
+        assert!(low && high, "uniform draws should cover both tails");
+    }
+
+    #[test]
+    fn next_below_respects_bound_and_is_roughly_uniform() {
+        let mut rng = Rng::new(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            let x = rng.next_below(10) as usize;
+            counts[x] += 1;
+        }
+        for &c in &counts {
+            // Expected 5000, allow generous slack.
+            assert!((4000..6000).contains(&c), "bucket count {c} far from uniform");
+        }
+        assert_eq!(rng.next_below(0), 0);
+        assert_eq!(rng.next_below(1), 0);
+    }
+
+    #[test]
+    fn range_inclusive_handles_degenerate_ranges() {
+        let mut rng = Rng::new(5);
+        assert_eq!(rng.range_inclusive(7, 7), 7);
+        assert_eq!(rng.range_inclusive(9, 3), 9);
+        for _ in 0..1000 {
+            let x = rng.range_inclusive(3, 5);
+            assert!((3..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = Rng::new(13);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "sample mean {mean} too far from 2.0");
+        assert_eq!(rng.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = Rng::new(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.15);
+        assert!((var.sqrt() - 3.0).abs() < 0.15);
+        for _ in 0..1000 {
+            assert!(rng.normal_non_negative(0.1, 5.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = Rng::new(19);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..20_000 {
+            counts[rng.zipf(20, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[19] * 3);
+        assert_eq!(rng.zipf(1, 1.0), 0);
+        assert_eq!(rng.zipf(0, 1.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = Rng::new(23);
+        for _ in 0..5000 {
+            assert!(rng.pareto(1.5, 2.0) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = Rng::new(29);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..100 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+        assert!(rng.choose::<u32>(&[]).is_none());
+
+        let mut v: Vec<u32> = (0..50).collect();
+        let original = v.clone();
+        rng.shuffle(&mut v);
+        assert_ne!(v, original, "a 50-element shuffle should not be identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn duration_helpers_produce_sane_values() {
+        let mut rng = Rng::new(31);
+        let mean = SimDuration::from_millis(100);
+        let n = 20_000;
+        let total: SimDuration = (0..n).map(|_| rng.exponential_duration(mean)).sum();
+        let avg_ms = total.as_millis_f64() / n as f64;
+        assert!((avg_ms - 100.0).abs() < 5.0, "mean inter-arrival {avg_ms}ms");
+        let d = rng.normal_duration(SimDuration::from_millis(50), SimDuration::from_millis(10));
+        assert!(d.as_millis() < 200);
+    }
+
+    #[test]
+    fn chance_probability_is_respected() {
+        let mut rng = Rng::new(37);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits));
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

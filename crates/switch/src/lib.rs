@@ -1,0 +1,26 @@
+//! # gnf-switch
+//!
+//! The per-station software switch of the GNF reproduction.
+//!
+//! On the paper's testbed every station runs a Linux bridge: client radio
+//! interfaces, the uplink and the two veth pairs of each NF container are all
+//! bridge ports, and `tc`/`nfqueue` rules transparently divert the selected
+//! client traffic through the NFs. This crate models that data-plane element:
+//!
+//! * [`switch::SoftwareSwitch`] — ports, MAC learning with aging, per-port
+//!   counters and the forwarding decision for every received frame.
+//! * [`steering`] — the match–action [`steering::SteeringTable`] that selects
+//!   which subset of a client's traffic is diverted through which NF chain,
+//!   with atomic rule replacement for make-before-break migration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod steering;
+pub mod switch;
+
+pub use steering::{SteeringRule, SteeringTable, TrafficSelector};
+pub use switch::{
+    Forwarding, Port, PortCounters, PortId, PortKind, SoftwareSwitch, SwitchDecision,
+    DEFAULT_MAC_AGING_SECS,
+};

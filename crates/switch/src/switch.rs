@@ -1,0 +1,478 @@
+//! The per-station software switch.
+//!
+//! Every GNF station runs one software switch. Client radio interfaces, the
+//! uplink towards the operator network and the two veth endpoints of every NF
+//! container are all ports on this switch. The switch learns MAC addresses
+//! like a normal L2 bridge, counts per-port traffic (the statistics the UI
+//! displays) and consults the [`crate::steering::SteeringTable`] to decide
+//! whether a frame must detour through an NF chain before being forwarded.
+
+use crate::steering::{SteeringRule, SteeringTable};
+use gnf_packet::Packet;
+use gnf_types::{GnfError, GnfResult, MacAddr, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Switch-local port identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+/// What a port connects to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortKind {
+    /// The wireless/LAN interface clients attach to.
+    ClientAccess,
+    /// The uplink towards the operator core / Internet.
+    Uplink,
+    /// The ingress end of a container's veth pair (traffic entering the NF).
+    VethIngress {
+        /// Container handle the veth belongs to.
+        container: u64,
+    },
+    /// The egress end of a container's veth pair (traffic leaving the NF).
+    VethEgress {
+        /// Container handle the veth belongs to.
+        container: u64,
+    },
+}
+
+/// Per-port packet/byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortCounters {
+    /// Frames received on the port.
+    pub rx_packets: u64,
+    /// Bytes received on the port.
+    pub rx_bytes: u64,
+    /// Frames transmitted out of the port.
+    pub tx_packets: u64,
+    /// Bytes transmitted out of the port.
+    pub tx_bytes: u64,
+}
+
+/// A switch port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port identifier.
+    pub id: PortId,
+    /// Human-readable name (`wlan0`, `uplink`, `veth-fw-0-in`, ...).
+    pub name: String,
+    /// What the port connects to.
+    pub kind: PortKind,
+    /// Traffic counters.
+    pub counters: PortCounters,
+}
+
+/// Where the switch decided to send a frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Forwarding {
+    /// Send out a single known port.
+    Unicast(PortId),
+    /// Flood out of every port except the ingress one (destination unknown or
+    /// broadcast).
+    Flood(Vec<PortId>),
+}
+
+/// The decision for one received frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchDecision {
+    /// The steering rule that matched, if the frame must traverse an NF chain
+    /// before forwarding, together with the direction (true = upstream).
+    pub steering: Option<(SteeringRule, bool)>,
+    /// Where the frame goes after (or instead of) the chain.
+    pub forwarding: Forwarding,
+}
+
+/// The software switch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SoftwareSwitch {
+    ports: Vec<Port>,
+    mac_table: HashMap<MacAddr, (PortId, SimTime)>,
+    steering: SteeringTable,
+    mac_aging: u64,
+    dropped_frames: u64,
+}
+
+/// Default MAC-table aging time in seconds (the classic 300 s bridge default).
+pub const DEFAULT_MAC_AGING_SECS: u64 = 300;
+
+impl SoftwareSwitch {
+    /// Creates a switch with a client-access port and an uplink port.
+    pub fn new() -> Self {
+        let mut sw = SoftwareSwitch {
+            ports: Vec::new(),
+            mac_table: HashMap::new(),
+            steering: SteeringTable::new(),
+            mac_aging: DEFAULT_MAC_AGING_SECS,
+            dropped_frames: 0,
+        };
+        sw.add_port("wlan0", PortKind::ClientAccess);
+        sw.add_port("uplink0", PortKind::Uplink);
+        sw
+    }
+
+    /// Adds a port and returns its identifier.
+    pub fn add_port(&mut self, name: &str, kind: PortKind) -> PortId {
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(Port {
+            id,
+            name: name.to_string(),
+            kind,
+            counters: PortCounters::default(),
+        });
+        id
+    }
+
+    /// Adds the two veth pairs for a container, returning (ingress, egress).
+    pub fn connect_container(&mut self, container: u64, label: &str) -> (PortId, PortId) {
+        let ingress = self.add_port(&format!("veth-{label}-in"), PortKind::VethIngress { container });
+        let egress = self.add_port(&format!("veth-{label}-out"), PortKind::VethEgress { container });
+        (ingress, egress)
+    }
+
+    /// Removes the veth ports of a container (when its NF is torn down).
+    /// Returns how many ports were removed.
+    pub fn disconnect_container(&mut self, container: u64) -> usize {
+        let before = self.ports.len();
+        let removed_ids: Vec<PortId> = self
+            .ports
+            .iter()
+            .filter(|p| {
+                matches!(p.kind, PortKind::VethIngress { container: c } | PortKind::VethEgress { container: c } if c == container)
+            })
+            .map(|p| p.id)
+            .collect();
+        self.ports.retain(|p| !removed_ids.contains(&p.id));
+        // Forget MAC entries learned on removed ports.
+        self.mac_table.retain(|_, (port, _)| !removed_ids.contains(port));
+        before - self.ports.len()
+    }
+
+    /// The switch's client-access port.
+    pub fn client_port(&self) -> PortId {
+        self.ports
+            .iter()
+            .find(|p| p.kind == PortKind::ClientAccess)
+            .map(|p| p.id)
+            .expect("a switch always has a client access port")
+    }
+
+    /// The switch's uplink port.
+    pub fn uplink_port(&self) -> PortId {
+        self.ports
+            .iter()
+            .find(|p| p.kind == PortKind::Uplink)
+            .map(|p| p.id)
+            .expect("a switch always has an uplink port")
+    }
+
+    /// The steering table (mutable) for installing/removing redirection rules.
+    pub fn steering_mut(&mut self) -> &mut SteeringTable {
+        &mut self.steering
+    }
+
+    /// The steering table (read-only).
+    pub fn steering(&self) -> &SteeringTable {
+        &self.steering
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// A port by id.
+    pub fn port(&self, id: PortId) -> GnfResult<&Port> {
+        self.ports
+            .iter()
+            .find(|p| p.id == id)
+            .ok_or_else(|| GnfError::not_found("switch port", id.0))
+    }
+
+    /// Number of frames dropped by the switch itself (unknown ingress port).
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped_frames
+    }
+
+    /// Aggregate counters over all ports of a kind predicate.
+    pub fn aggregate_counters<F: Fn(&Port) -> bool>(&self, predicate: F) -> PortCounters {
+        let mut total = PortCounters::default();
+        for port in self.ports.iter().filter(|p| predicate(p)) {
+            total.rx_packets += port.counters.rx_packets;
+            total.rx_bytes += port.counters.rx_bytes;
+            total.tx_packets += port.counters.tx_packets;
+            total.tx_bytes += port.counters.tx_bytes;
+        }
+        total
+    }
+
+    /// Total traffic through the switch (rx over access + uplink ports).
+    pub fn total_rx_bytes(&self) -> u64 {
+        self.aggregate_counters(|p| {
+            matches!(p.kind, PortKind::ClientAccess | PortKind::Uplink)
+        })
+        .rx_bytes
+    }
+
+    /// Number of MAC-table entries.
+    pub fn mac_table_len(&self) -> usize {
+        self.mac_table.len()
+    }
+
+    /// Expires MAC-table entries older than the aging time.
+    pub fn age_mac_table(&mut self, now: SimTime) -> usize {
+        let aging = self.mac_aging;
+        let before = self.mac_table.len();
+        self.mac_table
+            .retain(|_, (_, seen)| now.duration_since(*seen).as_nanos() < aging * 1_000_000_000);
+        before - self.mac_table.len()
+    }
+
+    /// Processes a frame received on `in_port`: learns the source MAC, counts
+    /// traffic, consults steering and returns where the frame goes.
+    ///
+    /// The caller (the station/Agent layer) is responsible for actually
+    /// running the NF chain named by the decision and for transmitting the
+    /// surviving frame out of the chosen port(s) via [`record_tx`].
+    ///
+    /// [`record_tx`]: SoftwareSwitch::record_tx
+    pub fn receive(&mut self, packet: &Packet, in_port: PortId, now: SimTime) -> GnfResult<SwitchDecision> {
+        if self.port(in_port).is_err() {
+            self.dropped_frames += 1;
+            return Err(GnfError::not_found("switch port", in_port.0));
+        }
+        // Count RX.
+        if let Some(port) = self.ports.iter_mut().find(|p| p.id == in_port) {
+            port.counters.rx_packets += 1;
+            port.counters.rx_bytes += packet.len() as u64;
+        }
+        // Learn the source MAC on the ingress port.
+        if packet.src_mac().is_unicast() {
+            self.mac_table.insert(packet.src_mac(), (in_port, now));
+        }
+
+        let steering = self.steering.lookup(packet);
+
+        // Standard L2 forwarding decision.
+        let forwarding = if packet.dst_mac().is_multicast() {
+            Forwarding::Flood(self.flood_ports(in_port))
+        } else if let Some((port, _)) = self.mac_table.get(&packet.dst_mac()) {
+            if *port == in_port {
+                // Destination is on the ingress segment; hairpin suppressed.
+                Forwarding::Flood(Vec::new())
+            } else {
+                Forwarding::Unicast(*port)
+            }
+        } else {
+            // Unknown unicast: assume it leaves via the uplink (the common
+            // case for Internet-bound client traffic), mirroring a default
+            // route rather than flooding the radio side.
+            Forwarding::Unicast(self.uplink_port())
+        };
+
+        Ok(SwitchDecision {
+            steering,
+            forwarding,
+        })
+    }
+
+    /// Records that a frame was transmitted out of `port`.
+    pub fn record_tx(&mut self, port: PortId, bytes: usize) {
+        if let Some(port) = self.ports.iter_mut().find(|p| p.id == port) {
+            port.counters.tx_packets += 1;
+            port.counters.tx_bytes += bytes as u64;
+        }
+    }
+
+    fn flood_ports(&self, except: PortId) -> Vec<PortId> {
+        self.ports
+            .iter()
+            .filter(|p| {
+                p.id != except
+                    && matches!(p.kind, PortKind::ClientAccess | PortKind::Uplink)
+            })
+            .map(|p| p.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steering::{SteeringRule, TrafficSelector};
+    use gnf_packet::builder;
+    use gnf_types::{ChainId, ClientId};
+    use std::net::Ipv4Addr;
+
+    fn client_mac() -> MacAddr {
+        MacAddr::derived(1, 3)
+    }
+    fn server_mac() -> MacAddr {
+        MacAddr::derived(3, 1)
+    }
+
+    fn upstream() -> Packet {
+        builder::http_get(
+            client_mac(),
+            server_mac(),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(198, 51, 100, 1),
+            40_000,
+            "example.com",
+            "/",
+        )
+    }
+
+    fn downstream() -> Packet {
+        builder::tcp_data(
+            server_mac(),
+            client_mac(),
+            Ipv4Addr::new(198, 51, 100, 1),
+            Ipv4Addr::new(10, 0, 0, 3),
+            80,
+            40_000,
+            b"response",
+        )
+    }
+
+    #[test]
+    fn new_switch_has_access_and_uplink_ports() {
+        let sw = SoftwareSwitch::new();
+        assert_eq!(sw.ports().len(), 2);
+        assert_ne!(sw.client_port(), sw.uplink_port());
+    }
+
+    #[test]
+    fn unknown_unicast_goes_to_the_uplink_and_macs_are_learned() {
+        let mut sw = SoftwareSwitch::new();
+        let t = SimTime::from_secs(1);
+        let decision = sw.receive(&upstream(), sw.client_port(), t).unwrap();
+        assert_eq!(decision.forwarding, Forwarding::Unicast(sw.uplink_port()));
+        assert_eq!(sw.mac_table_len(), 1, "client MAC learned");
+
+        // Downstream towards the (now learned) client goes back out the
+        // access port.
+        let decision = sw.receive(&downstream(), sw.uplink_port(), t).unwrap();
+        assert_eq!(decision.forwarding, Forwarding::Unicast(sw.client_port()));
+        assert_eq!(sw.mac_table_len(), 2);
+    }
+
+    #[test]
+    fn broadcast_frames_flood_other_ports() {
+        let mut sw = SoftwareSwitch::new();
+        let arp = builder::arp_request(
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let decision = sw.receive(&arp, sw.client_port(), SimTime::ZERO).unwrap();
+        match decision.forwarding {
+            Forwarding::Flood(ports) => {
+                assert_eq!(ports, vec![sw.uplink_port()]);
+            }
+            other => panic!("expected flood, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steering_rules_divert_matching_traffic() {
+        let mut sw = SoftwareSwitch::new();
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(3),
+            client_mac: client_mac(),
+            selector: TrafficSelector::http_only(),
+            chain: ChainId::new(42),
+        });
+        let t = SimTime::from_secs(1);
+        let decision = sw.receive(&upstream(), sw.client_port(), t).unwrap();
+        let (rule, is_upstream) = decision.steering.expect("HTTP must be steered");
+        assert_eq!(rule.chain, ChainId::new(42));
+        assert!(is_upstream);
+
+        // DNS from the same client is not diverted by the HTTP-only rule.
+        let dns = builder::dns_query(
+            client_mac(),
+            server_mac(),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(8, 8, 8, 8),
+            5353,
+            1,
+            "example.com",
+        );
+        let decision = sw.receive(&dns, sw.client_port(), t).unwrap();
+        assert!(decision.steering.is_none());
+
+        // Downstream HTTP towards the client is steered with the downstream flag.
+        let decision = sw.receive(&downstream(), sw.uplink_port(), t).unwrap();
+        let (_, is_upstream) = decision.steering.expect("downstream HTTP steered");
+        assert!(!is_upstream);
+    }
+
+    #[test]
+    fn counters_track_rx_and_tx() {
+        let mut sw = SoftwareSwitch::new();
+        let pkt = upstream();
+        let t = SimTime::from_secs(1);
+        sw.receive(&pkt, sw.client_port(), t).unwrap();
+        sw.record_tx(sw.uplink_port(), pkt.len());
+        let access = sw.port(sw.client_port()).unwrap().counters;
+        let uplink = sw.port(sw.uplink_port()).unwrap().counters;
+        assert_eq!(access.rx_packets, 1);
+        assert_eq!(access.rx_bytes, pkt.len() as u64);
+        assert_eq!(uplink.tx_packets, 1);
+        assert_eq!(sw.total_rx_bytes(), pkt.len() as u64);
+    }
+
+    #[test]
+    fn container_veth_ports_attach_and_detach() {
+        let mut sw = SoftwareSwitch::new();
+        let (ing, eg) = sw.connect_container(5, "fw-0");
+        assert_ne!(ing, eg);
+        assert_eq!(sw.ports().len(), 4);
+        assert!(matches!(
+            sw.port(ing).unwrap().kind,
+            PortKind::VethIngress { container: 5 }
+        ));
+        assert_eq!(sw.disconnect_container(5), 2);
+        assert_eq!(sw.ports().len(), 2);
+        assert_eq!(sw.disconnect_container(5), 0);
+    }
+
+    #[test]
+    fn mac_entries_age_out() {
+        let mut sw = SoftwareSwitch::new();
+        sw.receive(&upstream(), sw.client_port(), SimTime::from_secs(1)).unwrap();
+        assert_eq!(sw.mac_table_len(), 1);
+        assert_eq!(sw.age_mac_table(SimTime::from_secs(100)), 0);
+        assert_eq!(sw.age_mac_table(SimTime::from_secs(1000)), 1);
+        assert_eq!(sw.mac_table_len(), 0);
+    }
+
+    #[test]
+    fn receiving_on_an_unknown_port_is_an_error() {
+        let mut sw = SoftwareSwitch::new();
+        let err = sw.receive(&upstream(), PortId(99), SimTime::ZERO).unwrap_err();
+        assert_eq!(err.category(), "not_found");
+        assert_eq!(sw.dropped_frames(), 1);
+    }
+
+    #[test]
+    fn hairpin_to_the_same_port_is_suppressed() {
+        let mut sw = SoftwareSwitch::new();
+        let t = SimTime::from_secs(1);
+        // Learn both MACs on the client port (two stations behind the same AP).
+        sw.receive(&upstream(), sw.client_port(), t).unwrap();
+        let reverse = builder::tcp_data(
+            server_mac(),
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 9),
+            Ipv4Addr::new(10, 0, 0, 3),
+            80,
+            40_000,
+            b"local",
+        );
+        sw.receive(&reverse, sw.client_port(), t).unwrap();
+        // Now a frame to the client arriving on the client port stays there.
+        let decision = sw.receive(&reverse, sw.client_port(), t).unwrap();
+        assert_eq!(decision.forwarding, Forwarding::Flood(Vec::new()));
+    }
+}

@@ -1,0 +1,21 @@
+//! # gnf-telemetry
+//!
+//! Health monitoring and notifications for the GNF control plane.
+//!
+//! The paper's Manager "is responsible for continuously monitoring the health
+//! and resource utilization from the GNF stations, allowing the provider to
+//! detect resource-hotspots", and relays notifications raised by NFs. This
+//! crate holds the data structures that implement that: per-station health
+//! reports, the monitoring store with freshness/offline tracking, the hotspot
+//! detector and the notification log displayed by the UI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+pub mod notification;
+pub mod report;
+
+pub use monitor::{HotspotDetector, MonitoringStore, StationHealth, StationStatus};
+pub use notification::{Notification, NotificationLog, NotificationSeverity, NotificationSource};
+pub use report::StationReport;

@@ -1,0 +1,218 @@
+//! Notifications relayed to the provider: NF alerts (intrusion attempts,
+//! blocked URLs), station lifecycle events and resource hotspots — the items
+//! the paper's UI surfaces for review.
+
+use gnf_types::{ClientId, NfInstanceId, NotificationId, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Notification severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NotificationSeverity {
+    /// Routine information (NF attached, client connected).
+    Info,
+    /// Needs attention soon (rate limit engaged, station nearly full).
+    Warning,
+    /// Needs immediate attention (intrusion attempt, station offline).
+    Critical,
+}
+
+/// What raised the notification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NotificationSource {
+    /// Raised by an NF instance on a station.
+    NetworkFunction {
+        /// The reporting NF instance.
+        nf: NfInstanceId,
+        /// The station hosting it.
+        station: StationId,
+    },
+    /// Raised by an Agent about its station.
+    Station {
+        /// The station concerned.
+        station: StationId,
+    },
+    /// Raised by the Manager itself (e.g. hotspot detection, migration
+    /// failures).
+    Manager,
+}
+
+/// A single notification entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Unique identifier.
+    pub id: NotificationId,
+    /// When it was raised (virtual time).
+    pub raised_at: SimTime,
+    /// Severity class.
+    pub severity: NotificationSeverity,
+    /// Who raised it.
+    pub source: NotificationSource,
+    /// Machine-readable category (`syn-flood`, `hotspot`, `station-offline`...).
+    pub category: String,
+    /// Human-readable message.
+    pub message: String,
+    /// The client concerned, when applicable.
+    pub client: Option<ClientId>,
+}
+
+/// A bounded, append-only log of notifications with per-severity counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NotificationLog {
+    entries: VecDeque<Notification>,
+    capacity: usize,
+    next_id: u64,
+    total_by_severity: [u64; 3],
+}
+
+impl Default for NotificationLog {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl NotificationLog {
+    /// Creates a log retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        NotificationLog {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_id: 0,
+            total_by_severity: [0; 3],
+        }
+    }
+
+    /// Appends a notification, returning its assigned id.
+    pub fn raise(
+        &mut self,
+        raised_at: SimTime,
+        severity: NotificationSeverity,
+        source: NotificationSource,
+        category: &str,
+        message: impl Into<String>,
+        client: Option<ClientId>,
+    ) -> NotificationId {
+        let id = NotificationId::new(self.next_id);
+        self.next_id += 1;
+        self.total_by_severity[severity as usize] += 1;
+        self.entries.push_back(Notification {
+            id,
+            raised_at,
+            severity,
+            source,
+            category: category.to_string(),
+            message: message.into(),
+            client,
+        });
+        if self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+        id
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &Notification> {
+        self.entries.iter()
+    }
+
+    /// The most recent `n` entries, newest first.
+    pub fn recent(&self, n: usize) -> Vec<&Notification> {
+        self.entries.iter().rev().take(n).collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no notifications are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total notifications ever raised with the given severity (including
+    /// entries that have been rotated out).
+    pub fn total(&self, severity: NotificationSeverity) -> u64 {
+        self.total_by_severity[severity as usize]
+    }
+
+    /// Retained entries at or above a severity.
+    pub fn at_least(&self, severity: NotificationSeverity) -> Vec<&Notification> {
+        self.entries.iter().filter(|n| n.severity >= severity).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raise(log: &mut NotificationLog, sev: NotificationSeverity, cat: &str) -> NotificationId {
+        log.raise(
+            SimTime::from_secs(1),
+            sev,
+            NotificationSource::Manager,
+            cat,
+            format!("{cat} happened"),
+            None,
+        )
+    }
+
+    #[test]
+    fn notifications_get_sequential_ids() {
+        let mut log = NotificationLog::new(16);
+        let a = raise(&mut log, NotificationSeverity::Info, "a");
+        let b = raise(&mut log, NotificationSeverity::Warning, "b");
+        assert_eq!(a, NotificationId::new(0));
+        assert_eq!(b, NotificationId::new(1));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_but_totals_keep_counting() {
+        let mut log = NotificationLog::new(3);
+        for _ in 0..10 {
+            raise(&mut log, NotificationSeverity::Critical, "alert");
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total(NotificationSeverity::Critical), 10);
+        assert_eq!(log.total(NotificationSeverity::Info), 0);
+    }
+
+    #[test]
+    fn severity_filter_and_recent_ordering() {
+        let mut log = NotificationLog::new(16);
+        raise(&mut log, NotificationSeverity::Info, "info-1");
+        raise(&mut log, NotificationSeverity::Warning, "warn-1");
+        raise(&mut log, NotificationSeverity::Critical, "crit-1");
+        assert_eq!(log.at_least(NotificationSeverity::Warning).len(), 2);
+        let recent = log.recent(2);
+        assert_eq!(recent[0].category, "crit-1");
+        assert_eq!(recent[1].category, "warn-1");
+        assert!(NotificationSeverity::Critical > NotificationSeverity::Info);
+    }
+
+    #[test]
+    fn sources_carry_context() {
+        let mut log = NotificationLog::new(4);
+        log.raise(
+            SimTime::from_secs(2),
+            NotificationSeverity::Critical,
+            NotificationSource::NetworkFunction {
+                nf: NfInstanceId::new(7),
+                station: StationId::new(3),
+            },
+            "syn-flood",
+            "flood detected",
+            Some(ClientId::new(9)),
+        );
+        let entry = log.entries().next().unwrap();
+        assert_eq!(entry.client, Some(ClientId::new(9)));
+        match &entry.source {
+            NotificationSource::NetworkFunction { nf, station } => {
+                assert_eq!(*nf, NfInstanceId::new(7));
+                assert_eq!(*station, StationId::new(3));
+            }
+            other => panic!("unexpected source {other:?}"),
+        }
+    }
+}

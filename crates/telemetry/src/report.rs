@@ -1,0 +1,92 @@
+//! The periodic state report an Agent sends to the Manager.
+
+use gnf_types::{AgentId, ClientId, HostClass, ResourceSpec, ResourceUsage, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of one station's state, produced by its Agent every reporting
+/// interval ("reporting periodically the state of the device").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationReport {
+    /// The station being reported on.
+    pub station: StationId,
+    /// The Agent that produced the report.
+    pub agent: AgentId,
+    /// When the report was produced (virtual time).
+    pub produced_at: SimTime,
+    /// The station's hardware class.
+    pub host_class: HostClass,
+    /// Total capacity of the station.
+    pub capacity: ResourceSpec,
+    /// Measured utilisation.
+    pub usage: ResourceUsage,
+    /// Clients currently associated with the station's cell.
+    pub connected_clients: Vec<ClientId>,
+    /// Number of NF containers currently running.
+    pub running_nfs: usize,
+    /// Number of NF images held in the local cache.
+    pub cached_images: usize,
+}
+
+impl StationReport {
+    /// The dominant utilisation fraction (CPU vs memory), used by hotspot
+    /// detection.
+    pub fn dominant_utilisation(&self) -> f64 {
+        self.usage.dominant_fraction(&self.capacity)
+    }
+
+    /// True when the station is using more than `threshold` of its capacity
+    /// in any dimension.
+    pub fn is_hotspot(&self, threshold: f64) -> bool {
+        self.dominant_utilisation() >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cpu: f64, memory_mb: u64) -> StationReport {
+        StationReport {
+            station: StationId::new(1),
+            agent: AgentId::new(1),
+            produced_at: SimTime::from_secs(10),
+            host_class: HostClass::HomeRouter,
+            capacity: HostClass::HomeRouter.capacity(),
+            usage: ResourceUsage {
+                cpu_fraction: cpu,
+                memory_mb,
+                disk_mb: 10,
+                rx_bps: 1e6,
+                tx_bps: 2e5,
+            },
+            connected_clients: vec![ClientId::new(1), ClientId::new(2)],
+            running_nfs: 3,
+            cached_images: 2,
+        }
+    }
+
+    #[test]
+    fn dominant_utilisation_picks_the_larger_dimension() {
+        // 64 MB of 128 MB = 0.5 memory; CPU 0.2 → dominant 0.5.
+        let r = report(0.2, 64);
+        assert!((r.dominant_utilisation() - 0.5).abs() < 1e-12);
+        let r = report(0.9, 64);
+        assert!((r.dominant_utilisation() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_thresholding() {
+        assert!(report(0.95, 10).is_hotspot(0.85));
+        assert!(!report(0.5, 32).is_hotspot(0.85));
+        // Memory pressure alone can make a hotspot.
+        assert!(report(0.1, 127).is_hotspot(0.85));
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let r = report(0.4, 80);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

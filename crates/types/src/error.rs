@@ -1,0 +1,251 @@
+//! The framework-wide error type.
+//!
+//! Each subsystem maps its failures onto a [`GnfError`] variant so that the
+//! Manager, Agents and the emulator can propagate and report errors through
+//! the control-plane API without losing the failure category (the paper's
+//! Manager relays "unexpected or inconsistent NF state" notifications, which
+//! requires structured errors rather than strings).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type GnfResult<T> = Result<T, GnfError>;
+
+/// Framework-wide error type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GnfError {
+    /// An entity (station, client, NF, container, image, chain...) referenced
+    /// by an operation does not exist.
+    NotFound {
+        /// What kind of entity was looked up (e.g. "station", "image").
+        entity: String,
+        /// The identifier or name that failed to resolve.
+        key: String,
+    },
+    /// An entity that was being created already exists.
+    AlreadyExists {
+        /// What kind of entity collided.
+        entity: String,
+        /// The identifier or name that collided.
+        key: String,
+    },
+    /// An operation was attempted in a state that does not allow it (e.g.
+    /// starting a container that is already running).
+    InvalidState {
+        /// Description of the offending transition.
+        message: String,
+    },
+    /// A host does not have enough free resources for a placement.
+    InsufficientResources {
+        /// What was requested.
+        requested: String,
+        /// What remained available.
+        available: String,
+    },
+    /// A malformed or unparseable packet was encountered by the data plane.
+    MalformedPacket {
+        /// Which protocol layer rejected the bytes.
+        layer: String,
+        /// Why the bytes were rejected.
+        reason: String,
+    },
+    /// A control-plane message could not be encoded or decoded.
+    Codec {
+        /// Why encoding/decoding failed.
+        reason: String,
+    },
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig {
+        /// Which parameter is invalid.
+        parameter: String,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// An NF migration could not be completed.
+    MigrationFailed {
+        /// Why the migration failed.
+        reason: String,
+    },
+    /// The operation is not supported by this runtime / component.
+    Unsupported {
+        /// What was attempted.
+        operation: String,
+    },
+    /// Catch-all internal error with context.
+    Internal {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl GnfError {
+    /// Shorthand for a [`GnfError::NotFound`].
+    pub fn not_found(entity: impl Into<String>, key: impl fmt::Display) -> Self {
+        GnfError::NotFound {
+            entity: entity.into(),
+            key: key.to_string(),
+        }
+    }
+
+    /// Shorthand for a [`GnfError::AlreadyExists`].
+    pub fn already_exists(entity: impl Into<String>, key: impl fmt::Display) -> Self {
+        GnfError::AlreadyExists {
+            entity: entity.into(),
+            key: key.to_string(),
+        }
+    }
+
+    /// Shorthand for a [`GnfError::InvalidState`].
+    pub fn invalid_state(message: impl Into<String>) -> Self {
+        GnfError::InvalidState {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`GnfError::MalformedPacket`].
+    pub fn malformed_packet(layer: impl Into<String>, reason: impl Into<String>) -> Self {
+        GnfError::MalformedPacket {
+            layer: layer.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`GnfError::Internal`].
+    pub fn internal(message: impl Into<String>) -> Self {
+        GnfError::Internal {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`GnfError::InsufficientResources`].
+    pub fn insufficient(requested: impl fmt::Display, available: impl fmt::Display) -> Self {
+        GnfError::InsufficientResources {
+            requested: requested.to_string(),
+            available: available.to_string(),
+        }
+    }
+
+    /// A coarse, stable category string used by telemetry counters.
+    pub fn category(&self) -> &'static str {
+        match self {
+            GnfError::NotFound { .. } => "not_found",
+            GnfError::AlreadyExists { .. } => "already_exists",
+            GnfError::InvalidState { .. } => "invalid_state",
+            GnfError::InsufficientResources { .. } => "insufficient_resources",
+            GnfError::MalformedPacket { .. } => "malformed_packet",
+            GnfError::Codec { .. } => "codec",
+            GnfError::InvalidConfig { .. } => "invalid_config",
+            GnfError::MigrationFailed { .. } => "migration_failed",
+            GnfError::Unsupported { .. } => "unsupported",
+            GnfError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for GnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnfError::NotFound { entity, key } => write!(f, "{entity} not found: {key}"),
+            GnfError::AlreadyExists { entity, key } => {
+                write!(f, "{entity} already exists: {key}")
+            }
+            GnfError::InvalidState { message } => write!(f, "invalid state: {message}"),
+            GnfError::InsufficientResources {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient resources: requested {requested}, available {available}"
+            ),
+            GnfError::MalformedPacket { layer, reason } => {
+                write!(f, "malformed {layer} packet: {reason}")
+            }
+            GnfError::Codec { reason } => write!(f, "codec error: {reason}"),
+            GnfError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for {parameter}: {reason}")
+            }
+            GnfError::MigrationFailed { reason } => write!(f, "migration failed: {reason}"),
+            GnfError::Unsupported { operation } => write!(f, "unsupported operation: {operation}"),
+            GnfError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GnfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_populate_fields() {
+        let err = GnfError::not_found("station", 7);
+        assert_eq!(
+            err,
+            GnfError::NotFound {
+                entity: "station".into(),
+                key: "7".into()
+            }
+        );
+        assert_eq!(err.to_string(), "station not found: 7");
+        assert_eq!(err.category(), "not_found");
+    }
+
+    #[test]
+    fn display_is_informative_for_every_variant() {
+        let cases: Vec<(GnfError, &str)> = vec![
+            (GnfError::already_exists("image", "glanf/firewall"), "already exists"),
+            (GnfError::invalid_state("container stopped"), "invalid state"),
+            (GnfError::insufficient("512 MB", "128 MB"), "insufficient resources"),
+            (GnfError::malformed_packet("ipv4", "truncated header"), "malformed ipv4"),
+            (
+                GnfError::Codec {
+                    reason: "bad length".into(),
+                },
+                "codec error",
+            ),
+            (
+                GnfError::InvalidConfig {
+                    parameter: "report_interval".into(),
+                    reason: "must be positive".into(),
+                },
+                "invalid configuration",
+            ),
+            (
+                GnfError::MigrationFailed {
+                    reason: "image pull failed".into(),
+                },
+                "migration failed",
+            ),
+            (
+                GnfError::Unsupported {
+                    operation: "live memory migration".into(),
+                },
+                "unsupported",
+            ),
+            (GnfError::internal("oops"), "internal error"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} display missing {needle:?}"
+            );
+            assert!(!err.category().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_serialize_and_deserialize() {
+        let err = GnfError::insufficient("10 cores", "2 cores");
+        let json = serde_json::to_string(&err).unwrap();
+        let back: GnfError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_e: &dyn std::error::Error) {}
+        takes_error(&GnfError::internal("x"));
+    }
+}

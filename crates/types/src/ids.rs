@@ -1,0 +1,232 @@
+//! Strongly-typed identifiers used across the GNF control and data planes.
+//!
+//! Every entity in the system (stations, clients, NF instances, containers,
+//! migrations, ...) is referred to by a small copyable newtype over `u64`.
+//! Using distinct types instead of bare integers prevents an entire class of
+//! "passed the client id where the station id was expected" bugs and keeps the
+//! Manager⇄Agent API self-describing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Declares a `u64`-backed identifier newtype with the common trait set and a
+/// human-readable `Display` prefix (e.g. `station-3`).
+macro_rules! declare_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw numeric identifier.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+declare_id!(
+    /// A GNF station: an edge device running an Agent (home router, access
+    /// point, edge server or cloud VM host).
+    StationId,
+    "station"
+);
+
+declare_id!(
+    /// The Agent daemon on a station. In GNF there is exactly one Agent per
+    /// station, but the control protocol addresses Agents, not stations, so the
+    /// two identifiers are kept distinct.
+    AgentId,
+    "agent"
+);
+
+declare_id!(
+    /// A mobile client (smartphone / UE) whose traffic NFs are attached to.
+    ClientId,
+    "client"
+);
+
+declare_id!(
+    /// A radio cell / wireless network a client can associate with. Each cell
+    /// is served by exactly one station.
+    CellId,
+    "cell"
+);
+
+declare_id!(
+    /// A network-function *instance* (one running NF attached to one client's
+    /// traffic), as opposed to the image it was instantiated from.
+    NfInstanceId,
+    "nf"
+);
+
+declare_id!(
+    /// An NF image stored in the central repository (e.g. `glanf/firewall`).
+    ImageId,
+    "image"
+);
+
+declare_id!(
+    /// A running container on some station.
+    ContainerId,
+    "container"
+);
+
+declare_id!(
+    /// A running virtual machine in the VM baseline runtime.
+    VmId,
+    "vm"
+);
+
+declare_id!(
+    /// A service chain: an ordered list of NF instances a client's traffic is
+    /// steered through.
+    ChainId,
+    "chain"
+);
+
+declare_id!(
+    /// A single NF migration operation (triggered by a client roaming).
+    MigrationId,
+    "migration"
+);
+
+declare_id!(
+    /// A transport-level flow (five-tuple) observed by the data plane.
+    FlowId,
+    "flow"
+);
+
+declare_id!(
+    /// A notification relayed from an NF or Agent to the Manager (intrusion
+    /// attempt, anomalous state, resource hotspot, ...).
+    NotificationId,
+    "notification"
+);
+
+/// A monotonically increasing allocator for any of the identifier types.
+///
+/// Each component that creates entities (the Manager creates migrations and
+/// chains, Agents create containers, the edge model creates flows) owns one
+/// allocator per identifier space so ids are unique within that space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator whose first issued id is `first`.
+    pub const fn starting_at(first: u64) -> Self {
+        Self { next: first }
+    }
+
+    /// Creates an allocator starting at zero.
+    pub const fn new() -> Self {
+        Self::starting_at(0)
+    }
+
+    /// Returns the next raw id and advances the allocator.
+    pub fn next_raw(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Returns the next id converted into the requested identifier type.
+    pub fn next_id<T: From<u64>>(&mut self) -> T {
+        T::from(self.next_raw())
+    }
+
+    /// Number of identifiers issued so far (assuming the allocator started at 0).
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for IdAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix_and_value() {
+        assert_eq!(StationId::new(3).to_string(), "station-3");
+        assert_eq!(ClientId::new(0).to_string(), "client-0");
+        assert_eq!(NfInstanceId::new(42).to_string(), "nf-42");
+        assert_eq!(MigrationId::new(7).to_string(), "migration-7");
+    }
+
+    #[test]
+    fn ids_roundtrip_through_u64() {
+        let id = ContainerId::new(17);
+        let raw: u64 = id.into();
+        assert_eq!(raw, 17);
+        assert_eq!(ContainerId::from(raw), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert!(FlowId::new(100) > FlowId::new(99));
+    }
+
+    #[test]
+    fn id_allocator_is_monotonic_and_unique() {
+        let mut alloc = IdAllocator::new();
+        let a: ClientId = alloc.next_id();
+        let b: ClientId = alloc.next_id();
+        let c: ClientId = alloc.next_id();
+        assert_eq!(a, ClientId::new(0));
+        assert_eq!(b, ClientId::new(1));
+        assert_eq!(c, ClientId::new(2));
+        assert_eq!(alloc.issued(), 3);
+    }
+
+    #[test]
+    fn id_allocator_respects_starting_offset() {
+        let mut alloc = IdAllocator::starting_at(100);
+        let id: StationId = alloc.next_id();
+        assert_eq!(id, StationId::new(100));
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let id = ImageId::new(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "9");
+        let back: ImageId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

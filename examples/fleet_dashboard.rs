@@ -1,0 +1,63 @@
+//! Fleet-scale roaming: dozens of clients with random-walk mobility over a
+//! grid of edge cells, every one carrying a firewall chain that follows it —
+//! the paper's demo scaled up. Prints the final dashboard and the migration
+//! statistics.
+//!
+//! ```text
+//! cargo run -p gnf-examples --bin fleet_dashboard --release
+//! ```
+
+use gnf_core::{Emulator, Mobility, Scenario};
+use gnf_edge::{RandomWalkMobility, TrafficProfile};
+use gnf_nf::testing::sample_specs;
+use gnf_switch::TrafficSelector;
+use gnf_types::{HostClass, SimDuration, SimTime};
+use gnf_ui::Dashboard;
+
+fn main() {
+    let mut builder = Scenario::builder(9, HostClass::EdgeServer);
+    let clients = builder.add_clients(24, TrafficProfile::smartphone());
+    let mut scenario_builder = builder
+        .with_duration(SimDuration::from_secs(300))
+        .with_mobility(Mobility::RandomWalk(RandomWalkMobility {
+            mean_residence: SimDuration::from_secs(90),
+            mobile_fraction: 0.5,
+        }));
+    for client in &clients {
+        scenario_builder = scenario_builder.attach_policy(
+            *client,
+            vec![sample_specs()[0].clone()],
+            TrafficSelector::all(),
+            SimTime::from_secs(2),
+        );
+    }
+    let scenario = scenario_builder.build();
+
+    println!(
+        "Scenario: {} cells, {} clients (50% mobile), 5 minutes of virtual time",
+        9, 24
+    );
+    let mut emulator = Emulator::new(scenario);
+    let report = emulator.run();
+
+    println!("\n--- run summary ---\n{}\n", report.summary());
+    println!(
+        "handovers: {} | migrations completed: {}/{}",
+        report.handovers,
+        report.completed_migrations(),
+        report.migrations.len()
+    );
+    if report.downtime_ms.count() > 0 {
+        println!(
+            "migration downtime: mean {:.0} ms | median {:.0} ms | p99 {:.0} ms | max {:.0} ms",
+            report.downtime_ms.mean(),
+            report.downtime_ms.median(),
+            report.downtime_ms.p99(),
+            report.downtime_ms.max()
+        );
+    }
+
+    println!("\n--- final dashboard ---");
+    let dashboard = Dashboard::capture(emulator.manager(), SimTime::ZERO + report.duration);
+    println!("{}", dashboard.render_text());
+}

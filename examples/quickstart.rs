@@ -1,0 +1,69 @@
+//! Quickstart: deploy a firewall NF in a container, push packets through it,
+//! and print what happened — the smallest possible tour of the public API.
+//!
+//! ```text
+//! cargo run -p gnf-examples --bin quickstart
+//! ```
+
+use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
+use gnf_nf::firewall::{FirewallConfig, FirewallRule};
+use gnf_nf::{Direction, NfConfig, NfContext, NfSpec};
+use gnf_packet::builder;
+use gnf_types::{HostClass, MacAddr, SimTime};
+use std::net::Ipv4Addr;
+
+fn main() {
+    // 1. The provider publishes NF images in the central repository and a
+    //    home router runs a container runtime.
+    let repository = ImageRepository::with_standard_images();
+    let mut runtime = ContainerRuntime::new(HostClass::HomeRouter);
+
+    // 2. Describe the NF: an iptables-style firewall blocking SSH and Telnet.
+    let spec = NfSpec::new(
+        "firewall-demo",
+        NfConfig::Firewall(FirewallConfig::with_rules(vec![
+            FirewallRule::block_tcp_dst_port("no-ssh", 22),
+            FirewallRule::block_tcp_dst_port("no-telnet", 23),
+        ])),
+    );
+
+    // 3. Deploy it: pull the image, create the container, start it.
+    let image = repository.by_name(spec.image_name()).expect("image exists");
+    let deployed = runtime
+        .deploy(&spec.name, image, spec.container_footprint())
+        .expect("the router has room for one small container");
+    println!(
+        "deployed {} from {} in {} (image cached: {})",
+        spec.name, image.name, deployed.total_duration, deployed.image_was_cached
+    );
+
+    // 4. Instantiate the packet-processing function and feed it traffic.
+    let mut firewall = spec.instantiate();
+    let client = MacAddr::derived(1, 1);
+    let gateway = MacAddr::derived(2, 1);
+    let client_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let server_ip = Ipv4Addr::new(203, 0, 113, 10);
+    let ctx = NfContext::at(SimTime::from_secs(1));
+
+    let workload = vec![
+        ("HTTPS", builder::tcp_syn(client, gateway, client_ip, server_ip, 40_000, 443)),
+        ("SSH", builder::tcp_syn(client, gateway, client_ip, server_ip, 40_001, 22)),
+        ("DNS", builder::dns_query(client, gateway, client_ip, Ipv4Addr::new(8, 8, 8, 8), 5353, 1, "www.gla.ac.uk")),
+        ("Telnet", builder::tcp_syn(client, gateway, client_ip, server_ip, 40_002, 23)),
+    ];
+    for (label, packet) in workload {
+        let verdict = firewall.process(packet, Direction::Ingress, &ctx);
+        println!("{label:>6}: {}", if verdict.is_forward() { "forwarded" } else { "blocked" });
+    }
+
+    let stats = firewall.stats();
+    println!(
+        "firewall stats: {} in / {} forwarded / {} dropped",
+        stats.packets_in, stats.packets_forwarded, stats.packets_dropped
+    );
+    println!(
+        "station usage after deployment: {} of {}",
+        runtime.used(),
+        runtime.capacity()
+    );
+}

@@ -1,0 +1,8 @@
+//! This crate only exists to host the runnable example binaries
+//! (`quickstart`, `roaming_demo`, `edge_firewall_chain`, `fleet_dashboard`).
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p gnf-examples --bin roaming_demo
+//! ```

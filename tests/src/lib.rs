@@ -1,0 +1,2 @@
+//! This crate only hosts the workspace-level integration tests (see the
+//! `tests/*.rs` files next to this library); it exports nothing.

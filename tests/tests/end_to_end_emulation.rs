@@ -1,0 +1,191 @@
+//! Workspace-level end-to-end tests of the emulator: whole scenarios run from
+//! a seed, checking the behavioural claims of the paper (NFs follow roaming
+//! clients, traffic keeps being policed, density and instantiation advantages
+//! of containers) across crate boundaries.
+
+use gnf_core::{Emulator, Mobility, Scenario};
+use gnf_edge::{RandomWalkMobility, RoamTrace, TrafficProfile};
+use gnf_nf::testing::sample_specs;
+use gnf_switch::TrafficSelector;
+use gnf_types::{CellId, GnfConfig, HostClass, SimDuration, SimTime};
+use gnf_ui::Dashboard;
+
+#[test]
+fn the_paper_demo_runs_deterministically_and_migrates() {
+    let run = |seed: u64| {
+        let mut emulator = Emulator::new(Scenario::demo_roaming(
+            GnfConfig::default().with_seed(seed),
+        ));
+        emulator.run()
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(2);
+    assert_eq!(a.packets, b.packets, "same seed, same packet accounting");
+    assert_eq!(
+        a.migrations[0].downtime_ms, b.migrations[0].downtime_ms,
+        "same seed, same downtime"
+    );
+    // Different seeds change the traffic, not the control-plane outcome.
+    assert_eq!(a.handovers, c.handovers);
+    assert!(c.all_migrations_completed());
+}
+
+#[test]
+fn dashboards_reflect_a_running_fleet() {
+    let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+    let clients = builder.add_clients(6, TrafficProfile::smartphone());
+    let mut sb = builder.with_duration(SimDuration::from_secs(40));
+    for c in &clients {
+        sb = sb.attach_policy(
+            *c,
+            vec![sample_specs()[0].clone()],
+            TrafficSelector::all(),
+            SimTime::from_secs(2),
+        );
+    }
+    let mut emulator = Emulator::new(sb.build());
+    let report = emulator.run();
+    let dashboard = Dashboard::capture(emulator.manager(), SimTime::ZERO + report.duration);
+    assert_eq!(dashboard.total_stations, 4);
+    assert_eq!(dashboard.online_stations, 4);
+    assert_eq!(dashboard.connected_clients, 6);
+    assert_eq!(dashboard.enabled_chains, 6);
+    assert!(dashboard.running_nfs >= 6);
+    assert!(dashboard.render_text().contains("edge-server"));
+}
+
+#[test]
+fn ping_pong_roaming_produces_one_migration_per_handover() {
+    let config = GnfConfig::default();
+    let mut builder = Scenario::builder(2, HostClass::EdgeServer);
+    let client = builder.add_client_at(gnf_edge::Position::new(5.0, 0.0), TrafficProfile::Idle);
+    let trace = RoamTrace::ping_pong(
+        client,
+        CellId::new(0),
+        CellId::new(1),
+        SimTime::from_secs(30),
+        SimDuration::from_secs(60),
+        4,
+    );
+    let scenario = builder
+        .with_config(config)
+        .with_duration(SimDuration::from_secs(300))
+        .with_mobility(Mobility::Trace(trace))
+        .attach_policy(
+            client,
+            vec![sample_specs()[0].clone()],
+            TrafficSelector::all(),
+            SimTime::from_secs(5),
+        )
+        .build();
+    let mut emulator = Emulator::new(scenario);
+    let report = emulator.run();
+    assert_eq!(report.handovers, 4);
+    assert_eq!(report.migrations.len(), 4);
+    assert!(report.all_migrations_completed());
+    // Warm migrations (images cached after the first visit) are faster than
+    // the first, cold one.
+    let downtimes: Vec<f64> = report
+        .migrations
+        .iter()
+        .filter_map(|m| m.downtime_ms)
+        .collect();
+    assert_eq!(downtimes.len(), 4);
+    let cold = downtimes[0];
+    let warm_min = downtimes[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        warm_min < cold,
+        "a later (warm-cache) migration should beat the first cold one: {downtimes:?}"
+    );
+}
+
+#[test]
+fn random_walk_fleet_keeps_every_migration_consistent() {
+    let mut builder = Scenario::builder(9, HostClass::EdgeServer);
+    let clients = builder.add_clients(12, TrafficProfile::Idle);
+    let mut sb = builder
+        .with_duration(SimDuration::from_secs(240))
+        .with_mobility(Mobility::RandomWalk(RandomWalkMobility {
+            mean_residence: SimDuration::from_secs(60),
+            mobile_fraction: 1.0,
+        }));
+    for c in &clients {
+        sb = sb.attach_policy(
+            *c,
+            vec![sample_specs()[2].clone()], // DNS load balancer
+            TrafficSelector::dns_only(),
+            SimTime::from_secs(2),
+        );
+    }
+    let mut emulator = Emulator::new(sb.build());
+    let report = emulator.run();
+    assert!(report.handovers > 0, "random walk must produce handovers");
+    // Each handover of a client with a deployed chain triggers at most one
+    // migration, and in-flight ones at the end of the run are the only ones
+    // allowed to be incomplete.
+    assert!(report.migrations.len() as u64 <= report.handovers);
+    let incomplete = report
+        .migrations
+        .iter()
+        .filter(|m| !m.completed)
+        .count();
+    assert!(
+        incomplete <= 2,
+        "only migrations cut off by the end of the run may be incomplete ({incomplete})"
+    );
+    // No station ends up with more than one instance of the same chain.
+    for site in 0..9u64 {
+        if let Some(agent) = emulator.agent(gnf_types::StationId::new(site)) {
+            let mut seen = std::collections::HashSet::new();
+            for chain in agent.chains() {
+                assert!(seen.insert(chain.chain_id), "duplicate chain on a station");
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_enforcement_survives_migration() {
+    // The HTTP filter blocks ads.example; verify blocked requests never come
+    // back as forwarded regardless of which station serves the client.
+    let config = GnfConfig::default();
+    let mut builder = Scenario::builder(2, HostClass::EdgeServer);
+    let client = builder.add_client_at(
+        gnf_edge::Position::new(5.0, 0.0),
+        TrafficProfile::WebBrowsing {
+            mean_think_time: SimDuration::from_millis(400),
+        },
+    );
+    let scenario = builder
+        .with_config(config)
+        .with_duration(SimDuration::from_secs(120))
+        .with_mobility(Mobility::Trace(RoamTrace::new().roam(
+            SimTime::from_secs(60),
+            client,
+            CellId::new(1),
+        )))
+        .attach_policy(
+            client,
+            vec![gnf_nf::NfSpec::new(
+                "http-filter-blocked",
+                gnf_nf::NfConfig::HttpFilter(
+                    gnf_nf::http_filter::HttpFilterConfig::block_hosts(&[
+                        "blocked.example",
+                        "cdn.example",
+                    ]),
+                ),
+            )],
+            TrafficSelector::http_only(),
+            SimTime::from_secs(2),
+        )
+        .build();
+    let mut emulator = Emulator::new(scenario);
+    let report = emulator.run();
+    // The web workload includes ads/tracker hosts with Zipf popularity, so
+    // some requests were answered with 403s — on both sides of the roam.
+    assert!(report.packets.replied_by_nf > 0, "the filter answered blocked requests");
+    assert!(report.all_migrations_completed());
+    // Critical/warning notifications about blocked URLs reached the Manager.
+    assert!(report.notifications.1 + report.notifications.2 > 0);
+}
