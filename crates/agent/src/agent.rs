@@ -7,9 +7,10 @@ use gnf_packet::Packet;
 use gnf_switch::{SoftwareSwitch, SteeringRule, TrafficSelector};
 use gnf_telemetry::StationReport;
 use gnf_types::{
-    AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr,
-    ResourceUsage, SimDuration, SimTime, StationId,
+    AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr, ResourceUsage,
+    SimDuration, SimTime, StationId,
 };
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -50,8 +51,9 @@ pub enum PacketOutcome {
     /// The packet continues towards the network (upstream) or the client
     /// (downstream), possibly rewritten by the chain.
     Forwarded(Packet),
-    /// The packet was dropped by an NF (reason attached).
-    Dropped(String),
+    /// The packet was dropped by an NF (reason attached; borrowed for the
+    /// fixed policy reasons so the drop path stays allocation-free).
+    Dropped(Cow<'static, str>),
     /// The packet was consumed and these replies go back towards its source.
     Replied(Vec<Packet>),
 }
@@ -162,11 +164,7 @@ impl Agent {
 
     /// Handles a command from the Manager, returning the messages to send
     /// back.
-    pub fn handle_manager_msg(
-        &mut self,
-        msg: ManagerToAgent,
-        now: SimTime,
-    ) -> Vec<AgentToManager> {
+    pub fn handle_manager_msg(&mut self, msg: ManagerToAgent, now: SimTime) -> Vec<AgentToManager> {
         self.commands_handled += 1;
         match msg {
             ManagerToAgent::RegisterAck { .. } => Vec::new(),
@@ -179,21 +177,23 @@ impl Agent {
                 selector,
                 restore_state,
                 migration,
-            } => match self.deploy_chain(chain, client, client_mac, &specs, selector, restore_state)
-            {
-                Ok(deployed) => vec![AgentToManager::ChainDeployed {
-                    chain,
-                    client,
-                    latency: deployed.0,
-                    images_cached: deployed.1,
-                    migration,
-                }],
-                Err(error) => vec![AgentToManager::CommandFailed {
-                    chain: Some(chain),
-                    error,
-                    migration,
-                }],
-            },
+            } => {
+                match self.deploy_chain(chain, client, client_mac, &specs, selector, restore_state)
+                {
+                    Ok(deployed) => vec![AgentToManager::ChainDeployed {
+                        chain,
+                        client,
+                        latency: deployed.0,
+                        images_cached: deployed.1,
+                        migration,
+                    }],
+                    Err(error) => vec![AgentToManager::CommandFailed {
+                        chain: Some(chain),
+                        error,
+                        migration,
+                    }],
+                }
+            }
             ManagerToAgent::RemoveChain {
                 chain,
                 client,
@@ -264,7 +264,16 @@ impl Agent {
                 .iter()
                 .filter(|i| self.runtime.is_image_cached(i))
                 .count(),
+            flow_cache: self.flow_cache_telemetry(),
         })
+    }
+
+    /// Data-plane fast-path counters of this station's switch.
+    pub fn flow_cache_telemetry(&self) -> gnf_telemetry::FlowCacheTelemetry {
+        gnf_telemetry::FlowCacheTelemetry {
+            stats: self.switch.flow_cache_stats(),
+            entries: self.switch.flow_cache_len(),
+        }
     }
 
     /// Processes a packet arriving from a client (upstream) at this station.
@@ -296,10 +305,15 @@ impl Agent {
         out
     }
 
-    fn process_packet(&mut self, packet: Packet, in_port: gnf_switch::PortId, now: SimTime) -> PacketOutcome {
+    fn process_packet(
+        &mut self,
+        packet: Packet,
+        in_port: gnf_switch::PortId,
+        now: SimTime,
+    ) -> PacketOutcome {
         let decision = match self.switch.receive(&packet, in_port, now) {
             Ok(d) => d,
-            Err(e) => return PacketOutcome::Dropped(e.to_string()),
+            Err(e) => return PacketOutcome::Dropped(e.to_string().into()),
         };
 
         let processed = match decision.steering {
@@ -327,8 +341,8 @@ impl Agent {
                 match decision.forwarding {
                     gnf_switch::Forwarding::Unicast(port) => self.switch.record_tx(port, p.len()),
                     gnf_switch::Forwarding::Flood(ports) => {
-                        for port in ports {
-                            self.switch.record_tx(port, p.len());
+                        for port in ports.iter() {
+                            self.switch.record_tx(*port, p.len());
                         }
                     }
                 }
@@ -452,7 +466,9 @@ impl Agent {
         let state_bytes: usize = state.iter().map(|s| s.approximate_size_bytes()).sum();
         let mut latency = SimDuration::ZERO;
         for handle in &deployed.containers {
-            latency += self.runtime.checkpoint(*handle, state_bytes / deployed.containers.len().max(1))?;
+            latency += self
+                .runtime
+                .checkpoint(*handle, state_bytes / deployed.containers.len().max(1))?;
         }
         Ok((state, latency))
     }
@@ -462,8 +478,8 @@ impl Agent {
 mod tests {
     use super::*;
     use gnf_nf::testing::sample_specs;
-    use gnf_types::MigrationId;
     use gnf_packet::builder;
+    use gnf_types::MigrationId;
 
     fn agent() -> (Agent, AgentToManager) {
         Agent::new(
@@ -692,11 +708,19 @@ mod tests {
             },
             SimTime::from_secs(3),
         );
-        let AgentToManager::ChainState { state, checkpoint_latency, .. } = &replies[0] else {
+        let AgentToManager::ChainState {
+            state,
+            checkpoint_latency,
+            ..
+        } = &replies[0]
+        else {
             panic!("expected chain state, got {:?}", replies[0]);
         };
         assert!(checkpoint_latency.as_millis() > 0);
-        assert!(state.iter().any(|s| !s.is_empty()), "conntrack state present");
+        assert!(
+            state.iter().any(|s| !s.is_empty()),
+            "conntrack state present"
+        );
 
         // Target agent: deploy the same chain with the migrated state.
         let (mut target, _) = agent();
@@ -714,7 +738,14 @@ mod tests {
             SimTime::from_secs(4),
         );
         assert!(matches!(replies[0], AgentToManager::ChainDeployed { .. }));
-        assert!(target.chain(ChainId::new(1)).unwrap().chain.state_size_bytes() > 0);
+        assert!(
+            target
+                .chain(ChainId::new(1))
+                .unwrap()
+                .chain
+                .state_size_bytes()
+                > 0
+        );
     }
 
     #[test]
@@ -722,7 +753,10 @@ mod tests {
         let (mut agent, _) = agent();
         agent.client_associated(ClientId::new(0), client_mac(), client_ip());
         agent.handle_manager_msg(
-            deploy_msg(1, vec![sample_specs()[0].clone(), sample_specs()[2].clone()]),
+            deploy_msg(
+                1,
+                vec![sample_specs()[0].clone(), sample_specs()[2].clone()],
+            ),
             SimTime::from_secs(1),
         );
         let report = agent.make_report(SimTime::from_secs(10));

@@ -9,7 +9,7 @@
 
 use crate::codec;
 use bytes::BytesMut;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use gnf_types::{GnfError, GnfResult};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -36,11 +36,8 @@ impl<Out: Serialize, In: DeserializeOwned> Endpoint<Out, In> {
     /// Receives every message currently queued from the peer, without
     /// blocking.
     pub fn drain(&mut self) -> GnfResult<Vec<In>> {
-        loop {
-            match self.rx.try_recv() {
-                Ok(frame) => self.rx_buffer.extend_from_slice(&frame),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(frame) = self.rx.try_recv() {
+            self.rx_buffer.extend_from_slice(&frame);
         }
         let mut messages = Vec::new();
         while let Some(message) = codec::decode(&mut self.rx_buffer)? {
@@ -85,8 +82,7 @@ mod tests {
 
     #[test]
     fn duplex_delivers_messages_in_both_directions() {
-        let (mut manager_end, mut agent_end) =
-            duplex::<ManagerToAgent, AgentToManager>();
+        let (mut manager_end, mut agent_end) = duplex::<ManagerToAgent, AgentToManager>();
 
         manager_end.send(&ManagerToAgent::Ping).unwrap();
         manager_end
@@ -109,8 +105,7 @@ mod tests {
 
     #[test]
     fn messages_survive_a_thread_boundary() {
-        let (mut manager_end, mut agent_end) =
-            duplex::<ManagerToAgent, AgentToManager>();
+        let (mut manager_end, mut agent_end) = duplex::<ManagerToAgent, AgentToManager>();
         let handle = std::thread::spawn(move || {
             agent_end.send(&AgentToManager::Pong).unwrap();
             // Wait for the manager's ping.

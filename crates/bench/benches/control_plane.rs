@@ -8,9 +8,7 @@ use gnf_api::messages::AgentToManager;
 use gnf_core::{Emulator, Scenario};
 use gnf_manager::Manager;
 use gnf_telemetry::StationReport;
-use gnf_types::{
-    AgentId, ClientId, GnfConfig, HostClass, ResourceUsage, SimTime, StationId,
-};
+use gnf_types::{AgentId, ClientId, GnfConfig, HostClass, ResourceUsage, SimTime, StationId};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -31,6 +29,7 @@ fn sample_report(station: u64) -> AgentToManager {
         connected_clients: (0..20).map(ClientId::new).collect(),
         running_nfs: 24,
         cached_images: 7,
+        flow_cache: Default::default(),
     })
 }
 
@@ -114,5 +113,10 @@ fn bench_demo_scenario(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_manager_ingest, bench_demo_scenario);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_manager_ingest,
+    bench_demo_scenario
+);
 criterion_main!(benches);

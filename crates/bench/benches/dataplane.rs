@@ -4,7 +4,9 @@
 //! latency" side of the paper's lightweight-NF argument.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gnf_nf::firewall::{Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction};
+use gnf_nf::firewall::{
+    Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction,
+};
 use gnf_nf::testing::sample_specs;
 use gnf_nf::{instantiate_chain, Direction, NetworkFunction, NfContext};
 use gnf_packet::{builder, Packet};
@@ -198,12 +200,66 @@ fn bench_switch(c: &mut Criterion) {
     group.finish();
 }
 
+// --------------------------------------------------------------- flow cache
+
+fn bench_flow_cache(c: &mut Criterion) {
+    use gnf_bench::dataplane_fixture as fixture;
+
+    let mut group = quick(c).benchmark_group("flow_cache");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+
+    for len in [0usize, 1, 3] {
+        // Cached: every packet belongs to one established flow, so the
+        // switch decision is a cache hit and (for chains) the firewall's
+        // conntrack entry is warm.
+        let (mut sw, mut chain) = fixture::station(len, true);
+        let frame = fixture::established_flow_frame(10);
+        fixture::pipeline_step(&mut sw, &mut chain, &frame, &ctx); // warm the caches
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("cached", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(fixture::pipeline_step(
+                    &mut sw,
+                    &mut chain,
+                    black_box(&frame),
+                    &ctx,
+                ))
+            })
+        });
+
+        // Uncached: every packet is the first of a brand-new flow — the
+        // historical per-packet pipeline. 8192 distinct flows cycle through
+        // a 4096-entry cache, so every lookup misses and evicts, and the
+        // firewall (conntrack off) evaluates its rule list per packet.
+        let (mut sw, mut chain) = fixture::station(len, false);
+        let frames = fixture::new_flow_frames(8192);
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::new("uncached", len), &len, |b, _| {
+            b.iter(|| {
+                let frame = &frames[next];
+                next = (next + 1) % frames.len();
+                black_box(fixture::pipeline_step(
+                    &mut sw,
+                    &mut chain,
+                    black_box(frame),
+                    &ctx,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parsing,
     bench_firewall_rules,
     bench_chain_length,
     bench_dns_lb_and_http_filter,
-    bench_switch
+    bench_switch,
+    bench_flow_cache
 );
 criterion_main!(benches);

@@ -99,11 +99,9 @@ fn bench_state_checkpoint(c: &mut Criterion) {
             );
             let _ = chain.process(pkt, Direction::Ingress, &ctx);
         }
-        group.bench_with_input(
-            BenchmarkId::new("export_state", flows),
-            &flows,
-            |b, _| b.iter(|| black_box(chain.export_state())),
-        );
+        group.bench_with_input(BenchmarkId::new("export_state", flows), &flows, |b, _| {
+            b.iter(|| black_box(chain.export_state()))
+        });
     }
     group.finish();
 }

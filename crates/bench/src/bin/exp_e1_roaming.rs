@@ -39,9 +39,11 @@ fn ping_pong_scenario(config: GnfConfig, handovers: usize) -> Scenario {
 }
 
 fn run_mode(label: &str, make_before_break: bool, bypass: bool) {
-    let mut config = GnfConfig::default();
-    config.make_before_break = make_before_break;
-    config.bypass_during_migration = bypass;
+    let config = GnfConfig {
+        make_before_break,
+        bypass_during_migration: bypass,
+        ..Default::default()
+    };
     let mut emulator = Emulator::new(ping_pong_scenario(config, 4));
     let report = emulator.run();
 

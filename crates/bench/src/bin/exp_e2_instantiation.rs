@@ -13,7 +13,11 @@ fn main() {
     let repo = ImageRepository::with_standard_images();
     let vm_catalog = VmImageCatalog::new();
 
-    for host in [HostClass::HomeRouter, HostClass::EdgeServer, HostClass::PopServer] {
+    for host in [
+        HostClass::HomeRouter,
+        HostClass::EdgeServer,
+        HostClass::PopServer,
+    ] {
         section(&format!("host class: {host}"));
         println!(
             "{:<14} {:>22} {:>22} {:>22}",

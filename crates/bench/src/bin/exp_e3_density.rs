@@ -15,7 +15,8 @@ fn pack_containers(host: HostClass, kind: NfKind, repo: &ImageRepository) -> usi
         return 0;
     }
     let mut count = 0usize;
-    while let Ok((handle, _)) = rt.create(&format!("c-{count}"), image, kind.container_footprint()) {
+    while let Ok((handle, _)) = rt.create(&format!("c-{count}"), image, kind.container_footprint())
+    {
         rt.start(handle).unwrap();
         count += 1;
         if count > 100_000 {
@@ -48,7 +49,12 @@ fn main() {
     let catalog = VmImageCatalog::new();
     let kind = NfKind::Firewall;
 
-    section(&format!("NF: {} (container {} / VM {})", kind.label(), kind.container_footprint(), kind.vm_footprint()));
+    section(&format!(
+        "NF: {} (container {} / VM {})",
+        kind.label(),
+        kind.container_footprint(),
+        kind.vm_footprint()
+    ));
     println!(
         "{:<14} {:>22} {:>12} {:>12} {:>10}",
         "host class", "capacity", "containers", "VMs", "ratio"

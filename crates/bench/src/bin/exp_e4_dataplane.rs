@@ -5,7 +5,9 @@
 //! cost model).
 
 use gnf_bench::section;
-use gnf_nf::firewall::{Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction};
+use gnf_nf::firewall::{
+    Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction,
+};
 use gnf_nf::testing::{sample_specs, sample_traffic};
 use gnf_nf::{instantiate_chain, Direction, NetworkFunction, NfContext};
 use gnf_packet::builder;
@@ -62,7 +64,11 @@ fn main() {
             },
         );
         let pkt = tcp_packet(10);
-        let iters = if rules >= 1_000 { iterations / 10 } else { iterations };
+        let iters = if rules >= 1_000 {
+            iterations / 10
+        } else {
+            iterations
+        };
         let (pps, us) = measure(iters, || {
             let _ = fw.process(pkt.clone(), Direction::Ingress, &ctx);
         });
@@ -86,11 +92,18 @@ fn main() {
         let (pps, us) = measure(iterations, || {
             let _ = fw.process(pkt.clone(), Direction::Ingress, &ctx);
         });
-        println!("established-flow fast path: {:.0} kpps, {:.3} us/packet", pps / 1e3, us);
+        println!(
+            "established-flow fast path: {:.0} kpps, {:.3} us/packet",
+            pps / 1e3,
+            us
+        );
     }
 
     section("chain length vs throughput (256 B packets)");
-    println!("{:>10} {:>30} {:>12} {:>12}", "length", "NFs", "kpps", "us/packet");
+    println!(
+        "{:>10} {:>30} {:>12} {:>12}",
+        "length", "NFs", "kpps", "us/packet"
+    );
     let specs = sample_specs();
     for len in [1usize, 2, 4, 7] {
         let mut chain = instantiate_chain("chain", &specs[..len]);
@@ -106,6 +119,45 @@ fn main() {
             pps / 1e3,
             us
         );
+    }
+
+    section("switch flow cache: full station pipeline, cache-hit vs first-packet path");
+    {
+        use gnf_bench::dataplane_fixture as fixture;
+
+        // Chain of 1 (the 100-rule firewall): same fixture the `flow_cache`
+        // criterion group measures, so the two numbers cannot drift apart.
+        let (mut sw, mut chain) = fixture::station(1, true);
+        let frame = fixture::established_flow_frame(10);
+        fixture::pipeline_step(&mut sw, &mut chain, &frame, &ctx); // warm caches
+        let (hit_pps, hit_us) = measure(iterations, || {
+            fixture::pipeline_step(&mut sw, &mut chain, &frame, &ctx);
+        });
+        let hit_rate = {
+            let stats = sw.flow_cache_stats();
+            stats.hits as f64 / (stats.hits + stats.misses) as f64
+        };
+
+        let (mut sw, mut chain) = fixture::station(1, false);
+        let frames = fixture::new_flow_frames(8192);
+        let mut next = 0usize;
+        let (miss_pps, miss_us) = measure(iterations, || {
+            let frame = &frames[next];
+            next = (next + 1) % frames.len();
+            fixture::pipeline_step(&mut sw, &mut chain, frame, &ctx);
+        });
+        println!(
+            "cache-hit path:     {:>10.0} kpps  {:>8.3} us/packet  (hit rate {:.1}%)",
+            hit_pps / 1e3,
+            hit_us,
+            hit_rate * 100.0
+        );
+        println!(
+            "first-packet path:  {:>10.0} kpps  {:>8.3} us/packet  (new flow per packet, 100-rule walk)",
+            miss_pps / 1e3,
+            miss_us
+        );
+        println!("speedup:            {:>10.2}x", miss_us / hit_us);
     }
 
     section("per-NF behaviour on the demo's mixed client traffic");

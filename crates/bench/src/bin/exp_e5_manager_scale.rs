@@ -2,8 +2,8 @@
 //! control-message load as the number of stations grows, and whether the
 //! hotspot detector flags exactly the overloaded stations.
 
-use gnf_bench::section;
 use gnf_api::messages::AgentToManager;
+use gnf_bench::section;
 use gnf_manager::Manager;
 use gnf_telemetry::StationReport;
 use gnf_types::{
@@ -28,6 +28,7 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
         connected_clients: (0..10).map(|c| ClientId::new(station * 100 + c)).collect(),
         running_nfs: 12,
         cached_images: 4,
+        flow_cache: Default::default(),
     })
 }
 
@@ -62,7 +63,7 @@ fn main() {
         let duration = SimDuration::from_secs(600);
         let mut reports = 0u64;
         while now.duration_since(SimTime::ZERO) < duration {
-            now = now + interval;
+            now += interval;
             for s in 0..stations {
                 let cpu = if s < hot_threshold { 0.95 } else { 0.30 };
                 manager.handle_agent_msg(StationId::new(s), report(s, cpu, now), now);

@@ -13,9 +13,12 @@ use gnf_ui::Dashboard;
 
 fn run(cells: usize, clients: usize, mobile_fraction: f64) {
     let mut builder = Scenario::builder(cells, HostClass::EdgeServer);
-    let ids = builder.add_clients(clients, TrafficProfile::WebBrowsing {
-        mean_think_time: SimDuration::from_secs(2),
-    });
+    let ids = builder.add_clients(
+        clients,
+        TrafficProfile::WebBrowsing {
+            mean_think_time: SimDuration::from_secs(2),
+        },
+    );
     let mut sb = builder
         .with_duration(SimDuration::from_secs(600))
         .with_mobility(Mobility::RandomWalk(RandomWalkMobility {
@@ -48,7 +51,10 @@ fn run(cells: usize, clients: usize, mobile_fraction: f64) {
         println!("migration downtime: {}", ms_row(&report.downtime_ms));
     }
     if report.deploy_latency_ms.count() > 0 {
-        println!("chain deploy latency: {}", ms_row(&report.deploy_latency_ms));
+        println!(
+            "chain deploy latency: {}",
+            ms_row(&report.deploy_latency_ms)
+        );
     }
     println!(
         "packets: generated={} forwarded={} dropped-by-NF={} replied={} gap={} ({:.2}%)",

@@ -3,9 +3,9 @@
 //! detach a chain in the middle of an active flow and account for every
 //! packet.
 
-use gnf_bench::section;
 use gnf_agent::{Agent, AgentConfig, PacketOutcome};
 use gnf_api::messages::ManagerToAgent;
+use gnf_bench::section;
 use gnf_container::ImageRepository;
 use gnf_nf::testing::sample_specs;
 use gnf_packet::builder;
@@ -54,7 +54,11 @@ fn main() {
                 },
                 now,
             );
-            println!("t={:>6.1}s packet #{seq}: chain attached ({})", now.as_secs_f64(), replies[0].label());
+            println!(
+                "t={:>6.1}s packet #{seq}: chain attached ({})",
+                now.as_secs_f64(),
+                replies[0].label()
+            );
         }
         if seq == detach_at {
             let replies = agent.handle_manager_msg(
@@ -65,7 +69,11 @@ fn main() {
                 },
                 now,
             );
-            println!("t={:>6.1}s packet #{seq}: chain removed ({})", now.as_secs_f64(), replies[0].label());
+            println!(
+                "t={:>6.1}s packet #{seq}: chain removed ({})",
+                now.as_secs_f64(),
+                replies[0].label()
+            );
         }
         let generation = agent.switch().steering().generation();
         if generation != last_generation {
@@ -99,6 +107,9 @@ fn main() {
         "packets that traversed the chain while attached: {chain_stats_packets} (expected {})",
         detach_at - attach_at
     );
-    assert_eq!(forwarded, total, "no packet of the flow may be lost by attach/detach");
+    assert_eq!(
+        forwarded, total,
+        "no packet of the flow may be lost by attach/detach"
+    );
     println!("\nresult: attach/remove did not drop a single in-flight packet (make-before-break steering)");
 }

@@ -1,0 +1,140 @@
+//! Shared station-pipeline fixture for the flow-cache measurements.
+//!
+//! Both the `dataplane` criterion bench (`flow_cache` group) and the
+//! `exp_e4_dataplane` experiment harness measure the same thing — the full
+//! per-packet station pipeline (parse → switch → chain) on the cache-hit
+//! path vs the first-packet path. Keeping the fixture here ensures the two
+//! numbers the ROADMAP tracks cannot drift apart.
+
+use gnf_nf::firewall::{
+    CidrV4, Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction,
+};
+use gnf_nf::ids::{Ids, IdsConfig};
+use gnf_nf::rate_limiter::{RateLimiter, RateLimiterConfig};
+use gnf_nf::{Direction, NfChain, NfContext, Verdict};
+use gnf_packet::{builder, Packet};
+use gnf_switch::{SoftwareSwitch, SteeringRule, TrafficSelector};
+use gnf_types::{ChainId, ClientId, MacAddr, SimTime};
+use std::net::Ipv4Addr;
+
+/// A 100-rule edge firewall of range and CIDR rules — the shapes the
+/// exact-port index cannot bucket, so the uncached path walks the list per
+/// packet. (Exact-port rule sets are covered by the `firewall_rule_count`
+/// bench group, where the index makes them O(1).)
+pub fn hundred_rule_config(track_connections: bool) -> FirewallConfig {
+    let mut rules = Vec::with_capacity(100);
+    for i in 0..60u16 {
+        rules.push(FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Range(10_000 + i * 10, 10_005 + i * 10),
+            action: RuleAction::Drop,
+            ..FirewallRule::any(format!("range-{i}"), RuleAction::Drop)
+        });
+    }
+    for i in 0..40u16 {
+        rules.push(FirewallRule::block_dst(
+            format!("cidr-{i}"),
+            CidrV4::new(Ipv4Addr::new(192, 168, i as u8, 0), 24),
+        ));
+    }
+    FirewallConfig {
+        rules,
+        default_action: RuleAction::Accept,
+        track_connections,
+        conntrack_idle_timeout_secs: 600,
+    }
+}
+
+/// Builds the station data-plane fixture: a switch steering the bench
+/// client's traffic through a chain of `len` NFs (0 = no steering), with the
+/// 100-rule firewall first when present.
+pub fn station(len: usize, track_connections: bool) -> (SoftwareSwitch, NfChain) {
+    let mut sw = SoftwareSwitch::new();
+    let mut chain = NfChain::new("bench-chain");
+    if len >= 1 {
+        chain.push(Box::new(Firewall::new(
+            "fw",
+            hundred_rule_config(track_connections),
+        )));
+    }
+    if len >= 2 {
+        chain.push(Box::new(RateLimiter::new(
+            "rl",
+            RateLimiterConfig {
+                rate_bytes_per_sec: 1e12,
+                burst_bytes: 1e12,
+                ..Default::default()
+            },
+        )));
+    }
+    if len >= 3 {
+        chain.push(Box::new(Ids::new("ids", IdsConfig::default())));
+    }
+    if len > 0 {
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(1),
+            client_mac: MacAddr::derived(1, 1),
+            selector: TrafficSelector::all(),
+            chain: ChainId::new(1),
+        });
+    }
+    (sw, chain)
+}
+
+/// One established flow of the bench client (the cache-hit workload).
+pub fn established_flow_frame(payload: usize) -> Packet {
+    builder::tcp_data(
+        MacAddr::derived(1, 1),
+        MacAddr::derived(0xA0, 0),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(203, 0, 113, 9),
+        40_000,
+        443,
+        &vec![0xAB; payload],
+    )
+}
+
+/// `count` frames with distinct source ports — cycled, each packet is the
+/// first of a brand-new flow (the uncached workload; use more frames than
+/// the flow-cache capacity so every lookup misses).
+pub fn new_flow_frames(count: u32) -> Vec<Packet> {
+    (0..count)
+        .map(|i| {
+            builder::tcp_data(
+                MacAddr::derived(1, 1),
+                MacAddr::derived(0xA0, 0),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(203, 0, 113, 9),
+                (40_000 + i % u32::from(u16::MAX - 40_000)) as u16,
+                443,
+                &[0xAB; 10],
+            )
+        })
+        .collect()
+}
+
+/// One station-pipeline iteration, exactly as the Agent dispatches it:
+/// parse the arriving frame, consult the switch, run the chain when steered.
+/// Returns whether the packet was forwarded.
+pub fn pipeline_step(
+    sw: &mut SoftwareSwitch,
+    chain: &mut NfChain,
+    frame: &Packet,
+    ctx: &NfContext,
+) -> bool {
+    let pkt = Packet::parse(frame.bytes().clone()).unwrap();
+    let port = sw.client_port();
+    let decision = sw.receive(&pkt, port, SimTime::from_secs(1)).unwrap();
+    let verdict = match decision.steering {
+        Some((_, upstream)) => {
+            let direction = if upstream {
+                Direction::Ingress
+            } else {
+                Direction::Egress
+            };
+            chain.process(pkt, direction, ctx)
+        }
+        None => Verdict::Forward(pkt),
+    };
+    verdict.is_forward()
+}

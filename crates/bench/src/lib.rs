@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dataplane_fixture;
+
 use gnf_sim::Histogram;
 
 /// Formats a histogram (in ms) as `mean/median/p99/max` for experiment tables.

@@ -197,7 +197,11 @@ mod tests {
 
     #[test]
     fn containers_deploy_orders_of_magnitude_faster_than_vms() {
-        for host in [HostClass::HomeRouter, HostClass::EdgeServer, HostClass::PopServer] {
+        for host in [
+            HostClass::HomeRouter,
+            HostClass::EdgeServer,
+            HostClass::PopServer,
+        ] {
             let c = CostModel::container_on(host);
             let v = CostModel::vm_on(host);
             let c_cold = c.cold_deploy_time(&firewall_container_image());

@@ -243,10 +243,7 @@ impl RuntimePool {
                 was_cached: true,
             });
         }
-        let available_disk = self
-            .capacity
-            .disk_mb
-            .saturating_sub(self.used().disk_mb);
+        let available_disk = self.capacity.disk_mb.saturating_sub(self.used().disk_mb);
         if image.size_mb() > available_disk {
             return Err(GnfError::insufficient(
                 format!("{} MB disk for image {}", image.size_mb(), image.name),
@@ -339,13 +336,25 @@ impl RuntimePool {
     /// Pauses a running instance.
     pub fn pause(&mut self, handle: u64) -> GnfResult<SimDuration> {
         let d = self.cost.stop_time() / 2;
-        self.transition(handle, &[InstanceState::Running], InstanceState::Paused, d, "pause")
+        self.transition(
+            handle,
+            &[InstanceState::Running],
+            InstanceState::Paused,
+            d,
+            "pause",
+        )
     }
 
     /// Resumes a paused instance.
     pub fn resume(&mut self, handle: u64) -> GnfResult<SimDuration> {
         let d = self.cost.start_time() / 2;
-        self.transition(handle, &[InstanceState::Paused], InstanceState::Running, d, "resume")
+        self.transition(
+            handle,
+            &[InstanceState::Paused],
+            InstanceState::Running,
+            d,
+            "resume",
+        )
     }
 
     /// Removes an instance and releases its resources.
@@ -362,7 +371,10 @@ impl RuntimePool {
             .instances
             .get(&handle)
             .ok_or_else(|| GnfError::not_found("instance", handle))?;
-        if !matches!(instance.state, InstanceState::Running | InstanceState::Paused) {
+        if !matches!(
+            instance.state,
+            InstanceState::Running | InstanceState::Paused
+        ) {
             return Err(GnfError::invalid_state(format!(
                 "cannot checkpoint instance {handle} in state {:?}",
                 instance.state
@@ -377,7 +389,10 @@ impl RuntimePool {
             .instances
             .get(&handle)
             .ok_or_else(|| GnfError::not_found("instance", handle))?;
-        if !matches!(instance.state, InstanceState::Created | InstanceState::Stopped) {
+        if !matches!(
+            instance.state,
+            InstanceState::Created | InstanceState::Stopped
+        ) {
             return Err(GnfError::invalid_state(format!(
                 "cannot restore into instance {handle} in state {:?}",
                 instance.state
@@ -473,10 +488,7 @@ macro_rules! delegate_runtime {
             ) -> gnf_types::GnfResult<gnf_types::SimDuration> {
                 self.pool.restore(handle, state_bytes)
             }
-            fn instance(
-                &self,
-                handle: u64,
-            ) -> gnf_types::GnfResult<&$crate::runtime::Instance> {
+            fn instance(&self, handle: u64) -> gnf_types::GnfResult<&$crate::runtime::Instance> {
                 self.pool.instance(handle)
             }
             fn instances(&self) -> Vec<&$crate::runtime::Instance> {
@@ -650,10 +662,7 @@ mod tests {
         assert!(warm.image_was_cached);
         assert!(cold.total_duration > warm.total_duration);
         assert_eq!(rt.running_count(), 2);
-        assert_eq!(
-            warm.total_duration,
-            rt.cost_model().warm_deploy_time()
-        );
+        assert_eq!(warm.total_duration, rt.cost_model().warm_deploy_time());
     }
 
     #[test]
@@ -673,7 +682,10 @@ mod tests {
         let restore_time = target.restore(handle, 50_000).unwrap();
         assert!(restore_time > SimDuration::ZERO);
         target.start(handle).unwrap();
-        assert_eq!(target.instance(handle).unwrap().state, InstanceState::Running);
+        assert_eq!(
+            target.instance(handle).unwrap().state,
+            InstanceState::Running
+        );
     }
 
     #[test]
@@ -686,14 +698,9 @@ mod tests {
         rt.ensure_image(image).unwrap();
         let footprint = NfKind::RateLimiter.container_footprint();
         let mut count = 0;
-        loop {
-            match rt.create(&format!("rl-{count}"), image, footprint) {
-                Ok((h, _)) => {
-                    rt.start(h).unwrap();
-                    count += 1;
-                }
-                Err(_) => break,
-            }
+        while let Ok((h, _)) = rt.create(&format!("rl-{count}"), image, footprint) {
+            rt.start(h).unwrap();
+            count += 1;
             if count > 10_000 {
                 break;
             }

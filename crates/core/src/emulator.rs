@@ -20,9 +20,7 @@ use gnf_manager::{Manager, ManagerAction};
 use gnf_packet::Packet;
 use gnf_sim::{EventQueue, Histogram, Rng};
 use gnf_telemetry::NotificationSeverity;
-use gnf_types::{
-    AgentId, CellId, ChainId, ClientId, SimDuration, SimTime, StationId,
-};
+use gnf_types::{AgentId, CellId, ChainId, ClientId, SimDuration, SimTime, StationId};
 use std::collections::{BTreeMap, HashMap};
 
 /// Events driving the emulator.
@@ -178,10 +176,8 @@ impl Emulator {
                 traffic_rng.derive(&format!("client-{}", workload.client.raw())),
             );
             // Build the (time, cell) timeline for this client.
-            let mut timeline: Vec<(SimTime, CellId)> = vec![(
-                SimTime::ZERO + config.association_latency,
-                initial_cell,
-            )];
+            let mut timeline: Vec<(SimTime, CellId)> =
+                vec![(SimTime::ZERO + config.association_latency, initial_cell)];
             for event in roam_events.iter().filter(|e| e.client == workload.client) {
                 timeline.push((event.at, event.to_cell));
             }
@@ -264,8 +260,13 @@ impl Emulator {
         for action in actions {
             let ManagerAction::Send { station, message } = action;
             let latency = self.control_latency(station);
-            self.queue
-                .schedule_at(now + latency, EmuEvent::ToAgent { station, msg: message });
+            self.queue.schedule_at(
+                now + latency,
+                EmuEvent::ToAgent {
+                    station,
+                    msg: message,
+                },
+            );
         }
     }
 
@@ -427,12 +428,10 @@ impl Emulator {
             }
             EmuEvent::OperatorAttach { policy_index } => {
                 let policy = self.scenario.policies[policy_index].clone();
-                match self.manager.attach_chain(
-                    policy.client,
-                    policy.specs,
-                    policy.selector,
-                    now,
-                ) {
+                match self
+                    .manager
+                    .attach_chain(policy.client, policy.specs, policy.selector, now)
+                {
                     Ok((_, actions)) => self.dispatch_manager_actions(actions, now),
                     Err(_) => {
                         // The client has not associated yet: retry shortly.
@@ -459,7 +458,9 @@ impl Emulator {
             }
         }
         let notifications = (
-            self.manager.notifications().total(NotificationSeverity::Info),
+            self.manager
+                .notifications()
+                .total(NotificationSeverity::Info),
             self.manager
                 .notifications()
                 .total(NotificationSeverity::Warning),
@@ -467,8 +468,13 @@ impl Emulator {
                 .notifications()
                 .total(NotificationSeverity::Critical),
         );
+        let mut flow_cache = gnf_telemetry::FlowCacheTelemetry::default();
+        for agent in self.agents.values() {
+            flow_cache.merge(&agent.flow_cache_telemetry());
+        }
         RunReport {
             duration: self.scenario.duration,
+            flow_cache,
             events_processed: self.queue.processed_total(),
             handovers: self.handovers,
             migrations,
@@ -504,7 +510,10 @@ mod tests {
         assert_eq!(migration.to, 1);
         // Warm-path migration on home routers: downtime well under two
         // seconds of virtual time.
-        assert!(migration.downtime_ms.unwrap() < 15_000.0, "cold-pull migration stays within seconds");
+        assert!(
+            migration.downtime_ms.unwrap() < 15_000.0,
+            "cold-pull migration stays within seconds"
+        );
         assert!(migration.downtime_ms.unwrap() > 0.0);
 
         // The chain ended up on station 1 and is active.
@@ -514,6 +523,16 @@ mod tests {
         // The client generated traffic and most of it flowed.
         assert!(report.packets.generated > 50);
         assert!(report.packets.forwarded > 0);
+        // Repeated packets of the same flows ride the switch fast path.
+        assert!(
+            report.flow_cache.stats.hits > 0,
+            "flow cache served repeat traffic"
+        );
+        assert!(
+            report.flow_cache.stats.hits + report.flow_cache.stats.misses
+                >= report.packets.forwarded,
+            "every switched packet consulted the cache"
+        );
         // Determinism: a second run of the same scenario gives identical
         // headline numbers.
         let mut again = Emulator::new(Scenario::demo_roaming(GnfConfig::default()));
@@ -538,17 +557,24 @@ mod tests {
         // After the roam the chain on station 1 has seen packets.
         let agent = emulator.agent(gnf_types::StationId::new(1)).unwrap();
         let chain = agent.chains().next().expect("chain migrated to station 1");
-        assert!(chain.chain.stats().packets_in > 0, "chain processed traffic after the roam");
+        assert!(
+            chain.chain.stats().packets_in > 0,
+            "chain processed traffic after the roam"
+        );
     }
 
     #[test]
     fn gap_packets_are_dropped_or_bypassed_according_to_config() {
-        let mut drop_config = GnfConfig::default();
-        drop_config.bypass_during_migration = false;
+        let drop_config = GnfConfig {
+            bypass_during_migration: false,
+            ..Default::default()
+        };
         let report_drop = Emulator::new(Scenario::demo_roaming(drop_config)).run();
 
-        let mut bypass_config = GnfConfig::default();
-        bypass_config.bypass_during_migration = true;
+        let bypass_config = GnfConfig {
+            bypass_during_migration: true,
+            ..Default::default()
+        };
         let report_bypass = Emulator::new(Scenario::demo_roaming(bypass_config)).run();
 
         // In drop mode nothing bypasses; in bypass mode nothing is gap-dropped.
@@ -578,7 +604,11 @@ mod tests {
         assert_eq!(report.handovers, 0);
         assert!(report.migrations.is_empty());
         assert_eq!(
-            emulator.manager().attachments().filter(|a| a.active).count(),
+            emulator
+                .manager()
+                .attachments()
+                .filter(|a| a.active)
+                .count(),
             8
         );
         assert!(report.deploy_latency_ms.count() >= 8);

@@ -82,8 +82,12 @@ impl RoamTrace {
 
 impl MobilityModel for RoamTrace {
     fn schedule(&self, _topology: &EdgeTopology, until: SimTime, _rng: &mut Rng) -> Vec<RoamEvent> {
-        let mut events: Vec<RoamEvent> =
-            self.events.iter().copied().filter(|e| e.at <= until).collect();
+        let mut events: Vec<RoamEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.at <= until)
+            .collect();
         events.sort_by_key(|e| e.at);
         events
     }

@@ -6,7 +6,9 @@
 //! network. This module models that layout geometrically (cells on a plane)
 //! so the mobility model can roam clients between adjacent cells.
 
-use gnf_types::{CellId, ClientId, GnfError, GnfResult, HostClass, MacAddr, SimDuration, StationId};
+use gnf_types::{
+    CellId, ClientId, GnfError, GnfResult, HostClass, MacAddr, SimDuration, StationId,
+};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -335,6 +337,8 @@ mod tests {
         assert!(topo.site(StationId::new(9)).is_err());
         assert!(topo.site_for_cell(CellId::new(9)).is_err());
         assert!(topo.client(ClientId::new(0)).is_err());
-        assert!(EdgeTopology::new().nearest_cell(Position::default()).is_none());
+        assert!(EdgeTopology::new()
+            .nearest_cell(Position::default())
+            .is_none());
     }
 }

@@ -11,6 +11,7 @@ use gnf_packet::{builder, Packet};
 use gnf_sim::Rng;
 use gnf_types::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// The application mix a client generates.
@@ -76,6 +77,11 @@ pub struct TrafficGenerator {
     rng: Rng,
     next_src_port: u16,
     dns_id: u16,
+    /// Persistent (keep-alive) HTTP connection per host rank: consecutive
+    /// requests to the same host reuse the ephemeral port, like a real
+    /// browser reusing a TCP connection — and like real traffic, repeated
+    /// packets of these flows ride the switch's flow-cache fast path.
+    http_ports: HashMap<usize, u16>,
 }
 
 impl TrafficGenerator {
@@ -87,6 +93,7 @@ impl TrafficGenerator {
             rng,
             next_src_port: 40_000,
             dns_id: 1,
+            http_ports: HashMap::new(),
         }
     }
 
@@ -160,12 +167,20 @@ impl TrafficGenerator {
         } else {
             let server = self.server_ip_for(rank);
             let path_ix = self.rng.range_inclusive(1, 50);
+            let port = match self.http_ports.get(&rank) {
+                Some(port) => *port,
+                None => {
+                    let port = self.alloc_port();
+                    self.http_ports.insert(rank, port);
+                    port
+                }
+            };
             builder::http_get(
                 client.mac,
                 site.gateway_mac,
                 client.ip,
                 server,
-                self.alloc_port(),
+                port,
                 host,
                 &format!("/page/{path_ix}"),
             )
@@ -217,13 +232,11 @@ mod tests {
     fn web_browsing_generates_dns_and_http() {
         let (_t, device, site) = fixtures();
         let mut generator = TrafficGenerator::new(TrafficProfile::smartphone(), Rng::new(11));
-        let packets = generator.generate(
-            &device,
-            &site,
-            SimTime::ZERO,
-            SimTime::from_secs(60),
+        let packets = generator.generate(&device, &site, SimTime::ZERO, SimTime::from_secs(60));
+        assert!(
+            packets.len() > 20,
+            "a minute of browsing produces many packets"
         );
-        assert!(packets.len() > 20, "a minute of browsing produces many packets");
         assert!(packets.windows(2).all(|w| w[0].at <= w[1].at));
         let dns = packets.iter().filter(|p| p.packet.dns().is_some()).count();
         let http = packets

@@ -18,5 +18,7 @@
 pub mod manager;
 pub mod migration;
 
-pub use manager::{AttachmentRecord, ClientRecord, Manager, ManagerAction, ManagerStats, StationRecord};
+pub use manager::{
+    AttachmentRecord, ClientRecord, Manager, ManagerAction, ManagerStats, StationRecord,
+};
 pub use migration::{MigrationPhase, MigrationRecord};

@@ -5,14 +5,13 @@ use gnf_api::messages::{AgentToManager, ManagerToAgent};
 use gnf_nf::{NfEventSeverity, NfSpec, NfStateSnapshot};
 use gnf_switch::TrafficSelector;
 use gnf_telemetry::{
-    HotspotDetector, MonitoringStore, NotificationLog, NotificationSeverity,
-    NotificationSource,
+    HotspotDetector, MonitoringStore, NotificationLog, NotificationSeverity, NotificationSource,
 };
+use gnf_types::ids::IdAllocator;
 use gnf_types::{
     ChainId, ClientId, GnfConfig, GnfError, GnfResult, HostClass, MacAddr, MigrationId,
     NfInstanceId, ResourceSpec, SimDuration, SimTime, StationId,
 };
-use gnf_types::ids::IdAllocator;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -195,7 +194,9 @@ impl Manager {
             window,
         };
         let mut actions = Vec::new();
-        let in_window = window.map(|(from, to)| now >= from && now < to).unwrap_or(true);
+        let in_window = window
+            .map(|(from, to)| now >= from && now < to)
+            .unwrap_or(true);
         if in_window {
             if let Some(station) = record.station {
                 actions.push(self.deploy_action(&mut attachment, station, None));
@@ -294,7 +295,9 @@ impl Manager {
                 latency,
                 images_cached,
                 migration,
-            } => self.on_chain_deployed(from, chain, client, latency, images_cached, migration, now),
+            } => {
+                self.on_chain_deployed(from, chain, client, latency, images_cached, migration, now)
+            }
             AgentToManager::ChainRemoved {
                 chain, migration, ..
             } => self.on_chain_removed(from, chain, migration, now),
@@ -725,9 +728,7 @@ impl Manager {
                                 "{chain} migrated {} -> {} in {}",
                                 record.from,
                                 record.to,
-                                record
-                                    .total_duration()
-                                    .unwrap_or(SimDuration::ZERO)
+                                record.total_duration().unwrap_or(SimDuration::ZERO)
                             ),
                             Some(record.client),
                         );
@@ -773,7 +774,12 @@ mod tests {
         );
     }
 
-    fn connect_client(manager: &mut Manager, station: u64, client: u64, now: SimTime) -> Vec<ManagerAction> {
+    fn connect_client(
+        manager: &mut Manager,
+        station: u64,
+        client: u64,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
         manager.handle_agent_msg(
             StationId::new(station),
             AgentToManager::ClientConnected {
@@ -834,7 +840,12 @@ mod tests {
         register(&mut m, 0, SimTime::ZERO);
         connect_client(&mut m, 0, 0, SimTime::ZERO);
         assert!(m
-            .attach_chain(ClientId::new(0), vec![], TrafficSelector::all(), SimTime::ZERO)
+            .attach_chain(
+                ClientId::new(0),
+                vec![],
+                TrafficSelector::all(),
+                SimTime::ZERO
+            )
             .is_err());
     }
 
@@ -940,7 +951,13 @@ mod tests {
         assert_eq!(actions.len(), 1);
         let ManagerAction::Send { station, message } = &actions[0];
         assert_eq!(*station, StationId::new(1));
-        assert!(matches!(message, ManagerToAgent::DeployChain { restore_state: Some(_), .. }));
+        assert!(matches!(
+            message,
+            ManagerToAgent::DeployChain {
+                restore_state: Some(_),
+                ..
+            }
+        ));
 
         // New station confirms deployment → old chain is removed.
         let actions = m.handle_agent_msg(
@@ -981,7 +998,10 @@ mod tests {
         assert_eq!(record.to, StationId::new(1));
         // Handover at t=10 s, service restored at t=10.6 s.
         assert_eq!(record.downtime().unwrap(), SimDuration::from_millis(600));
-        assert_eq!(record.total_duration().unwrap(), SimDuration::from_millis(700));
+        assert_eq!(
+            record.total_duration().unwrap(),
+            SimDuration::from_millis(700)
+        );
         assert_eq!(m.stats().migrations_started, 1);
         assert_eq!(m.stats().migrations_completed, 1);
         // The attachment now lives on station 1.
@@ -992,8 +1012,10 @@ mod tests {
 
     #[test]
     fn break_before_make_removes_then_deploys() {
-        let mut config = GnfConfig::default();
-        config.make_before_break = false;
+        let config = GnfConfig {
+            make_before_break: false,
+            ..Default::default()
+        };
         let mut m = Manager::new(config);
         register(&mut m, 0, SimTime::ZERO);
         register(&mut m, 1, SimTime::ZERO);
@@ -1092,9 +1114,7 @@ mod tests {
             },
             SimTime::from_secs(5),
         );
-        let critical = m
-            .notifications()
-            .at_least(NotificationSeverity::Critical);
+        let critical = m.notifications().at_least(NotificationSeverity::Critical);
         assert_eq!(critical.len(), 1);
         assert!(critical[0].message.contains("ids-0"));
     }
@@ -1122,15 +1142,13 @@ mod tests {
                 connected_clients: vec![],
                 running_nfs: 5,
                 cached_images: 1,
+                flow_cache: Default::default(),
             }),
             SimTime::from_secs(4),
         );
         m.tick(SimTime::from_secs(10));
         assert_eq!(m.stats().hotspot_alerts, 1);
-        assert!(m
-            .notifications()
-            .entries()
-            .any(|n| n.category == "hotspot"));
+        assert!(m.notifications().entries().any(|n| n.category == "hotspot"));
     }
 
     #[test]
@@ -1149,6 +1167,7 @@ mod tests {
                 connected_clients: vec![],
                 running_nfs: 0,
                 cached_images: 0,
+                flow_cache: Default::default(),
             }),
             SimTime::from_secs(2),
         );
@@ -1268,10 +1287,7 @@ mod tests {
             SimTime::from_secs(11),
         );
         assert_eq!(m.stats().migrations_failed, 1);
-        assert_eq!(
-            m.migrations().next().unwrap().phase,
-            MigrationPhase::Failed
-        );
+        assert_eq!(m.migrations().next().unwrap().phase, MigrationPhase::Failed);
     }
 
     #[test]

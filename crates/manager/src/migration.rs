@@ -97,7 +97,10 @@ impl MigrationRecord {
 
     /// True when the migration reached a terminal phase.
     pub fn is_finished(&self) -> bool {
-        matches!(self.phase, MigrationPhase::Complete | MigrationPhase::Failed)
+        matches!(
+            self.phase,
+            MigrationPhase::Complete | MigrationPhase::Failed
+        )
     }
 }
 

@@ -174,7 +174,11 @@ impl NetworkFunction for HttpCache {
         let entries = self
             .lru
             .iter()
-            .filter_map(|url| self.entries.get(url).map(|body| (url.clone(), body.clone())))
+            .filter_map(|url| {
+                self.entries
+                    .get(url)
+                    .map(|body| (url.clone(), body.clone()))
+            })
             .collect();
         NfStateSnapshot::HttpCache { entries }
     }
@@ -233,7 +237,11 @@ mod tests {
     fn miss_then_fill_then_hit() {
         let mut cache = HttpCache::new("cache", 16);
         // First request misses and is forwarded to the origin.
-        let v = cache.process(get("cdn.example", "/logo.png", 41_000), Direction::Ingress, &ctx());
+        let v = cache.process(
+            get("cdn.example", "/logo.png", 41_000),
+            Direction::Ingress,
+            &ctx(),
+        );
         assert!(v.is_forward());
         assert_eq!(cache.misses(), 1);
 
@@ -244,7 +252,11 @@ mod tests {
         assert_eq!(cache.stored(), 1);
 
         // A later request (different flow) is served from the edge.
-        let v = cache.process(get("cdn.example", "/logo.png", 41_001), Direction::Ingress, &ctx());
+        let v = cache.process(
+            get("cdn.example", "/logo.png", 41_001),
+            Direction::Ingress,
+            &ctx(),
+        );
         let Verdict::Reply(replies) = v else {
             panic!("expected a cache hit reply")
         };
@@ -258,7 +270,11 @@ mod tests {
     #[test]
     fn non_200_responses_are_not_cached() {
         let mut cache = HttpCache::new("cache", 16);
-        cache.process(get("cdn.example", "/missing", 41_000), Direction::Ingress, &ctx());
+        cache.process(
+            get("cdn.example", "/missing", 41_000),
+            Direction::Ingress,
+            &ctx(),
+        );
         let not_found = builder::http_response(
             MacAddr::derived(2, 1),
             MacAddr::derived(1, 1),
@@ -309,15 +325,27 @@ mod tests {
     #[test]
     fn cache_contents_migrate() {
         let mut cache1 = HttpCache::new("cache", 8);
-        cache1.process(get("cdn.example", "/app.js", 41_000), Direction::Ingress, &ctx());
-        cache1.process(response(b"console.log(1)", 41_000), Direction::Egress, &ctx());
+        cache1.process(
+            get("cdn.example", "/app.js", 41_000),
+            Direction::Ingress,
+            &ctx(),
+        );
+        cache1.process(
+            response(b"console.log(1)", 41_000),
+            Direction::Egress,
+            &ctx(),
+        );
         let snapshot = cache1.export_state();
         assert!(snapshot.approximate_size_bytes() > 10);
 
         let mut cache2 = HttpCache::new("cache", 8);
         cache2.import_state(snapshot);
         assert_eq!(cache2.len(), 1);
-        let v = cache2.process(get("cdn.example", "/app.js", 45_000), Direction::Ingress, &ctx());
+        let v = cache2.process(
+            get("cdn.example", "/app.js", 45_000),
+            Direction::Ingress,
+            &ctx(),
+        );
         assert!(v.is_reply(), "migrated cache must keep serving hits");
     }
 

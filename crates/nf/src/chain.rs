@@ -237,7 +237,10 @@ mod tests {
             b"data",
         );
         let verdict = chain.process(downstream, Direction::Egress, &ctx());
-        assert!(verdict.is_drop(), "rate limiter must see egress traffic too");
+        assert!(
+            verdict.is_drop(),
+            "rate limiter must see egress traffic too"
+        );
         // The firewall (last in egress order... first traversed) saw it first.
         let per_nf = chain.per_nf_stats();
         assert_eq!(per_nf[1].2.packets_in, 1);

@@ -107,7 +107,12 @@ impl DnsLoadBalancer {
             LbStrategy::LeastAssigned => *self
                 .backends
                 .iter()
-                .min_by_key(|b| (self.assignments.get(*b).copied().unwrap_or(0), u32::from(**b)))
+                .min_by_key(|b| {
+                    (
+                        self.assignments.get(*b).copied().unwrap_or(0),
+                        u32::from(**b),
+                    )
+                })
                 .expect("backends is non-empty"),
             LbStrategy::SourceHash => {
                 // FNV-1a over the client address for a stable assignment.
@@ -340,7 +345,11 @@ mod tests {
             };
             seen.insert(replies[0].dns().unwrap().a_records()[0]);
         }
-        assert_eq!(seen.len(), 1, "the same client must always get the same backend");
+        assert_eq!(
+            seen.len(),
+            1,
+            "the same client must always get the same backend"
+        );
     }
 
     #[test]

@@ -240,10 +240,22 @@ impl FirewallConfig {
 }
 
 /// The firewall NF.
+///
+/// The rule list is pre-indexed at construction: rules pinned to one
+/// protocol *and* one exact destination port are bucketed in a hash map, so
+/// the common case (a packet matching no exact rule, or exactly its port's
+/// bucket) evaluates O(bucket + wildcards) instead of O(rules). Rules that
+/// cannot be keyed that way (any-protocol, port ranges/wildcards) stay in a
+/// residual list. First-match-wins ordering is preserved exactly: candidates
+/// from the bucket and the residual list are merged in original rule order.
 pub struct Firewall {
     name: String,
     config: FirewallConfig,
     conntrack: HashMap<FiveTuple, SimTime>,
+    /// Rule indices keyed by `(protocol number, exact destination port)`.
+    exact_index: HashMap<(u8, u16), Vec<usize>>,
+    /// Rule indices that cannot be pre-bucketed, in rule order.
+    residual_rules: Vec<usize>,
     rule_hits: Vec<u64>,
     default_hits: u64,
     stats: NfStats,
@@ -253,10 +265,28 @@ impl Firewall {
     /// Creates a firewall from its configuration.
     pub fn new(name: &str, config: FirewallConfig) -> Self {
         let rule_count = config.rules.len();
+        let mut exact_index: HashMap<(u8, u16), Vec<usize>> = HashMap::new();
+        let mut residual_rules = Vec::new();
+        for (ix, rule) in config.rules.iter().enumerate() {
+            let protocol = match rule.protocol {
+                ProtocolMatch::Tcp => Some(IpProtocol::Tcp.value()),
+                ProtocolMatch::Udp => Some(IpProtocol::Udp.value()),
+                ProtocolMatch::Icmp => Some(IpProtocol::Icmp.value()),
+                ProtocolMatch::Any => None,
+            };
+            match (protocol, rule.dst_port) {
+                (Some(proto), PortMatch::Exact(port)) => {
+                    exact_index.entry((proto, port)).or_default().push(ix);
+                }
+                _ => residual_rules.push(ix),
+            }
+        }
         Firewall {
             name: name.to_string(),
             config,
             conntrack: HashMap::new(),
+            exact_index,
+            residual_rules,
             rule_hits: vec![0; rule_count],
             default_hits: 0,
             stats: NfStats::default(),
@@ -288,15 +318,46 @@ impl Firewall {
     pub fn expire_idle_connections(&mut self, now: SimTime) -> usize {
         let timeout = self.config.conntrack_idle_timeout_secs;
         let before = self.conntrack.len();
-        self.conntrack
-            .retain(|_, last_seen| now.duration_since(*last_seen).as_nanos() < timeout * 1_000_000_000);
+        self.conntrack.retain(|_, last_seen| {
+            now.duration_since(*last_seen).as_nanos() < timeout * 1_000_000_000
+        });
         before - self.conntrack.len()
     }
 
+    /// Evaluates the rule list for a packet. Only the packet's `(protocol,
+    /// dst port)` bucket and the residual (wildcard) rules are visited; the
+    /// two candidate streams are merged in original rule order so the result
+    /// is identical to a linear first-match walk over the full list.
     fn evaluate(&mut self, tuple: &FiveTuple, direction: Direction) -> RuleAction {
-        for (ix, rule) in self.config.rules.iter().enumerate() {
+        let bucket: &[usize] = self
+            .exact_index
+            .get(&(tuple.protocol.value(), tuple.dst_port))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let mut bucket_ix = 0;
+        let mut residual_ix = 0;
+        loop {
+            let candidate = match (
+                bucket.get(bucket_ix).copied(),
+                self.residual_rules.get(residual_ix).copied(),
+            ) {
+                (Some(b), Some(r)) if b < r => {
+                    bucket_ix += 1;
+                    b
+                }
+                (_, Some(r)) => {
+                    residual_ix += 1;
+                    r
+                }
+                (Some(b), None) => {
+                    bucket_ix += 1;
+                    b
+                }
+                (None, None) => break,
+            };
+            let rule = &self.config.rules[candidate];
             if rule.matches(tuple, direction) {
-                self.rule_hits[ix] += 1;
+                self.rule_hits[candidate] += 1;
                 return rule.action;
             }
         }
@@ -364,10 +425,12 @@ impl NetworkFunction for Firewall {
                 }
                 Verdict::Forward(packet)
             }
-            RuleAction::Drop => Verdict::Drop(format!("firewall drop: {tuple}")),
+            // A fixed reason keeps the flood-of-drops path allocation-free; the
+            // per-rule hit counters carry the detail.
+            RuleAction::Drop => Verdict::Drop("firewall: policy drop".into()),
             RuleAction::Reject => match Self::reject_reply(&packet) {
                 Some(rst) => Verdict::Reply(vec![rst]),
-                None => Verdict::Drop(format!("firewall reject: {tuple}")),
+                None => Verdict::Drop("firewall: policy reject".into()),
             },
         };
         self.stats.record_verdict(&verdict);
@@ -478,10 +541,8 @@ mod tests {
 
     #[test]
     fn direction_specific_rules_only_match_their_direction() {
-        let config = FirewallConfig::with_rules(vec![FirewallRule::block_tcp_dst_port(
-            "block-http-up",
-            80,
-        )]);
+        let config =
+            FirewallConfig::with_rules(vec![FirewallRule::block_tcp_dst_port("block-http-up", 80)]);
         let mut fw = Firewall::new("fw", config);
         // Ingress (client → network) is blocked…
         assert!(fw
@@ -630,6 +691,94 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 1),
         );
         assert!(fw.process(arp, Direction::Ingress, &ctx()).is_forward());
+    }
+
+    #[test]
+    fn indexed_evaluation_matches_a_linear_first_match_walk() {
+        // A deliberately adversarial mix: exact-port rules (indexed), range
+        // and wildcard rules (residual), interleaved so the merge order
+        // matters, with conflicting actions.
+        let mut rules = Vec::new();
+        for i in 0..40u16 {
+            let rule = match i % 4 {
+                0 => FirewallRule {
+                    protocol: ProtocolMatch::Tcp,
+                    dst_port: PortMatch::Exact(1000 + i % 8),
+                    action: RuleAction::Drop,
+                    ..FirewallRule::any(format!("tcp-exact-{i}"), RuleAction::Drop)
+                },
+                1 => FirewallRule {
+                    protocol: ProtocolMatch::Udp,
+                    dst_port: PortMatch::Exact(1000 + i % 8),
+                    action: RuleAction::Accept,
+                    ..FirewallRule::any(format!("udp-exact-{i}"), RuleAction::Accept)
+                },
+                2 => FirewallRule {
+                    protocol: ProtocolMatch::Any,
+                    dst_port: PortMatch::Range(1000 + i % 4, 1004),
+                    action: RuleAction::Reject,
+                    ..FirewallRule::any(format!("range-{i}"), RuleAction::Reject)
+                },
+                _ => FirewallRule {
+                    direction: Some(if i % 8 == 3 {
+                        Direction::Ingress
+                    } else {
+                        Direction::Egress
+                    }),
+                    src: CidrV4::new(Ipv4Addr::new(10, 0, (i % 3) as u8, 0), 24),
+                    action: RuleAction::Drop,
+                    ..FirewallRule::any(format!("cidr-{i}"), RuleAction::Drop)
+                },
+            };
+            rules.push(rule);
+        }
+
+        // Linear reference: the historical first-match walk.
+        let reference = |tuple: &FiveTuple, direction: Direction| -> Option<usize> {
+            rules.iter().position(|rule| rule.matches(tuple, direction))
+        };
+
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig {
+                rules: rules.clone(),
+                default_action: RuleAction::Accept,
+                track_connections: false,
+                conntrack_idle_timeout_secs: 60,
+            },
+        );
+        // Sweep protocols × ports × source subnets × directions.
+        for proto in [
+            IpProtocol::Tcp,
+            IpProtocol::Udp,
+            IpProtocol::Icmp,
+            IpProtocol::Other(89),
+        ] {
+            for port in 995..1012u16 {
+                for src_octet in 0..4u8 {
+                    for direction in [Direction::Ingress, Direction::Egress] {
+                        let tuple = FiveTuple::new(
+                            Ipv4Addr::new(10, 0, src_octet, 9),
+                            server_ip(),
+                            proto,
+                            40_000,
+                            port,
+                        );
+                        let hits_before = fw.rule_hits().to_vec();
+                        let action = fw.evaluate(&tuple, direction);
+                        let expected_rule = reference(&tuple, direction);
+                        let expected_action = expected_rule
+                            .map(|ix| rules[ix].action)
+                            .unwrap_or(RuleAction::Accept);
+                        assert_eq!(action, expected_action, "action for {tuple} {direction:?}");
+                        // The hit must land on exactly the first matching rule.
+                        if let Some(ix) = expected_rule {
+                            assert_eq!(fw.rule_hits()[ix], hits_before[ix] + 1);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl NetworkFunction for HttpFilter {
                         );
                         Verdict::Reply(vec![reply])
                     } else {
-                        Verdict::Drop(format!("blocked URL {}{}", host, req.path))
+                        Verdict::Drop(format!("blocked URL {}{}", host, req.path).into())
                     }
                 } else {
                     Verdict::Forward(packet)
@@ -233,7 +233,10 @@ mod tests {
         let events = filter.drain_events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].category, "blocked-url");
-        assert!(filter.drain_events().is_empty(), "events drain exactly once");
+        assert!(
+            filter.drain_events().is_empty(),
+            "events drain exactly once"
+        );
     }
 
     #[test]

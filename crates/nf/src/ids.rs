@@ -93,9 +93,10 @@ impl Ids {
     }
 
     fn matches_signature(&self, payload: &[u8]) -> bool {
-        self.config.signatures.iter().any(|sig| {
-            !sig.is_empty() && payload.windows(sig.len()).any(|w| w == sig.as_slice())
-        })
+        self.config
+            .signatures
+            .iter()
+            .any(|sig| !sig.is_empty() && payload.windows(sig.len()).any(|w| w == sig.as_slice()))
     }
 }
 
@@ -143,7 +144,7 @@ impl NetworkFunction for Ids {
                 format!("payload signature matched in {}", packet.summary()),
             ));
             if self.config.block_on_signature {
-                Verdict::Drop("malicious payload signature".to_string())
+                Verdict::Drop("malicious payload signature".into())
             } else {
                 Verdict::Forward(packet)
             }
@@ -282,7 +283,9 @@ mod tests {
                 ..IdsConfig::default()
             },
         );
-        assert!(blocker.process(malicious, Direction::Ingress, &ctx).is_drop());
+        assert!(blocker
+            .process(malicious, Direction::Ingress, &ctx)
+            .is_drop());
     }
 
     #[test]

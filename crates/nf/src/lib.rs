@@ -41,8 +41,6 @@ pub mod state;
 pub mod testing;
 
 pub use chain::NfChain;
-pub use nf::{
-    Direction, NetworkFunction, NfContext, NfEvent, NfEventSeverity, NfStats, Verdict,
-};
+pub use nf::{Direction, NetworkFunction, NfContext, NfEvent, NfEventSeverity, NfStats, Verdict};
 pub use spec::{instantiate_chain, NfConfig, NfKind, NfSpec};
 pub use state::NfStateSnapshot;

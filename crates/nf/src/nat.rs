@@ -8,10 +8,10 @@
 use crate::nf::{Direction, NetworkFunction, NfContext, NfStats, Verdict};
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::{FiveTuple, IpProtocol, Packet, TcpHeader, UdpHeader};
+use bytes::BytesMut;
 use gnf_packet::ethernet::EthernetHeader;
 use gnf_packet::ipv4::Ipv4Header;
-use bytes::BytesMut;
+use gnf_packet::{FiveTuple, IpProtocol, Packet, TcpHeader, UdpHeader};
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -166,8 +166,13 @@ impl NetworkFunction for Nat {
         let verdict = match direction {
             Direction::Ingress => {
                 let public_port = self.allocate_port(tuple);
-                match Self::rewrite(&packet, self.public_ip, tuple.dst_ip, public_port, tuple.dst_port)
-                {
+                match Self::rewrite(
+                    &packet,
+                    self.public_ip,
+                    tuple.dst_ip,
+                    public_port,
+                    tuple.dst_port,
+                ) {
                     Some(rewritten) => {
                         self.translated_packets += 1;
                         Verdict::Forward(rewritten)
@@ -193,10 +198,9 @@ impl NetworkFunction for Nat {
                             None => Verdict::Forward(packet),
                         }
                     } else {
-                        Verdict::Drop(format!(
-                            "no NAT translation for public port {}",
-                            tuple.dst_port
-                        ))
+                        Verdict::Drop(
+                            format!("no NAT translation for public port {}", tuple.dst_port).into(),
+                        )
                     }
                 } else {
                     Verdict::Forward(packet)
@@ -365,7 +369,10 @@ mod tests {
         assert_eq!(out.ipv4().unwrap().src, public_ip());
         assert_eq!(out.udp().unwrap().src_port, NAT_PORT_BASE);
         // The DNS payload still parses after the rewrite.
-        assert_eq!(out.dns().unwrap().first_question_name(), Some("example.com"));
+        assert_eq!(
+            out.dns().unwrap().first_question_name(),
+            Some("example.com")
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::state::NfStateSnapshot;
 use gnf_packet::Packet;
 use gnf_types::{ClientId, SimTime};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Which side of the client's traffic a packet was captured on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -38,9 +39,13 @@ impl Direction {
 pub enum Verdict {
     /// Forward the (possibly rewritten) packet along the chain.
     Forward(Packet),
-    /// Drop the packet. The string is a human-readable reason recorded in the
+    /// Drop the packet. The reason is human-readable text recorded in the
     /// NF's statistics and, for notable drops, surfaced as a notification.
-    Drop(String),
+    /// It is a `Cow` so the common case — a fixed policy reason emitted on
+    /// every dropped packet of a flood — borrows a `&'static str` instead of
+    /// heap-allocating per drop; only genuinely dynamic reasons pay for a
+    /// `String`.
+    Drop(Cow<'static, str>),
     /// Consume the packet and instead send these packets back towards its
     /// source (e.g. an HTTP 403 page or a locally answered DNS response).
     Reply(Vec<Packet>),
@@ -301,7 +306,10 @@ mod tests {
         assert!(NfEventSeverity::Alert > NfEventSeverity::Warning);
         assert!(NfEventSeverity::Warning > NfEventSeverity::Info);
         assert_eq!(NfEvent::info("x", "y").severity, NfEventSeverity::Info);
-        assert_eq!(NfEvent::warning("x", "y").severity, NfEventSeverity::Warning);
+        assert_eq!(
+            NfEvent::warning("x", "y").severity,
+            NfEventSeverity::Warning
+        );
     }
 
     #[test]

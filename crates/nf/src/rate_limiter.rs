@@ -178,7 +178,7 @@ impl NetworkFunction for RateLimiter {
                     format!("client exceeded {} B/s", self.config.rate_bytes_per_sec),
                 ));
             }
-            Verdict::Drop("rate limit exceeded".to_string())
+            Verdict::Drop("rate limit exceeded".into())
         };
         self.stats.record_verdict(&verdict);
         verdict
@@ -304,7 +304,9 @@ mod tests {
             5000,
             &vec![0u8; 1000],
         );
-        assert!(rl.process(flow_a.clone(), Direction::Ingress, &ctx).is_forward());
+        assert!(rl
+            .process(flow_a.clone(), Direction::Ingress, &ctx)
+            .is_forward());
         // Flow A's bucket is now nearly empty, but flow B gets its own bucket.
         assert!(rl.process(flow_a, Direction::Ingress, &ctx).is_drop());
         assert!(rl.process(flow_b, Direction::Ingress, &ctx).is_forward());

@@ -217,7 +217,7 @@ impl NfSpec {
                 *strategy,
                 *ttl,
             )),
-            NfConfig::RateLimiter(cfg) => Box::new(RateLimiter::new(&self.name, cfg.clone())),
+            NfConfig::RateLimiter(cfg) => Box::new(RateLimiter::new(&self.name, *cfg)),
             NfConfig::Nat { public_ip } => Box::new(Nat::new(&self.name, *public_ip)),
             NfConfig::HttpCache { capacity } => Box::new(HttpCache::new(&self.name, *capacity)),
             NfConfig::Ids(cfg) => Box::new(Ids::new(&self.name, cfg.clone())),

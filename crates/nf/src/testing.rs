@@ -69,13 +69,54 @@ pub fn sample_traffic(client_ip: Ipv4Addr) -> Vec<Packet> {
     let web_server = Ipv4Addr::new(198, 51, 100, 7);
     let resolver = Ipv4Addr::new(8, 8, 8, 8);
     vec![
-        builder::dns_query(client_mac, gw_mac, client_ip, resolver, 5353, 1, "www.gla.ac.uk"),
+        builder::dns_query(
+            client_mac,
+            gw_mac,
+            client_ip,
+            resolver,
+            5353,
+            1,
+            "www.gla.ac.uk",
+        ),
         builder::tcp_syn(client_mac, gw_mac, client_ip, web_server, 40_000, 80),
-        builder::http_get(client_mac, gw_mac, client_ip, web_server, 40_000, "www.gla.ac.uk", "/"),
-        builder::dns_query(client_mac, gw_mac, client_ip, resolver, 5354, 2, "svc.edge.example"),
-        builder::tcp_data(client_mac, gw_mac, client_ip, web_server, 40_000, 443, b"tls-ish"),
-        builder::icmp_echo_request(client_mac, gw_mac, client_ip, Ipv4Addr::new(1, 1, 1, 1), 7, 1),
-        builder::udp_packet(client_mac, gw_mac, client_ip, web_server, 41_000, 5004, &[0u8; 160]),
+        builder::http_get(
+            client_mac,
+            gw_mac,
+            client_ip,
+            web_server,
+            40_000,
+            "www.gla.ac.uk",
+            "/",
+        ),
+        builder::dns_query(
+            client_mac,
+            gw_mac,
+            client_ip,
+            resolver,
+            5354,
+            2,
+            "svc.edge.example",
+        ),
+        builder::tcp_data(
+            client_mac, gw_mac, client_ip, web_server, 40_000, 443, b"tls-ish",
+        ),
+        builder::icmp_echo_request(
+            client_mac,
+            gw_mac,
+            client_ip,
+            Ipv4Addr::new(1, 1, 1, 1),
+            7,
+            1,
+        ),
+        builder::udp_packet(
+            client_mac,
+            gw_mac,
+            client_ip,
+            web_server,
+            41_000,
+            5004,
+            &[0u8; 160],
+        ),
     ]
 }
 

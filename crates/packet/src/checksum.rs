@@ -109,8 +109,10 @@ mod tests {
 
     #[test]
     fn verify_accepts_slice_containing_its_own_checksum() {
-        let mut header = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0x00,
-                              0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7];
+        let mut header = vec![
+            0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
         let cs = internet_checksum(&header);
         header[10..12].copy_from_slice(&cs.to_be_bytes());
         assert!(verify(&header));
@@ -124,7 +126,9 @@ mod tests {
         let src = Ipv4Addr::new(192, 168, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
         // A fake UDP segment with the checksum field (bytes 6..8) zeroed.
-        let mut segment = vec![0x04, 0xd2, 0x00, 0x35, 0x00, 0x0c, 0x00, 0x00, b'h', b'i', b'!', b'!'];
+        let mut segment = vec![
+            0x04, 0xd2, 0x00, 0x35, 0x00, 0x0c, 0x00, 0x00, b'h', b'i', b'!', b'!',
+        ];
         let cs = transport_checksum(src, dst, 17, &segment);
         segment[6..8].copy_from_slice(&cs.to_be_bytes());
         // Re-running the checksum over the segment with the field filled in

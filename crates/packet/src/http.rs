@@ -146,7 +146,12 @@ impl HttpRequest {
 
     /// Serialises the request into wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = format!("{} {} {}\r\n", self.method.as_str(), self.path, self.version);
+        let mut out = format!(
+            "{} {} {}\r\n",
+            self.method.as_str(),
+            self.path,
+            self.version
+        );
         for (name, value) in &self.headers {
             out.push_str(name);
             out.push_str(": ");
@@ -192,7 +197,11 @@ impl HttpResponse {
 
     /// The `403 Forbidden` page the HTTP filter returns for blocked URLs.
     pub fn forbidden() -> Self {
-        Self::new(403, "Forbidden", b"<html><body>Blocked by GNF HTTP filter</body></html>")
+        Self::new(
+            403,
+            "Forbidden",
+            b"<html><body>Blocked by GNF HTTP filter</body></html>",
+        )
     }
 
     /// A plain `200 OK` response.
@@ -261,7 +270,13 @@ impl HttpResponse {
 /// Returns true if a TCP payload looks like the start of an HTTP request.
 pub fn looks_like_http_request(data: &[u8]) -> bool {
     const PREFIXES: [&[u8]; 7] = [
-        b"GET ", b"HEAD ", b"POST ", b"PUT ", b"DELETE ", b"CONNECT ", b"OPTIONS ",
+        b"GET ",
+        b"HEAD ",
+        b"POST ",
+        b"PUT ",
+        b"DELETE ",
+        b"CONNECT ",
+        b"OPTIONS ",
     ];
     PREFIXES.iter().any(|p| data.starts_with(p))
 }
@@ -284,9 +299,9 @@ fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> GnfResult<Vec<(Str
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| GnfError::malformed_packet("http", format!("bad header line {line:?}")))?;
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            GnfError::malformed_packet("http", format!("bad header line {line:?}"))
+        })?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     Ok(headers)

@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn kind_mapping_preserves_codes() {
-        assert_eq!(IcmpKind::from_type_code(3, 1), IcmpKind::DestinationUnreachable(1));
+        assert_eq!(
+            IcmpKind::from_type_code(3, 1),
+            IcmpKind::DestinationUnreachable(1)
+        );
         assert_eq!(IcmpKind::from_type_code(11, 0), IcmpKind::TimeExceeded(0));
         assert_eq!(IcmpKind::from_type_code(5, 2), IcmpKind::Other(5, 2));
         assert_eq!(IcmpKind::DestinationUnreachable(3).type_code(), (3, 3));

@@ -126,7 +126,10 @@ impl Ipv4Header {
             ));
         }
         if internet_checksum(&data[..ihl]) != 0 {
-            return Err(GnfError::malformed_packet("ipv4", "header checksum mismatch"));
+            return Err(GnfError::malformed_packet(
+                "ipv4",
+                "header checksum mismatch",
+            ));
         }
         let total_length = u16::from_be_bytes([data[2], data[3]]);
         if (total_length as usize) < ihl {

@@ -45,6 +45,6 @@ pub use flow::FiveTuple;
 pub use http::{HttpMethod, HttpRequest, HttpResponse};
 pub use icmp::{IcmpKind, IcmpMessage};
 pub use ipv4::{IpProtocol, Ipv4Header};
-pub use packet::{NetworkLayer, Packet, TransportLayer};
+pub use packet::{FlowMeta, NetworkLayer, Packet, TransportLayer};
 pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;

@@ -1,24 +1,43 @@
 //! The high-level [`Packet`] type passed between clients, the software switch
 //! and the network functions.
 //!
-//! A `Packet` owns the raw frame bytes plus the parsed view of every layer the
-//! framework understands (Ethernet, ARP or IPv4, TCP/UDP/ICMP). Parsing
-//! happens exactly once, when the frame enters the data plane; NFs then
-//! inspect the typed view and, when they need to rewrite fields (NAT, DNS load
-//! balancer), build a new frame through [`crate::builder`].
+//! A `Packet` owns the raw frame bytes plus a parsed view of the layers the
+//! framework understands (Ethernet, ARP or IPv4, TCP/UDP/ICMP). Parsing is
+//! split into two stages so the per-flow fast path stays cheap:
+//!
+//! * **Fast header scan** — performed once in [`Packet::parse`]. It fully
+//!   *validates* the frame (same accept/reject decisions as the historical
+//!   eager parser: Ethernet length, IPv4 version/IHL/checksum/total-length,
+//!   TCP data offset, UDP length, ICMP checksum) and extracts the
+//!   [`FiveTuple`] plus the transport payload offsets into a small `Copy`
+//!   [`FlowMeta`] — no heap allocation beyond the frame itself.
+//! * **Full layer parse** — building the [`NetworkLayer`] tree (header
+//!   structs, option bytes, ICMP payload vectors) is deferred behind a
+//!   `OnceLock` and only happens when an NF actually asks for a typed header
+//!   via [`Packet::network`]/[`Packet::ipv4`]/[`Packet::tcp`]/etc. Packets
+//!   that ride the switch's flow-cache fast path, and NFs that only need the
+//!   five-tuple or raw payload bytes (firewall conntrack, rate limiter, IDS
+//!   signature scan, DNS/HTTP payload parsing), never pay for it.
+//!
+//! ARP frames and unknown EtherTypes are resolved eagerly (they are rare
+//! control traffic and their "parse" is trivial), so the lazy stage can never
+//! fail: every frame that leaves `Packet::parse` successfully has already
+//! been validated to the same depth the eager parser enforced.
 
 use crate::arp::ArpPacket;
 use crate::dns::{DnsMessage, DNS_PORT};
-use crate::ethernet::{EtherType, EthernetHeader};
+use crate::ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
 use crate::flow::FiveTuple;
 use crate::http::{looks_like_http_request, HttpRequest, HTTP_PORT};
-use crate::icmp::IcmpMessage;
-use crate::ipv4::{IpProtocol, Ipv4Header};
-use crate::tcp::TcpHeader;
-use crate::udp::UdpHeader;
+use crate::icmp::{IcmpMessage, ICMP_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
+use crate::tcp::{TcpHeader, TCP_HEADER_LEN};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 use bytes::Bytes;
 use gnf_types::{GnfError, GnfResult, MacAddr};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
 
 /// The parsed network layer of a frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,63 +78,255 @@ pub enum TransportLayer {
     Other,
 }
 
-/// A fully parsed Ethernet frame flowing through the GNF data plane.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Flow metadata extracted by the fast header scan: everything the switch's
+/// flow cache and the payload-oriented NFs need, with no heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowMeta {
+    /// The transport five-tuple (ports are 0 for ICMP).
+    pub tuple: FiveTuple,
+    /// Offset of the transport payload from the start of the frame.
+    payload_offset: usize,
+    /// End of the transport payload (frame offset, padding excluded).
+    payload_end: usize,
+}
+
+/// What the fast header scan concluded about the layers behind Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeaderScan {
+    /// ARP / unknown EtherType / IPv4 with an unknown transport: validated,
+    /// but carries no transport flow.
+    NonFlow,
+    /// IPv4 carrying TCP, UDP or ICMP.
+    Flow(FlowMeta),
+}
+
+/// A validated Ethernet frame flowing through the GNF data plane.
 pub struct Packet {
     bytes: Bytes,
     ethernet: EthernetHeader,
-    network: NetworkLayer,
+    scan: HeaderScan,
+    network: OnceLock<NetworkLayer>,
 }
 
 impl Packet {
     /// Parses a raw Ethernet frame.
+    ///
+    /// Runs the fast header scan: the frame is fully validated (malformed
+    /// frames are rejected here, never later), but typed layer structs are
+    /// only built on first access.
     pub fn parse(bytes: Bytes) -> GnfResult<Self> {
         let (ethernet, eth_len) = EthernetHeader::parse(&bytes)?;
-        let rest = &bytes[eth_len..];
-        let network = match ethernet.ethertype {
+        let network = OnceLock::new();
+        let scan = match ethernet.ethertype {
             EtherType::Arp => {
-                let (arp, _) = ArpPacket::parse(rest)?;
-                NetworkLayer::Arp(arp)
+                // ARP is rare control traffic: parse eagerly so the lazy
+                // stage is infallible.
+                let (arp, _) = ArpPacket::parse(&bytes[eth_len..])?;
+                let _ = network.set(NetworkLayer::Arp(arp));
+                HeaderScan::NonFlow
             }
-            EtherType::Ipv4 => {
-                let (ip, ip_len) = Ipv4Header::parse(rest)?;
-                let l4_offset = eth_len + ip_len;
-                // Respect the IPv4 total length: anything beyond it is padding.
-                let ip_end = (eth_len + ip.total_length as usize).min(bytes.len());
-                let l4 = &bytes[l4_offset..ip_end];
-                let transport = match ip.protocol {
-                    IpProtocol::Tcp => {
-                        let (header, consumed) = TcpHeader::parse(l4)?;
-                        TransportLayer::Tcp {
-                            header,
-                            payload_offset: l4_offset + consumed,
-                        }
-                    }
-                    IpProtocol::Udp => {
-                        let (header, consumed) = UdpHeader::parse(l4)?;
-                        TransportLayer::Udp {
-                            header,
-                            payload_offset: l4_offset + consumed,
-                        }
-                    }
-                    IpProtocol::Icmp => {
-                        let (msg, _) = IcmpMessage::parse(l4)?;
-                        TransportLayer::Icmp(msg)
-                    }
-                    IpProtocol::Other(_) => TransportLayer::Other,
-                };
-                NetworkLayer::Ipv4 {
-                    header: ip,
-                    transport,
-                }
+            EtherType::Ipv4 => Self::scan_ipv4(&bytes, eth_len)?,
+            _ => {
+                let _ = network.set(NetworkLayer::Other);
+                HeaderScan::NonFlow
             }
-            _ => NetworkLayer::Other,
         };
         Ok(Packet {
             bytes,
             ethernet,
+            scan,
             network,
         })
+    }
+
+    /// Validates the IPv4 and transport headers and extracts the flow
+    /// metadata, enforcing exactly the checks the typed parsers enforce.
+    fn scan_ipv4(bytes: &[u8], eth_len: usize) -> GnfResult<HeaderScan> {
+        let data = &bytes[eth_len..];
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(GnfError::malformed_packet(
+                "ipv4",
+                format!("header too short: {} bytes", data.len()),
+            ));
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(GnfError::malformed_packet(
+                "ipv4",
+                format!("unexpected version {version}"),
+            ));
+        }
+        let ihl = (data[0] & 0x0f) as usize * 4;
+        if ihl < IPV4_HEADER_LEN || data.len() < ihl {
+            return Err(GnfError::malformed_packet(
+                "ipv4",
+                format!("invalid IHL {ihl} for {}-byte buffer", data.len()),
+            ));
+        }
+        if crate::checksum::internet_checksum(&data[..ihl]) != 0 {
+            return Err(GnfError::malformed_packet(
+                "ipv4",
+                "header checksum mismatch",
+            ));
+        }
+        let total_length = u16::from_be_bytes([data[2], data[3]]);
+        if (total_length as usize) < ihl {
+            return Err(GnfError::malformed_packet(
+                "ipv4",
+                format!("total length {total_length} shorter than header {ihl}"),
+            ));
+        }
+        let src = std::net::Ipv4Addr::new(data[12], data[13], data[14], data[15]);
+        let dst = std::net::Ipv4Addr::new(data[16], data[17], data[18], data[19]);
+        let protocol = IpProtocol::from(data[9]);
+
+        let l4_offset = eth_len + ihl;
+        // Respect the IPv4 total length: anything beyond it is padding.
+        let ip_end = (eth_len + total_length as usize).min(bytes.len());
+        let l4 = &bytes[l4_offset..ip_end];
+        let meta = match protocol {
+            IpProtocol::Tcp => {
+                if l4.len() < TCP_HEADER_LEN {
+                    return Err(GnfError::malformed_packet(
+                        "tcp",
+                        format!("header too short: {} bytes", l4.len()),
+                    ));
+                }
+                let data_offset = ((l4[12] >> 4) as usize) * 4;
+                if data_offset < TCP_HEADER_LEN || l4.len() < data_offset {
+                    return Err(GnfError::malformed_packet(
+                        "tcp",
+                        format!("invalid data offset {data_offset}"),
+                    ));
+                }
+                FlowMeta {
+                    tuple: FiveTuple::new(
+                        src,
+                        dst,
+                        protocol,
+                        u16::from_be_bytes([l4[0], l4[1]]),
+                        u16::from_be_bytes([l4[2], l4[3]]),
+                    ),
+                    payload_offset: l4_offset + data_offset,
+                    payload_end: ip_end,
+                }
+            }
+            IpProtocol::Udp => {
+                if l4.len() < UDP_HEADER_LEN {
+                    return Err(GnfError::malformed_packet(
+                        "udp",
+                        format!("header too short: {} bytes", l4.len()),
+                    ));
+                }
+                let length = u16::from_be_bytes([l4[4], l4[5]]) as usize;
+                if length < UDP_HEADER_LEN {
+                    return Err(GnfError::malformed_packet(
+                        "udp",
+                        format!("length field {length} below header size"),
+                    ));
+                }
+                let payload_offset = l4_offset + UDP_HEADER_LEN;
+                FlowMeta {
+                    tuple: FiveTuple::new(
+                        src,
+                        dst,
+                        protocol,
+                        u16::from_be_bytes([l4[0], l4[1]]),
+                        u16::from_be_bytes([l4[2], l4[3]]),
+                    ),
+                    payload_offset,
+                    // The historical parser bounded the UDP payload by the
+                    // length field and the frame end (not the IP end).
+                    payload_end: (payload_offset + (length - UDP_HEADER_LEN)).min(bytes.len()),
+                }
+            }
+            IpProtocol::Icmp => {
+                if l4.len() < ICMP_HEADER_LEN {
+                    return Err(GnfError::malformed_packet(
+                        "icmp",
+                        format!("message too short: {} bytes", l4.len()),
+                    ));
+                }
+                if crate::checksum::internet_checksum(l4) != 0 {
+                    return Err(GnfError::malformed_packet("icmp", "checksum mismatch"));
+                }
+                FlowMeta {
+                    tuple: FiveTuple::new(src, dst, protocol, 0, 0),
+                    payload_offset: l4_offset + ICMP_HEADER_LEN,
+                    payload_end: ip_end,
+                }
+            }
+            IpProtocol::Other(_) => return Ok(HeaderScan::NonFlow),
+        };
+        Ok(HeaderScan::Flow(meta))
+    }
+
+    /// Builds the full typed layer view. Only reachable for IPv4 frames (ARP
+    /// and unknown EtherTypes are resolved eagerly in [`Packet::parse`]), and
+    /// infallible because the fast scan already validated every check the
+    /// typed parsers perform.
+    fn build_network(&self) -> NetworkLayer {
+        debug_assert_eq!(self.ethernet.ethertype, EtherType::Ipv4);
+        let eth_len = ETHERNET_HEADER_LEN;
+        // The `Err` arms below are unreachable while `scan_ipv4` enforces
+        // every check the typed parsers enforce; the debug assertions turn
+        // any future drift between the two into a test failure instead of a
+        // silent downgrade to `Other` (which would make `five_tuple()`
+        // return `Some` while `tcp()`/`udp()`/`ipv4()` return `None`).
+        let parsed = Ipv4Header::parse(&self.bytes[eth_len..]);
+        debug_assert!(
+            parsed.is_ok(),
+            "fast scan accepted an IPv4 header the typed parser rejects"
+        );
+        let Ok((ip, ip_len)) = parsed else {
+            return NetworkLayer::Other;
+        };
+        let l4_offset = eth_len + ip_len;
+        let ip_end = (eth_len + ip.total_length as usize).min(self.bytes.len());
+        let l4 = &self.bytes[l4_offset..ip_end];
+        let transport = match ip.protocol {
+            IpProtocol::Tcp => match TcpHeader::parse(l4) {
+                Ok((header, consumed)) => TransportLayer::Tcp {
+                    header,
+                    payload_offset: l4_offset + consumed,
+                },
+                Err(e) => {
+                    debug_assert!(
+                        false,
+                        "fast scan accepted a TCP header the typed parser rejects: {e}"
+                    );
+                    TransportLayer::Other
+                }
+            },
+            IpProtocol::Udp => match UdpHeader::parse(l4) {
+                Ok((header, consumed)) => TransportLayer::Udp {
+                    header,
+                    payload_offset: l4_offset + consumed,
+                },
+                Err(e) => {
+                    debug_assert!(
+                        false,
+                        "fast scan accepted a UDP header the typed parser rejects: {e}"
+                    );
+                    TransportLayer::Other
+                }
+            },
+            IpProtocol::Icmp => match IcmpMessage::parse(l4) {
+                Ok((msg, _)) => TransportLayer::Icmp(msg),
+                Err(e) => {
+                    debug_assert!(
+                        false,
+                        "fast scan accepted an ICMP message the typed parser rejects: {e}"
+                    );
+                    TransportLayer::Other
+                }
+            },
+            IpProtocol::Other(_) => TransportLayer::Other,
+        };
+        NetworkLayer::Ipv4 {
+            header: ip,
+            transport,
+        }
     }
 
     /// Parses a frame from a byte vector.
@@ -153,14 +364,23 @@ impl Packet {
         self.ethernet.dst
     }
 
-    /// The parsed network layer.
+    /// The flow metadata from the fast header scan, when the frame carries a
+    /// TCP/UDP/ICMP flow. Never triggers the full layer parse.
+    pub fn flow_meta(&self) -> Option<&FlowMeta> {
+        match &self.scan {
+            HeaderScan::Flow(meta) => Some(meta),
+            HeaderScan::NonFlow => None,
+        }
+    }
+
+    /// The fully parsed network layer (built lazily on first access).
     pub fn network(&self) -> &NetworkLayer {
-        &self.network
+        self.network.get_or_init(|| self.build_network())
     }
 
     /// The ARP packet, if this frame carries one.
     pub fn arp(&self) -> Option<&ArpPacket> {
-        match &self.network {
+        match self.network() {
             NetworkLayer::Arp(arp) => Some(arp),
             _ => None,
         }
@@ -168,7 +388,7 @@ impl Packet {
 
     /// The IPv4 header, if this is an IPv4 frame.
     pub fn ipv4(&self) -> Option<&Ipv4Header> {
-        match &self.network {
+        match self.network() {
             NetworkLayer::Ipv4 { header, .. } => Some(header),
             _ => None,
         }
@@ -176,7 +396,7 @@ impl Packet {
 
     /// The TCP header, if this is a TCP frame.
     pub fn tcp(&self) -> Option<&TcpHeader> {
-        match &self.network {
+        match self.network() {
             NetworkLayer::Ipv4 {
                 transport: TransportLayer::Tcp { header, .. },
                 ..
@@ -187,7 +407,7 @@ impl Packet {
 
     /// The UDP header, if this is a UDP frame.
     pub fn udp(&self) -> Option<&UdpHeader> {
-        match &self.network {
+        match self.network() {
             NetworkLayer::Ipv4 {
                 transport: TransportLayer::Udp { header, .. },
                 ..
@@ -198,7 +418,7 @@ impl Packet {
 
     /// The ICMP message, if this is an ICMP frame.
     pub fn icmp(&self) -> Option<&IcmpMessage> {
-        match &self.network {
+        match self.network() {
             NetworkLayer::Ipv4 {
                 transport: TransportLayer::Icmp(msg),
                 ..
@@ -207,74 +427,53 @@ impl Packet {
         }
     }
 
-    /// The TCP payload bytes, if any.
+    /// The TCP payload bytes, if any. Served from the fast header scan —
+    /// never triggers the full layer parse.
     pub fn tcp_payload(&self) -> Option<&[u8]> {
-        match &self.network {
-            NetworkLayer::Ipv4 {
-                header,
-                transport: TransportLayer::Tcp { payload_offset, .. },
-            } => {
-                let end = (14 + header.total_length as usize).min(self.bytes.len());
-                Some(&self.bytes[*payload_offset..end.max(*payload_offset)])
+        match &self.scan {
+            HeaderScan::Flow(meta) if meta.tuple.protocol == IpProtocol::Tcp => {
+                Some(&self.bytes[meta.payload_offset..meta.payload_end.max(meta.payload_offset)])
             }
             _ => None,
         }
     }
 
-    /// The UDP payload bytes, if any.
+    /// The UDP payload bytes, if any. Served from the fast header scan —
+    /// never triggers the full layer parse.
     pub fn udp_payload(&self) -> Option<&[u8]> {
-        match &self.network {
-            NetworkLayer::Ipv4 {
-                transport:
-                    TransportLayer::Udp {
-                        header,
-                        payload_offset,
-                    },
-                ..
-            } => {
-                let end = (payload_offset + header.payload_len()).min(self.bytes.len());
-                Some(&self.bytes[*payload_offset..end])
+        match &self.scan {
+            HeaderScan::Flow(meta) if meta.tuple.protocol == IpProtocol::Udp => {
+                Some(&self.bytes[meta.payload_offset..meta.payload_end.max(meta.payload_offset)])
             }
             _ => None,
         }
     }
 
     /// The five-tuple of this packet, if it is TCP, UDP or ICMP over IPv4.
+    /// Served from the fast header scan — never triggers the full layer
+    /// parse; this is the lookup key of the switch's flow cache.
     pub fn five_tuple(&self) -> Option<FiveTuple> {
-        let header = self.ipv4()?;
-        let (src_port, dst_port) = match &self.network {
-            NetworkLayer::Ipv4 { transport, .. } => match transport {
-                TransportLayer::Tcp { header, .. } => (header.src_port, header.dst_port),
-                TransportLayer::Udp { header, .. } => (header.src_port, header.dst_port),
-                TransportLayer::Icmp(_) => (0, 0),
-                TransportLayer::Other => return None,
-            },
-            _ => return None,
-        };
-        Some(FiveTuple::new(
-            header.src,
-            header.dst,
-            header.protocol,
-            src_port,
-            dst_port,
-        ))
+        self.flow_meta().map(|meta| meta.tuple)
     }
 
     /// Attempts to parse the payload as a DNS message (UDP port 53 on either
-    /// side).
+    /// side). Works on the fast-scan offsets, so a DNS miss costs nothing.
     pub fn dns(&self) -> Option<DnsMessage> {
-        let udp = self.udp()?;
-        if udp.src_port != DNS_PORT && udp.dst_port != DNS_PORT {
+        let tuple = self.flow_meta()?.tuple;
+        if tuple.protocol != IpProtocol::Udp
+            || (tuple.src_port != DNS_PORT && tuple.dst_port != DNS_PORT)
+        {
             return None;
         }
         DnsMessage::parse(self.udp_payload()?).ok()
     }
 
     /// Attempts to parse the payload as an HTTP request (TCP port 80 on the
-    /// destination side, payload starting with a known method token).
+    /// destination side, payload starting with a known method token). Works
+    /// on the fast-scan offsets, so a non-HTTP packet costs one comparison.
     pub fn http_request(&self) -> Option<HttpRequest> {
-        let tcp = self.tcp()?;
-        if tcp.dst_port != HTTP_PORT {
+        let tuple = self.flow_meta()?.tuple;
+        if tuple.protocol != IpProtocol::Tcp || tuple.dst_port != HTTP_PORT {
             return None;
         }
         let payload = self.tcp_payload()?;
@@ -292,7 +491,7 @@ impl Packet {
 
     /// A one-line human-readable summary used in logs and the UI event feed.
     pub fn summary(&self) -> String {
-        match &self.network {
+        match self.network() {
             NetworkLayer::Arp(arp) => format!(
                 "ARP {:?} {} -> {}",
                 arp.operation, arp.sender_ip, arp.target_ip
@@ -309,12 +508,15 @@ impl Packet {
                 ),
                 TransportLayer::Udp { header: udp, .. } => format!(
                     "UDP {}:{} -> {}:{} {}B",
-                    header.src, udp.src_port, header.dst, udp.dst_port, self.len()
+                    header.src,
+                    udp.src_port,
+                    header.dst,
+                    udp.dst_port,
+                    self.len()
                 ),
-                TransportLayer::Icmp(icmp) => format!(
-                    "ICMP {:?} {} -> {}",
-                    icmp.kind, header.src, header.dst
-                ),
+                TransportLayer::Icmp(icmp) => {
+                    format!("ICMP {:?} {} -> {}", icmp.kind, header.src, header.dst)
+                }
                 TransportLayer::Other => format!(
                     "IPv4 proto {} {} -> {}",
                     header.protocol.value(),
@@ -329,6 +531,54 @@ impl Packet {
                 self.ethernet.ethertype.value()
             ),
         }
+    }
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        Packet {
+            bytes: self.bytes.clone(),
+            ethernet: self.ethernet,
+            scan: self.scan,
+            // The memoized layer view transfers to the clone when already
+            // built; otherwise the clone re-parses lazily on demand.
+            network: self.network.clone(),
+        }
+    }
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        // Parsing is a pure function of the frame bytes, so byte equality is
+        // packet equality — whether or not either side has materialized its
+        // lazy layer view.
+        self.bytes == other.bytes
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("ethernet", &self.ethernet)
+            .field("scan", &self.scan)
+            .field("network", &self.network.get())
+            .field("len", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl Serialize for Packet {
+    fn to_value(&self) -> serde::Value {
+        // The frame bytes are the canonical representation; the parsed view
+        // is derived state.
+        self.bytes.to_value()
+    }
+}
+
+impl Deserialize for Packet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let bytes = Bytes::from_value(value)?;
+        Packet::parse(bytes).map_err(|e| serde::Error::custom(format!("invalid packet: {e}")))
     }
 }
 
@@ -373,6 +623,79 @@ mod tests {
         assert_eq!(ft.dst_port, 80);
         assert_eq!(ft.protocol, IpProtocol::Tcp);
         assert!(pkt.summary().contains("TCP"));
+    }
+
+    #[test]
+    fn flow_accessors_do_not_materialize_the_layer_view() {
+        let pkt = builder::tcp_data(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40000,
+            80,
+            b"payload-bytes",
+        );
+        // Five-tuple, payload and HTTP/DNS probing ride the fast scan.
+        assert!(pkt.five_tuple().is_some());
+        assert_eq!(pkt.tcp_payload().unwrap(), b"payload-bytes");
+        assert!(pkt.http_request().is_none());
+        assert!(pkt.dns().is_none());
+        assert!(
+            pkt.network.get().is_none(),
+            "fast-path accessors must not build the full layer view"
+        );
+        // A typed-header accessor materializes it.
+        assert!(pkt.tcp().is_some());
+        assert!(pkt.network.get().is_some());
+    }
+
+    #[test]
+    fn lazy_and_eager_views_agree() {
+        for pkt in [
+            builder::tcp_data(
+                client_mac(),
+                gw_mac(),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(93, 184, 216, 34),
+                40000,
+                443,
+                b"data",
+            ),
+            builder::udp_packet(
+                client_mac(),
+                gw_mac(),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(8, 8, 8, 8),
+                5353,
+                53,
+                b"q",
+            ),
+            builder::icmp_echo_request(
+                client_mac(),
+                gw_mac(),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(1, 1, 1, 1),
+                7,
+                1,
+            ),
+        ] {
+            let meta_tuple = pkt.five_tuple().unwrap();
+            // Force the full parse and recompute the tuple from the typed view.
+            let NetworkLayer::Ipv4 { header, transport } = pkt.network() else {
+                panic!("expected IPv4");
+            };
+            let (src_port, dst_port) = match transport {
+                TransportLayer::Tcp { header, .. } => (header.src_port, header.dst_port),
+                TransportLayer::Udp { header, .. } => (header.src_port, header.dst_port),
+                TransportLayer::Icmp(_) => (0, 0),
+                TransportLayer::Other => panic!("expected a transport"),
+            };
+            assert_eq!(
+                meta_tuple,
+                FiveTuple::new(header.src, header.dst, header.protocol, src_port, dst_port)
+            );
+        }
     }
 
     #[test]
@@ -458,6 +781,31 @@ mod tests {
         bytes.extend_from_slice(&client_mac().octets());
         bytes.extend_from_slice(&0x0800u16.to_be_bytes());
         bytes.extend_from_slice(&[0xff; 20]);
+        assert!(Packet::from_vec(bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_transport_headers_are_rejected_at_parse_time() {
+        // A valid IPv4 header claiming TCP but with no room for the TCP
+        // header: the fast scan must reject it exactly like the eager parser.
+        let ok = builder::tcp_data(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40000,
+            80,
+            b"x",
+        );
+        let mut bytes = ok.bytes().to_vec();
+        bytes.truncate(14 + 20 + 10); // Ethernet + IPv4, half a TCP header
+                                      // Fix up the IPv4 total length and checksum for the truncated frame.
+        let total = (bytes.len() - 14) as u16;
+        bytes[16..18].copy_from_slice(&total.to_be_bytes());
+        bytes[24] = 0;
+        bytes[25] = 0;
+        let checksum = crate::checksum::internet_checksum(&bytes[14..34]);
+        bytes[24..26].copy_from_slice(&checksum.to_be_bytes());
         assert!(Packet::from_vec(bytes).is_err());
     }
 

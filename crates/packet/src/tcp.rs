@@ -221,7 +221,11 @@ impl TcpHeader {
     /// Appends the header and payload to `buf`, computing the checksum against
     /// the given IPv4 endpoint addresses.
     pub fn emit(&self, buf: &mut BytesMut, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
-        debug_assert_eq!(self.options.len() % 4, 0, "TCP options must pad to 32-bit words");
+        debug_assert_eq!(
+            self.options.len() % 4,
+            0,
+            "TCP options must pad to 32-bit words"
+        );
         let header_len = self.header_len();
         let start = buf.len();
         buf.put_u16(self.src_port);

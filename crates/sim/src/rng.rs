@@ -251,7 +251,10 @@ mod tests {
         }
         for &c in &counts {
             // Expected 5000, allow generous slack.
-            assert!((4000..6000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (4000..6000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
         assert_eq!(rng.next_below(0), 0);
         assert_eq!(rng.next_below(1), 0);
@@ -273,7 +276,10 @@ mod tests {
         let mut rng = Rng::new(13);
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
-        assert!((mean - 2.0).abs() < 0.1, "sample mean {mean} too far from 2.0");
+        assert!(
+            (mean - 2.0).abs() < 0.1,
+            "sample mean {mean} too far from 2.0"
+        );
         assert_eq!(rng.exponential(0.0), 0.0);
     }
 
@@ -294,7 +300,7 @@ mod tests {
     #[test]
     fn zipf_prefers_low_ranks() {
         let mut rng = Rng::new(19);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..20_000 {
             counts[rng.zipf(20, 1.0)] += 1;
         }
@@ -337,7 +343,10 @@ mod tests {
         let n = 20_000;
         let total: SimDuration = (0..n).map(|_| rng.exponential_duration(mean)).sum();
         let avg_ms = total.as_millis_f64() / n as f64;
-        assert!((avg_ms - 100.0).abs() < 5.0, "mean inter-arrival {avg_ms}ms");
+        assert!(
+            (avg_ms - 100.0).abs() < 5.0,
+            "mean inter-arrival {avg_ms}ms"
+        );
         let d = rng.normal_duration(SimDuration::from_millis(50), SimDuration::from_millis(10));
         assert!(d.as_millis() < 200);
     }

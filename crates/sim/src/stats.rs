@@ -123,10 +123,9 @@ impl Summary {
         }
         let combined = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / combined as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / combined as f64;
+        let new_mean = self.mean + delta * other.count as f64 / combined as f64;
+        self.m2 +=
+            other.m2 + delta * delta * self.count as f64 * other.count as f64 / combined as f64;
         self.mean = new_mean;
         self.count = combined;
         self.sum += other.sum;

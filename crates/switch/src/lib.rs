@@ -12,13 +12,19 @@
 //! * [`steering`] — the match–action [`steering::SteeringTable`] that selects
 //!   which subset of a client's traffic is diverted through which NF chain,
 //!   with atomic rule replacement for make-before-break migration.
+//! * [`flow_cache`] — the OVS-style exact-match microflow cache that memoizes
+//!   the full [`switch::SwitchDecision`] per five-tuple, with LRU eviction
+//!   and generation-based invalidation; repeated packets of a flow cost one
+//!   hash lookup instead of the full steering/MAC pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow_cache;
 pub mod steering;
 pub mod switch;
 
+pub use flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
 pub use steering::{SteeringRule, SteeringTable, TrafficSelector};
 pub use switch::{
     Forwarding, Port, PortCounters, PortId, PortKind, SoftwareSwitch, SwitchDecision,

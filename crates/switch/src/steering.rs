@@ -106,7 +106,12 @@ impl SteeringTable {
 
     /// Atomically replaces every rule of a client pointing at `old_chain` with
     /// the same rule pointing at `new_chain`. Returns how many rules changed.
-    pub fn repoint(&mut self, client_mac: MacAddr, old_chain: ChainId, new_chain: ChainId) -> usize {
+    pub fn repoint(
+        &mut self,
+        client_mac: MacAddr,
+        old_chain: ChainId,
+        new_chain: ChainId,
+    ) -> usize {
         let mut changed = 0;
         if let Some(rules) = self.rules.get_mut(&client_mac) {
             for rule in rules.iter_mut() {
@@ -295,7 +300,11 @@ mod tests {
         let (m, _) = table.lookup(&dns_packet()).unwrap();
         assert_eq!(m.chain, ChainId::new(10), "DNS goes to the DNS chain");
         let (m, _) = table.lookup(&http_packet()).unwrap();
-        assert_eq!(m.chain, ChainId::new(20), "everything else to the catch-all");
+        assert_eq!(
+            m.chain,
+            ChainId::new(20),
+            "everything else to the catch-all"
+        );
         assert_eq!(table.rules_for(client_mac()).len(), 2);
         assert_eq!(table.len(), 2);
     }
@@ -311,7 +320,10 @@ mod tests {
         let (m, _) = table.lookup(&http_packet()).unwrap();
         assert_eq!(m.chain, ChainId::new(2));
         // Repointing a chain that is not installed changes nothing.
-        assert_eq!(table.repoint(client_mac(), ChainId::new(9), ChainId::new(3)), 0);
+        assert_eq!(
+            table.repoint(client_mac(), ChainId::new(9), ChainId::new(3)),
+            0
+        );
     }
 
     #[test]
@@ -321,7 +333,10 @@ mod tests {
         table.install(rule(TrafficSelector::all(), 2));
         assert_eq!(table.remove_chain(client_mac(), ChainId::new(1)), 1);
         assert_eq!(table.len(), 1);
-        assert!(table.lookup(&dns_packet()).is_some(), "falls through to catch-all");
+        assert!(
+            table.lookup(&dns_packet()).is_some(),
+            "falls through to catch-all"
+        );
         assert_eq!(table.remove_client(client_mac()), 1);
         assert!(table.is_empty());
         assert!(table.lookup(&http_packet()).is_none());

@@ -6,12 +6,26 @@
 //! like a normal L2 bridge, counts per-port traffic (the statistics the UI
 //! displays) and consults the [`crate::steering::SteeringTable`] to decide
 //! whether a frame must detour through an NF chain before being forwarded.
+//!
+//! ## Fast path / slow path
+//!
+//! [`SoftwareSwitch::receive`] is split OVS-style: frames that carry a
+//! transport five-tuple first consult the exact-match
+//! [`crate::flow_cache::FlowCache`]; a hit returns the memoized
+//! [`SwitchDecision`] after one hash lookup. A miss (or a non-flow frame such
+//! as ARP) walks the full slow path — steering lookup, MAC table, flood set —
+//! and flows memoize the result. Port and steering mutations advance
+//! generation counters that lazily invalidate every affected entry in O(1);
+//! MAC-table changes (learn/move/age) are caught per flow, because each
+//! cached entry re-validates its destination's MAC→port mapping on lookup.
 
+use crate::flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
 use crate::steering::{SteeringRule, SteeringTable};
 use gnf_packet::Packet;
 use gnf_types::{GnfError, GnfResult, MacAddr, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Switch-local port identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -63,13 +77,17 @@ pub struct Port {
 }
 
 /// Where the switch decided to send a frame.
+///
+/// Flood port sets are shared (`Arc`) so that broadcasting, cloning a
+/// decision into the flow cache and returning a cache hit never allocate a
+/// fresh port vector per frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Forwarding {
     /// Send out a single known port.
     Unicast(PortId),
     /// Flood out of every port except the ingress one (destination unknown or
     /// broadcast).
-    Flood(Vec<PortId>),
+    Flood(Arc<[PortId]>),
 }
 
 /// The decision for one received frame.
@@ -83,27 +101,51 @@ pub struct SwitchDecision {
 }
 
 /// The software switch.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SoftwareSwitch {
     ports: Vec<Port>,
     mac_table: HashMap<MacAddr, (PortId, SimTime)>,
     steering: SteeringTable,
     mac_aging: u64,
     dropped_frames: u64,
+    /// Bumped on any port or MAC-mapping change; pairs with the steering
+    /// table's generation to validate flow-cache entries.
+    topology_generation: u64,
+    flow_cache: FlowCache,
+    /// Memoized flood port set per ingress port (rebuilt after port changes).
+    #[allow(clippy::type_complexity)]
+    flood_sets: HashMap<PortId, Arc<[PortId]>>,
+    /// The shared empty flood set (hairpin suppression).
+    empty_flood: Arc<[PortId]>,
 }
 
 /// Default MAC-table aging time in seconds (the classic 300 s bridge default).
 pub const DEFAULT_MAC_AGING_SECS: u64 = 300;
 
+impl Default for SoftwareSwitch {
+    fn default() -> Self {
+        SoftwareSwitch::new()
+    }
+}
+
 impl SoftwareSwitch {
     /// Creates a switch with a client-access port and an uplink port.
     pub fn new() -> Self {
+        Self::with_flow_cache_capacity(DEFAULT_FLOW_CACHE_CAPACITY)
+    }
+
+    /// Creates a switch whose flow cache is bounded to `capacity` entries.
+    pub fn with_flow_cache_capacity(capacity: usize) -> Self {
         let mut sw = SoftwareSwitch {
             ports: Vec::new(),
             mac_table: HashMap::new(),
             steering: SteeringTable::new(),
             mac_aging: DEFAULT_MAC_AGING_SECS,
             dropped_frames: 0,
+            topology_generation: 0,
+            flow_cache: FlowCache::with_capacity(capacity),
+            flood_sets: HashMap::new(),
+            empty_flood: Arc::from(Vec::new()),
         };
         sw.add_port("wlan0", PortKind::ClientAccess);
         sw.add_port("uplink0", PortKind::Uplink);
@@ -119,13 +161,20 @@ impl SoftwareSwitch {
             kind,
             counters: PortCounters::default(),
         });
+        self.note_topology_change();
         id
     }
 
     /// Adds the two veth pairs for a container, returning (ingress, egress).
     pub fn connect_container(&mut self, container: u64, label: &str) -> (PortId, PortId) {
-        let ingress = self.add_port(&format!("veth-{label}-in"), PortKind::VethIngress { container });
-        let egress = self.add_port(&format!("veth-{label}-out"), PortKind::VethEgress { container });
+        let ingress = self.add_port(
+            &format!("veth-{label}-in"),
+            PortKind::VethIngress { container },
+        );
+        let egress = self.add_port(
+            &format!("veth-{label}-out"),
+            PortKind::VethEgress { container },
+        );
         (ingress, egress)
     }
 
@@ -141,9 +190,14 @@ impl SoftwareSwitch {
             })
             .map(|p| p.id)
             .collect();
+        if removed_ids.is_empty() {
+            return 0;
+        }
         self.ports.retain(|p| !removed_ids.contains(&p.id));
         // Forget MAC entries learned on removed ports.
-        self.mac_table.retain(|_, (port, _)| !removed_ids.contains(port));
+        self.mac_table
+            .retain(|_, (port, _)| !removed_ids.contains(port));
+        self.note_topology_change();
         before - self.ports.len()
     }
 
@@ -166,6 +220,9 @@ impl SoftwareSwitch {
     }
 
     /// The steering table (mutable) for installing/removing redirection rules.
+    ///
+    /// The table carries its own generation counter, so rule changes made
+    /// through this handle invalidate the flow cache automatically.
     pub fn steering_mut(&mut self) -> &mut SteeringTable {
         &mut self.steering
     }
@@ -207,15 +264,28 @@ impl SoftwareSwitch {
 
     /// Total traffic through the switch (rx over access + uplink ports).
     pub fn total_rx_bytes(&self) -> u64 {
-        self.aggregate_counters(|p| {
-            matches!(p.kind, PortKind::ClientAccess | PortKind::Uplink)
-        })
-        .rx_bytes
+        self.aggregate_counters(|p| matches!(p.kind, PortKind::ClientAccess | PortKind::Uplink))
+            .rx_bytes
     }
 
     /// Number of MAC-table entries.
     pub fn mac_table_len(&self) -> usize {
         self.mac_table.len()
+    }
+
+    /// Flow-cache hit/miss/eviction counters.
+    pub fn flow_cache_stats(&self) -> FlowCacheStats {
+        self.flow_cache.stats()
+    }
+
+    /// Number of flows currently memoized in the fast path.
+    pub fn flow_cache_len(&self) -> usize {
+        self.flow_cache.len()
+    }
+
+    /// Drops every memoized flow (the slow path repopulates on demand).
+    pub fn flush_flow_cache(&mut self) {
+        self.flow_cache.clear();
     }
 
     /// Expires MAC-table entries older than the aging time.
@@ -224,18 +294,26 @@ impl SoftwareSwitch {
         let before = self.mac_table.len();
         self.mac_table
             .retain(|_, (_, seen)| now.duration_since(*seen).as_nanos() < aging * 1_000_000_000);
+        // No generation bump: cached flows validate their destination's
+        // MAC mapping on lookup, so aged entries invalidate themselves.
         before - self.mac_table.len()
     }
 
     /// Processes a frame received on `in_port`: learns the source MAC, counts
-    /// traffic, consults steering and returns where the frame goes.
+    /// traffic, consults the flow cache (or, on a miss, steering and the MAC
+    /// table) and returns where the frame goes.
     ///
     /// The caller (the station/Agent layer) is responsible for actually
     /// running the NF chain named by the decision and for transmitting the
     /// surviving frame out of the chosen port(s) via [`record_tx`].
     ///
     /// [`record_tx`]: SoftwareSwitch::record_tx
-    pub fn receive(&mut self, packet: &Packet, in_port: PortId, now: SimTime) -> GnfResult<SwitchDecision> {
+    pub fn receive(
+        &mut self,
+        packet: &Packet,
+        in_port: PortId,
+        now: SimTime,
+    ) -> GnfResult<SwitchDecision> {
         if self.port(in_port).is_err() {
             self.dropped_frames += 1;
             return Err(GnfError::not_found("switch port", in_port.0));
@@ -245,11 +323,52 @@ impl SoftwareSwitch {
             port.counters.rx_packets += 1;
             port.counters.rx_bytes += packet.len() as u64;
         }
-        // Learn the source MAC on the ingress port.
+        // Learn the source MAC on the ingress port. Learning does not touch
+        // the flow cache's generations: a learned/moved/aged MAC can only
+        // change decisions for flows destined *to* it, and every cached
+        // entry re-validates its destination's MAC mapping on lookup — so
+        // unrelated flows stay hot through client churn.
         if packet.src_mac().is_unicast() {
             self.mac_table.insert(packet.src_mac(), (in_port, now));
         }
 
+        // Fast path: exact-match lookup for transport flows.
+        if let Some(tuple) = packet.five_tuple() {
+            let key = FlowKey {
+                in_port,
+                src_mac: packet.src_mac(),
+                dst_mac: packet.dst_mac(),
+                tuple,
+            };
+            let steering_generation = self.steering.generation();
+            let dst_mapping = self.mac_table.get(&packet.dst_mac()).map(|(port, _)| *port);
+            if let Some(decision) = self.flow_cache.lookup(
+                &key,
+                self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            ) {
+                return Ok(decision);
+            }
+            let decision = self.slow_path(packet, in_port);
+            self.flow_cache.insert(
+                key,
+                decision.clone(),
+                self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            );
+            Ok(decision)
+        } else {
+            // Non-flow frames (ARP, unknown EtherTypes) are rare control
+            // traffic; they always take the slow path.
+            Ok(self.slow_path(packet, in_port))
+        }
+    }
+
+    /// The full lookup pipeline: steering rules plus the L2 forwarding
+    /// decision.
+    fn slow_path(&mut self, packet: &Packet, in_port: PortId) -> SwitchDecision {
         let steering = self.steering.lookup(packet);
 
         // Standard L2 forwarding decision.
@@ -258,7 +377,7 @@ impl SoftwareSwitch {
         } else if let Some((port, _)) = self.mac_table.get(&packet.dst_mac()) {
             if *port == in_port {
                 // Destination is on the ingress segment; hairpin suppressed.
-                Forwarding::Flood(Vec::new())
+                Forwarding::Flood(self.empty_flood.clone())
             } else {
                 Forwarding::Unicast(*port)
             }
@@ -269,10 +388,10 @@ impl SoftwareSwitch {
             Forwarding::Unicast(self.uplink_port())
         };
 
-        Ok(SwitchDecision {
+        SwitchDecision {
             steering,
             forwarding,
-        })
+        }
     }
 
     /// Records that a frame was transmitted out of `port`.
@@ -283,15 +402,30 @@ impl SoftwareSwitch {
         }
     }
 
-    fn flood_ports(&self, except: PortId) -> Vec<PortId> {
-        self.ports
+    /// The flood set for frames entering on `except`, shared and memoized so
+    /// broadcasts do not allocate per frame.
+    fn flood_ports(&mut self, except: PortId) -> Arc<[PortId]> {
+        if let Some(set) = self.flood_sets.get(&except) {
+            return Arc::clone(set);
+        }
+        let set: Arc<[PortId]> = self
+            .ports
             .iter()
             .filter(|p| {
-                p.id != except
-                    && matches!(p.kind, PortKind::ClientAccess | PortKind::Uplink)
+                p.id != except && matches!(p.kind, PortKind::ClientAccess | PortKind::Uplink)
             })
             .map(|p| p.id)
-            .collect()
+            .collect::<Vec<_>>()
+            .into();
+        self.flood_sets.insert(except, Arc::clone(&set));
+        set
+    }
+
+    /// Records a change to the port set: flood sets and memoized flow
+    /// decisions are no longer trustworthy.
+    fn note_topology_change(&mut self) {
+        self.topology_generation += 1;
+        self.flood_sets.clear();
     }
 }
 
@@ -367,10 +501,27 @@ mod tests {
         let decision = sw.receive(&arp, sw.client_port(), SimTime::ZERO).unwrap();
         match decision.forwarding {
             Forwarding::Flood(ports) => {
-                assert_eq!(ports, vec![sw.uplink_port()]);
+                assert_eq!(ports.as_ref(), &[sw.uplink_port()]);
             }
             other => panic!("expected flood, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flood_sets_are_shared_not_reallocated() {
+        let mut sw = SoftwareSwitch::new();
+        let arp = builder::arp_request(
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let first = sw.receive(&arp, sw.client_port(), SimTime::ZERO).unwrap();
+        let second = sw.receive(&arp, sw.client_port(), SimTime::ZERO).unwrap();
+        let (Forwarding::Flood(a), Forwarding::Flood(b)) = (first.forwarding, second.forwarding)
+        else {
+            panic!("expected floods");
+        };
+        assert!(Arc::ptr_eq(&a, &b), "flood set must be memoized");
     }
 
     #[test]
@@ -440,7 +591,8 @@ mod tests {
     #[test]
     fn mac_entries_age_out() {
         let mut sw = SoftwareSwitch::new();
-        sw.receive(&upstream(), sw.client_port(), SimTime::from_secs(1)).unwrap();
+        sw.receive(&upstream(), sw.client_port(), SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(sw.mac_table_len(), 1);
         assert_eq!(sw.age_mac_table(SimTime::from_secs(100)), 0);
         assert_eq!(sw.age_mac_table(SimTime::from_secs(1000)), 1);
@@ -450,7 +602,9 @@ mod tests {
     #[test]
     fn receiving_on_an_unknown_port_is_an_error() {
         let mut sw = SoftwareSwitch::new();
-        let err = sw.receive(&upstream(), PortId(99), SimTime::ZERO).unwrap_err();
+        let err = sw
+            .receive(&upstream(), PortId(99), SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err.category(), "not_found");
         assert_eq!(sw.dropped_frames(), 1);
     }
@@ -473,6 +627,115 @@ mod tests {
         sw.receive(&reverse, sw.client_port(), t).unwrap();
         // Now a frame to the client arriving on the client port stays there.
         let decision = sw.receive(&reverse, sw.client_port(), t).unwrap();
-        assert_eq!(decision.forwarding, Forwarding::Flood(Vec::new()));
+        assert_eq!(
+            decision.forwarding,
+            Forwarding::Flood(Arc::from(Vec::new()))
+        );
+    }
+
+    // ----------------------------------------------------- flow-cache tests
+
+    #[test]
+    fn repeated_flows_hit_the_cache() {
+        let mut sw = SoftwareSwitch::new();
+        let t = SimTime::from_secs(1);
+        let pkt = upstream();
+        let first = sw.receive(&pkt, sw.client_port(), t).unwrap();
+        assert_eq!(sw.flow_cache_stats().misses, 1);
+        let second = sw.receive(&pkt, sw.client_port(), t).unwrap();
+        assert_eq!(sw.flow_cache_stats().hits, 1);
+        assert_eq!(first, second, "cached decision equals slow-path decision");
+        assert_eq!(sw.flow_cache_len(), 1);
+    }
+
+    #[test]
+    fn steering_changes_invalidate_cached_flows() {
+        let mut sw = SoftwareSwitch::new();
+        let t = SimTime::from_secs(1);
+        let pkt = upstream();
+        let before = sw.receive(&pkt, sw.client_port(), t).unwrap();
+        assert!(before.steering.is_none());
+        sw.receive(&pkt, sw.client_port(), t).unwrap();
+        assert_eq!(sw.flow_cache_stats().hits, 1);
+
+        // Install a catch-all rule: the cached decision must not survive.
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(3),
+            client_mac: client_mac(),
+            selector: TrafficSelector::all(),
+            chain: ChainId::new(7),
+        });
+        let after = sw.receive(&pkt, sw.client_port(), t).unwrap();
+        let (rule, _) = after.steering.expect("steering applies immediately");
+        assert_eq!(rule.chain, ChainId::new(7));
+
+        // Removing the rule restores the unsteered decision immediately.
+        sw.steering_mut()
+            .remove_chain(client_mac(), ChainId::new(7));
+        let restored = sw.receive(&pkt, sw.client_port(), t).unwrap();
+        assert!(restored.steering.is_none());
+    }
+
+    #[test]
+    fn mac_learning_and_aging_invalidate_cached_flows() {
+        let mut sw = SoftwareSwitch::new();
+        let pkt = upstream();
+        // Before the server MAC is learned, upstream goes to the uplink.
+        let decision = sw
+            .receive(&pkt, sw.client_port(), SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(decision.forwarding, Forwarding::Unicast(sw.uplink_port()));
+        // The server talks: its MAC is learned on the uplink port (no change
+        // to the decision — it already pointed there), then moves to a veth
+        // port, which must re-route the cached flow.
+        sw.receive(&downstream(), sw.uplink_port(), SimTime::from_secs(2))
+            .unwrap();
+        let (veth_in, _) = sw.connect_container(9, "nf");
+        sw.receive(&downstream(), veth_in, SimTime::from_secs(3))
+            .unwrap();
+        let decision = sw
+            .receive(&pkt, sw.client_port(), SimTime::from_secs(4))
+            .unwrap();
+        assert_eq!(
+            decision.forwarding,
+            Forwarding::Unicast(veth_in),
+            "MAC move must re-route the cached flow"
+        );
+
+        // Aging the MAC table restores default-route behavior.
+        assert!(sw.age_mac_table(SimTime::from_secs(3600)) > 0);
+        let decision = sw
+            .receive(&pkt, sw.client_port(), SimTime::from_secs(3601))
+            .unwrap();
+        assert_eq!(decision.forwarding, Forwarding::Unicast(sw.uplink_port()));
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded() {
+        let mut sw = SoftwareSwitch::with_flow_cache_capacity(8);
+        let t = SimTime::from_secs(1);
+        for port in 0..100u16 {
+            let pkt = builder::tcp_syn(
+                client_mac(),
+                server_mac(),
+                Ipv4Addr::new(10, 0, 0, 3),
+                Ipv4Addr::new(198, 51, 100, 1),
+                40_000 + port,
+                443,
+            );
+            sw.receive(&pkt, sw.client_port(), t).unwrap();
+            assert!(sw.flow_cache_len() <= 8);
+        }
+        assert!(sw.flow_cache_stats().evictions >= 92);
+    }
+
+    #[test]
+    fn flush_empties_the_cache() {
+        let mut sw = SoftwareSwitch::new();
+        sw.receive(&upstream(), sw.client_port(), SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(sw.flow_cache_len(), 1);
+        sw.flush_flow_cache();
+        assert_eq!(sw.flow_cache_len(), 0);
     }
 }

@@ -215,6 +215,7 @@ mod tests {
             connected_clients: vec![ClientId::new(station * 10)],
             running_nfs: 2,
             cached_images: 1,
+            flow_cache: Default::default(),
         }
     }
 
@@ -251,7 +252,10 @@ mod tests {
         assert_eq!(newly, vec![StationId::new(1)]);
         assert!(store.refresh_liveness(SimTime::from_secs(20)).is_empty());
         // A fresh report brings it back online.
-        store.ingest(report(1, 0.2, SimTime::from_secs(21)), SimTime::from_secs(21));
+        store.ingest(
+            report(1, 0.2, SimTime::from_secs(21)),
+            SimTime::from_secs(21),
+        );
         assert_eq!(
             store.station(StationId::new(1)).unwrap().status,
             StationStatus::Online

@@ -138,7 +138,10 @@ impl NotificationLog {
 
     /// Retained entries at or above a severity.
     pub fn at_least(&self, severity: NotificationSeverity) -> Vec<&Notification> {
-        self.entries.iter().filter(|n| n.severity >= severity).collect()
+        self.entries
+            .iter()
+            .filter(|n| n.severity >= severity)
+            .collect()
     }
 }
 

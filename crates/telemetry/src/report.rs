@@ -1,7 +1,33 @@
 //! The periodic state report an Agent sends to the Manager.
 
-use gnf_types::{AgentId, ClientId, HostClass, ResourceSpec, ResourceUsage, SimTime, StationId};
+use gnf_types::{
+    AgentId, ClientId, FlowCacheStats, HostClass, ResourceSpec, ResourceUsage, SimTime, StationId,
+};
 use serde::{Deserialize, Serialize};
+
+/// Data-plane fast-path counters reported by a station: how well the
+/// switch's per-flow exact-match cache is doing, plus its current size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowCacheTelemetry {
+    /// Hit/miss/eviction/invalidation counters (shared with the switch).
+    pub stats: FlowCacheStats,
+    /// Flows currently memoized.
+    pub entries: usize,
+}
+
+impl FlowCacheTelemetry {
+    /// Merges another station's counters into this aggregate.
+    pub fn merge(&mut self, other: &FlowCacheTelemetry) {
+        let FlowCacheTelemetry { stats, entries } = other;
+        self.stats.merge(stats);
+        self.entries += entries;
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+}
 
 /// A snapshot of one station's state, produced by its Agent every reporting
 /// interval ("reporting periodically the state of the device").
@@ -25,6 +51,8 @@ pub struct StationReport {
     pub running_nfs: usize,
     /// Number of NF images held in the local cache.
     pub cached_images: usize,
+    /// Data-plane fast-path counters.
+    pub flow_cache: FlowCacheTelemetry,
 }
 
 impl StationReport {
@@ -62,6 +90,7 @@ mod tests {
             connected_clients: vec![ClientId::new(1), ClientId::new(2)],
             running_nfs: 3,
             cached_images: 2,
+            flow_cache: Default::default(),
         }
     }
 

@@ -109,19 +109,25 @@ mod tests {
 
     #[test]
     fn zero_intervals_are_rejected() {
-        let mut cfg = GnfConfig::default();
-        cfg.agent_report_interval = SimDuration::ZERO;
+        let cfg = GnfConfig {
+            agent_report_interval: SimDuration::ZERO,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = GnfConfig::default();
-        cfg.hotspot_scan_interval = SimDuration::ZERO;
+        let cfg = GnfConfig {
+            hotspot_scan_interval: SimDuration::ZERO,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn out_of_range_threshold_is_rejected() {
-        let mut cfg = GnfConfig::default();
-        cfg.hotspot_threshold = 1.5;
+        let mut cfg = GnfConfig {
+            hotspot_threshold: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.hotspot_threshold = -0.1;
         assert!(cfg.validate().is_err());
@@ -129,8 +135,10 @@ mod tests {
 
     #[test]
     fn zero_missed_reports_is_rejected() {
-        let mut cfg = GnfConfig::default();
-        cfg.missed_reports_for_offline = 0;
+        let cfg = GnfConfig {
+            missed_reports_for_offline: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

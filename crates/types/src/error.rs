@@ -195,10 +195,22 @@ mod tests {
     #[test]
     fn display_is_informative_for_every_variant() {
         let cases: Vec<(GnfError, &str)> = vec![
-            (GnfError::already_exists("image", "glanf/firewall"), "already exists"),
-            (GnfError::invalid_state("container stopped"), "invalid state"),
-            (GnfError::insufficient("512 MB", "128 MB"), "insufficient resources"),
-            (GnfError::malformed_packet("ipv4", "truncated header"), "malformed ipv4"),
+            (
+                GnfError::already_exists("image", "glanf/firewall"),
+                "already exists",
+            ),
+            (
+                GnfError::invalid_state("container stopped"),
+                "invalid state",
+            ),
+            (
+                GnfError::insufficient("512 MB", "128 MB"),
+                "insufficient resources",
+            ),
+            (
+                GnfError::malformed_packet("ipv4", "truncated header"),
+                "malformed ipv4",
+            ),
             (
                 GnfError::Codec {
                     reason: "bad length".into(),

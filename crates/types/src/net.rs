@@ -9,6 +9,48 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
+/// Hit/miss/eviction counters of a data-plane flow cache. Produced by the
+/// switch's exact-match fast path and carried through station telemetry into
+/// run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the slow path.
+    pub misses: u64,
+    /// Entries discarded to honor the capacity bound.
+    pub evictions: u64,
+    /// Entries discarded because the state they were derived from changed.
+    pub invalidations: u64,
+}
+
+impl FlowCacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Adds another counter block into this one. Destructured field by field
+    /// so a newly added counter cannot be silently dropped from aggregates.
+    pub fn merge(&mut self, other: &FlowCacheStats) {
+        let FlowCacheStats {
+            hits,
+            misses,
+            evictions,
+            invalidations,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.evictions += evictions;
+        self.invalidations += invalidations;
+    }
+}
+
 /// A 48-bit IEEE 802 MAC address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MacAddr(pub [u8; 6]);

@@ -70,13 +70,8 @@ impl ResourceSpec {
     /// How many instances of `unit` fit into this spec (the minimum across the
     /// dimensions; a dimension that `unit` does not use is unconstrained).
     pub fn how_many_fit(&self, unit: &ResourceSpec) -> u64 {
-        let per_dim = |capacity: u64, need: u64| -> u64 {
-            if need == 0 {
-                u64::MAX
-            } else {
-                capacity / need
-            }
-        };
+        let per_dim =
+            |capacity: u64, need: u64| -> u64 { capacity.checked_div(need).unwrap_or(u64::MAX) };
         per_dim(self.cpu_millicores, unit.cpu_millicores)
             .min(per_dim(self.memory_mb, unit.memory_mb))
             .min(per_dim(self.disk_mb, unit.disk_mb))
@@ -258,7 +253,7 @@ mod tests {
     fn how_many_fit_uses_the_tightest_dimension() {
         let host = HostClass::HomeRouter.capacity();
         let nf = ResourceSpec::new(5, 2, 1); // a tiny containerised NF
-        // memory is the binding constraint: 128 / 2 = 64
+                                             // memory is the binding constraint: 128 / 2 = 64
         assert_eq!(host.how_many_fit(&nf), 64);
 
         let vm = ResourceSpec::new(500, 512, 2048); // a VM image
@@ -294,7 +289,10 @@ mod tests {
             ..usage
         };
         assert!((cpu_bound.dominant_fraction(&cap) - 0.9).abs() < 1e-12);
-        assert_eq!(ResourceUsage::IDLE.memory_fraction(&ResourceSpec::ZERO), 0.0);
+        assert_eq!(
+            ResourceUsage::IDLE.memory_fraction(&ResourceSpec::ZERO),
+            0.0
+        );
     }
 
     #[test]

@@ -266,7 +266,9 @@ impl SimTime {
 
     /// Checked addition of a duration; `None` on overflow.
     pub fn checked_add(&self, d: SimDuration) -> Option<SimTime> {
-        self.nanos.checked_add(d.as_nanos()).map(SimTime::from_nanos)
+        self.nanos
+            .checked_add(d.as_nanos())
+            .map(SimTime::from_nanos)
     }
 }
 
@@ -364,7 +366,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert!(SimTime::ZERO
             .checked_add(SimDuration::from_secs(10))
             .is_some());

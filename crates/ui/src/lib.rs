@@ -266,6 +266,7 @@ mod tests {
                 connected_clients: vec![ClientId::new(0)],
                 running_nfs: 3,
                 cached_images: 2,
+                flow_cache: Default::default(),
             }),
             SimTime::from_secs(2),
         );

@@ -141,7 +141,11 @@ mod tests {
         let mut vms = VmRuntime::new(host);
         let mut containers = ContainerRuntime::new(host);
         let vm = vms
-            .deploy("hf-vm", catalog.for_kind(kind).unwrap(), kind.vm_footprint())
+            .deploy(
+                "hf-vm",
+                catalog.for_kind(kind).unwrap(),
+                kind.vm_footprint(),
+            )
             .unwrap();
         let container = containers
             .deploy(
@@ -151,7 +155,10 @@ mod tests {
             )
             .unwrap();
         let ratio = vm.total_duration.as_millis_f64() / container.total_duration.as_millis_f64();
-        assert!(ratio > 10.0, "VM deploy should be >10x slower, got {ratio:.1}x");
+        assert!(
+            ratio > 10.0,
+            "VM deploy should be >10x slower, got {ratio:.1}x"
+        );
     }
 
     #[test]
@@ -164,7 +171,10 @@ mod tests {
         let mut vms = VmRuntime::new(host);
         let vm_image = catalog.for_kind(kind).unwrap();
         let mut vm_count = 0;
-        while vms.deploy(&format!("vm-{vm_count}"), vm_image, kind.vm_footprint()).is_ok() {
+        while vms
+            .deploy(&format!("vm-{vm_count}"), vm_image, kind.vm_footprint())
+            .is_ok()
+        {
             vm_count += 1;
             assert!(vm_count < 10_000);
         }

@@ -81,11 +81,27 @@ fn main() {
     let cases = vec![
         (
             "allowed HTTP request",
-            builder::http_get(client_mac, gateway, client_ip, server, 40_000, "www.gla.ac.uk", "/"),
+            builder::http_get(
+                client_mac,
+                gateway,
+                client_ip,
+                server,
+                40_000,
+                "www.gla.ac.uk",
+                "/",
+            ),
         ),
         (
             "blocked ad URL",
-            builder::http_get(client_mac, gateway, client_ip, server, 40_001, "ads.example", "/banner.js"),
+            builder::http_get(
+                client_mac,
+                gateway,
+                client_ip,
+                server,
+                40_001,
+                "ads.example",
+                "/banner.js",
+            ),
         ),
         (
             "SSH attempt",
@@ -93,7 +109,15 @@ fn main() {
         ),
         (
             "DNS lookup",
-            builder::dns_query(client_mac, gateway, client_ip, Ipv4Addr::new(8, 8, 8, 8), 5353, 7, "svc.edge.example"),
+            builder::dns_query(
+                client_mac,
+                gateway,
+                client_ip,
+                Ipv4Addr::new(8, 8, 8, 8),
+                5353,
+                7,
+                "svc.edge.example",
+            ),
         ),
     ];
 
@@ -104,7 +128,10 @@ fn main() {
             }
             PacketOutcome::Dropped(reason) => println!("{label:>20}: dropped    ({reason})"),
             PacketOutcome::Replied(replies) => {
-                println!("{label:>20}: answered at the edge ({})", replies[0].summary());
+                println!(
+                    "{label:>20}: answered at the edge ({})",
+                    replies[0].summary()
+                );
             }
         }
     }
@@ -119,7 +146,10 @@ fn main() {
         for (name, kind, stats) in deployed.chain.per_nf_stats() {
             println!(
                 "  {name:<14} ({kind}): in={} forwarded={} dropped={} replied={}",
-                stats.packets_in, stats.packets_forwarded, stats.packets_dropped, stats.packets_replied
+                stats.packets_in,
+                stats.packets_forwarded,
+                stats.packets_dropped,
+                stats.packets_replied
             );
         }
     }

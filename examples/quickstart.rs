@@ -46,14 +46,41 @@ fn main() {
     let ctx = NfContext::at(SimTime::from_secs(1));
 
     let workload = vec![
-        ("HTTPS", builder::tcp_syn(client, gateway, client_ip, server_ip, 40_000, 443)),
-        ("SSH", builder::tcp_syn(client, gateway, client_ip, server_ip, 40_001, 22)),
-        ("DNS", builder::dns_query(client, gateway, client_ip, Ipv4Addr::new(8, 8, 8, 8), 5353, 1, "www.gla.ac.uk")),
-        ("Telnet", builder::tcp_syn(client, gateway, client_ip, server_ip, 40_002, 23)),
+        (
+            "HTTPS",
+            builder::tcp_syn(client, gateway, client_ip, server_ip, 40_000, 443),
+        ),
+        (
+            "SSH",
+            builder::tcp_syn(client, gateway, client_ip, server_ip, 40_001, 22),
+        ),
+        (
+            "DNS",
+            builder::dns_query(
+                client,
+                gateway,
+                client_ip,
+                Ipv4Addr::new(8, 8, 8, 8),
+                5353,
+                1,
+                "www.gla.ac.uk",
+            ),
+        ),
+        (
+            "Telnet",
+            builder::tcp_syn(client, gateway, client_ip, server_ip, 40_002, 23),
+        ),
     ];
     for (label, packet) in workload {
         let verdict = firewall.process(packet, Direction::Ingress, &ctx);
-        println!("{label:>6}: {}", if verdict.is_forward() { "forwarded" } else { "blocked" });
+        println!(
+            "{label:>6}: {}",
+            if verdict.is_forward() {
+                "forwarded"
+            } else {
+                "blocked"
+            }
+        );
     }
 
     let stats = firewall.stats();

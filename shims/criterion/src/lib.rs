@@ -1,0 +1,252 @@
+//! Minimal stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) with a straightforward measure-and-print harness:
+//! each benchmark is warmed up, then timed over a fixed measurement window,
+//! and the per-iteration latency plus derived throughput is printed in a
+//! criterion-like one-line format. No statistics beyond mean-of-window are
+//! computed — the point is comparable relative numbers, offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iterations += 1;
+            // Check the clock in batches to keep timer overhead negligible.
+            if iterations.is_multiple_of(64) && start.elapsed() >= self.elapsed {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// single measurement window makes it a no-op).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark that needs no input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut routine);
+        self
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        // Warm-up pass.
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: self.warm_up,
+        };
+        routine(&mut bencher);
+        // Measurement pass.
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: self.measurement,
+        };
+        routine(&mut bencher);
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib = bytes as f64 / per_iter * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                format!("  thrpt: {gib:10.3} GiB/s")
+            }
+            Some(Throughput::Elements(elements)) => {
+                let meps = elements as f64 / per_iter * 1e9 / 1e6;
+                format!("  thrpt: {meps:10.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!("{full:<48} time: {:>12}{rate}", format_ns(per_iter));
+    }
+}
+
+fn format_ns(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:8.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:8.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:8.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (a single positional benchmark-name
+    /// filter is honored; harness flags are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside a group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        };
+        group.run("", &mut routine);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

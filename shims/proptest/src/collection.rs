@@ -1,0 +1,55 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// A permissible length range for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.range_u64(self.size.min as u64, self.size.max_exclusive as u64 - 1) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,182 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax — everything the workspace's string strategies use:
+//! literal characters, `\`-escapes, character classes `[a-z0-9_.-]` (ranges
+//! and literals, no negation), groups `(...)` with `|` alternation, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (starred/plussed nodes repeat at
+//! most 8 times).
+
+use crate::rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Char(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternation of concatenations.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> Result<String, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let alternatives = parse_alternation(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(format!("unexpected `{}` at offset {pos}", chars[pos]));
+    }
+    let mut out = String::new();
+    emit(&Node::Group(alternatives), rng, &mut out);
+    Ok(out)
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Result<Vec<Vec<Node>>, String> {
+    let mut alternatives = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let node = parse_one(chars, pos)?;
+                let node = parse_quantifier(chars, pos, node)?;
+                alternatives.last_mut().unwrap().push(node);
+            }
+        }
+    }
+    Ok(alternatives)
+}
+
+fn parse_one(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            if chars.get(*pos) == Some(&'^') {
+                return Err("negated classes are not supported".to_string());
+            }
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let mut c = chars[*pos];
+                if c == '\\' {
+                    *pos += 1;
+                    c = *chars.get(*pos).ok_or("truncated escape in class")?;
+                }
+                *pos += 1;
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|c| *c != ']') {
+                    let hi = chars[*pos + 1];
+                    *pos += 2;
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            if chars.get(*pos) != Some(&']') {
+                return Err("unterminated character class".to_string());
+            }
+            *pos += 1;
+            Ok(Node::Class(ranges))
+        }
+        '(' => {
+            *pos += 1;
+            let alternatives = parse_alternation(chars, pos)?;
+            if chars.get(*pos) != Some(&')') {
+                return Err("unterminated group".to_string());
+            }
+            *pos += 1;
+            Ok(Node::Group(alternatives))
+        }
+        '\\' => {
+            *pos += 1;
+            let c = *chars.get(*pos).ok_or("truncated escape")?;
+            *pos += 1;
+            Ok(Node::Char(c))
+        }
+        '.' => {
+            *pos += 1;
+            Ok(Node::Class(vec![('a', 'z'), ('0', '9')]))
+        }
+        c => {
+            *pos += 1;
+            Ok(Node::Char(c))
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, node: Node) -> Result<Node, String> {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min.parse().map_err(|_| "bad repeat count")?;
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut max = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max.parse().map_err(|_| "bad repeat bound")?
+            } else {
+                min
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err("unterminated quantifier".to_string());
+            }
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(node), min, max))
+        }
+        Some('?') => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(node), 0, 1))
+        }
+        Some('*') => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(node), 0, 8))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(node), 1, 8))
+        }
+        _ => Ok(node),
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Char(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32) + 1)
+                .sum();
+            let mut pick = rng.range_u64(0, total - 1);
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi as u32 - *lo as u32) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(alternatives) => {
+            let pick = rng.range_u64(0, alternatives.len() as u64 - 1) as usize;
+            for child in &alternatives[pick] {
+                emit(child, rng, out);
+            }
+        }
+        Node::Repeat(child, min, max) => {
+            let count = rng.range_u64(u64::from(*min), u64::from(*max));
+            for _ in 0..count {
+                emit(child, rng, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic generator: splitmix64 seeded from (test name, case index).
+
+/// The per-case random generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream depends only on the test name and case index,
+    /// so failures reproduce across runs and machines.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        seed ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive on both ends).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Modulo bias is irrelevant for test-input generation.
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform draw from `[lo, hi]` for signed integers.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128) as u128;
+        if span == u64::MAX as u128 {
+            return self.next_u64() as i64;
+        }
+        (lo as i128 + (u128::from(self.next_u64()) % (span + 1)) as i128) as i64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

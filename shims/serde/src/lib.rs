@@ -1,0 +1,81 @@
+//! Minimal stand-in for the `serde` crate, implemented with the standard
+//! library only (the build environment has no crates.io access).
+//!
+//! Instead of serde's visitor architecture, this shim uses a concrete
+//! [`Value`] tree as the interchange representation: `Serialize` converts a
+//! type *to* a `Value`, `Deserialize` reconstructs it *from* one. The
+//! companion `serde_json` shim renders `Value` to JSON text and parses it
+//! back. The derive macros (`serde_derive`) generate the same externally
+//! tagged representation real serde uses, so JSON produced by this shim looks
+//! like ordinary serde JSON for the shapes this workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::Value;
+
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a value into the interchange [`Value`] tree.
+pub trait Serialize {
+    /// The `Value` representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a value from the interchange [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a `Value`, or explains why it cannot.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` module as used by this workspace.
+pub mod de {
+    pub use crate::Error;
+
+    /// Owned deserialization marker — in this shim every `Deserialize` type
+    /// is already owned, so this is a blanket alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// The `serde::ser` module (error type only; kept for path compatibility).
+pub mod ser {
+    pub use crate::Error;
+}
+
+/// Support function used by derive-generated code: fetches `key` from an
+/// object's fields, treating a missing key as `Null` (so `Option` fields
+/// tolerate omission).
+pub fn __from_field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<T, Error> {
+    let value = fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null);
+    T::from_value(value).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+}

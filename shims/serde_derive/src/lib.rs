@@ -1,0 +1,474 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the std-only serde
+//! shim.
+//!
+//! The macros parse the item declaration directly from the proc-macro token
+//! stream (no `syn`/`quote` available offline) and generate implementations
+//! of the shim's `to_value`/`from_value` traits using serde's externally
+//! tagged enum representation. Supported shapes — all this workspace uses:
+//! plain (non-generic) structs with named fields, tuple structs, unit
+//! structs, and enums with unit/tuple/struct variants. The only honored
+//! attribute is `#[serde(transparent)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        transparent: bool,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut ix = 0;
+    let transparent = skip_attributes(&tokens, &mut ix)?;
+    skip_visibility(&tokens, &mut ix);
+
+    let keyword = expect_ident(&tokens, &mut ix)?;
+    let name = expect_ident(&tokens, &mut ix)?;
+    if matches!(tokens.get(ix), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(ix) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct {
+                name,
+                transparent,
+                fields,
+            })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(ix) else {
+                return Err("expected enum body".to_string());
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Skips leading attributes, returning whether `#[serde(transparent)]` was
+/// among them. Unknown `#[serde(...)]` options are rejected loudly so silent
+/// misbehavior is impossible.
+fn skip_attributes(tokens: &[TokenTree], ix: &mut usize) -> Result<bool, String> {
+    let mut transparent = false;
+    while matches!(tokens.get(*ix), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *ix += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*ix) else {
+            return Err("malformed attribute".to_string());
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+            if let Some(TokenTree::Group(options)) = inner.get(1) {
+                for opt in options.stream() {
+                    match opt {
+                        TokenTree::Ident(i) if i.to_string() == "transparent" => {
+                            transparent = true;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' => {}
+                        other => {
+                            return Err(format!(
+                                "serde shim derive does not support attribute option `{other}`"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        *ix += 1;
+    }
+    Ok(transparent)
+}
+
+fn skip_visibility(tokens: &[TokenTree], ix: &mut usize) {
+    if matches!(tokens.get(*ix), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *ix += 1;
+        if matches!(
+            tokens.get(*ix),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *ix += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], ix: &mut usize) -> Result<String, String> {
+    match tokens.get(*ix) {
+        Some(TokenTree::Ident(i)) => {
+            *ix += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Collects the field names of a named-field body, skipping attributes,
+/// visibility and the type tokens (commas inside `<...>` do not split).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut ix = 0;
+    let mut fields = Vec::new();
+    while ix < tokens.len() {
+        skip_attributes(&tokens, &mut ix)?;
+        if ix >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut ix);
+        fields.push(expect_ident(&tokens, &mut ix)?);
+        match tokens.get(ix) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => ix += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(ix) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        ix += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ix += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct / tuple-variant fields (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut ix = 0;
+    let mut variants = Vec::new();
+    while ix < tokens.len() {
+        skip_attributes(&tokens, &mut ix)?;
+        if ix >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut ix)?;
+        let fields = match tokens.get(ix) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ix += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ix += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while let Some(token) = tokens.get(ix) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                ix += 1;
+                break;
+            }
+            ix += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) if *transparent && names.len() == 1 => {
+                    format!("::serde::Serialize::to_value(&self.{})", names[0])
+                }
+                Fields::Named(names) => {
+                    let pushes: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{tag} => ::serde::Value::String({tag:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{tag}(__f0) => ::serde::Value::Object(vec![({tag:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{tag}({}) => ::serde::Value::Object(vec![({tag:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{tag} {{ {} }} => ::serde::Value::Object(vec![({tag:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                fields.join(", "),
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(names) if *transparent && names.len() == 1 => format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(value)? }})",
+                    names[0]
+                ),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__from_field(__fields, {f:?})?"))
+                        .collect();
+                    format!(
+                        "let __fields = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected object for {name}, found {{}}\", value.kind())))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = value.as_array().filter(|a| a.len() == {n}).ok_or_else(|| \
+                             ::serde::Error::custom(\"expected {n}-element array for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let tag = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{tag:?} => ::std::result::Result::Ok({name}::{tag}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{tag:?} => {{\n\
+                                     let __items = __inner.as_array().filter(|a| a.len() == {n}).ok_or_else(|| \
+                                         ::serde::Error::custom(\"expected {n}-element array for {name}::{tag}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{tag}({}))\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__from_field(__fields, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{tag:?} => {{\n\
+                                     let __fields = __inner.as_object().ok_or_else(|| \
+                                         ::serde::Error::custom(\"expected object for {name}::{tag}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{tag} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(__tag) = value.as_str() {{\n\
+                             return match __tag {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let __fields = value.as_object().filter(|f| f.len() == 1).ok_or_else(|| \
+                             ::serde::Error::custom(format!(\"expected {name} variant, found {{}}\", value.kind())))?;\n\
+                         let (__tag, __inner) = (&__fields[0].0, &__fields[0].1);\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}

@@ -9,9 +9,7 @@ use gnf_container::ImageRepository;
 use gnf_manager::{Manager, ManagerAction};
 use gnf_nf::testing::sample_specs;
 use gnf_switch::TrafficSelector;
-use gnf_types::{
-    AgentId, ChainId, ClientId, GnfConfig, HostClass, MacAddr, SimTime, StationId,
-};
+use gnf_types::{AgentId, ChainId, ClientId, GnfConfig, HostClass, MacAddr, SimTime, StationId};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -48,7 +46,7 @@ impl Bench {
     }
 
     fn advance(&mut self, secs: u64) {
-        self.now = self.now + gnf_types::SimDuration::from_secs(secs);
+        self.now += gnf_types::SimDuration::from_secs(secs);
     }
 
     /// Encodes, decodes and delivers an Agent message, then recursively
@@ -149,7 +147,10 @@ fn registration_attachment_and_reporting_end_to_end() {
     bench.advance(2);
     bench.report_all();
     assert_eq!(bench.manager.monitoring().online_count(), 3);
-    assert_eq!(bench.manager.monitoring().running_nfs(), sample_specs().len());
+    assert_eq!(
+        bench.manager.monitoring().running_nfs(),
+        sample_specs().len()
+    );
 }
 
 #[test]
@@ -192,7 +193,10 @@ fn roaming_migrates_chains_and_preserves_nf_state_end_to_end() {
 
     let migration = bench.manager.migrations().next().expect("one migration");
     assert!(migration.is_finished());
-    assert!(migration.state_bytes > 0, "firewall conntrack state travelled");
+    assert!(
+        migration.state_bytes > 0,
+        "firewall conntrack state travelled"
+    );
     assert_eq!(migration.from, StationId::new(0));
     assert_eq!(migration.to, StationId::new(1));
 
@@ -200,7 +204,9 @@ fn roaming_migrates_chains_and_preserves_nf_state_end_to_end() {
     assert_eq!(bench.agents[&StationId::new(0)].running_nfs(), 0);
     let agent1 = bench.agents.get(&StationId::new(1)).unwrap();
     assert_eq!(agent1.running_nfs(), 1);
-    let deployed = agent1.chain(chain).expect("chain present on the new station");
+    let deployed = agent1
+        .chain(chain)
+        .expect("chain present on the new station");
     assert!(deployed.chain.state_size_bytes() > 0);
 
     // And the manager's view agrees.

@@ -13,9 +13,8 @@ use gnf_ui::Dashboard;
 #[test]
 fn the_paper_demo_runs_deterministically_and_migrates() {
     let run = |seed: u64| {
-        let mut emulator = Emulator::new(Scenario::demo_roaming(
-            GnfConfig::default().with_seed(seed),
-        ));
+        let mut emulator =
+            Emulator::new(Scenario::demo_roaming(GnfConfig::default().with_seed(seed)));
         emulator.run()
     };
     let a = run(1);
@@ -125,11 +124,7 @@ fn random_walk_fleet_keeps_every_migration_consistent() {
     // migration, and in-flight ones at the end of the run are the only ones
     // allowed to be incomplete.
     assert!(report.migrations.len() as u64 <= report.handovers);
-    let incomplete = report
-        .migrations
-        .iter()
-        .filter(|m| !m.completed)
-        .count();
+    let incomplete = report.migrations.iter().filter(|m| !m.completed).count();
     assert!(
         incomplete <= 2,
         "only migrations cut off by the end of the run may be incomplete ({incomplete})"
@@ -169,12 +164,9 @@ fn policy_enforcement_survives_migration() {
             client,
             vec![gnf_nf::NfSpec::new(
                 "http-filter-blocked",
-                gnf_nf::NfConfig::HttpFilter(
-                    gnf_nf::http_filter::HttpFilterConfig::block_hosts(&[
-                        "blocked.example",
-                        "cdn.example",
-                    ]),
-                ),
+                gnf_nf::NfConfig::HttpFilter(gnf_nf::http_filter::HttpFilterConfig::block_hosts(
+                    &["blocked.example", "cdn.example"],
+                )),
             )],
             TrafficSelector::http_only(),
             SimTime::from_secs(2),
@@ -184,7 +176,10 @@ fn policy_enforcement_survives_migration() {
     let report = emulator.run();
     // The web workload includes ads/tracker hosts with Zipf popularity, so
     // some requests were answered with 403s — on both sides of the roam.
-    assert!(report.packets.replied_by_nf > 0, "the filter answered blocked requests");
+    assert!(
+        report.packets.replied_by_nf > 0,
+        "the filter answered blocked requests"
+    );
     assert!(report.all_migrations_completed());
     // Critical/warning notifications about blocked URLs reached the Manager.
     assert!(report.notifications.1 + report.notifications.2 > 0);
