@@ -30,6 +30,7 @@ fn sample_report(station: u64) -> AgentToManager {
         running_nfs: 24,
         cached_images: 7,
         flow_cache: Default::default(),
+        batches: Default::default(),
     })
 }
 

@@ -2,11 +2,16 @@
 //! hundreds of NFs": maximum NF instances per host, containers vs VMs, across
 //! host classes, plus the memory cost per instance.
 
-use gnf_bench::section;
+use gnf_bench::{section, workers_arg};
 use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
+use gnf_core::{Emulator, Scenario};
+use gnf_edge::TrafficProfile;
+use gnf_nf::testing::sample_specs;
 use gnf_nf::NfKind;
-use gnf_types::HostClass;
+use gnf_switch::TrafficSelector;
+use gnf_types::{HostClass, SimDuration, SimTime};
 use gnf_vm::{VmImageCatalog, VmRuntime};
+use std::time::Instant;
 
 fn pack_containers(host: HostClass, kind: NfKind, repo: &ImageRepository) -> usize {
     let image = repo.for_kind(kind).unwrap();
@@ -84,6 +89,46 @@ fn main() {
             "{:<16} {:>12}",
             kind.label(),
             pack_containers(HostClass::HomeRouter, kind, &repo)
+        );
+    }
+
+    section("density under live traffic: 8 emulated stations, per-client firewall chains");
+    {
+        let workers = workers_arg(1);
+        let mut builder = Scenario::builder(8, HostClass::EdgeServer);
+        let clients = builder.add_clients(
+            16,
+            TrafficProfile::ConstantBitRate {
+                packets_per_sec: 200.0,
+                payload_bytes: 256,
+            },
+        );
+        let mut sb = builder.with_duration(SimDuration::from_secs(5));
+        for client in &clients {
+            sb = sb.attach_policy(
+                *client,
+                vec![sample_specs()[0].clone()],
+                TrafficSelector::all(),
+                SimTime::from_secs(1),
+            );
+        }
+        let mut emulator = Emulator::new(sb.build());
+        emulator.set_workers(workers);
+        let start = Instant::now();
+        let report = emulator.run();
+        let elapsed = start.elapsed().as_secs_f64();
+        let processed =
+            report.packets.forwarded + report.packets.dropped_by_nf + report.packets.replied_by_nf;
+        println!(
+            "workers={workers}: {} packets in {:.1} ms wall ({:.0} kpps aggregate), \
+             batches: {} (mean size {:.1}, max {}), flow-cache hit rate {:.1}%",
+            processed,
+            elapsed * 1e3,
+            processed as f64 / elapsed / 1e3,
+            report.batches.batches,
+            report.batches.mean_batch_size(),
+            report.batches.max_batch,
+            report.flow_cache.hit_rate() * 100.0,
         );
     }
 }

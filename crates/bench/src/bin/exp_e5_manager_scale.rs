@@ -29,6 +29,7 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
         running_nfs: 12,
         cached_images: 4,
         flow_cache: Default::default(),
+        batches: Default::default(),
     })
 }
 

@@ -35,3 +35,16 @@ pub fn ms_row(h: &Histogram) -> String {
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
+
+/// Parses `--workers N` from the command line, falling back to `default`
+/// (clamped to at least 1). Shared by the experiment harnesses that drive
+/// the emulator's sharded data plane.
+pub fn workers_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|ix| args.get(ix + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}

@@ -17,7 +17,7 @@ use gnf_api::messages::{AgentToManager, ManagerToAgent};
 use gnf_container::ImageRepository;
 use gnf_edge::{MobilityModel, TrafficGenerator};
 use gnf_manager::{Manager, ManagerAction};
-use gnf_packet::Packet;
+use gnf_packet::{Packet, PacketBatch};
 use gnf_sim::{EventQueue, Histogram, Rng};
 use gnf_telemetry::NotificationSeverity;
 use gnf_types::{AgentId, CellId, ChainId, ClientId, SimDuration, SimTime, StationId};
@@ -46,14 +46,15 @@ enum EmuEvent {
         /// The cell it attaches to.
         cell: CellId,
     },
-    /// A client's upstream packet arrives at its serving station.
-    Packet {
-        /// The client that sent it.
-        client: ClientId,
-        /// The station serving the client at this time.
+    /// A coalesced batch of client upstream packets arrives at a station:
+    /// every same-virtual-time packet destined to one station travels as one
+    /// event, so the hot path pays the event queue once per batch, not once
+    /// per packet.
+    PacketBatch {
+        /// The station serving the clients at this time.
         station: StationId,
-        /// The packet.
-        packet: Packet,
+        /// The packets with their originating clients, in generation order.
+        packets: Vec<(ClientId, Packet)>,
     },
     /// An Agent's periodic report timer fires.
     ReportTimer {
@@ -69,6 +70,45 @@ enum EmuEvent {
     },
 }
 
+/// A packet-batch event held back for sharded delivery at the next flush.
+struct PendingBatch {
+    time: SimTime,
+    station: StationId,
+    packets: Vec<(ClientId, Packet)>,
+}
+
+/// Per-client gap state, computed once per client per flush (control-plane
+/// state is frozen between flushes, so it cannot change mid-flush).
+#[derive(Clone, Copy)]
+enum GapState {
+    /// No policy attached: traffic flows unprotected, never in a gap.
+    NoPolicy,
+    /// A chain is deployed on the station; packets before this time are in
+    /// the migration/deployment gap, packets at or after it are protected.
+    ReadyAt(SimTime),
+    /// Policy attached but no chain ready on this station: every packet is
+    /// in the gap.
+    NeverReady,
+}
+
+/// One station's coalesced data-plane work for a flush: batches grouped by
+/// virtual timestamp, in time order.
+struct StationWork<'a> {
+    station: StationId,
+    agent: &'a mut Agent,
+    groups: Vec<(SimTime, PacketBatch)>,
+}
+
+/// What one station's flush produced, merged back on the main thread.
+struct StationOutcome {
+    station: StationId,
+    forwarded: u64,
+    dropped_by_nf: u64,
+    replied_by_nf: u64,
+    /// NF notifications per batch timestamp, in batch (time) order.
+    notifications: Vec<(SimTime, Vec<AgentToManager>)>,
+}
+
 /// The emulator.
 pub struct Emulator {
     scenario: Scenario,
@@ -79,6 +119,8 @@ pub struct Emulator {
     deploy_latency_ms: Histogram,
     packets: PacketStats,
     handovers: u64,
+    /// Data-plane worker threads for a flush (1 = process stations inline).
+    workers: usize,
 }
 
 impl Emulator {
@@ -164,6 +206,7 @@ impl Emulator {
         // Traffic: split each client's timeline into per-cell segments (from
         // the roam schedule) and pre-generate its packets per segment.
         let traffic_rng = Rng::new(config.seed ^ 0x7261_6666_6963); // "raffic"
+        let mut traffic: Vec<(SimTime, StationId, ClientId, Packet)> = Vec::new();
         for workload in &scenario.workloads {
             let Ok(device) = scenario.topology.client(workload.client) else {
                 continue;
@@ -196,16 +239,33 @@ impl Emulator {
                     continue;
                 };
                 for generated in generator.generate(device, site, *start, end) {
-                    queue.schedule_at(
+                    traffic.push((
                         generated.at,
-                        EmuEvent::Packet {
-                            client: workload.client,
-                            station: site.station,
-                            packet: generated.packet,
-                        },
-                    );
+                        site.station,
+                        workload.client,
+                        generated.packet,
+                    ));
                 }
             }
+        }
+        // Coalesce same-virtual-time packets destined to the same station
+        // into one batch event each: the queue then costs one pop per batch.
+        // The sort is stable, so same-(time, station) packets keep their
+        // generation order; ordering across stations at one timestamp is by
+        // station id, which is deterministic (and packets to different
+        // stations are independent).
+        traffic.sort_by_key(|(at, station, _, _)| (*at, *station));
+        let mut traffic = traffic.into_iter().peekable();
+        while let Some((at, station, client, packet)) = traffic.next() {
+            let mut packets = vec![(client, packet)];
+            while let Some((next_at, next_station, _, _)) = traffic.peek() {
+                if *next_at != at || *next_station != station {
+                    break;
+                }
+                let (_, _, client, packet) = traffic.next().expect("peeked");
+                packets.push((client, packet));
+            }
+            queue.schedule_at(at, EmuEvent::PacketBatch { station, packets });
         }
 
         Emulator {
@@ -217,16 +277,53 @@ impl Emulator {
             deploy_latency_ms: Histogram::new(),
             packets: PacketStats::default(),
             handovers: 0,
+            workers: 1,
         }
     }
 
+    /// Sets how many worker threads the data plane may use per flush
+    /// (clamped to at least 1). Stations are independent — each Agent owns
+    /// its switch and chains — so per-station batches are sharded across
+    /// workers and merged deterministically: the [`RunReport`] is
+    /// byte-identical for any worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured data-plane worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// Runs the scenario to completion and returns the report.
+    ///
+    /// Packet events are coalesced: contiguous runs of packet events (the
+    /// overwhelming majority of the queue under load) are collected until
+    /// the next control event, grouped per station and per timestamp, and
+    /// delivered through the Agents' batched data-plane entry points —
+    /// sharded across [`set_workers`] threads. Control events interleaved
+    /// between packets flush the pending batch first, so the relative order
+    /// of packet processing and control-plane mutation is exactly the
+    /// per-event order.
+    ///
+    /// [`set_workers`]: Emulator::set_workers
     pub fn run(&mut self) -> RunReport {
         let deadline = SimTime::ZERO + self.scenario.duration;
+        let mut pending: Vec<PendingBatch> = Vec::new();
         while let Some(scheduled) = self.queue.pop_until(deadline) {
-            let now = scheduled.time;
-            self.handle(scheduled.event, now);
+            match scheduled.event {
+                EmuEvent::PacketBatch { station, packets } => pending.push(PendingBatch {
+                    time: scheduled.time,
+                    station,
+                    packets,
+                }),
+                event => {
+                    self.flush_packets(&mut pending);
+                    self.handle(event, scheduled.time);
+                }
+            }
         }
+        self.flush_packets(&mut pending);
         self.queue.advance_to(deadline);
         self.build_report(deadline)
     }
@@ -358,55 +455,8 @@ impl Emulator {
                     }
                 }
             }
-            EmuEvent::Packet {
-                client,
-                station,
-                packet,
-            } => {
-                self.packets.generated += 1;
-                // Does policy say this client's traffic must traverse a chain
-                // right now, and is that chain ready on this station?
-                let wanted: Vec<ChainId> = self
-                    .manager
-                    .attachments()
-                    .filter(|a| a.client == client)
-                    .map(|a| a.chain)
-                    .collect();
-                let protected = wanted.iter().any(|chain| {
-                    self.agents
-                        .get(&station)
-                        .map(|agent| agent.chain(*chain).is_some())
-                        .unwrap_or(false)
-                        && self
-                            .chain_ready
-                            .get(&(station, *chain))
-                            .map(|ready| now >= *ready)
-                            .unwrap_or(false)
-                });
-                let in_gap = !wanted.is_empty() && !protected;
-                if in_gap {
-                    if self.scenario.config.bypass_during_migration {
-                        self.packets.bypassed_in_gap += 1;
-                        self.packets.forwarded += 1;
-                    } else {
-                        self.packets.dropped_in_gap += 1;
-                    }
-                    return;
-                }
-                let Some(agent) = self.agents.get_mut(&station) else {
-                    self.packets.dropped_in_gap += 1;
-                    return;
-                };
-                match agent.process_upstream_packet(packet, now) {
-                    PacketOutcome::Forwarded(_) => self.packets.forwarded += 1,
-                    PacketOutcome::Dropped(_) => self.packets.dropped_by_nf += 1,
-                    PacketOutcome::Replied(_) => self.packets.replied_by_nf += 1,
-                }
-                // NF events (blocked URLs, floods) flow to the Manager.
-                let notifications = agent.drain_nf_notifications(now);
-                if !notifications.is_empty() {
-                    self.dispatch_agent_messages(station, notifications, now, SimDuration::ZERO);
-                }
+            EmuEvent::PacketBatch { .. } => {
+                unreachable!("packet batches are coalesced and flushed by run()")
             }
             EmuEvent::ReportTimer { station } => {
                 if let Some(agent) = self.agents.get_mut(&station) {
@@ -445,6 +495,183 @@ impl Emulator {
         }
     }
 
+    /// Delivers every pending packet event: gap-filters on the main thread
+    /// (control-plane state is frozen between flushes, so the per-client
+    /// attachment scan happens once per client per flush, not once per
+    /// packet), coalesces the survivors into per-station per-timestamp
+    /// batches, shards the station work across the configured workers and
+    /// merges the results back in station order — the merge is a function of
+    /// station ids only, so any worker count produces identical state.
+    fn flush_packets(&mut self, pending: &mut Vec<PendingBatch>) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut tally = PacketStats::default();
+        let mut gap_cache: HashMap<(ClientId, StationId), GapState> = HashMap::new();
+        let mut jobs: BTreeMap<StationId, Vec<(SimTime, PacketBatch)>> = BTreeMap::new();
+        for group in pending.drain(..) {
+            tally.generated += group.packets.len() as u64;
+            if !self.agents.contains_key(&group.station) {
+                tally.dropped_in_gap += group.packets.len() as u64;
+                continue;
+            }
+            let mut batch = PacketBatch::with_capacity(group.packets.len());
+            for (client, packet) in group.packets {
+                // Does policy say this client's traffic must traverse a
+                // chain right now, and is that chain ready on this station?
+                // The attachment scan runs once per (client, station) per
+                // flush; each packet then pays one compare.
+                let state = gap_cache.entry((client, group.station)).or_insert_with(|| {
+                    let mut wanted = false;
+                    let mut ready: Option<SimTime> = None;
+                    for attachment in self.manager.attachments().filter(|a| a.client == client) {
+                        wanted = true;
+                        let deployed = self
+                            .agents
+                            .get(&group.station)
+                            .map(|agent| agent.chain(attachment.chain).is_some())
+                            .unwrap_or(false);
+                        if deployed {
+                            if let Some(at) =
+                                self.chain_ready.get(&(group.station, attachment.chain))
+                            {
+                                ready = Some(ready.map_or(*at, |r| r.min(*at)));
+                            }
+                        }
+                    }
+                    match (wanted, ready) {
+                        (false, _) => GapState::NoPolicy,
+                        (true, Some(at)) => GapState::ReadyAt(at),
+                        (true, None) => GapState::NeverReady,
+                    }
+                });
+                let in_gap = match state {
+                    GapState::NoPolicy => false,
+                    GapState::ReadyAt(at) => group.time < *at,
+                    GapState::NeverReady => true,
+                };
+                if in_gap {
+                    if self.scenario.config.bypass_during_migration {
+                        tally.bypassed_in_gap += 1;
+                        tally.forwarded += 1;
+                    } else {
+                        tally.dropped_in_gap += 1;
+                    }
+                    continue;
+                }
+                batch.push(packet);
+            }
+            if !batch.is_empty() {
+                jobs.entry(group.station)
+                    .or_default()
+                    .push((group.time, batch));
+            }
+        }
+
+        // Pair each busy station with its Agent (both sides iterate in
+        // station order, so one linear walk pairs them all).
+        let mut work: Vec<StationWork<'_>> = Vec::with_capacity(jobs.len());
+        let mut agents = self.agents.iter_mut();
+        for (station, groups) in jobs {
+            let agent = loop {
+                let (id, agent) = agents.next().expect("jobs only name existing stations");
+                if *id == station {
+                    break agent;
+                }
+            };
+            work.push(StationWork {
+                station,
+                agent,
+                groups,
+            });
+        }
+
+        // Shard the independent station work across workers. `workers = 1`
+        // (or a single busy station) runs inline on this thread; both paths
+        // execute the identical per-station routine.
+        let mut outcomes: Vec<StationOutcome> = if self.workers <= 1 || work.len() <= 1 {
+            work.into_iter().map(Self::run_station).collect()
+        } else {
+            let shard_count = self.workers.min(work.len());
+            let mut shards: Vec<Vec<StationWork<'_>>> =
+                (0..shard_count).map(|_| Vec::new()).collect();
+            for (ix, item) in work.into_iter().enumerate() {
+                shards[ix % shard_count].push(item);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard.into_iter().map(Self::run_station).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("station worker panicked"))
+                    .collect()
+            })
+        };
+        // Deterministic merge: station order, regardless of which worker
+        // finished first.
+        outcomes.sort_by_key(|o| o.station);
+
+        for outcome in outcomes {
+            tally.forwarded += outcome.forwarded;
+            tally.dropped_by_nf += outcome.dropped_by_nf;
+            tally.replied_by_nf += outcome.replied_by_nf;
+            // NF events (blocked URLs, floods) flow to the Manager, stamped
+            // with the time of the batch that raised them. (The queue clamps
+            // delivery to the current virtual time when a later control
+            // event triggered this flush.)
+            for (time, notifications) in outcome.notifications {
+                self.dispatch_agent_messages(
+                    outcome.station,
+                    notifications,
+                    time,
+                    SimDuration::ZERO,
+                );
+            }
+        }
+
+        // One add per counter per flush instead of one per packet.
+        self.packets.generated += tally.generated;
+        self.packets.forwarded += tally.forwarded;
+        self.packets.dropped_by_nf += tally.dropped_by_nf;
+        self.packets.replied_by_nf += tally.replied_by_nf;
+        self.packets.dropped_in_gap += tally.dropped_in_gap;
+        self.packets.bypassed_in_gap += tally.bypassed_in_gap;
+    }
+
+    /// Processes one station's coalesced batches on whichever thread owns it.
+    fn run_station(work: StationWork<'_>) -> StationOutcome {
+        let mut outcome = StationOutcome {
+            station: work.station,
+            forwarded: 0,
+            dropped_by_nf: 0,
+            replied_by_nf: 0,
+            notifications: Vec::new(),
+        };
+        for (time, batch) in work.groups {
+            for result in work.agent.process_upstream_batch(batch, time) {
+                match result {
+                    PacketOutcome::Forwarded(_) => outcome.forwarded += 1,
+                    PacketOutcome::Dropped(_) => outcome.dropped_by_nf += 1,
+                    PacketOutcome::Replied(_) => outcome.replied_by_nf += 1,
+                }
+            }
+            // Drain after every batch, stamped with the batch's own virtual
+            // time, so alerts carry the time of the traffic that raised them
+            // (not the flush boundary).
+            let notifications = work.agent.drain_nf_notifications(time);
+            if !notifications.is_empty() {
+                outcome.notifications.push((time, notifications));
+            }
+        }
+        outcome
+    }
+
     fn build_report(&self, ended_at: SimTime) -> RunReport {
         let migrations: Vec<MigrationSummary> = self
             .manager
@@ -469,12 +696,15 @@ impl Emulator {
                 .total(NotificationSeverity::Critical),
         );
         let mut flow_cache = gnf_telemetry::FlowCacheTelemetry::default();
+        let mut batches = gnf_telemetry::BatchTelemetry::default();
         for agent in self.agents.values() {
             flow_cache.merge(&agent.flow_cache_telemetry());
+            batches.merge(agent.batch_telemetry());
         }
         RunReport {
             duration: self.scenario.duration,
             flow_cache,
+            batches,
             events_processed: self.queue.processed_total(),
             handovers: self.handovers,
             migrations,
@@ -615,6 +845,40 @@ mod tests {
         assert!(report.packets.generated > 100);
         // Agents reported periodically, so the monitoring store saw them all.
         assert_eq!(emulator.manager().monitoring().online_count(), 4);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let build = || {
+            let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+            let clients = builder.add_clients(8, TrafficProfile::smartphone());
+            let mut sb = builder.with_duration(gnf_types::SimDuration::from_secs(20));
+            for client in &clients {
+                sb = sb.attach_policy(
+                    *client,
+                    vec![sample_specs()[0].clone(), sample_specs()[1].clone()],
+                    TrafficSelector::all(),
+                    SimTime::from_secs(1),
+                );
+            }
+            sb.build()
+        };
+        let mut single = Emulator::new(build());
+        single.set_workers(1);
+        let report_1 = single.run();
+        assert!(report_1.batches.batches > 0, "the data plane ran batched");
+
+        for workers in [2usize, 4, 8] {
+            let mut sharded = Emulator::new(build());
+            sharded.set_workers(workers);
+            assert_eq!(sharded.workers(), workers);
+            let report_n = sharded.run();
+            assert_eq!(
+                serde_json::to_string(&report_1).unwrap(),
+                serde_json::to_string(&report_n).unwrap(),
+                "RunReport must be byte-identical for workers=1 vs workers={workers}"
+            );
+        }
     }
 
     #[test]

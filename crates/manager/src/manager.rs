@@ -1143,6 +1143,7 @@ mod tests {
                 running_nfs: 5,
                 cached_images: 1,
                 flow_cache: Default::default(),
+                batches: Default::default(),
             }),
             SimTime::from_secs(4),
         );
@@ -1168,6 +1169,7 @@ mod tests {
                 running_nfs: 0,
                 cached_images: 0,
                 flow_cache: Default::default(),
+                batches: Default::default(),
             }),
             SimTime::from_secs(2),
         );

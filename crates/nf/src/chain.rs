@@ -7,7 +7,7 @@
 use crate::nf::{Direction, NetworkFunction, NfContext, NfEvent, NfStats, Verdict};
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::Packet;
+use gnf_packet::{Packet, PacketBatch};
 
 /// An ordered chain of network functions treated as a single function.
 pub struct NfChain {
@@ -78,12 +78,15 @@ impl NfChain {
     /// chain, exactly as if the packet never reached the later veth pairs.
     pub fn process(&mut self, packet: Packet, direction: Direction, ctx: &NfContext) -> Verdict {
         self.stats.record_in(packet.len());
-        let order: Vec<usize> = match direction {
-            Direction::Ingress => (0..self.nfs.len()).collect(),
-            Direction::Egress => (0..self.nfs.len()).rev().collect(),
-        };
+        let len = self.nfs.len();
         let mut current = packet;
-        for ix in order {
+        // Walk indices directly in either direction — no per-packet order
+        // vector on the pass-through path.
+        for step in 0..len {
+            let ix = match direction {
+                Direction::Ingress => step,
+                Direction::Egress => len - 1 - step,
+            };
             match self.nfs[ix].process(current, direction, ctx) {
                 Verdict::Forward(next) => current = next,
                 verdict @ Verdict::Drop(_) | verdict @ Verdict::Reply(_) => {
@@ -95,6 +98,76 @@ impl NfChain {
         let verdict = Verdict::Forward(current);
         self.stats.record_verdict(&verdict);
         verdict
+    }
+
+    /// Processes a batch of packets through the chain, returning one verdict
+    /// per packet aligned with the batch order.
+    ///
+    /// Equivalent to calling [`NfChain::process`] once per packet: because
+    /// every NF is a function of only its own state, the packets it is
+    /// handed and the (shared, single-timestamp) context, running the whole
+    /// batch through NF 1 before NF 2 sees any of it produces the same
+    /// verdicts and the same final NF state as interleaving per packet —
+    /// each NF still sees exactly the survivors of the previous stage, in
+    /// arrival order. Dropped/replied packets short-circuit out of later
+    /// stages exactly as in per-packet processing.
+    pub fn process_batch(
+        &mut self,
+        batch: PacketBatch,
+        direction: Direction,
+        ctx: &NfContext,
+    ) -> Vec<Verdict> {
+        let total = batch.len();
+        self.stats
+            .record_in_batch(total as u64, batch.total_bytes());
+        let len = self.nfs.len();
+        let mut verdicts: Vec<Option<Verdict>> = Vec::new();
+        verdicts.resize_with(total, || None);
+        // The packets still travelling the chain, with their original batch
+        // positions so early drop/reply verdicts land in the right slot.
+        let mut alive: Vec<Packet> = batch.into_vec();
+        let mut alive_ix: Vec<usize> = (0..total).collect();
+        for step in 0..len {
+            if alive.is_empty() {
+                break;
+            }
+            let ix = match direction {
+                Direction::Ingress => step,
+                Direction::Egress => len - 1 - step,
+            };
+            let results = self.nfs[ix].process_batch(
+                PacketBatch::from(std::mem::replace(
+                    &mut alive,
+                    Vec::with_capacity(alive_ix.len()),
+                )),
+                direction,
+                ctx,
+            );
+            debug_assert_eq!(results.len(), alive_ix.len(), "NF batch must stay aligned");
+            let mut next_ix = Vec::with_capacity(alive_ix.len());
+            for (slot, verdict) in alive_ix.iter().copied().zip(results) {
+                match verdict {
+                    Verdict::Forward(packet) => {
+                        alive.push(packet);
+                        next_ix.push(slot);
+                    }
+                    verdict @ Verdict::Drop(_) | verdict @ Verdict::Reply(_) => {
+                        self.stats.record_verdict(&verdict);
+                        verdicts[slot] = Some(verdict);
+                    }
+                }
+            }
+            alive_ix = next_ix;
+        }
+        for (slot, packet) in alive_ix.into_iter().zip(alive) {
+            let verdict = Verdict::Forward(packet);
+            self.stats.record_verdict(&verdict);
+            verdicts[slot] = Some(verdict);
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every batch slot received a verdict"))
+            .collect()
     }
 
     /// Exports every member NF's state, in chain order.
@@ -244,6 +317,50 @@ mod tests {
         // The firewall (last in egress order... first traversed) saw it first.
         let per_nf = chain.per_nf_stats();
         assert_eq!(per_nf[1].2.packets_in, 1);
+    }
+
+    #[test]
+    fn batch_processing_matches_per_packet_processing() {
+        let packets = vec![
+            http("ok.example"),
+            http("blocked.example"), // reply from the filter
+            builder::tcp_syn(
+                MacAddr::derived(1, 1),
+                MacAddr::derived(2, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(198, 51, 100, 7),
+                40_001,
+                22,
+            ), // dropped by the firewall
+            http("ok.example"),
+        ];
+
+        let mut per_packet = demo_chain();
+        let expected: Vec<Verdict> = packets
+            .iter()
+            .map(|p| per_packet.process(p.clone(), Direction::Ingress, &ctx()))
+            .collect();
+
+        let mut batched = demo_chain();
+        let verdicts = batched.process_batch(packets.into(), Direction::Ingress, &ctx());
+
+        assert_eq!(verdicts, expected, "verdicts aligned with inputs");
+        assert_eq!(batched.stats(), per_packet.stats());
+        let a = batched.per_nf_stats();
+        let b = per_packet.per_nf_stats();
+        assert_eq!(a, b, "per-NF statistics identical");
+        // The firewall-dropped SYN never reached the filter in either mode.
+        assert_eq!(a[1].2.packets_in, 3);
+        assert_eq!(a[0].2.packets_in, 4);
+    }
+
+    #[test]
+    fn empty_batch_produces_no_verdicts() {
+        let mut chain = demo_chain();
+        let verdicts =
+            chain.process_batch(gnf_packet::PacketBatch::new(), Direction::Ingress, &ctx());
+        assert!(verdicts.is_empty());
+        assert_eq!(chain.stats().packets_in, 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::nf::{Direction, NetworkFunction, NfContext, NfStats, Verdict};
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::{builder, FiveTuple, IpProtocol, Packet, TcpFlags};
+use gnf_packet::{builder, FiveTuple, IpProtocol, Packet, PacketBatch, TcpFlags};
 use gnf_types::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -324,11 +324,12 @@ impl Firewall {
         before - self.conntrack.len()
     }
 
-    /// Evaluates the rule list for a packet. Only the packet's `(protocol,
-    /// dst port)` bucket and the residual (wildcard) rules are visited; the
-    /// two candidate streams are merged in original rule order so the result
-    /// is identical to a linear first-match walk over the full list.
-    fn evaluate(&mut self, tuple: &FiveTuple, direction: Direction) -> RuleAction {
+    /// Finds the first matching rule index for a packet, or `None` when the
+    /// default policy applies. Only the packet's `(protocol, dst port)`
+    /// bucket and the residual (wildcard) rules are visited; the two
+    /// candidate streams are merged in original rule order so the result is
+    /// identical to a linear first-match walk over the full list.
+    fn find_match(&self, tuple: &FiveTuple, direction: Direction) -> Option<usize> {
         let bucket: &[usize] = self
             .exact_index
             .get(&(tuple.protocol.value(), tuple.dst_port))
@@ -353,16 +354,40 @@ impl Firewall {
                     bucket_ix += 1;
                     b
                 }
-                (None, None) => break,
+                (None, None) => return None,
             };
-            let rule = &self.config.rules[candidate];
-            if rule.matches(tuple, direction) {
-                self.rule_hits[candidate] += 1;
-                return rule.action;
+            if self.config.rules[candidate].matches(tuple, direction) {
+                return Some(candidate);
             }
         }
-        self.default_hits += 1;
-        self.config.default_action
+    }
+
+    /// Evaluates the rule list for a packet, counting the hit.
+    fn evaluate(&mut self, tuple: &FiveTuple, direction: Direction) -> RuleAction {
+        match self.find_match(tuple, direction) {
+            Some(ix) => {
+                self.rule_hits[ix] += 1;
+                self.config.rules[ix].action
+            }
+            None => {
+                self.default_hits += 1;
+                self.config.default_action
+            }
+        }
+    }
+
+    /// Turns a non-accept action into its verdict for `packet`.
+    fn deny_verdict(action: RuleAction, packet: &Packet) -> Verdict {
+        match action {
+            // A fixed reason keeps the flood-of-drops path allocation-free;
+            // the per-rule hit counters carry the detail.
+            RuleAction::Drop => Verdict::Drop("firewall: policy drop".into()),
+            RuleAction::Reject => match Self::reject_reply(packet) {
+                Some(rst) => Verdict::Reply(vec![rst]),
+                None => Verdict::Drop("firewall: policy reject".into()),
+            },
+            RuleAction::Accept => unreachable!("accept is not a deny action"),
+        }
     }
 
     fn reject_reply(packet: &Packet) -> Option<Packet> {
@@ -425,16 +450,118 @@ impl NetworkFunction for Firewall {
                 }
                 Verdict::Forward(packet)
             }
-            // A fixed reason keeps the flood-of-drops path allocation-free; the
-            // per-rule hit counters carry the detail.
-            RuleAction::Drop => Verdict::Drop("firewall: policy drop".into()),
-            RuleAction::Reject => match Self::reject_reply(&packet) {
-                Some(rst) => Verdict::Reply(vec![rst]),
-                None => Verdict::Drop("firewall: policy reject".into()),
-            },
+            deny => Self::deny_verdict(deny, &packet),
         };
         self.stats.record_verdict(&verdict);
         verdict
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: PacketBatch,
+        direction: Direction,
+        ctx: &NfContext,
+    ) -> Vec<Verdict> {
+        /// What the previous packet's flow resolved to — replayed for runs of
+        /// consecutive same-flow packets without re-probing conntrack or
+        /// re-walking the rules.
+        enum Memo {
+            /// Conntrack pass (hit, or just accepted and inserted): later
+            /// packets of the run would hit conntrack too.
+            Established,
+            /// A rule matched and denies (or accepts untracked): the
+            /// per-packet path re-evaluates and re-hits the same rule, so
+            /// replaying bumps its counter directly.
+            Rule(usize),
+            /// No rule matched: the default policy re-applies per packet.
+            Default,
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        let mut memo: Option<(FiveTuple, Memo)> = None;
+        for packet in batch {
+            self.stats.record_in(packet.len());
+            let Some(tuple) = packet.five_tuple() else {
+                // Non-IP traffic (e.g. ARP) is not firewalled.
+                memo = None;
+                let verdict = Verdict::Forward(packet);
+                self.stats.record_verdict(&verdict);
+                out.push(verdict);
+                continue;
+            };
+            // The memo is keyed on the *exact* tuple: rule matching depends
+            // on the packet's own endpoints/ports, so a reverse-direction
+            // packet of the same flow (same canonical tuple) must NOT replay
+            // the forward packet's rule resolution — it falls through to the
+            // full path below (where conntrack, which is direction-agnostic,
+            // is probed under the canonical key as usual).
+            if let Some((memo_key, replay)) = &memo {
+                if *memo_key == tuple {
+                    let verdict = match replay {
+                        Memo::Established => Verdict::Forward(packet),
+                        Memo::Rule(ix) => {
+                            self.rule_hits[*ix] += 1;
+                            match self.config.rules[*ix].action {
+                                RuleAction::Accept => Verdict::Forward(packet),
+                                deny => Self::deny_verdict(deny, &packet),
+                            }
+                        }
+                        Memo::Default => {
+                            self.default_hits += 1;
+                            match self.config.default_action {
+                                RuleAction::Accept => Verdict::Forward(packet),
+                                deny => Self::deny_verdict(deny, &packet),
+                            }
+                        }
+                    };
+                    self.stats.record_verdict(&verdict);
+                    out.push(verdict);
+                    continue;
+                }
+            }
+
+            // First packet of a run: full conntrack probe + rule walk,
+            // exactly as the per-packet path.
+            if self.config.track_connections {
+                if let Some(last_seen) = self.conntrack.get_mut(&tuple.canonical()) {
+                    *last_seen = ctx.now;
+                    memo = Some((tuple, Memo::Established));
+                    let verdict = Verdict::Forward(packet);
+                    self.stats.record_verdict(&verdict);
+                    out.push(verdict);
+                    continue;
+                }
+            }
+            let matched = self.find_match(&tuple, direction);
+            let action = match matched {
+                Some(ix) => {
+                    self.rule_hits[ix] += 1;
+                    self.config.rules[ix].action
+                }
+                None => {
+                    self.default_hits += 1;
+                    self.config.default_action
+                }
+            };
+            let verdict = match action {
+                RuleAction::Accept => {
+                    if self.config.track_connections {
+                        self.conntrack.insert(tuple.canonical(), ctx.now);
+                        // The rest of the run rides the fresh conntrack entry.
+                        memo = Some((tuple, Memo::Established));
+                    } else {
+                        memo = Some((tuple, matched.map(Memo::Rule).unwrap_or(Memo::Default)));
+                    }
+                    Verdict::Forward(packet)
+                }
+                deny => {
+                    memo = Some((tuple, matched.map(Memo::Rule).unwrap_or(Memo::Default)));
+                    Self::deny_verdict(deny, &packet)
+                }
+            };
+            self.stats.record_verdict(&verdict);
+            out.push(verdict);
+        }
+        out
     }
 
     fn stats(&self) -> NfStats {
@@ -447,7 +574,10 @@ impl NetworkFunction for Firewall {
             .iter()
             .map(|(tuple, time)| (*tuple, time.as_nanos()))
             .collect();
-        established.sort_by_key(|(_, t)| *t);
+        // Sort by (time, tuple) so the export is fully deterministic even
+        // when many flows share a timestamp (e.g. one batch establishing
+        // several connections).
+        established.sort_by_key(|(tuple, t)| (*t, *tuple));
         NfStateSnapshot::Firewall { established }
     }
 
@@ -779,6 +909,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_reverse_direction_packet_is_reevaluated_not_replayed() {
+        // An untracked allowlist firewall: forward-direction traffic to port
+        // 80 is accepted, everything else (including the reverse direction,
+        // whose dst port is the ephemeral one) hits the Drop default. The
+        // reverse packet shares the forward packet's *canonical* tuple, so a
+        // memo keyed canonically would wrongly replay the accept — a policy
+        // bypass.
+        let allow_http = FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Exact(80),
+            action: RuleAction::Accept,
+            ..FirewallRule::any("allow-http", RuleAction::Accept)
+        };
+        let config = FirewallConfig {
+            rules: vec![allow_http],
+            default_action: RuleAction::Drop,
+            track_connections: false,
+            conntrack_idle_timeout_secs: 60,
+        };
+        let forward = builder::tcp_syn(
+            MacAddr::derived(1, 1),
+            MacAddr::derived(2, 1),
+            client_ip(),
+            server_ip(),
+            40_000,
+            80,
+        );
+        let reverse = builder::tcp_data(
+            MacAddr::derived(2, 1),
+            MacAddr::derived(1, 1),
+            server_ip(),
+            client_ip(),
+            80,
+            40_000,
+            b"resp",
+        );
+        let batch: PacketBatch = vec![forward.clone(), reverse.clone()].into();
+
+        let mut per_packet = Firewall::new("fw", config.clone());
+        let expected: Vec<Verdict> = [forward, reverse]
+            .into_iter()
+            .map(|p| per_packet.process(p, Direction::Ingress, &ctx()))
+            .collect();
+        assert!(expected[0].is_forward());
+        assert!(expected[1].is_drop(), "reverse direction hits the default");
+
+        let mut batched = Firewall::new("fw", config);
+        let verdicts = batched.process_batch(batch, Direction::Ingress, &ctx());
+        assert_eq!(verdicts, expected);
+        assert_eq!(batched.rule_hits(), per_packet.rule_hits());
+        assert_eq!(batched.default_hits(), per_packet.default_hits());
     }
 
     #[test]

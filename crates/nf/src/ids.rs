@@ -10,7 +10,7 @@
 use crate::nf::{Direction, NetworkFunction, NfContext, NfEvent, NfStats, Verdict};
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::Packet;
+use gnf_packet::{Packet, PacketBatch};
 use gnf_types::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -98,6 +98,52 @@ impl Ids {
             .iter()
             .any(|sig| !sig.is_empty() && payload.windows(sig.len()).any(|w| w == sig.as_slice()))
     }
+
+    /// Inspects one packet (window already rolled): SYN counting plus
+    /// signature matching. Works entirely off the fast header scan
+    /// (`tcp_flags`/`five_tuple`/raw payload), so the pass-through path
+    /// never materializes the packet's typed layer view.
+    fn inspect(&mut self, packet: Packet) -> Verdict {
+        // SYN-flood detection.
+        if let Some(flags) = packet.tcp_flags() {
+            if flags.syn && !flags.ack {
+                let src = packet
+                    .five_tuple()
+                    .expect("TCP flags imply a transport flow")
+                    .src_ip;
+                let count = self.syn_counts.entry(src).or_insert(0);
+                *count += 1;
+                if *count == self.config.syn_flood_threshold && !self.alerted_sources.contains(&src)
+                {
+                    self.alerted_sources.push(src);
+                    self.events.push(NfEvent::alert(
+                        "syn-flood",
+                        format!(
+                            "{} sent {} SYNs within {}s",
+                            src, count, self.config.window_secs
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Signature matching.
+        let signature_hit = !self.config.signatures.is_empty()
+            && Self::payload_of(&packet)
+                .map(|p| self.matches_signature(p))
+                .unwrap_or(false);
+        if signature_hit {
+            self.signature_matches += 1;
+            self.events.push(NfEvent::alert(
+                "malware-signature",
+                format!("payload signature matched in {}", packet.summary()),
+            ));
+            if self.config.block_on_signature {
+                return Verdict::Drop("malicious payload signature".into());
+            }
+        }
+        Verdict::Forward(packet)
+    }
 }
 
 impl NetworkFunction for Ids {
@@ -112,47 +158,29 @@ impl NetworkFunction for Ids {
     fn process(&mut self, packet: Packet, _direction: Direction, ctx: &NfContext) -> Verdict {
         self.stats.record_in(packet.len());
         self.roll_window(ctx.now);
-
-        // SYN-flood detection.
-        if let (Some(tcp), Some(ip)) = (packet.tcp(), packet.ipv4()) {
-            if tcp.flags.syn && !tcp.flags.ack {
-                let count = self.syn_counts.entry(ip.src).or_insert(0);
-                *count += 1;
-                if *count == self.config.syn_flood_threshold
-                    && !self.alerted_sources.contains(&ip.src)
-                {
-                    self.alerted_sources.push(ip.src);
-                    self.events.push(NfEvent::alert(
-                        "syn-flood",
-                        format!(
-                            "{} sent {} SYNs within {}s",
-                            ip.src, count, self.config.window_secs
-                        ),
-                    ));
-                }
-            }
-        }
-
-        // Signature matching.
-        let signature_hit = Self::payload_of(&packet)
-            .map(|p| self.matches_signature(p))
-            .unwrap_or(false);
-        let verdict = if signature_hit {
-            self.signature_matches += 1;
-            self.events.push(NfEvent::alert(
-                "malware-signature",
-                format!("payload signature matched in {}", packet.summary()),
-            ));
-            if self.config.block_on_signature {
-                Verdict::Drop("malicious payload signature".into())
-            } else {
-                Verdict::Forward(packet)
-            }
-        } else {
-            Verdict::Forward(packet)
-        };
+        let verdict = self.inspect(packet);
         self.stats.record_verdict(&verdict);
         verdict
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: PacketBatch,
+        _direction: Direction,
+        ctx: &NfContext,
+    ) -> Vec<Verdict> {
+        // One window roll and one stats add per batch; the per-packet scan
+        // state (SYN counters, signature list) is shared across the batch.
+        self.stats
+            .record_in_batch(batch.len() as u64, batch.total_bytes());
+        self.roll_window(ctx.now);
+        let mut out = Vec::with_capacity(batch.len());
+        for packet in batch {
+            let verdict = self.inspect(packet);
+            self.stats.record_verdict(&verdict);
+            out.push(verdict);
+        }
+        out
     }
 
     fn stats(&self) -> NfStats {

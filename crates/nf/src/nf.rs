@@ -10,7 +10,7 @@
 
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::Packet;
+use gnf_packet::{Packet, PacketBatch};
 use gnf_types::{ClientId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -124,6 +124,12 @@ impl NfStats {
         self.bytes_in += len as u64;
     }
 
+    /// Records a whole batch of observed input packets in one add.
+    pub fn record_in_batch(&mut self, packets: u64, bytes: u64) {
+        self.packets_in += packets;
+        self.bytes_in += bytes;
+    }
+
     /// Records the verdict applied to a packet.
     pub fn record_verdict(&mut self, verdict: &Verdict) {
         match verdict {
@@ -214,6 +220,30 @@ pub trait NetworkFunction: Send {
 
     /// Processes one packet travelling in `direction`, returning a verdict.
     fn process(&mut self, packet: Packet, direction: Direction, ctx: &NfContext) -> Verdict;
+
+    /// Processes a batch of packets travelling in `direction`, returning one
+    /// verdict per packet, aligned with the batch order.
+    ///
+    /// The default implementation falls back to per-packet [`process`] calls
+    /// and is always correct. Implementations may override it to amortize
+    /// per-packet work (one state probe per run of same-flow packets, one
+    /// token refill per batch, ...) — but an override MUST be observably
+    /// equivalent to the fallback: same verdicts in the same order, same
+    /// final NF state, same statistics and events. The batch-equivalence
+    /// property tests enforce this for the shipped NFs.
+    ///
+    /// [`process`]: NetworkFunction::process
+    fn process_batch(
+        &mut self,
+        batch: PacketBatch,
+        direction: Direction,
+        ctx: &NfContext,
+    ) -> Vec<Verdict> {
+        batch
+            .into_iter()
+            .map(|packet| self.process(packet, direction, ctx))
+            .collect()
+    }
 
     /// Cumulative statistics.
     fn stats(&self) -> NfStats;

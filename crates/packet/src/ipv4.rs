@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 pub const IPV4_HEADER_LEN: usize = 20;
 
 /// Transport protocols the framework understands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum IpProtocol {
     /// ICMP (1).
     Icmp,

@@ -16,6 +16,7 @@
 //! * [`dns`] — enough of RFC 1035 for the DNS load-balancer NF.
 //! * [`http`] — enough of HTTP/1.1 for the HTTP filter and cache NFs.
 //! * [`packet`] — the high-level [`Packet`] type combining all of the above.
+//! * [`batch`] — [`PacketBatch`], the vectorized unit of data-plane work.
 //! * [`builder`] — consistent frame constructors for traffic generators,
 //!   tests and benchmarks.
 //! * [`flow`] — five-tuple flow identification.
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod arp;
+pub mod batch;
 pub mod builder;
 pub mod checksum;
 pub mod dns;
@@ -39,6 +41,7 @@ pub mod packet;
 pub mod tcp;
 pub mod udp;
 
+pub use batch::PacketBatch;
 pub use dns::{DnsMessage, DnsQuestion, DnsRecordType, DnsResponseCode};
 pub use ethernet::{EtherType, EthernetHeader};
 pub use flow::FiveTuple;

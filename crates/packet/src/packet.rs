@@ -31,7 +31,7 @@ use crate::flow::FiveTuple;
 use crate::http::{looks_like_http_request, HttpRequest, HTTP_PORT};
 use crate::icmp::{IcmpMessage, ICMP_HEADER_LEN};
 use crate::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
-use crate::tcp::{TcpHeader, TCP_HEADER_LEN};
+use crate::tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 use bytes::Bytes;
 use gnf_types::{GnfError, GnfResult, MacAddr};
@@ -84,6 +84,8 @@ pub enum TransportLayer {
 pub struct FlowMeta {
     /// The transport five-tuple (ports are 0 for ICMP).
     pub tuple: FiveTuple,
+    /// Offset of the transport header from the start of the frame.
+    l4_offset: usize,
     /// Offset of the transport payload from the start of the frame.
     payload_offset: usize,
     /// End of the transport payload (frame offset, padding excluded).
@@ -101,11 +103,17 @@ enum HeaderScan {
 }
 
 /// A validated Ethernet frame flowing through the GNF data plane.
+///
+/// The lazily built layer view is boxed: packets move by value between the
+/// switch, the chain and every NF (and through `Verdict`s), so keeping the
+/// struct small — frame handle, Ethernet header, fast-scan metadata and one
+/// pointer — makes each hop a sub-cacheline copy instead of dragging the
+/// full parsed header tree along.
 pub struct Packet {
     bytes: Bytes,
     ethernet: EthernetHeader,
     scan: HeaderScan,
-    network: OnceLock<NetworkLayer>,
+    network: OnceLock<Box<NetworkLayer>>,
 }
 
 impl Packet {
@@ -122,12 +130,12 @@ impl Packet {
                 // ARP is rare control traffic: parse eagerly so the lazy
                 // stage is infallible.
                 let (arp, _) = ArpPacket::parse(&bytes[eth_len..])?;
-                let _ = network.set(NetworkLayer::Arp(arp));
+                let _ = network.set(Box::new(NetworkLayer::Arp(arp)));
                 HeaderScan::NonFlow
             }
             EtherType::Ipv4 => Self::scan_ipv4(&bytes, eth_len)?,
             _ => {
-                let _ = network.set(NetworkLayer::Other);
+                let _ = network.set(Box::new(NetworkLayer::Other));
                 HeaderScan::NonFlow
             }
         };
@@ -207,6 +215,7 @@ impl Packet {
                         u16::from_be_bytes([l4[0], l4[1]]),
                         u16::from_be_bytes([l4[2], l4[3]]),
                     ),
+                    l4_offset,
                     payload_offset: l4_offset + data_offset,
                     payload_end: ip_end,
                 }
@@ -234,6 +243,7 @@ impl Packet {
                         u16::from_be_bytes([l4[0], l4[1]]),
                         u16::from_be_bytes([l4[2], l4[3]]),
                     ),
+                    l4_offset,
                     payload_offset,
                     // The historical parser bounded the UDP payload by the
                     // length field and the frame end (not the IP end).
@@ -252,6 +262,7 @@ impl Packet {
                 }
                 FlowMeta {
                     tuple: FiveTuple::new(src, dst, protocol, 0, 0),
+                    l4_offset,
                     payload_offset: l4_offset + ICMP_HEADER_LEN,
                     payload_end: ip_end,
                 }
@@ -375,7 +386,7 @@ impl Packet {
 
     /// The fully parsed network layer (built lazily on first access).
     pub fn network(&self) -> &NetworkLayer {
-        self.network.get_or_init(|| self.build_network())
+        self.network.get_or_init(|| Box::new(self.build_network()))
     }
 
     /// The ARP packet, if this frame carries one.
@@ -423,6 +434,19 @@ impl Packet {
                 transport: TransportLayer::Icmp(msg),
                 ..
             } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// The TCP flags, if this is a TCP frame. Served from the fast header
+    /// scan (the flags byte is read straight out of the frame) — never
+    /// triggers the full layer parse. Used by NFs that inspect handshake
+    /// state (IDS SYN-flood detection) on the batch fast path.
+    pub fn tcp_flags(&self) -> Option<TcpFlags> {
+        match &self.scan {
+            HeaderScan::Flow(meta) if meta.tuple.protocol == IpProtocol::Tcp => {
+                Some(TcpFlags::from_byte(self.bytes[meta.l4_offset + 13]))
+            }
             _ => None,
         }
     }
@@ -696,6 +720,37 @@ mod tests {
                 FiveTuple::new(header.src, header.dst, header.protocol, src_port, dst_port)
             );
         }
+    }
+
+    #[test]
+    fn tcp_flags_served_from_the_fast_scan() {
+        let pkt = builder::tcp_syn(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40000,
+            443,
+        );
+        let flags = pkt.tcp_flags().expect("TCP frame has flags");
+        assert!(flags.syn && !flags.ack);
+        assert!(
+            pkt.network.get().is_none(),
+            "tcp_flags must not build the full layer view"
+        );
+        // The fast accessor agrees with the typed header.
+        assert_eq!(flags, pkt.tcp().unwrap().flags);
+        // Non-TCP frames have no flags.
+        let udp = builder::udp_packet(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(8, 8, 8, 8),
+            4000,
+            53,
+            b"x",
+        );
+        assert!(udp.tcp_flags().is_none());
     }
 
     #[test]

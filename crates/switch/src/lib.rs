@@ -27,6 +27,6 @@ pub mod switch;
 pub use flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
 pub use steering::{SteeringRule, SteeringTable, TrafficSelector};
 pub use switch::{
-    Forwarding, Port, PortCounters, PortId, PortKind, SoftwareSwitch, SwitchDecision,
+    DecisionRun, Forwarding, Port, PortCounters, PortId, PortKind, SoftwareSwitch, SwitchDecision,
     DEFAULT_MAC_AGING_SECS,
 };

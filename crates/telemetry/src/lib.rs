@@ -18,4 +18,4 @@ pub mod report;
 
 pub use monitor::{HotspotDetector, MonitoringStore, StationHealth, StationStatus};
 pub use notification::{Notification, NotificationLog, NotificationSeverity, NotificationSource};
-pub use report::{FlowCacheTelemetry, StationReport};
+pub use report::{BatchTelemetry, FlowCacheTelemetry, StationReport};

@@ -29,6 +29,65 @@ impl FlowCacheTelemetry {
     }
 }
 
+/// Batched data-plane counters reported by a station: how many batches its
+/// data plane processed, how big they were and the distribution of batch
+/// sizes over power-of-two buckets (1, 2–3, 4–7, ..., ≥256).
+///
+/// Batch size is the main lever of the vectorized data plane — per-packet
+/// overhead is amortized over the batch — so the distribution tells an
+/// operator whether traffic actually coalesces or degenerates to batch = 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchTelemetry {
+    /// Batches processed.
+    pub batches: u64,
+    /// Packets processed across all batches.
+    pub packets: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// Batch-size histogram: bucket `i` counts batches of size in
+    /// `[2^i, 2^(i+1))`, with the last bucket open-ended (≥256).
+    pub size_buckets: [u64; 9],
+}
+
+impl BatchTelemetry {
+    /// Records one processed batch of `size` packets (empty batches are not
+    /// counted).
+    pub fn record(&mut self, size: u64) {
+        if size == 0 {
+            return;
+        }
+        self.batches += 1;
+        self.packets += size;
+        self.max_batch = self.max_batch.max(size);
+        let bucket = (63 - size.leading_zeros() as usize).min(self.size_buckets.len() - 1);
+        self.size_buckets[bucket] += 1;
+    }
+
+    /// Merges another station's counters into this aggregate.
+    pub fn merge(&mut self, other: &BatchTelemetry) {
+        let BatchTelemetry {
+            batches,
+            packets,
+            max_batch,
+            size_buckets,
+        } = other;
+        self.batches += batches;
+        self.packets += packets;
+        self.max_batch = self.max_batch.max(*max_batch);
+        for (mine, theirs) in self.size_buckets.iter_mut().zip(size_buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Mean packets per batch (0 when idle).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.packets as f64 / self.batches as f64
+    }
+}
+
 /// A snapshot of one station's state, produced by its Agent every reporting
 /// interval ("reporting periodically the state of the device").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +112,8 @@ pub struct StationReport {
     pub cached_images: usize,
     /// Data-plane fast-path counters.
     pub flow_cache: FlowCacheTelemetry,
+    /// Batched data-plane counters (batch sizes processed by the station).
+    pub batches: BatchTelemetry,
 }
 
 impl StationReport {
@@ -91,6 +152,7 @@ mod tests {
             running_nfs: 3,
             cached_images: 2,
             flow_cache: Default::default(),
+            batches: Default::default(),
         }
     }
 
@@ -117,5 +179,36 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: StationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn batch_telemetry_buckets_and_merges() {
+        let mut t = BatchTelemetry::default();
+        t.record(0); // ignored
+        t.record(1);
+        t.record(2);
+        t.record(3);
+        t.record(32);
+        t.record(1000);
+        assert_eq!(t.batches, 5);
+        assert_eq!(t.packets, 1 + 2 + 3 + 32 + 1000);
+        assert_eq!(t.max_batch, 1000);
+        assert_eq!(t.size_buckets[0], 1, "size 1");
+        assert_eq!(t.size_buckets[1], 2, "sizes 2-3");
+        assert_eq!(t.size_buckets[5], 1, "size 32");
+        assert_eq!(t.size_buckets[8], 1, "size >= 256");
+        assert!((t.mean_batch_size() - 1038.0 / 5.0).abs() < 1e-12);
+
+        let mut merged = BatchTelemetry::default();
+        merged.merge(&t);
+        merged.merge(&t);
+        assert_eq!(merged.batches, 10);
+        assert_eq!(merged.max_batch, 1000);
+        assert_eq!(merged.size_buckets[1], 4);
+        assert_eq!(BatchTelemetry::default().mean_batch_size(), 0.0);
+
+        let json = serde_json::to_string(&t).unwrap();
+        let back: BatchTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 }

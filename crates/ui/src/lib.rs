@@ -267,6 +267,7 @@ mod tests {
                 running_nfs: 3,
                 cached_images: 2,
                 flow_cache: Default::default(),
+                batches: Default::default(),
             }),
             SimTime::from_secs(2),
         );

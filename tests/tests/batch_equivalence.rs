@@ -1,0 +1,195 @@
+//! Property tests for the batched data plane: processing a batch must be
+//! observably equivalent to processing its packets one at a time — same
+//! verdicts in the same order, same NF state and statistics, same switch
+//! counters — and the emulator's sharded execution must produce an
+//! identical `RunReport` for any worker count.
+
+use gnf_core::{Emulator, Scenario};
+use gnf_edge::TrafficProfile;
+use gnf_nf::testing::sample_specs;
+use gnf_nf::{instantiate_chain, Direction, NfContext};
+use gnf_packet::{builder, Packet, PacketBatch, TcpFlags};
+use gnf_switch::{SoftwareSwitch, SteeringRule, SwitchDecision, TrafficSelector};
+use gnf_types::{ChainId, ClientId, GnfConfig, HostClass, MacAddr, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    // A small address pool so flows repeat and runs of same-flow packets
+    // (the batch fast path) actually form.
+    (0u8..4, 0u8..4).prop_map(|(a, b)| Ipv4Addr::new(10, 0, a, b))
+}
+
+/// Source and destination ports are drawn from one shared pool, so batches
+/// regularly contain both directions of "the same flow" (same canonical
+/// tuple, different exact tuple) — the shape that distinguishes a correct
+/// batch memo from one that wrongly replays across directions.
+const PORT_POOL: [u16; 6] = [22, 53, 80, 443, 40_001, 40_002];
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let mac = (0u8..3, 0u32..3).prop_map(|(ns, ix)| MacAddr::derived(ns, ix));
+    (
+        mac,
+        arb_ip(),
+        arb_ip(),
+        0usize..PORT_POOL.len(),
+        0usize..PORT_POOL.len(),
+        any::<u8>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        0usize..5,
+    )
+        .prop_map(
+            |(src_mac, src_ip, dst_ip, sport_ix, dport_ix, flags, payload, kind)| {
+                let gw = MacAddr::derived(0xA0, 0);
+                let sport = PORT_POOL[sport_ix];
+                let dport = PORT_POOL[dport_ix];
+                match kind {
+                    0 => builder::tcp_packet(
+                        src_mac,
+                        gw,
+                        src_ip,
+                        dst_ip,
+                        sport,
+                        dport,
+                        TcpFlags::from_byte(flags),
+                        &payload,
+                    ),
+                    1 => builder::udp_packet(src_mac, gw, src_ip, dst_ip, sport, dport, &payload),
+                    2 => builder::dns_query(
+                        src_mac,
+                        gw,
+                        src_ip,
+                        dst_ip,
+                        sport,
+                        sport,
+                        "prop.example",
+                    ),
+                    3 => {
+                        builder::http_get(src_mac, gw, src_ip, dst_ip, sport, "prop.example", "/x")
+                    }
+                    _ => builder::icmp_echo_request(src_mac, gw, src_ip, dst_ip, sport, dport),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chain batch processing == per-packet processing: verdicts aligned,
+    /// chain statistics and per-NF statistics identical.
+    #[test]
+    fn chain_batch_equals_per_packet(
+        packets in proptest::collection::vec(arb_packet(), 1..50),
+        upstream in any::<bool>(),
+    ) {
+        let direction = if upstream { Direction::Ingress } else { Direction::Egress };
+        let ctx = NfContext::at(SimTime::from_secs(1));
+
+        let mut reference = instantiate_chain("prop-chain", &sample_specs());
+        let expected: Vec<_> = packets
+            .iter()
+            .map(|p| reference.process(p.clone(), direction, &ctx))
+            .collect();
+
+        let mut batched = instantiate_chain("prop-chain", &sample_specs());
+        let verdicts = batched.process_batch(PacketBatch::from(packets), direction, &ctx);
+
+        prop_assert_eq!(&verdicts, &expected);
+        prop_assert_eq!(batched.stats(), reference.stats());
+        prop_assert_eq!(batched.per_nf_stats(), reference.per_nf_stats());
+        // State export (conntrack tables, buckets, counters) matches too.
+        prop_assert_eq!(batched.export_state(), reference.export_state());
+        // Events produced in either mode agree.
+        prop_assert_eq!(batched.drain_events(), reference.drain_events());
+    }
+
+    /// Switch receive_batch == per-packet receive: expanded decision runs
+    /// reproduce the per-packet decisions, and every counter agrees.
+    #[test]
+    fn switch_batch_equals_per_packet(
+        packets in proptest::collection::vec(arb_packet(), 1..60),
+        steer_all in any::<bool>(),
+    ) {
+        let now = SimTime::from_secs(1);
+        let install = |sw: &mut SoftwareSwitch| {
+            if steer_all {
+                for ns in 0u8..3 {
+                    for ix in 0u32..3 {
+                        sw.steering_mut().install(SteeringRule {
+                            client: ClientId::new(u64::from(ix)),
+                            client_mac: MacAddr::derived(ns, ix),
+                            selector: if ix % 2 == 0 {
+                                TrafficSelector::all()
+                            } else {
+                                TrafficSelector::http_only()
+                            },
+                            chain: ChainId::new(u64::from(ix)),
+                        });
+                    }
+                }
+            }
+        };
+        let mut reference = SoftwareSwitch::new();
+        install(&mut reference);
+        let port = reference.client_port();
+        let expected: Vec<SwitchDecision> = packets
+            .iter()
+            .map(|p| reference.receive(p, port, now).unwrap())
+            .collect();
+
+        let mut batched = SoftwareSwitch::new();
+        install(&mut batched);
+        let runs = batched
+            .receive_batch(&PacketBatch::from(packets), batched.client_port(), now)
+            .unwrap();
+        let expanded: Vec<SwitchDecision> = runs
+            .iter()
+            .flat_map(|r| std::iter::repeat_n(r.decision.clone(), r.count))
+            .collect();
+        prop_assert_eq!(expanded, expected);
+        prop_assert_eq!(batched.flow_cache_stats(), reference.flow_cache_stats());
+        prop_assert_eq!(batched.flow_cache_len(), reference.flow_cache_len());
+        prop_assert_eq!(batched.mac_table_len(), reference.mac_table_len());
+        for (a, b) in batched.ports().iter().zip(reference.ports()) {
+            prop_assert_eq!(a.counters, b.counters);
+        }
+    }
+
+    /// The emulator's sharded execution is invisible in the results: the
+    /// RunReport serializes byte-identically for workers 1, 2 and 4, across
+    /// seeds and traffic profiles.
+    #[test]
+    fn sharded_run_reports_are_identical(seed in 0u64..200, cbr in any::<bool>()) {
+        let build = || {
+            let config = GnfConfig::default().with_seed(seed);
+            let mut builder = Scenario::builder(4, HostClass::EdgeServer).with_config(config);
+            let profile = if cbr {
+                TrafficProfile::ConstantBitRate { packets_per_sec: 50.0, payload_bytes: 200 }
+            } else {
+                TrafficProfile::smartphone()
+            };
+            let clients = builder.add_clients(6, profile);
+            let mut sb = builder.with_duration(SimDuration::from_secs(6));
+            for client in &clients {
+                sb = sb.attach_policy(
+                    *client,
+                    vec![sample_specs()[0].clone(), sample_specs()[1].clone()],
+                    TrafficSelector::all(),
+                    SimTime::from_secs(1),
+                );
+            }
+            sb.build()
+        };
+        let reports: Vec<String> = [1usize, 2, 4]
+            .into_iter()
+            .map(|workers| {
+                let mut emulator = Emulator::new(build());
+                emulator.set_workers(workers);
+                serde_json::to_string(&emulator.run()).unwrap()
+            })
+            .collect();
+        prop_assert_eq!(&reports[0], &reports[1]);
+        prop_assert_eq!(&reports[0], &reports[2]);
+    }
+}
