@@ -4,7 +4,10 @@ use gnf_api::messages::{AgentToManager, ManagerToAgent};
 use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
 use gnf_nf::{Direction, NfChain, NfContext, NfSpec, NfStateSnapshot, Verdict};
 use gnf_packet::{Packet, PacketBatch};
-use gnf_switch::{Forwarding, SoftwareSwitch, SteeringRule, TrafficSelector};
+use gnf_switch::{
+    Classified, Forwarding, MegaflowState, SoftwareSwitch, SteeringRule, TrafficSelector,
+    DEFAULT_MEGAFLOW_CAPACITY,
+};
 use gnf_telemetry::{BatchTelemetry, StationReport};
 use gnf_types::{
     AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr, ResourceUsage,
@@ -135,6 +138,26 @@ impl Agent {
         &self.switch
     }
 
+    /// Enables or disables the switch's megaflow (wildcard) cache layer.
+    ///
+    /// Disabled by default: enabling it changes how lookups distribute
+    /// between the exact-match and wildcard cache levels (outcomes, NF
+    /// statistics and port counters stay equivalent — the megaflow
+    /// property tests assert exactly that). The emulator enables it on
+    /// every station it builds.
+    pub fn set_megaflow_enabled(&mut self, enabled: bool) {
+        self.switch.set_megaflow_capacity(if enabled {
+            DEFAULT_MEGAFLOW_CAPACITY
+        } else {
+            0
+        });
+    }
+
+    /// True when the megaflow (wildcard) cache layer is enabled.
+    pub fn megaflow_enabled(&self) -> bool {
+        self.switch.megaflow_enabled()
+    }
+
     /// Read access to the container runtime.
     pub fn runtime(&self) -> &ContainerRuntime {
         &self.runtime
@@ -251,7 +274,7 @@ impl Agent {
             rx_bps: counters.rx_bytes as f64 * 8.0 / now.as_secs_f64().max(1e-9),
             tx_bps: counters.tx_bytes as f64 * 8.0 / now.as_secs_f64().max(1e-9),
         };
-        AgentToManager::Report(StationReport {
+        AgentToManager::Report(Box::new(StationReport {
             station: self.config.station,
             agent: self.config.agent,
             produced_at: now,
@@ -267,8 +290,9 @@ impl Agent {
                 .filter(|i| self.runtime.is_image_cached(i))
                 .count(),
             flow_cache: self.flow_cache_telemetry(),
+            megaflow: self.megaflow_telemetry(),
             batches: self.batch_sizes.clone(),
-        })
+        }))
     }
 
     /// Data-plane fast-path counters of this station's switch.
@@ -276,6 +300,15 @@ impl Agent {
         gnf_telemetry::FlowCacheTelemetry {
             stats: self.switch.flow_cache_stats(),
             entries: self.switch.flow_cache_len(),
+        }
+    }
+
+    /// Megaflow (wildcard) cache counters of this station's switch.
+    pub fn megaflow_telemetry(&self) -> gnf_telemetry::MegaflowTelemetry {
+        gnf_telemetry::MegaflowTelemetry {
+            stats: self.switch.megaflow_stats(),
+            entries: self.switch.megaflow_len(),
+            masks: self.switch.megaflow_mask_count(),
         }
     }
 
@@ -367,32 +400,61 @@ impl Agent {
         let mut packets = batch.into_iter();
         for run in runs {
             let verdicts: Vec<Verdict> = match run.decision.steering {
-                Some((rule, upstream)) => {
-                    let direction = if upstream {
-                        Direction::Ingress
-                    } else {
-                        Direction::Egress
-                    };
-                    match self.chains.get_mut(&rule.chain) {
-                        Some(deployed) => {
-                            let ctx = NfContext::for_client(now, deployed.client);
-                            if run.count == 1 {
-                                let packet = packets.next().expect("runs cover the batch");
-                                vec![deployed.chain.process(packet, direction, &ctx)]
-                            } else {
-                                let chunk: PacketBatch = packets.by_ref().take(run.count).collect();
-                                deployed.chain.process_batch(chunk, direction, &ctx)
-                            }
+                Some((rule, upstream)) => match run.megaflow {
+                    // A wildcard entry certified the chain bypass for this
+                    // run's flow: forward unchanged, replay NF statistics.
+                    MegaflowState::Bypass(tokens) => {
+                        let run_packets: Vec<Packet> = packets.by_ref().take(run.count).collect();
+                        let bytes: u64 = run_packets.iter().map(|p| p.len() as u64).sum();
+                        if let Some(deployed) = self.chains.get_mut(&rule.chain) {
+                            deployed
+                                .chain
+                                .credit_bypass(&tokens, run_packets.len() as u64, bytes);
                         }
-                        // The steering rule exists but the chain is gone (mid
-                        // reconfiguration): forward unprocessed.
-                        None => packets
-                            .by_ref()
-                            .take(run.count)
-                            .map(Verdict::Forward)
-                            .collect(),
+                        run_packets.into_iter().map(Verdict::Forward).collect()
                     }
-                }
+                    megaflow => {
+                        let direction = if upstream {
+                            Direction::Ingress
+                        } else {
+                            Direction::Egress
+                        };
+                        match self.chains.get_mut(&rule.chain) {
+                            Some(deployed) => {
+                                let ctx = NfContext::for_client(now, deployed.client);
+                                let verdicts = if run.count == 1 {
+                                    let packet = packets.next().expect("runs cover the batch");
+                                    vec![deployed.chain.process(packet, direction, &ctx)]
+                                } else {
+                                    let chunk: PacketBatch =
+                                        packets.by_ref().take(run.count).collect();
+                                    deployed.chain.process_batch(chunk, direction, &ctx)
+                                };
+                                // Seal the slow-path seed into a wildcard
+                                // entry: a full chain bypass when every NF
+                                // certified this run's (single-flow)
+                                // processing, the switch decision alone
+                                // otherwise.
+                                if let MegaflowState::Seed(seed) = megaflow {
+                                    let chain_report = if verdicts.iter().all(Verdict::is_forward) {
+                                        deployed.chain.wildcard_report()
+                                    } else {
+                                        None
+                                    };
+                                    self.switch.install_megaflow(seed, chain_report);
+                                }
+                                verdicts
+                            }
+                            // The steering rule exists but the chain is gone
+                            // (mid reconfiguration): forward unprocessed.
+                            None => packets
+                                .by_ref()
+                                .take(run.count)
+                                .map(Verdict::Forward)
+                                .collect(),
+                        }
+                    }
+                },
                 None => packets
                     .by_ref()
                     .take(run.count)
@@ -445,28 +507,53 @@ impl Agent {
         now: SimTime,
     ) -> PacketOutcome {
         self.batch_sizes.record(1);
-        let decision = match self.switch.receive(&packet, in_port, now) {
-            Ok(d) => d,
+        let Classified { decision, megaflow } = match self.switch.classify(&packet, in_port, now) {
+            Ok(c) => c,
             Err(e) => return PacketOutcome::Dropped(e.to_string().into()),
         };
 
         let processed = match decision.steering {
-            Some((rule, upstream)) => {
-                let direction = if upstream {
-                    Direction::Ingress
-                } else {
-                    Direction::Egress
-                };
-                match self.chains.get_mut(&rule.chain) {
-                    Some(deployed) => {
-                        let ctx = NfContext::for_client(now, deployed.client);
-                        deployed.chain.process(packet, direction, &ctx)
+            Some((rule, upstream)) => match megaflow {
+                // A wildcard entry certified the chain bypass: forward the
+                // unchanged packet and replay the chain's statistics.
+                MegaflowState::Bypass(tokens) => {
+                    if let Some(deployed) = self.chains.get_mut(&rule.chain) {
+                        deployed
+                            .chain
+                            .credit_bypass(&tokens, 1, packet.len() as u64);
                     }
-                    // The steering rule exists but the chain is gone (mid
-                    // reconfiguration): forward unprocessed.
-                    None => Verdict::Forward(packet),
+                    Verdict::Forward(packet)
                 }
-            }
+                megaflow => {
+                    let direction = if upstream {
+                        Direction::Ingress
+                    } else {
+                        Direction::Egress
+                    };
+                    match self.chains.get_mut(&rule.chain) {
+                        Some(deployed) => {
+                            let ctx = NfContext::for_client(now, deployed.client);
+                            let verdict = deployed.chain.process(packet, direction, &ctx);
+                            // Seal the slow-path seed into a wildcard entry:
+                            // a full chain bypass when every NF certified
+                            // this packet's processing as pure, the switch
+                            // decision alone otherwise.
+                            if let MegaflowState::Seed(seed) = megaflow {
+                                let chain_report = if verdict.is_forward() {
+                                    deployed.chain.wildcard_report()
+                                } else {
+                                    None
+                                };
+                                self.switch.install_megaflow(seed, chain_report);
+                            }
+                            verdict
+                        }
+                        // The steering rule exists but the chain is gone (mid
+                        // reconfiguration): forward unprocessed.
+                        None => Verdict::Forward(packet),
+                    }
+                }
+            },
             None => Verdict::Forward(packet),
         };
 
@@ -853,6 +940,103 @@ mod tests {
             batched.drain_nf_notifications(now).len(),
             per_packet.drain_nf_notifications(now).len()
         );
+    }
+
+    #[test]
+    fn megaflow_bypass_is_equivalent_to_full_processing() {
+        use gnf_nf::firewall::{CidrV4, FirewallConfig, FirewallRule, RuleAction};
+        use gnf_nf::{NfConfig, NfSpec};
+
+        // A conntrack-off firewall (pure, bypassable) whose rules never
+        // match the generated traffic: CIDR + port-range rules only.
+        let untracked_fw_spec = || {
+            NfSpec::new(
+                "fw",
+                NfConfig::Firewall(FirewallConfig {
+                    rules: vec![
+                        FirewallRule::block_dst(
+                            "cidr",
+                            CidrV4::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+                        ),
+                        FirewallRule {
+                            protocol: gnf_nf::firewall::ProtocolMatch::Tcp,
+                            dst_port: gnf_nf::firewall::PortMatch::Range(1, 1023),
+                            action: RuleAction::Drop,
+                            ..FirewallRule::any("low-ports", RuleAction::Drop)
+                        },
+                    ],
+                    default_action: RuleAction::Accept,
+                    track_connections: false,
+                    conntrack_idle_timeout_secs: 60,
+                }),
+            )
+        };
+        let make_agent = |megaflow: bool| {
+            let (mut agent, _) = agent();
+            agent.set_megaflow_enabled(megaflow);
+            agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+            agent.handle_manager_msg(
+                deploy_msg(1, vec![untracked_fw_spec()]),
+                SimTime::from_secs(1),
+            );
+            agent
+        };
+        // New-flow churn: every packet opens a brand-new flow, plus one
+        // blocked flow (privileged port) mixed in.
+        let server = MacAddr::derived(0xA0, 1);
+        let dst = Ipv4Addr::new(203, 0, 113, 10);
+        let packets: Vec<gnf_packet::Packet> = (0..50u16)
+            .map(|i| {
+                let dst_port = if i % 10 == 9 { 22 } else { 8080 };
+                builder::tcp_syn(client_mac(), server, client_ip(), dst, 40_000 + i, dst_port)
+            })
+            .collect();
+        let now = SimTime::from_secs(2);
+
+        let mut off = make_agent(false);
+        let expected: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| off.process_upstream_packet(p.clone(), now))
+            .collect();
+
+        let mut on = make_agent(true);
+        let outcomes: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| on.process_upstream_packet(p.clone(), now))
+            .collect();
+
+        assert_eq!(outcomes, expected, "outcomes identical with megaflow on");
+        for (a, b) in on.chains().zip(off.chains()) {
+            assert_eq!(
+                a.chain.stats(),
+                b.chain.stats(),
+                "chain stats replayed exactly"
+            );
+            assert_eq!(a.chain.per_nf_stats(), b.chain.per_nf_stats());
+            assert_eq!(a.chain.export_state(), b.chain.export_state());
+        }
+        for (a, b) in on.switch().ports().iter().zip(off.switch().ports()) {
+            assert_eq!(a.counters, b.counters, "port {} counters", a.name);
+        }
+        // The wildcard layer actually served the churn: two patterns (the
+        // accepted high ports and the dropped privileged port... the dropped
+        // flows stay decision-only, so only accepts are bypassed).
+        let stats = on.megaflow_telemetry();
+        assert!(
+            stats.stats.hits > 40,
+            "churn rides the wildcard entries: {stats:?}"
+        );
+        assert_eq!(off.megaflow_telemetry(), Default::default());
+
+        // And the batched path produces the same outcomes and NF stats as
+        // the per-packet megaflow path.
+        let mut on_batched = make_agent(true);
+        let batched = on_batched.process_upstream_batch(packets.into(), now);
+        assert_eq!(batched, expected);
+        for (a, b) in on_batched.chains().zip(on.chains()) {
+            assert_eq!(a.chain.stats(), b.chain.stats());
+            assert_eq!(a.chain.per_nf_stats(), b.chain.per_nf_stats());
+        }
     }
 
     #[test]

@@ -6,11 +6,34 @@
 //! periodically the state of the device."
 //!
 //! The [`Agent`] here is a *sans-I/O* state machine: it consumes
-//! [`ManagerToAgent`] commands and local events (client association, packets,
-//! report timers) and produces [`AgentToManager`] messages plus packet-level
-//! outcomes. It never touches sockets or clocks, so the same code is driven by
-//! the discrete-event emulator in experiments and called directly in unit
-//! tests.
+//! [`gnf_api::messages::ManagerToAgent`] commands and local events (client
+//! association, packets, report timers) and produces
+//! [`gnf_api::messages::AgentToManager`] messages plus packet-level outcomes.
+//! It never touches sockets or clocks, so the same code is driven by the
+//! discrete-event emulator in experiments and called directly in unit tests.
+//!
+//! ## The Agent in the data plane
+//!
+//! The Agent owns the station's data plane end to end and stitches the
+//! caching/batching layers together:
+//!
+//! * **Slow path** — a steered packet is classified by the
+//!   [`gnf_switch::SoftwareSwitch`] (steering + MAC lookup) and traverses its
+//!   client's [`gnf_nf::NfChain`]; the switch memoizes the decision in its
+//!   exact-match flow cache.
+//! * **Fast path** — later packets of the flow hit the exact cache; on exact
+//!   misses the megaflow (wildcard) layer may serve *new* flows of a known
+//!   pattern, including a certified **chain bypass** whose NF statistics the
+//!   Agent replays via `NfChain::credit_bypass`. After a slow-path packet,
+//!   the Agent seals the switch's wildcard seed with the chain's
+//!   consulted-field report (`NfChain::wildcard_report`).
+//! * **Batch path** — [`Agent::process_upstream_batch`] /
+//!   [`Agent::process_downstream_batch`] run the same pipeline per
+//!   run-length-grouped [`gnf_switch::DecisionRun`], amortizing switch
+//!   lookups, chain dispatch and counter updates over the batch.
+//!
+//! Every layer's counters surface in the periodic
+//! [`gnf_telemetry::StationReport`] (`flow_cache`, `megaflow`, `batches`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

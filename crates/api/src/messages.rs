@@ -93,8 +93,9 @@ pub enum AgentToManager {
         /// The client.
         client: ClientId,
     },
-    /// Periodic station state report.
-    Report(StationReport),
+    /// Periodic station state report (boxed: the report dwarfs every other
+    /// message, and boxing keeps the enum small for the common variants).
+    Report(Box<StationReport>),
     /// A chain finished deploying.
     ChainDeployed {
         /// The chain.

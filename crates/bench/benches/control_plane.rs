@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn sample_report(station: u64) -> AgentToManager {
-    AgentToManager::Report(StationReport {
+    AgentToManager::Report(Box::new(StationReport {
         station: StationId::new(station),
         agent: AgentId::new(station),
         produced_at: SimTime::from_secs(10),
@@ -30,8 +30,9 @@ fn sample_report(station: u64) -> AgentToManager {
         running_nfs: 24,
         cached_images: 7,
         flow_cache: Default::default(),
+        megaflow: Default::default(),
         batches: Default::default(),
-    })
+    }))
 }
 
 fn bench_codec(c: &mut Criterion) {

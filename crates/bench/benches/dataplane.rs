@@ -253,6 +253,66 @@ fn bench_flow_cache(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------- megaflow
+
+/// New-flow churn: every packet is the first of a brand-new flow, so the
+/// exact-match hit rate is ≈ 0 and the historical fast path is useless. The
+/// wildcard layer turns the whole workload into one masked entry (same
+/// client, protocol, destination — only the ephemeral source port varies),
+/// bypassing both the steering walk and the 100-rule firewall. This is the
+/// ROADMAP's megaflow lever; keep `wildcard` ≥1.5× over `uncached`.
+fn bench_megaflow(c: &mut Criterion) {
+    use gnf_bench::dataplane_fixture as fixture;
+
+    let mut group = quick(c).benchmark_group("megaflow");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+
+    for len in [0usize, 1] {
+        // Baseline: the uncached slow path (the same station the
+        // `flow_cache` group's `uncached` lines measure).
+        let (mut sw, mut chain) = fixture::station(len, false);
+        let frames = fixture::new_flow_frames(8192);
+        let mut next = 0usize;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("uncached", len), &len, |b, _| {
+            b.iter(|| {
+                let frame = &frames[next];
+                next = (next + 1) % frames.len();
+                black_box(fixture::pipeline_step(
+                    &mut sw,
+                    &mut chain,
+                    black_box(frame),
+                    &ctx,
+                ))
+            })
+        });
+
+        // Wildcarded: identical workload, megaflow enabled. The first
+        // iteration installs the masked entry; every subsequent new flow is
+        // a wildcard hit that bypasses the (pure, conntrack-off) chain.
+        let (mut sw, mut chain) = fixture::station_megaflow(len);
+        let frames = fixture::new_flow_frames(8192);
+        fixture::pipeline_step_megaflow(&mut sw, &mut chain, &frames[0], &ctx); // seal the entry
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::new("wildcard", len), &len, |b, _| {
+            b.iter(|| {
+                let frame = &frames[next];
+                next = (next + 1) % frames.len();
+                black_box(fixture::pipeline_step_megaflow(
+                    &mut sw,
+                    &mut chain,
+                    black_box(frame),
+                    &ctx,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 // ------------------------------------------------------------------- batch
 
 /// Per-packet vs batched station pipeline on a 3-NF chain (100-rule
@@ -317,6 +377,7 @@ criterion_group!(
     bench_dns_lb_and_http_filter,
     bench_switch,
     bench_flow_cache,
+    bench_megaflow,
     bench_batch
 );
 criterion_main!(benches);

@@ -198,6 +198,53 @@ fn main() {
         println!("speedup:            {:>10.2}x", miss_us / hit_us);
     }
 
+    section("megaflow wildcard cache: new-flow churn (exact-match hit rate ~ 0)");
+    {
+        use gnf_bench::dataplane_fixture as fixture;
+
+        // Every packet is the first of a brand-new flow (distinct source
+        // ports), so the exact-match cache never hits — the workload the
+        // wildcard layer exists for. Chain of 1 = the 100-rule conntrack-off
+        // firewall, which reports pure masks and is bypassed on wildcard
+        // hits; same fixture as the `megaflow` criterion group.
+        let (mut sw, mut chain) = fixture::station(1, false);
+        let frames = fixture::new_flow_frames(8192);
+        let mut next = 0usize;
+        let (slow_pps, slow_us) = measure(iterations, || {
+            let frame = &frames[next];
+            next = (next + 1) % frames.len();
+            fixture::pipeline_step(&mut sw, &mut chain, frame, &ctx);
+        });
+        let exact_hit_rate = sw.flow_cache_stats().hit_rate();
+
+        let (mut sw, mut chain) = fixture::station_megaflow(1);
+        fixture::pipeline_step_megaflow(&mut sw, &mut chain, &frames[0], &ctx); // seal the entry
+        let mut next = 0usize;
+        let (wild_pps, wild_us) = measure(iterations, || {
+            let frame = &frames[next];
+            next = (next + 1) % frames.len();
+            fixture::pipeline_step_megaflow(&mut sw, &mut chain, frame, &ctx);
+        });
+        let megaflow = sw.megaflow_stats();
+        println!(
+            "uncached slow path: {:>10.0} kpps  {:>8.3} us/packet  (exact-match hit rate {:.1}%)",
+            slow_pps / 1e3,
+            slow_us,
+            exact_hit_rate * 100.0
+        );
+        println!(
+            "wildcard (megaflow): {:>9.0} kpps  {:>8.3} us/packet  (megaflow hit rate {:.1}%, {} entr{}, {} mask{})",
+            wild_pps / 1e3,
+            wild_us,
+            megaflow.hit_rate() * 100.0,
+            sw.megaflow_len(),
+            if sw.megaflow_len() == 1 { "y" } else { "ies" },
+            sw.megaflow_mask_count(),
+            if sw.megaflow_mask_count() == 1 { "" } else { "s" },
+        );
+        println!("speedup:            {:>10.2}x", slow_us / wild_us);
+    }
+
     section("batched station pipeline: per-packet vs batch-32 vs batch-256 (3-NF chain)");
     {
         use gnf_bench::dataplane_fixture as fixture;
@@ -269,6 +316,14 @@ fn main() {
                 report.batches.batches,
                 report.batches.mean_batch_size(),
                 report.batches.max_batch,
+            );
+            println!(
+                "           flow cache {:.1}% / megaflow {:.1}% hit rate ({} wildcard hits, {} entries, {} masks)",
+                report.flow_cache.hit_rate() * 100.0,
+                report.megaflow.hit_rate() * 100.0,
+                report.megaflow.stats.hits,
+                report.megaflow.entries,
+                report.megaflow.masks,
             );
             results.push((
                 w,

@@ -12,7 +12,7 @@ use gnf_types::{
 use std::time::Instant;
 
 fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
-    AgentToManager::Report(StationReport {
+    AgentToManager::Report(Box::new(StationReport {
         station: StationId::new(station),
         agent: AgentId::new(station),
         produced_at: at,
@@ -29,8 +29,9 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
         running_nfs: 12,
         cached_images: 4,
         flow_cache: Default::default(),
+        megaflow: Default::default(),
         batches: Default::default(),
-    })
+    }))
 }
 
 fn main() {

@@ -13,7 +13,10 @@ use gnf_nf::ids::{Ids, IdsConfig};
 use gnf_nf::rate_limiter::{RateLimiter, RateLimiterConfig};
 use gnf_nf::{Direction, NfChain, NfContext, Verdict};
 use gnf_packet::{builder, Packet, PacketBatch};
-use gnf_switch::{SoftwareSwitch, SteeringRule, TrafficSelector};
+use gnf_switch::{
+    Classified, MegaflowState, SoftwareSwitch, SteeringRule, TrafficSelector,
+    DEFAULT_MEGAFLOW_CAPACITY,
+};
 use gnf_types::{ChainId, ClientId, MacAddr, SimTime};
 use std::net::Ipv4Addr;
 
@@ -81,6 +84,16 @@ pub fn station(len: usize, track_connections: bool) -> (SoftwareSwitch, NfChain)
     (sw, chain)
 }
 
+/// The [`station`] fixture with the megaflow (wildcard) cache enabled —
+/// conntrack stays off so the firewall reports pure masks and the chain is
+/// bypassable, which is the megaflow win the `megaflow` criterion group and
+/// exp_e4's new-flow-churn section measure.
+pub fn station_megaflow(len: usize) -> (SoftwareSwitch, NfChain) {
+    let (mut sw, chain) = station(len, false);
+    sw.set_megaflow_capacity(DEFAULT_MEGAFLOW_CAPACITY);
+    (sw, chain)
+}
+
 /// One established flow of the bench client (the cache-hit workload).
 pub fn established_flow_frame(payload: usize) -> Packet {
     builder::tcp_data(
@@ -137,6 +150,48 @@ pub fn pipeline_step(
         None => Verdict::Forward(pkt),
     };
     verdict.is_forward()
+}
+
+/// One megaflow-aware station-pipeline iteration, exactly as the Agent's
+/// classify path dispatches it: parse, classify (exact → wildcard → slow
+/// path), then either credit a certified chain bypass, or run the chain and
+/// seal the slow-path seed into a wildcard entry. Returns whether the packet
+/// was forwarded.
+pub fn pipeline_step_megaflow(
+    sw: &mut SoftwareSwitch,
+    chain: &mut NfChain,
+    frame: &Packet,
+    ctx: &NfContext,
+) -> bool {
+    let pkt = Packet::parse(frame.bytes().clone()).unwrap();
+    let port = sw.client_port();
+    let Classified { decision, megaflow } = sw.classify(&pkt, port, SimTime::from_secs(1)).unwrap();
+    match decision.steering {
+        Some((_, upstream)) => match megaflow {
+            MegaflowState::Bypass(tokens) => {
+                chain.credit_bypass(&tokens, 1, pkt.len() as u64);
+                true
+            }
+            megaflow => {
+                let direction = if upstream {
+                    Direction::Ingress
+                } else {
+                    Direction::Egress
+                };
+                let verdict = chain.process(pkt, direction, ctx);
+                if let MegaflowState::Seed(seed) = megaflow {
+                    let report = if verdict.is_forward() {
+                        chain.wildcard_report()
+                    } else {
+                        None
+                    };
+                    sw.install_megaflow(seed, report);
+                }
+                verdict.is_forward()
+            }
+        },
+        None => true,
+    }
 }
 
 /// One *batched* station-pipeline iteration, exactly as the Agent's batch

@@ -133,9 +133,10 @@ impl Emulator {
         let mut queue: EventQueue<EmuEvent> = EventQueue::new();
         let mut agents = BTreeMap::new();
 
-        // Stations and their Agents.
+        // Stations and their Agents. Emulated stations run the full
+        // production data plane, megaflow (wildcard) caching included.
         for site in scenario.topology.sites() {
-            let (agent, register) = Agent::new(
+            let (mut agent, register) = Agent::new(
                 AgentConfig {
                     agent: AgentId::new(site.station.raw()),
                     station: site.station,
@@ -143,6 +144,7 @@ impl Emulator {
                 },
                 repository.clone(),
             );
+            agent.set_megaflow_enabled(true);
             agents.insert(site.station, agent);
             queue.schedule_at(
                 SimTime::ZERO + site.control_latency,
@@ -293,6 +295,16 @@ impl Emulator {
     /// The configured data-plane worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Enables or disables the megaflow (wildcard) cache on every station's
+    /// switch (enabled by default). Packet outcomes, NF statistics and port
+    /// counters are equivalent either way — the megaflow equivalence
+    /// property tests assert it — only the cache-level telemetry changes.
+    pub fn set_megaflow_enabled(&mut self, enabled: bool) {
+        for agent in self.agents.values_mut() {
+            agent.set_megaflow_enabled(enabled);
+        }
     }
 
     /// Runs the scenario to completion and returns the report.
@@ -696,14 +708,17 @@ impl Emulator {
                 .total(NotificationSeverity::Critical),
         );
         let mut flow_cache = gnf_telemetry::FlowCacheTelemetry::default();
+        let mut megaflow = gnf_telemetry::MegaflowTelemetry::default();
         let mut batches = gnf_telemetry::BatchTelemetry::default();
         for agent in self.agents.values() {
             flow_cache.merge(&agent.flow_cache_telemetry());
+            megaflow.merge(&agent.megaflow_telemetry());
             batches.merge(agent.batch_telemetry());
         }
         RunReport {
             duration: self.scenario.duration,
             flow_cache,
+            megaflow,
             batches,
             events_processed: self.queue.processed_total(),
             handovers: self.handovers,

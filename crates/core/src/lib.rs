@@ -15,7 +15,16 @@
 //!   the real `gnf-manager`, `gnf-agent`, `gnf-container`, `gnf-switch` and
 //!   `gnf-nf` code with virtual time.
 //! * [`report`] — the measurements a run produces: migration downtime,
-//!   deployment latency, packet-level policy enforcement, control-plane load.
+//!   deployment latency, packet-level policy enforcement, control-plane load,
+//!   and the aggregated data-plane cache/batch telemetry (exact-match flow
+//!   cache, megaflow wildcard cache, batch-size distribution).
+//!
+//! The emulator runs the *production* data plane: traffic is coalesced into
+//! per-station [`gnf_packet::PacketBatch`] events, stations are sharded
+//! across [`Emulator::set_workers`] threads with a deterministic merge (the
+//! [`RunReport`] is byte-identical for any worker count), and every station's
+//! switch runs with the megaflow (wildcard) cache enabled — toggleable via
+//! [`Emulator::set_megaflow_enabled`] for A/B comparisons.
 //!
 //! ```
 //! use gnf_core::{Emulator, Scenario};

@@ -286,7 +286,7 @@ impl Manager {
                 Vec::new()
             }
             AgentToManager::Report(report) => {
-                self.monitoring.ingest(report, now);
+                self.monitoring.ingest(*report, now);
                 Vec::new()
             }
             AgentToManager::ChainDeployed {
@@ -1126,7 +1126,7 @@ mod tests {
         // A report showing 95% CPU.
         m.handle_agent_msg(
             StationId::new(0),
-            AgentToManager::Report(gnf_telemetry::StationReport {
+            AgentToManager::Report(Box::new(gnf_telemetry::StationReport {
                 station: StationId::new(0),
                 agent: gnf_types::AgentId::new(0),
                 produced_at: SimTime::from_secs(4),
@@ -1143,8 +1143,9 @@ mod tests {
                 running_nfs: 5,
                 cached_images: 1,
                 flow_cache: Default::default(),
+                megaflow: Default::default(),
                 batches: Default::default(),
-            }),
+            })),
             SimTime::from_secs(4),
         );
         m.tick(SimTime::from_secs(10));
@@ -1158,7 +1159,7 @@ mod tests {
         register(&mut m, 0, SimTime::ZERO);
         m.handle_agent_msg(
             StationId::new(0),
-            AgentToManager::Report(gnf_telemetry::StationReport {
+            AgentToManager::Report(Box::new(gnf_telemetry::StationReport {
                 station: StationId::new(0),
                 agent: gnf_types::AgentId::new(0),
                 produced_at: SimTime::from_secs(2),
@@ -1169,8 +1170,9 @@ mod tests {
                 running_nfs: 0,
                 cached_images: 0,
                 flow_cache: Default::default(),
+                megaflow: Default::default(),
                 batches: Default::default(),
-            }),
+            })),
             SimTime::from_secs(2),
         );
         m.tick(SimTime::from_secs(60));

@@ -4,10 +4,13 @@
 //! NF closest to the client sees both directions last/first consistently,
 //! mirroring how the veth pairs would be stitched together on a real host).
 
-use crate::nf::{Direction, NetworkFunction, NfContext, NfEvent, NfStats, Verdict};
+use crate::nf::{
+    Direction, FieldsConsulted, NetworkFunction, NfContext, NfEvent, NfStats, Verdict,
+};
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::{Packet, PacketBatch};
+use gnf_packet::{FieldMask, Packet, PacketBatch};
+use std::sync::Arc;
 
 /// An ordered chain of network functions treated as a single function.
 pub struct NfChain {
@@ -168,6 +171,44 @@ impl NfChain {
             .into_iter()
             .map(|v| v.expect("every batch slot received a verdict"))
             .collect()
+    }
+
+    /// The chain's contribution to a megaflow (wildcard) cache entry for the
+    /// most recently processed packet (or single-flow batch).
+    ///
+    /// Returns `Some((mask, tokens))` when **every** NF reported
+    /// [`FieldsConsulted::Pure`]: `mask` is the union of the fields any NF
+    /// consulted, and `tokens` (one per NF, in chain order) replay each NF's
+    /// statistics through [`NfChain::credit_bypass`]. Returns `None` as soon
+    /// as one NF is opaque — the chain must then keep processing every
+    /// packet, and the switch may cache its own decision only.
+    ///
+    /// An empty chain is trivially bypassable (empty mask, no tokens).
+    pub fn wildcard_report(&self) -> Option<(FieldMask, Arc<[u64]>)> {
+        let mut mask = FieldMask::EMPTY;
+        let mut tokens = Vec::with_capacity(self.nfs.len());
+        for nf in &self.nfs {
+            match nf.fields_consulted() {
+                FieldsConsulted::Pure { mask: m, token } => {
+                    mask.insert(m);
+                    tokens.push(token);
+                }
+                FieldsConsulted::Opaque => return None,
+            }
+        }
+        Some((mask, tokens.into()))
+    }
+
+    /// Replays the statistics of `packets` bypassed packets totalling
+    /// `bytes` — chain-level counters plus every member NF via its token —
+    /// exactly as if each packet had traversed the chain and been forwarded.
+    /// `tokens` must come from a [`NfChain::wildcard_report`] of this chain.
+    pub fn credit_bypass(&mut self, tokens: &[u64], packets: u64, bytes: u64) {
+        self.stats.record_in_batch(packets, bytes);
+        self.stats.record_bypassed_forward(packets, bytes);
+        for (nf, token) in self.nfs.iter_mut().zip(tokens) {
+            nf.credit_bypass(*token, packets, bytes);
+        }
     }
 
     /// Exports every member NF's state, in chain order.
@@ -387,6 +428,84 @@ mod tests {
         // Importing a shorter state vector must not panic.
         let mut partial = demo_chain();
         partial.import_state(vec![NfStateSnapshot::Stateless]);
+    }
+
+    #[test]
+    fn wildcard_report_requires_every_nf_to_be_pure() {
+        use crate::firewall::{CidrV4, PortMatch, ProtocolMatch, RuleAction};
+        use gnf_packet::FieldMask;
+        use std::net::Ipv4Addr;
+
+        let untracked = |name: &str, rules: Vec<FirewallRule>| {
+            Box::new(Firewall::new(
+                name,
+                FirewallConfig {
+                    rules,
+                    default_action: RuleAction::Accept,
+                    track_connections: false,
+                    conntrack_idle_timeout_secs: 60,
+                },
+            ))
+        };
+        let port_rule = FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Range(10_000, 10_100),
+            action: RuleAction::Drop,
+            ..FirewallRule::any("range", RuleAction::Drop)
+        };
+        let ip_rule =
+            FirewallRule::block_dst("cidr", CidrV4::new(Ipv4Addr::new(192, 168, 0, 0), 16));
+
+        let mut chain = NfChain::new("pure-chain");
+        chain.push(untracked("fw-ports", vec![port_rule]));
+        chain.push(untracked("fw-ips", vec![ip_rule]));
+        let pkt = http("ok.example");
+        let len = pkt.len() as u64;
+        assert!(chain.process(pkt, Direction::Ingress, &ctx()).is_forward());
+
+        let (mask, tokens) = chain.wildcard_report().expect("all NFs pure");
+        // The union of both firewalls' consulted fields.
+        assert!(mask.contains(FieldMask::PROTOCOL));
+        assert!(mask.contains(FieldMask::DST_PORT));
+        assert!(mask.contains(FieldMask::DST_IP));
+        assert_eq!(tokens.len(), 2);
+
+        // Crediting replays chain and per-NF statistics exactly.
+        let mut reference = NfChain::new("pure-chain");
+        reference.push(untracked(
+            "fw-ports",
+            vec![FirewallRule {
+                protocol: ProtocolMatch::Tcp,
+                dst_port: PortMatch::Range(10_000, 10_100),
+                action: RuleAction::Drop,
+                ..FirewallRule::any("range", RuleAction::Drop)
+            }],
+        ));
+        reference.push(untracked(
+            "fw-ips",
+            vec![FirewallRule::block_dst(
+                "cidr",
+                CidrV4::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+            )],
+        ));
+        for _ in 0..4 {
+            reference.process(http("ok.example"), Direction::Ingress, &ctx());
+        }
+        chain.credit_bypass(&tokens, 3, 3 * len);
+        assert_eq!(chain.stats(), reference.stats());
+        assert_eq!(chain.per_nf_stats(), reference.per_nf_stats());
+
+        // One opaque NF (default trait impl — the HTTP filter reads the
+        // payload) makes the whole chain unreportable.
+        let mut opaque = demo_chain();
+        opaque.process(http("ok.example"), Direction::Ingress, &ctx());
+        assert!(opaque.wildcard_report().is_none());
+
+        // An empty chain is trivially bypassable.
+        let empty = NfChain::new("empty");
+        let (mask, tokens) = empty.wildcard_report().expect("empty chain is pure");
+        assert!(mask.is_empty());
+        assert!(tokens.is_empty());
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //! client roams, the table travels with it so established connections are not
 //! reset by the move.
 
-use crate::nf::{Direction, NetworkFunction, NfContext, NfStats, Verdict};
+use crate::nf::{Direction, FieldsConsulted, NetworkFunction, NfContext, NfStats, Verdict};
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::{builder, FiveTuple, IpProtocol, Packet, PacketBatch, TcpFlags};
+use gnf_packet::{
+    builder, FieldMask, FiveTuple, IpProtocol, MaskedTuple, Packet, PacketBatch, TcpFlags,
+};
 use gnf_types::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -183,16 +185,35 @@ impl FirewallRule {
 
     /// True when the rule matches the given packet attributes.
     pub fn matches(&self, tuple: &FiveTuple, direction: Direction) -> bool {
+        let mut scratch = FieldMask::EMPTY;
+        self.matches_masked(tuple, direction, &mut scratch)
+    }
+
+    /// [`matches`], additionally recording into `mask` every five-tuple
+    /// field the evaluation consulted. Constraints set to their "any" value
+    /// (a /0 prefix, `PortMatch::Any`, `ProtocolMatch::Any`) read nothing,
+    /// and evaluation short-circuits at the first failing test, so the mask
+    /// is exactly the field set the outcome depended on — the property the
+    /// megaflow cache's wildcard entries are built on.
+    ///
+    /// [`matches`]: FirewallRule::matches
+    pub fn matches_masked(
+        &self,
+        tuple: &FiveTuple,
+        direction: Direction,
+        mask: &mut FieldMask,
+    ) -> bool {
         if let Some(d) = self.direction {
             if d != direction {
                 return false;
             }
         }
-        self.src.contains(tuple.src_ip)
-            && self.dst.contains(tuple.dst_ip)
-            && self.protocol.matches(tuple.protocol)
-            && self.src_port.matches(tuple.src_port)
-            && self.dst_port.matches(tuple.dst_port)
+        let mut lens = MaskedTuple::new(tuple, mask);
+        (self.src.prefix == 0 || self.src.contains(lens.src_ip()))
+            && (self.dst.prefix == 0 || self.dst.contains(lens.dst_ip()))
+            && (self.protocol == ProtocolMatch::Any || self.protocol.matches(lens.protocol()))
+            && (self.src_port == PortMatch::Any || self.src_port.matches(lens.src_port()))
+            && (self.dst_port == PortMatch::Any || self.dst_port.matches(lens.dst_port()))
     }
 }
 
@@ -259,6 +280,9 @@ pub struct Firewall {
     rule_hits: Vec<u64>,
     default_hits: u64,
     stats: NfStats,
+    /// What the megaflow cache may assume about the last processed packet
+    /// (see [`NetworkFunction::fields_consulted`]).
+    last_consulted: FieldsConsulted,
 }
 
 impl Firewall {
@@ -290,6 +314,7 @@ impl Firewall {
             rule_hits: vec![0; rule_count],
             default_hits: 0,
             stats: NfStats::default(),
+            last_consulted: FieldsConsulted::Opaque,
         }
     }
 
@@ -329,7 +354,25 @@ impl Firewall {
     /// bucket and the residual (wildcard) rules are visited; the two
     /// candidate streams are merged in original rule order so the result is
     /// identical to a linear first-match walk over the full list.
-    fn find_match(&self, tuple: &FiveTuple, direction: Direction) -> Option<usize> {
+    ///
+    /// Additionally accumulates into `mask` every five-tuple field the walk
+    /// consulted — each rule evaluated up to and including the first match
+    /// contributes the fields its constraints read, and probing the exact
+    /// `(protocol, dst port)` index itself consults those two fields
+    /// whenever any rule is indexed.
+    fn find_match_masked(
+        &self,
+        tuple: &FiveTuple,
+        direction: Direction,
+        mask: &mut FieldMask,
+    ) -> Option<usize> {
+        if !self.exact_index.is_empty() {
+            // A different protocol or destination port could select a
+            // different bucket (and thus different candidates), so both
+            // fields constrain the outcome even when no bucket matches.
+            mask.insert(FieldMask::PROTOCOL);
+            mask.insert(FieldMask::DST_PORT);
+        }
         let bucket: &[usize] = self
             .exact_index
             .get(&(tuple.protocol.value(), tuple.dst_port))
@@ -356,15 +399,25 @@ impl Firewall {
                 }
                 (None, None) => return None,
             };
-            if self.config.rules[candidate].matches(tuple, direction) {
+            if self.config.rules[candidate].matches_masked(tuple, direction, mask) {
                 return Some(candidate);
             }
         }
     }
 
-    /// Evaluates the rule list for a packet, counting the hit.
+    /// Encodes the evaluation path that decided a packet, for exact stats
+    /// replay when a wildcard entry bypasses this firewall: 0 = the default
+    /// policy applied, `n + 1` = rule `n` matched.
+    fn path_token(matched: Option<usize>) -> u64 {
+        matched.map(|ix| ix as u64 + 1).unwrap_or(0)
+    }
+
+    /// Evaluates the rule list for a packet, counting the hit (white-box
+    /// test helper; the processing paths inline this to also keep the mask).
+    #[cfg(test)]
     fn evaluate(&mut self, tuple: &FiveTuple, direction: Direction) -> RuleAction {
-        match self.find_match(tuple, direction) {
+        let mut scratch = FieldMask::EMPTY;
+        match self.find_match_masked(tuple, direction, &mut scratch) {
             Some(ix) => {
                 self.rule_hits[ix] += 1;
                 self.config.rules[ix].action
@@ -425,32 +478,66 @@ impl NetworkFunction for Firewall {
     fn process(&mut self, packet: Packet, direction: Direction, ctx: &NfContext) -> Verdict {
         self.stats.record_in(packet.len());
         let Some(tuple) = packet.five_tuple() else {
-            // Non-IP traffic (e.g. ARP) is not firewalled.
+            // Non-IP traffic (e.g. ARP) is not firewalled. It also carries
+            // no five-tuple to wildcard on.
+            self.last_consulted = FieldsConsulted::Opaque;
             let verdict = Verdict::Forward(packet);
             self.stats.record_verdict(&verdict);
             return verdict;
         };
 
         // Stateful fast path: established flows pass without rule evaluation.
+        // Consulting (and refreshing) conntrack makes the outcome depend on
+        // mutable state, so no wildcard entry may bypass it.
         if self.config.track_connections {
             let key = tuple.canonical();
             if let Some(last_seen) = self.conntrack.get_mut(&key) {
                 *last_seen = ctx.now;
+                self.last_consulted = FieldsConsulted::Opaque;
                 let verdict = Verdict::Forward(packet);
                 self.stats.record_verdict(&verdict);
                 return verdict;
             }
         }
 
-        let action = self.evaluate(&tuple, direction);
+        let mut mask = FieldMask::EMPTY;
+        let matched = self.find_match_masked(&tuple, direction, &mut mask);
+        let action = match matched {
+            Some(ix) => {
+                self.rule_hits[ix] += 1;
+                self.config.rules[ix].action
+            }
+            None => {
+                self.default_hits += 1;
+                self.config.default_action
+            }
+        };
         let verdict = match action {
             RuleAction::Accept => {
                 if self.config.track_connections {
+                    // Accepting inserts a conntrack entry — a side effect
+                    // future verdicts depend on (established flows bypass
+                    // later rules), so the evaluation is not wildcardable.
                     self.conntrack.insert(tuple.canonical(), ctx.now);
+                    self.last_consulted = FieldsConsulted::Opaque;
+                } else {
+                    // Untracked accept: a pure function of the consulted
+                    // fields and the immutable rule list. The token names
+                    // the evaluation path for exact stats replay.
+                    self.last_consulted = FieldsConsulted::Pure {
+                        mask,
+                        token: Self::path_token(matched),
+                    };
                 }
                 Verdict::Forward(packet)
             }
-            deny => Self::deny_verdict(deny, &packet),
+            deny => {
+                // Denies never report Pure: only Forward-unchanged outcomes
+                // are bypassable (Reject additionally builds a reply from
+                // the packet's own headers).
+                self.last_consulted = FieldsConsulted::Opaque;
+                Self::deny_verdict(deny, &packet)
+            }
         };
         self.stats.record_verdict(&verdict);
         verdict
@@ -483,6 +570,7 @@ impl NetworkFunction for Firewall {
             let Some(tuple) = packet.five_tuple() else {
                 // Non-IP traffic (e.g. ARP) is not firewalled.
                 memo = None;
+                self.last_consulted = FieldsConsulted::Opaque;
                 let verdict = Verdict::Forward(packet);
                 self.stats.record_verdict(&verdict);
                 out.push(verdict);
@@ -496,6 +584,8 @@ impl NetworkFunction for Firewall {
             // is probed under the canonical key as usual).
             if let Some((memo_key, replay)) = &memo {
                 if *memo_key == tuple {
+                    // `last_consulted` stays as the run's first packet set
+                    // it: same exact tuple, same evaluation path, same mask.
                     let verdict = match replay {
                         Memo::Established => Verdict::Forward(packet),
                         Memo::Rule(ix) => {
@@ -525,13 +615,15 @@ impl NetworkFunction for Firewall {
                 if let Some(last_seen) = self.conntrack.get_mut(&tuple.canonical()) {
                     *last_seen = ctx.now;
                     memo = Some((tuple, Memo::Established));
+                    self.last_consulted = FieldsConsulted::Opaque;
                     let verdict = Verdict::Forward(packet);
                     self.stats.record_verdict(&verdict);
                     out.push(verdict);
                     continue;
                 }
             }
-            let matched = self.find_match(&tuple, direction);
+            let mut mask = FieldMask::EMPTY;
+            let matched = self.find_match_masked(&tuple, direction, &mut mask);
             let action = match matched {
                 Some(ix) => {
                     self.rule_hits[ix] += 1;
@@ -548,13 +640,19 @@ impl NetworkFunction for Firewall {
                         self.conntrack.insert(tuple.canonical(), ctx.now);
                         // The rest of the run rides the fresh conntrack entry.
                         memo = Some((tuple, Memo::Established));
+                        self.last_consulted = FieldsConsulted::Opaque;
                     } else {
                         memo = Some((tuple, matched.map(Memo::Rule).unwrap_or(Memo::Default)));
+                        self.last_consulted = FieldsConsulted::Pure {
+                            mask,
+                            token: Self::path_token(matched),
+                        };
                     }
                     Verdict::Forward(packet)
                 }
                 deny => {
                     memo = Some((tuple, matched.map(Memo::Rule).unwrap_or(Memo::Default)));
+                    self.last_consulted = FieldsConsulted::Opaque;
                     Self::deny_verdict(deny, &packet)
                 }
             };
@@ -566,6 +664,22 @@ impl NetworkFunction for Firewall {
 
     fn stats(&self) -> NfStats {
         self.stats
+    }
+
+    fn fields_consulted(&self) -> FieldsConsulted {
+        self.last_consulted
+    }
+
+    fn credit_bypass(&mut self, token: u64, packets: u64, bytes: u64) {
+        self.stats.record_in_batch(packets, bytes);
+        self.stats.record_bypassed_forward(packets, bytes);
+        // Replay the evaluation path the token names, so rule/default hit
+        // counters stay identical to having processed every packet.
+        if token == 0 {
+            self.default_hits += packets;
+        } else if let Some(hits) = self.rule_hits.get_mut(token as usize - 1) {
+            *hits += packets;
+        }
     }
 
     fn export_state(&self) -> NfStateSnapshot {
@@ -963,6 +1077,148 @@ mod tests {
         assert_eq!(verdicts, expected);
         assert_eq!(batched.rule_hits(), per_packet.rule_hits());
         assert_eq!(batched.default_hits(), per_packet.default_hits());
+    }
+
+    // ------------------------------------------------- wildcard reporting
+
+    /// A conntrack-off config whose rules never match port-443 traffic: a
+    /// TCP range rule (consults protocol + dst port) and a CIDR rule
+    /// (consults dst ip).
+    fn untracked_config() -> FirewallConfig {
+        FirewallConfig {
+            rules: vec![
+                FirewallRule {
+                    protocol: ProtocolMatch::Tcp,
+                    dst_port: PortMatch::Range(10_000, 10_100),
+                    action: RuleAction::Drop,
+                    ..FirewallRule::any("range", RuleAction::Drop)
+                },
+                FirewallRule::block_dst("cidr", CidrV4::new(Ipv4Addr::new(192, 168, 0, 0), 16)),
+            ],
+            default_action: RuleAction::Accept,
+            track_connections: false,
+            conntrack_idle_timeout_secs: 60,
+        }
+    }
+
+    #[test]
+    fn untracked_accept_reports_a_pure_mask_of_the_consulted_fields() {
+        let mut fw = Firewall::new("fw", untracked_config());
+        assert_eq!(
+            fw.fields_consulted(),
+            FieldsConsulted::Opaque,
+            "before any packet"
+        );
+        assert!(fw
+            .process(tcp_to_port(443), Direction::Ingress, &ctx())
+            .is_forward());
+        let FieldsConsulted::Pure { mask, token } = fw.fields_consulted() else {
+            panic!("untracked accept must be pure");
+        };
+        assert_eq!(token, 0, "default policy accepted");
+        // The walk consulted protocol + dst port (range rule) and dst ip
+        // (CIDR rule); the source side was never read.
+        assert!(mask.contains(FieldMask::PROTOCOL));
+        assert!(mask.contains(FieldMask::DST_PORT));
+        assert!(mask.contains(FieldMask::DST_IP));
+        assert!(!mask.contains(FieldMask::SRC_IP));
+        assert!(!mask.contains(FieldMask::SRC_PORT));
+    }
+
+    #[test]
+    fn accept_via_a_rule_reports_its_token() {
+        let allow = FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Range(400, 500),
+            action: RuleAction::Accept,
+            ..FirewallRule::any("allow-https-ish", RuleAction::Accept)
+        };
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig {
+                rules: vec![allow],
+                default_action: RuleAction::Drop,
+                track_connections: false,
+                conntrack_idle_timeout_secs: 60,
+            },
+        );
+        assert!(fw
+            .process(tcp_to_port(443), Direction::Ingress, &ctx())
+            .is_forward());
+        let FieldsConsulted::Pure { token, .. } = fw.fields_consulted() else {
+            panic!("rule accept must be pure");
+        };
+        assert_eq!(token, 1, "rule 0 matched");
+    }
+
+    #[test]
+    fn conntrack_and_denies_are_opaque() {
+        // Conntrack on: both the inserting accept and the established hit
+        // are opaque.
+        let mut fw = Firewall::new("fw", FirewallConfig::default());
+        fw.process(tcp_to_port(443), Direction::Ingress, &ctx());
+        assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
+        fw.process(tcp_to_port(443), Direction::Ingress, &ctx());
+        assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
+
+        // Denies are opaque even without conntrack.
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig {
+                track_connections: false,
+                ..FirewallConfig::allowlist(vec![])
+            },
+        );
+        assert!(fw
+            .process(tcp_to_port(443), Direction::Ingress, &ctx())
+            .is_drop());
+        assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
+
+        // Non-IP traffic is opaque (nothing to wildcard on).
+        let mut fw = Firewall::new("fw", untracked_config());
+        let arp = builder::arp_request(
+            MacAddr::derived(1, 1),
+            client_ip(),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        fw.process(arp, Direction::Ingress, &ctx());
+        assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
+    }
+
+    #[test]
+    fn credit_bypass_replays_statistics_exactly() {
+        let pkt = tcp_to_port(443);
+        // Reference: process the packet 5 times through the full path.
+        let mut processed = Firewall::new("fw", untracked_config());
+        for _ in 0..5 {
+            assert!(processed
+                .process(pkt.clone(), Direction::Ingress, &ctx())
+                .is_forward());
+        }
+        // Bypassed: process once (producing the token), then credit 4 more.
+        let mut credited = Firewall::new("fw", untracked_config());
+        credited.process(pkt.clone(), Direction::Ingress, &ctx());
+        let FieldsConsulted::Pure { token, .. } = credited.fields_consulted() else {
+            panic!("expected a pure report");
+        };
+        credited.credit_bypass(token, 4, 4 * pkt.len() as u64);
+        assert_eq!(credited.stats(), processed.stats());
+        assert_eq!(credited.rule_hits(), processed.rule_hits());
+        assert_eq!(credited.default_hits(), processed.default_hits());
+    }
+
+    #[test]
+    fn batched_evaluation_reports_the_same_purity_as_per_packet() {
+        let pkt = tcp_to_port(443);
+        let mut per_packet = Firewall::new("fw", untracked_config());
+        per_packet.process(pkt.clone(), Direction::Ingress, &ctx());
+        let expected = per_packet.fields_consulted();
+        assert!(matches!(expected, FieldsConsulted::Pure { .. }));
+
+        let mut batched = Firewall::new("fw", untracked_config());
+        let batch: PacketBatch = vec![pkt.clone(), pkt.clone(), pkt].into();
+        batched.process_batch(batch, Direction::Ingress, &ctx());
+        assert_eq!(batched.fields_consulted(), expected);
     }
 
     #[test]

@@ -187,6 +187,14 @@ impl NetworkFunction for Ids {
         self.stats
     }
 
+    fn fields_consulted(&self) -> crate::nf::FieldsConsulted {
+        // Deliberately opaque, always: detection reads the payload (signature
+        // scan) and TCP flags and updates the per-source SYN window — a
+        // wildcard bypass would blind the detector to exactly the repetitive
+        // traffic (floods) it exists to count.
+        crate::nf::FieldsConsulted::Opaque
+    }
+
     fn export_state(&self) -> NfStateSnapshot {
         NfStateSnapshot::Ids {
             syn_counts: self.syn_counts.clone(),

@@ -23,6 +23,26 @@
 //! NFs process *real* packets ([`gnf_packet::Packet`]); nothing about their
 //! behaviour is mocked. Chains ([`chain::NfChain`]) compose them in order, and
 //! [`spec::NfSpec`] is the serializable descriptor the Manager ships to Agents.
+//!
+//! ## The NF contract in the fast/batch/wildcard paths
+//!
+//! Beyond per-packet [`NetworkFunction::process`], the trait has two optional
+//! fast-path surfaces, both of which must stay *observably equivalent* to
+//! per-packet processing (the batch- and megaflow-equivalence property tests
+//! enforce it for the shipped NFs):
+//!
+//! * **Batching** — [`NetworkFunction::process_batch`] takes a
+//!   [`gnf_packet::PacketBatch`] and may amortize per-packet work (the
+//!   firewall replays one rule resolution per same-flow run, the rate
+//!   limiter refills tokens once per batch, the IDS rolls its window once).
+//! * **Wildcarding** — [`NetworkFunction::fields_consulted`] reports, after
+//!   each packet, either [`FieldsConsulted::Pure`] (the verdict was a pure
+//!   function of a mask of five-tuple fields; the switch's megaflow cache
+//!   may then bypass the NF for matching flows, replaying its statistics via
+//!   [`NetworkFunction::credit_bypass`]) or [`FieldsConsulted::Opaque`]
+//!   (stateful/payload-reading processing — never bypassed; the safe
+//!   default). Of the shipped NFs only the conntrack-off firewall reports
+//!   `Pure`; [`NfChain::wildcard_report`] aggregates the reports chain-wide.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +61,9 @@ pub mod state;
 pub mod testing;
 
 pub use chain::NfChain;
-pub use nf::{Direction, NetworkFunction, NfContext, NfEvent, NfEventSeverity, NfStats, Verdict};
+pub use nf::{
+    Direction, FieldsConsulted, NetworkFunction, NfContext, NfEvent, NfEventSeverity, NfStats,
+    Verdict,
+};
 pub use spec::{instantiate_chain, NfConfig, NfKind, NfSpec};
 pub use state::NfStateSnapshot;

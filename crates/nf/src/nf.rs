@@ -10,7 +10,7 @@
 
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
-use gnf_packet::{Packet, PacketBatch};
+use gnf_packet::{FieldMask, Packet, PacketBatch};
 use gnf_types::{ClientId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -142,6 +142,15 @@ impl NfStats {
         }
     }
 
+    /// Records `packets` forwarded packets totalling `bytes` in one add —
+    /// the megaflow bypass path's equivalent of `record_verdict(Forward)`
+    /// per packet (bypassed packets are forwarded unchanged, so bytes out
+    /// equal bytes in).
+    pub fn record_bypassed_forward(&mut self, packets: u64, bytes: u64) {
+        self.packets_forwarded += packets;
+        self.bytes_out += bytes;
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &NfStats) {
         self.packets_in += other.packets_in;
@@ -151,6 +160,30 @@ impl NfStats {
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
     }
+}
+
+/// What the megaflow (wildcard) cache may assume about an NF's handling of
+/// the most recently processed packet — the NF's contribution to a wildcard
+/// cache entry (see [`NetworkFunction::fields_consulted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldsConsulted {
+    /// The verdict was `Forward` of the **unchanged** packet, it is a pure
+    /// function of the masked five-tuple fields plus the NF's immutable
+    /// configuration, and processing had no side effects beyond statistics.
+    /// Any packet agreeing on the masked fields may therefore bypass the NF,
+    /// with its statistics replayed through
+    /// [`NetworkFunction::credit_bypass`] using `token`.
+    Pure {
+        /// The five-tuple fields the evaluation consulted.
+        mask: FieldMask,
+        /// NF-defined replay token identifying the evaluation path taken
+        /// (e.g. which rule matched), passed back to `credit_bypass`.
+        token: u64,
+    },
+    /// The NF consulted mutable state (conntrack, token buckets, detection
+    /// windows), read the payload, modified the packet, or produced side
+    /// effects — no wildcard entry may bypass it.
+    Opaque,
 }
 
 /// Severity of an NF-originated event.
@@ -247,6 +280,30 @@ pub trait NetworkFunction: Send {
 
     /// Cumulative statistics.
     fn stats(&self) -> NfStats;
+
+    /// Reports what the megaflow (wildcard) cache may assume about the most
+    /// recently processed packet: either a [`FieldsConsulted::Pure`] field
+    /// mask under which the NF can be bypassed, or
+    /// [`FieldsConsulted::Opaque`].
+    ///
+    /// The default is `Opaque` — always correct, never wildcarded. An NF
+    /// reporting `Pure` enters a contract: for **any** packet agreeing with
+    /// the last one on the masked fields, `process` would have returned
+    /// `Forward` of the unchanged packet, left no state behind, raised no
+    /// events, and changed only statistics — which [`credit_bypass`] must
+    /// replay exactly.
+    ///
+    /// [`credit_bypass`]: NetworkFunction::credit_bypass
+    fn fields_consulted(&self) -> FieldsConsulted {
+        FieldsConsulted::Opaque
+    }
+
+    /// Replays the statistics of `packets` bypassed packets totalling
+    /// `bytes`, exactly as if each had been processed and forwarded. Called
+    /// only with a `token` this NF previously reported in a
+    /// [`FieldsConsulted::Pure`]; NFs that never report `Pure` keep the
+    /// default no-op.
+    fn credit_bypass(&mut self, _token: u64, _packets: u64, _bytes: u64) {}
 
     /// Exports the NF's dynamic state for migration to another station.
     ///

@@ -252,6 +252,14 @@ impl NetworkFunction for RateLimiter {
         self.stats
     }
 
+    fn fields_consulted(&self) -> crate::nf::FieldsConsulted {
+        // Deliberately opaque, always: every packet consumes tokens, so even
+        // a forwarded packet's processing changes the state later verdicts
+        // depend on — a wildcard bypass would let traffic through without
+        // debiting the bucket.
+        crate::nf::FieldsConsulted::Opaque
+    }
+
     fn export_state(&self) -> NfStateSnapshot {
         let mut buckets: Vec<(FiveTuple, f64)> =
             self.buckets.iter().map(|(k, v)| (*k, *v)).collect();

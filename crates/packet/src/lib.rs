@@ -20,6 +20,8 @@
 //! * [`builder`] — consistent frame constructors for traffic generators,
 //!   tests and benchmarks.
 //! * [`flow`] — five-tuple flow identification.
+//! * [`mask`] — wildcard field masks and the consulted-field-recording
+//!   five-tuple lookup API behind the switch's megaflow cache.
 //!
 //! Parsing never panics on untrusted input: every malformed frame is reported
 //! as a [`gnf_types::GnfError::MalformedPacket`].
@@ -37,6 +39,7 @@ pub mod flow;
 pub mod http;
 pub mod icmp;
 pub mod ipv4;
+pub mod mask;
 pub mod packet;
 pub mod tcp;
 pub mod udp;
@@ -48,6 +51,7 @@ pub use flow::FiveTuple;
 pub use http::{HttpMethod, HttpRequest, HttpResponse};
 pub use icmp::{IcmpKind, IcmpMessage};
 pub use ipv4::{IpProtocol, Ipv4Header};
+pub use mask::{FieldMask, MaskedTuple};
 pub use packet::{FlowMeta, NetworkLayer, Packet, TransportLayer};
 pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;

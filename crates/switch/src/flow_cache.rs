@@ -165,6 +165,15 @@ impl FlowCache {
         self.stats.hits += n;
     }
 
+    /// Records `n` additional misses that were not individually probed —
+    /// used by the batched receive path for runs whose decision came from
+    /// the megaflow (wildcard) layer: the per-packet path would probe (and
+    /// miss) the exact cache once per packet before each wildcard hit, so
+    /// the counters must reflect that.
+    pub fn note_repeat_misses(&mut self, n: u64) {
+        self.stats.misses += n;
+    }
+
     /// Memoizes the decision for a flow, evicting the least-recently-used
     /// entry when the capacity bound is hit.
     pub fn insert(

@@ -16,17 +16,23 @@
 //!   the full [`switch::SwitchDecision`] per five-tuple, with LRU eviction
 //!   and generation-based invalidation; repeated packets of a flow cost one
 //!   hash lookup instead of the full steering/MAC pipeline.
+//! * [`megaflow`] — the wildcard second-level cache probed on exact-match
+//!   misses: one masked entry (built from the fields the slow path and the
+//!   steered NF chain actually consulted) covers every *new* flow of the
+//!   same pattern, optionally bypassing the chain entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod flow_cache;
+pub mod megaflow;
 pub mod steering;
 pub mod switch;
 
 pub use flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
+pub use megaflow::{MegaflowCache, MegaflowHit, MegaflowStats, DEFAULT_MEGAFLOW_CAPACITY};
 pub use steering::{SteeringRule, SteeringTable, TrafficSelector};
 pub use switch::{
-    DecisionRun, Forwarding, Port, PortCounters, PortId, PortKind, SoftwareSwitch, SwitchDecision,
-    DEFAULT_MAC_AGING_SECS,
+    Classified, DecisionRun, Forwarding, MegaflowSeed, MegaflowState, Port, PortCounters, PortId,
+    PortKind, SoftwareSwitch, SwitchDecision, DEFAULT_MAC_AGING_SECS,
 };

@@ -9,7 +9,7 @@
 //! replaced in one operation — which is what makes make-before-break chain
 //! migration possible.
 
-use gnf_packet::{IpProtocol, Packet};
+use gnf_packet::{FieldMask, IpProtocol, MaskedTuple, Packet};
 use gnf_types::{ChainId, ClientId, MacAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -49,18 +49,31 @@ impl TrafficSelector {
     /// True when the packet (in either direction of the client's flows)
     /// matches the selector.
     pub fn matches(&self, packet: &Packet) -> bool {
+        let mut scratch = FieldMask::EMPTY;
+        self.matches_masked(packet, &mut scratch)
+    }
+
+    /// [`matches`], additionally recording into `mask` every five-tuple
+    /// field the evaluation consulted — the wildcard-correctness input of
+    /// the megaflow cache. Fields skipped by short-circuit evaluation (e.g.
+    /// the source port when the destination port already matched) stay
+    /// wildcarded, exactly mirroring what the decision depended on.
+    ///
+    /// [`matches`]: TrafficSelector::matches
+    pub fn matches_masked(&self, packet: &Packet, mask: &mut FieldMask) -> bool {
         let Some(tuple) = packet.five_tuple() else {
             // Non-IP traffic only matches the catch-all selector.
             return self.protocol.is_none() && self.dst_port.is_none();
         };
+        let mut lens = MaskedTuple::new(&tuple, mask);
         if let Some(proto) = self.protocol {
-            if tuple.protocol != proto {
+            if lens.protocol() != proto {
                 return false;
             }
         }
         if let Some(port) = self.dst_port {
             // Upstream packets have it as dst port, downstream as src port.
-            if tuple.dst_port != port && tuple.src_port != port {
+            if lens.dst_port() != port && lens.src_port() != port {
                 return false;
             }
         }
@@ -158,16 +171,36 @@ impl SteeringTable {
     /// with whether the packet is upstream (`true`, sent by the client) or
     /// downstream (`false`, addressed to the client).
     pub fn lookup(&self, packet: &Packet) -> Option<(SteeringRule, bool)> {
+        let mut scratch = FieldMask::EMPTY;
+        self.lookup_masked(packet, &mut scratch)
+    }
+
+    /// [`lookup`], additionally accumulating into `mask` the five-tuple
+    /// fields the walk consulted: every rule evaluated before (and
+    /// including) the first match contributes the fields its selector read.
+    /// The MAC addresses keying the walk are not part of the mask — the
+    /// megaflow cache always matches them exactly.
+    ///
+    /// [`lookup`]: SteeringTable::lookup
+    pub fn lookup_masked(
+        &self,
+        packet: &Packet,
+        mask: &mut FieldMask,
+    ) -> Option<(SteeringRule, bool)> {
         // Upstream: the packet's source MAC is a steered client.
         if let Some(rules) = self.rules.get(&packet.src_mac()) {
-            if let Some(rule) = rules.iter().find(|r| r.selector.matches(packet)) {
-                return Some((*rule, true));
+            for rule in rules {
+                if rule.selector.matches_masked(packet, mask) {
+                    return Some((*rule, true));
+                }
             }
         }
         // Downstream: the packet's destination MAC is a steered client.
         if let Some(rules) = self.rules.get(&packet.dst_mac()) {
-            if let Some(rule) = rules.iter().find(|r| r.selector.matches(packet)) {
-                return Some((*rule, false));
+            for rule in rules {
+                if rule.selector.matches_masked(packet, mask) {
+                    return Some((*rule, false));
+                }
             }
         }
         None
@@ -324,6 +357,33 @@ mod tests {
             table.repoint(client_mac(), ChainId::new(9), ChainId::new(3)),
             0
         );
+    }
+
+    #[test]
+    fn masked_lookup_records_exactly_the_consulted_fields() {
+        // Catch-all selector: matches without reading any tuple field.
+        let mut table = SteeringTable::new();
+        table.install(rule(TrafficSelector::all(), 1));
+        let mut mask = FieldMask::EMPTY;
+        assert!(table.lookup_masked(&http_packet(), &mut mask).is_some());
+        assert!(mask.is_empty(), "catch-all consults no tuple fields");
+
+        // HTTP-only selector, matching packet: the destination port matched,
+        // so the source port was never read (short-circuit stays wildcarded).
+        let mut table = SteeringTable::new();
+        table.install(rule(TrafficSelector::http_only(), 1));
+        let mut mask = FieldMask::EMPTY;
+        assert!(table.lookup_masked(&http_packet(), &mut mask).is_some());
+        assert!(mask.contains(FieldMask::PROTOCOL));
+        assert!(mask.contains(FieldMask::DST_PORT));
+        assert!(!mask.contains(FieldMask::SRC_PORT));
+
+        // Non-matching protocol: evaluation stopped at the protocol test, so
+        // the ports stay wildcarded even though the rule names one.
+        let mut mask = FieldMask::EMPTY;
+        assert!(table.lookup_masked(&dns_packet(), &mut mask).is_none());
+        assert!(mask.contains(FieldMask::PROTOCOL));
+        assert!(!mask.contains(FieldMask::DST_PORT));
     }
 
     #[test]

@@ -12,16 +12,22 @@
 //! [`SoftwareSwitch::receive`] is split OVS-style: frames that carry a
 //! transport five-tuple first consult the exact-match
 //! [`crate::flow_cache::FlowCache`]; a hit returns the memoized
-//! [`SwitchDecision`] after one hash lookup. A miss (or a non-flow frame such
-//! as ARP) walks the full slow path — steering lookup, MAC table, flood set —
-//! and flows memoize the result. Port and steering mutations advance
-//! generation counters that lazily invalidate every affected entry in O(1);
-//! MAC-table changes (learn/move/age) are caught per flow, because each
-//! cached entry re-validates its destination's MAC→port mapping on lookup.
+//! [`SwitchDecision`] after one hash lookup. On an exact miss the optional
+//! megaflow (wildcard) layer ([`crate::megaflow::MegaflowCache`]) is probed:
+//! one masked entry covers every new flow matching the same pattern of
+//! consulted header fields, and may additionally certify that the steered NF
+//! chain can be bypassed. Only when both caches miss does the frame walk the
+//! full slow path — steering lookup, MAC table, flood set — which records
+//! the fields it consulted so the caller can complete a wildcard entry (see
+//! [`MegaflowState`]). Port and steering mutations advance generation
+//! counters that lazily invalidate every affected entry in O(1); MAC-table
+//! changes (learn/move/age) are caught per flow, because each cached entry
+//! re-validates its destination's MAC→port mapping on lookup.
 
 use crate::flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
+use crate::megaflow::{MegaflowCache, MegaflowStats};
 use crate::steering::{SteeringRule, SteeringTable};
-use gnf_packet::{Packet, PacketBatch};
+use gnf_packet::{FieldMask, FiveTuple, Packet, PacketBatch};
 use gnf_types::{GnfError, GnfResult, MacAddr, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -100,6 +106,60 @@ pub struct SwitchDecision {
     pub forwarding: Forwarding,
 }
 
+/// How the megaflow (wildcard) cache layer participated in a classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MegaflowState {
+    /// Wildcarding did not participate: non-flow frame, exact-match hit,
+    /// decision-only wildcard hit, or megaflow disabled. The caller
+    /// processes the steered chain (if any) as usual.
+    None,
+    /// A wildcard entry certified that the steered NF chain may be bypassed
+    /// for this packet: the chain's verdict is `Forward` of the unchanged
+    /// packet, and the tokens (one per NF, in chain order) replay each NF's
+    /// statistics via `NfChain::credit_bypass`.
+    Bypass(Arc<[u64]>),
+    /// The packet took the full slow path for a *steered* flow. The caller
+    /// may complete the seed into a wildcard entry with
+    /// [`SoftwareSwitch::install_megaflow`] once the chain has processed the
+    /// packet and reported the fields it consulted. Dropping the seed is
+    /// always safe (the flow simply stays on the exact/slow path).
+    Seed(MegaflowSeed),
+}
+
+/// The switch's half of a prospective wildcard cache entry: the exact key
+/// parts, the five-tuple, the fields the *switch's* slow path consulted and
+/// the validity snapshot the decision was computed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaflowSeed {
+    in_port: PortId,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    tuple: FiveTuple,
+    switch_mask: FieldMask,
+    decision: SwitchDecision,
+    topology_generation: u64,
+    steering_generation: u64,
+    dst_mapping: Option<PortId>,
+}
+
+impl MegaflowSeed {
+    /// The five-tuple fields the switch's slow path consulted (the steering
+    /// rule walk; the MAC/port parts of the key are always matched exactly).
+    pub fn switch_mask(&self) -> FieldMask {
+        self.switch_mask
+    }
+}
+
+/// The result of classifying one received frame: the forwarding decision
+/// plus how the wildcard cache layer was (or can be) involved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classified {
+    /// The decision for the frame.
+    pub decision: SwitchDecision,
+    /// The wildcard-cache aspect of the classification.
+    pub megaflow: MegaflowState,
+}
+
 /// One run of consecutive same-decision packets within a batch.
 ///
 /// [`SoftwareSwitch::receive_batch`] run-length groups its output: packets
@@ -112,6 +172,9 @@ pub struct DecisionRun {
     pub decision: SwitchDecision,
     /// How many consecutive packets of the batch the decision covers.
     pub count: usize,
+    /// The wildcard-cache aspect shared by every packet of the run (a run is
+    /// one flow, so one megaflow entry covers all of it).
+    pub megaflow: MegaflowState,
 }
 
 /// The software switch.
@@ -126,6 +189,9 @@ pub struct SoftwareSwitch {
     /// table's generation to validate flow-cache entries.
     topology_generation: u64,
     flow_cache: FlowCache,
+    /// The wildcard second-level cache probed on exact-match misses
+    /// (disabled — capacity 0 — unless the owner opts in).
+    megaflow: MegaflowCache,
     /// Memoized flood port set per ingress port (rebuilt after port changes).
     #[allow(clippy::type_complexity)]
     flood_sets: HashMap<PortId, Arc<[PortId]>>,
@@ -158,6 +224,7 @@ impl SoftwareSwitch {
             dropped_frames: 0,
             topology_generation: 0,
             flow_cache: FlowCache::with_capacity(capacity),
+            megaflow: MegaflowCache::with_capacity(0),
             flood_sets: HashMap::new(),
             empty_flood: Arc::from(Vec::new()),
         };
@@ -297,9 +364,40 @@ impl SoftwareSwitch {
         self.flow_cache.len()
     }
 
-    /// Drops every memoized flow (the slow path repopulates on demand).
+    /// Bounds the megaflow (wildcard) cache to `capacity` entries; 0
+    /// disables the layer entirely. Resizing drops every wildcard entry
+    /// (they repopulate from slow-path traffic) but keeps the cumulative
+    /// counters, so telemetry never undercounts across a toggle.
+    pub fn set_megaflow_capacity(&mut self, capacity: usize) {
+        self.megaflow.set_capacity(capacity);
+    }
+
+    /// True when the megaflow (wildcard) cache layer participates in
+    /// lookups.
+    pub fn megaflow_enabled(&self) -> bool {
+        self.megaflow.enabled()
+    }
+
+    /// Megaflow hit/miss/install/eviction counters.
+    pub fn megaflow_stats(&self) -> MegaflowStats {
+        self.megaflow.stats()
+    }
+
+    /// Number of wildcard entries currently installed.
+    pub fn megaflow_len(&self) -> usize {
+        self.megaflow.len()
+    }
+
+    /// Number of distinct wildcard masks currently holding entries.
+    pub fn megaflow_mask_count(&self) -> usize {
+        self.megaflow.mask_count()
+    }
+
+    /// Drops every memoized flow — exact-match and wildcard alike (the slow
+    /// path repopulates both on demand).
     pub fn flush_flow_cache(&mut self) {
         self.flow_cache.clear();
+        self.megaflow.clear();
     }
 
     /// Expires MAC-table entries older than the aging time.
@@ -328,6 +426,25 @@ impl SoftwareSwitch {
         in_port: PortId,
         now: SimTime,
     ) -> GnfResult<SwitchDecision> {
+        // Dropping the megaflow state is always safe: a discarded seed just
+        // keeps the flow on the exact/slow path, and a discarded bypass
+        // means the caller runs the (pure, equivalent) chain normally.
+        self.classify(packet, in_port, now).map(|c| c.decision)
+    }
+
+    /// [`receive`], additionally exposing the megaflow (wildcard) cache
+    /// aspect of the classification: a certified chain bypass on a wildcard
+    /// hit, or a seed the caller can complete into a wildcard entry after
+    /// running the steered chain. Callers that ignore wildcarding can use
+    /// [`receive`] unchanged.
+    ///
+    /// [`receive`]: SoftwareSwitch::receive
+    pub fn classify(
+        &mut self,
+        packet: &Packet,
+        in_port: PortId,
+        now: SimTime,
+    ) -> GnfResult<Classified> {
         if self.port(in_port).is_err() {
             self.dropped_frames += 1;
             return Err(GnfError::not_found("switch port", in_port.0));
@@ -362,9 +479,31 @@ impl SoftwareSwitch {
                 steering_generation,
                 dst_mapping,
             ) {
-                return Ok(decision);
+                return Ok(Classified {
+                    decision,
+                    megaflow: MegaflowState::None,
+                });
             }
-            let decision = self.slow_path(packet, in_port);
+            // Second level: one wildcard entry covers every new flow of the
+            // same masked pattern.
+            if let Some(hit) = self.megaflow.lookup(
+                in_port,
+                key.src_mac,
+                key.dst_mac,
+                &tuple,
+                self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            ) {
+                return Ok(Classified {
+                    decision: hit.decision,
+                    megaflow: match hit.bypass {
+                        Some(tokens) => MegaflowState::Bypass(tokens),
+                        None => MegaflowState::None,
+                    },
+                });
+            }
+            let (decision, switch_mask) = self.slow_path_masked(packet, in_port);
             self.flow_cache.insert(
                 key,
                 decision.clone(),
@@ -372,12 +511,43 @@ impl SoftwareSwitch {
                 steering_generation,
                 dst_mapping,
             );
-            Ok(decision)
+            let megaflow =
+                self.seed_or_install_megaflow(&key, tuple, switch_mask, &decision, dst_mapping);
+            Ok(Classified { decision, megaflow })
         } else {
             // Non-flow frames (ARP, unknown EtherTypes) are rare control
             // traffic; they always take the slow path.
-            Ok(self.slow_path(packet, in_port))
+            Ok(Classified {
+                decision: self.slow_path(packet, in_port),
+                megaflow: MegaflowState::None,
+            })
         }
+    }
+
+    /// Completes a slow-path seed into a wildcard cache entry.
+    ///
+    /// `chain` is the steered chain's contribution: `Some((mask, tokens))`
+    /// when every NF certified the packet's processing as a pure function of
+    /// `mask` (the entry then bypasses the chain and the tokens replay NF
+    /// statistics), `None` when the chain is opaque (the entry caches the
+    /// switch decision only; matching packets still traverse the chain).
+    pub fn install_megaflow(&mut self, seed: MegaflowSeed, chain: Option<(FieldMask, Arc<[u64]>)>) {
+        let (mask, bypass) = match chain {
+            Some((chain_mask, tokens)) => (seed.switch_mask.union(chain_mask), Some(tokens)),
+            None => (seed.switch_mask, None),
+        };
+        self.megaflow.insert(
+            seed.in_port,
+            seed.src_mac,
+            seed.dst_mac,
+            &seed.tuple,
+            mask,
+            seed.decision,
+            bypass,
+            seed.topology_generation,
+            seed.steering_generation,
+            seed.dst_mapping,
+        );
     }
 
     /// Processes a batch of frames received on `in_port`: the batched
@@ -420,8 +590,20 @@ impl SoftwareSwitch {
             port.counters.rx_bytes += total_bytes;
         }
 
+        /// Which cache level decided a run — repeats must credit the same
+        /// counters the per-packet path would.
+        #[derive(Clone, Copy, PartialEq)]
+        enum RunSource {
+            /// Exact hit, or slow path (which installs an exact entry, so
+            /// per-packet repeats would exact-hit).
+            Exact,
+            /// Wildcard hit: per-packet repeats would exact-miss and then
+            /// wildcard-hit again (wildcard hits do not promote).
+            Megaflow,
+        }
+
         let mut runs: Vec<DecisionRun> = Vec::new();
-        let mut last_key: Option<FlowKey> = None;
+        let mut last_key: Option<(FlowKey, RunSource)> = None;
         let mut last_learned: Option<MacAddr> = None;
         for packet in batch.iter() {
             let src_mac = packet.src_mac();
@@ -434,7 +616,11 @@ impl SoftwareSwitch {
             let Some(tuple) = packet.five_tuple() else {
                 // Non-flow frames always take the slow path, never grouped.
                 let decision = self.slow_path(packet, in_port);
-                runs.push(DecisionRun { decision, count: 1 });
+                runs.push(DecisionRun {
+                    decision,
+                    count: 1,
+                    megaflow: MegaflowState::None,
+                });
                 last_key = None;
                 continue;
             };
@@ -444,45 +630,139 @@ impl SoftwareSwitch {
                 dst_mac: packet.dst_mac(),
                 tuple,
             };
-            if last_key == Some(key) {
-                // Nothing the batch itself does (idempotent MAC re-learning
-                // at one timestamp) can change the decision within a run, so
-                // the per-packet path would score a cache hit here.
-                runs.last_mut().expect("a run exists for the key").count += 1;
-                self.flow_cache.note_repeat_hits(1);
-                continue;
+            if let Some((last, source)) = &last_key {
+                if *last == key {
+                    // Nothing the batch itself does (idempotent MAC
+                    // re-learning at one timestamp) can change the decision
+                    // within a run, so the per-packet path would score the
+                    // same cache outcome as the run's first packet did.
+                    runs.last_mut().expect("a run exists for the key").count += 1;
+                    match source {
+                        RunSource::Exact => self.flow_cache.note_repeat_hits(1),
+                        RunSource::Megaflow => {
+                            self.flow_cache.note_repeat_misses(1);
+                            self.megaflow.note_repeat_hits(1);
+                        }
+                    }
+                    continue;
+                }
             }
             let steering_generation = self.steering.generation();
             let dst_mapping = self.mac_table.get(&packet.dst_mac()).map(|(port, _)| *port);
-            let decision = match self.flow_cache.lookup(
+            let (decision, megaflow, source) = if let Some(decision) = self.flow_cache.lookup(
                 &key,
                 self.topology_generation,
                 steering_generation,
                 dst_mapping,
             ) {
-                Some(decision) => decision,
-                None => {
-                    let decision = self.slow_path(packet, in_port);
-                    self.flow_cache.insert(
-                        key,
-                        decision.clone(),
-                        self.topology_generation,
-                        steering_generation,
-                        dst_mapping,
-                    );
-                    decision
-                }
+                (decision, MegaflowState::None, RunSource::Exact)
+            } else if let Some(hit) = self.megaflow.lookup(
+                in_port,
+                key.src_mac,
+                key.dst_mac,
+                &tuple,
+                self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            ) {
+                let megaflow = match hit.bypass {
+                    Some(tokens) => MegaflowState::Bypass(tokens),
+                    None => MegaflowState::None,
+                };
+                (hit.decision, megaflow, RunSource::Megaflow)
+            } else {
+                let (decision, switch_mask) = self.slow_path_masked(packet, in_port);
+                self.flow_cache.insert(
+                    key,
+                    decision.clone(),
+                    self.topology_generation,
+                    steering_generation,
+                    dst_mapping,
+                );
+                let megaflow =
+                    self.seed_or_install_megaflow(&key, tuple, switch_mask, &decision, dst_mapping);
+                (decision, megaflow, RunSource::Exact)
             };
-            runs.push(DecisionRun { decision, count: 1 });
-            last_key = Some(key);
+            runs.push(DecisionRun {
+                decision,
+                count: 1,
+                megaflow,
+            });
+            last_key = Some((key, source));
         }
         Ok(runs)
+    }
+
+    /// The megaflow tail of a slow-path classification, shared by
+    /// [`classify`] and [`receive_batch`] so the two paths cannot diverge:
+    /// unsteered decisions install their wildcard entry right away (the
+    /// switch's own mask is the whole story), steered ones hand the caller a
+    /// seed to complete after the chain has reported its consulted fields.
+    ///
+    /// [`classify`]: SoftwareSwitch::classify
+    /// [`receive_batch`]: SoftwareSwitch::receive_batch
+    fn seed_or_install_megaflow(
+        &mut self,
+        key: &FlowKey,
+        tuple: FiveTuple,
+        switch_mask: FieldMask,
+        decision: &SwitchDecision,
+        dst_mapping: Option<PortId>,
+    ) -> MegaflowState {
+        if !self.megaflow.enabled() {
+            return MegaflowState::None;
+        }
+        // The slow path never mutates steering, so the generation here is
+        // the one the decision was computed under.
+        let steering_generation = self.steering.generation();
+        if decision.steering.is_none() {
+            self.megaflow.insert(
+                key.in_port,
+                key.src_mac,
+                key.dst_mac,
+                &tuple,
+                switch_mask,
+                decision.clone(),
+                None,
+                self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            );
+            MegaflowState::None
+        } else {
+            MegaflowState::Seed(MegaflowSeed {
+                in_port: key.in_port,
+                src_mac: key.src_mac,
+                dst_mac: key.dst_mac,
+                tuple,
+                switch_mask,
+                decision: decision.clone(),
+                topology_generation: self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            })
+        }
     }
 
     /// The full lookup pipeline: steering rules plus the L2 forwarding
     /// decision.
     fn slow_path(&mut self, packet: &Packet, in_port: PortId) -> SwitchDecision {
-        let steering = self.steering.lookup(packet);
+        self.slow_path_masked(packet, in_port).0
+    }
+
+    /// [`slow_path`], additionally returning the five-tuple fields the
+    /// steering walk consulted. The L2 forwarding part reads only the MACs
+    /// and the port set, which the megaflow cache matches exactly / guards
+    /// with generations, so it contributes nothing to the tuple mask.
+    ///
+    /// [`slow_path`]: SoftwareSwitch::slow_path
+    fn slow_path_masked(
+        &mut self,
+        packet: &Packet,
+        in_port: PortId,
+    ) -> (SwitchDecision, FieldMask) {
+        let mut mask = FieldMask::EMPTY;
+        let steering = self.steering.lookup_masked(packet, &mut mask);
 
         // Standard L2 forwarding decision.
         let forwarding = if packet.dst_mac().is_multicast() {
@@ -501,10 +781,13 @@ impl SoftwareSwitch {
             Forwarding::Unicast(self.uplink_port())
         };
 
-        SwitchDecision {
-            steering,
-            forwarding,
-        }
+        (
+            SwitchDecision {
+                steering,
+                forwarding,
+            },
+            mask,
+        )
     }
 
     /// Records that a frame was transmitted out of `port`.
@@ -846,6 +1129,234 @@ mod tests {
             assert!(sw.flow_cache_len() <= 8);
         }
         assert!(sw.flow_cache_stats().evictions >= 92);
+    }
+
+    // ----------------------------------------------------- megaflow tests
+
+    fn new_flow(src_port: u16, dst_port: u16) -> Packet {
+        builder::tcp_syn(
+            client_mac(),
+            server_mac(),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(198, 51, 100, 1),
+            src_port,
+            dst_port,
+        )
+    }
+
+    #[test]
+    fn megaflow_is_disabled_by_default() {
+        let mut sw = SoftwareSwitch::new();
+        assert!(!sw.megaflow_enabled());
+        let t = SimTime::from_secs(1);
+        sw.receive(&new_flow(40_000, 443), sw.client_port(), t)
+            .unwrap();
+        let c = sw
+            .classify(&new_flow(41_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert_eq!(c.megaflow, MegaflowState::None);
+        assert_eq!(sw.megaflow_stats(), gnf_types::MegaflowStats::default());
+        assert_eq!(sw.megaflow_len(), 0);
+    }
+
+    #[test]
+    fn megaflow_serves_new_flows_of_a_known_pattern() {
+        let mut sw = SoftwareSwitch::new();
+        sw.set_megaflow_capacity(64);
+        let t = SimTime::from_secs(1);
+        // Unsteered flow: the switch installs the wildcard entry itself
+        // (there is no chain whose consulted fields would be missing).
+        let first = sw
+            .receive(&new_flow(40_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert_eq!(sw.megaflow_len(), 1);
+        assert_eq!(sw.megaflow_stats().installs, 1);
+        // A brand-new flow of the same shape: exact miss, wildcard hit,
+        // identical decision — and no exact entry is promoted.
+        let c = sw
+            .classify(&new_flow(41_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert_eq!(c.decision, first);
+        assert_eq!(
+            c.megaflow,
+            MegaflowState::None,
+            "no chain, nothing to bypass"
+        );
+        assert_eq!(sw.megaflow_stats().hits, 1);
+        assert_eq!(sw.flow_cache_len(), 1, "wildcard hits do not promote");
+        assert_eq!(
+            sw.flow_cache_stats().misses,
+            2,
+            "both packets probed exact first"
+        );
+    }
+
+    #[test]
+    fn steered_slow_path_seeds_and_sealing_enables_bypass() {
+        let mut sw = SoftwareSwitch::new();
+        sw.set_megaflow_capacity(64);
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(3),
+            client_mac: client_mac(),
+            selector: TrafficSelector::all(),
+            chain: ChainId::new(42),
+        });
+        let t = SimTime::from_secs(1);
+        let c = sw
+            .classify(&new_flow(40_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert!(c.decision.steering.is_some());
+        let MegaflowState::Seed(seed) = c.megaflow else {
+            panic!(
+                "steered slow path must hand out a seed, got {:?}",
+                c.megaflow
+            );
+        };
+        assert!(
+            seed.switch_mask().is_empty(),
+            "catch-all selector reads no tuple field"
+        );
+        assert_eq!(
+            sw.megaflow_len(),
+            0,
+            "nothing installed until the seed is sealed"
+        );
+
+        // Seal with a chain report: mask + tokens, as the Agent would after
+        // every NF certified the packet.
+        let tokens: Arc<[u64]> = Arc::from(vec![7u64]);
+        sw.install_megaflow(seed, Some((gnf_packet::FieldMask::DST_PORT, tokens)));
+        assert_eq!(sw.megaflow_len(), 1);
+
+        // A new flow to the same destination port: wildcard hit with the
+        // certified bypass attached.
+        let c2 = sw
+            .classify(&new_flow(41_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert_eq!(c2.decision, c.decision);
+        let MegaflowState::Bypass(tokens) = c2.megaflow else {
+            panic!("expected a certified bypass, got {:?}", c2.megaflow);
+        };
+        assert_eq!(tokens.as_ref(), &[7u64]);
+        // A new flow to a different port falls off the masked pattern.
+        let c3 = sw
+            .classify(&new_flow(41_001, 80), sw.client_port(), t)
+            .unwrap();
+        assert!(matches!(c3.megaflow, MegaflowState::Seed(_)));
+    }
+
+    #[test]
+    fn steering_and_topology_changes_invalidate_wildcard_entries() {
+        let mut sw = SoftwareSwitch::new();
+        sw.set_megaflow_capacity(64);
+        let t = SimTime::from_secs(1);
+        sw.receive(&new_flow(40_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert!(sw
+            .classify(&new_flow(41_000, 443), sw.client_port(), t)
+            .unwrap()
+            .decision
+            .steering
+            .is_none());
+        assert_eq!(sw.megaflow_stats().hits, 1);
+
+        // Installing a steering rule must immediately stop wildcard hits.
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(3),
+            client_mac: client_mac(),
+            selector: TrafficSelector::all(),
+            chain: ChainId::new(7),
+        });
+        let c = sw
+            .classify(&new_flow(42_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert!(
+            c.decision.steering.is_some(),
+            "stale wildcard entry must not serve"
+        );
+        assert_eq!(sw.megaflow_stats().invalidations, 1);
+
+        // A topology change (new port) invalidates the re-learned pattern too.
+        let c = sw
+            .classify(&new_flow(43_000, 443), sw.client_port(), t)
+            .unwrap();
+        let MegaflowState::Seed(seed) = c.megaflow else {
+            panic!("expected a seed");
+        };
+        sw.install_megaflow(seed, None);
+        assert!(sw
+            .classify(&new_flow(44_000, 443), sw.client_port(), t)
+            .unwrap()
+            .decision
+            .steering
+            .is_some());
+        sw.connect_container(9, "nf");
+        let c = sw
+            .classify(&new_flow(45_000, 443), sw.client_port(), t)
+            .unwrap();
+        assert!(
+            matches!(c.megaflow, MegaflowState::Seed(_)),
+            "entry invalidated by port change"
+        );
+    }
+
+    #[test]
+    fn flush_clears_wildcard_entries_too() {
+        let mut sw = SoftwareSwitch::new();
+        sw.set_megaflow_capacity(64);
+        sw.receive(
+            &new_flow(40_000, 443),
+            sw.client_port(),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        assert_eq!(sw.megaflow_len(), 1);
+        sw.flush_flow_cache();
+        assert_eq!(sw.megaflow_len(), 0);
+        assert_eq!(sw.flow_cache_len(), 0);
+    }
+
+    #[test]
+    fn megaflow_batch_counters_match_per_packet_for_unsteered_traffic() {
+        let t = SimTime::from_secs(1);
+        // Three new flows of one pattern plus a run of repeats: the wildcard
+        // layer serves flows 2 and 3 and every repeat.
+        let packets = vec![
+            new_flow(40_000, 443),
+            new_flow(40_001, 443),
+            new_flow(40_002, 443),
+            new_flow(40_002, 443),
+            new_flow(40_002, 443),
+        ];
+
+        let mut per_packet = SoftwareSwitch::new();
+        per_packet.set_megaflow_capacity(64);
+        let expected: Vec<SwitchDecision> = packets
+            .iter()
+            .map(|p| per_packet.receive(p, per_packet.client_port(), t).unwrap())
+            .collect();
+
+        let mut batched = SoftwareSwitch::new();
+        batched.set_megaflow_capacity(64);
+        let runs = batched
+            .receive_batch(
+                &PacketBatch::from(packets.clone()),
+                batched.client_port(),
+                t,
+            )
+            .unwrap();
+        let expanded: Vec<SwitchDecision> = runs
+            .iter()
+            .flat_map(|r| std::iter::repeat_n(r.decision.clone(), r.count))
+            .collect();
+        assert_eq!(expanded, expected);
+        assert_eq!(batched.megaflow_stats(), per_packet.megaflow_stats());
+        assert_eq!(batched.flow_cache_stats(), per_packet.flow_cache_stats());
+        assert_eq!(batched.megaflow_len(), per_packet.megaflow_len());
+        assert_eq!(batched.flow_cache_len(), per_packet.flow_cache_len());
+        // Flows 2/3 and the repeats rode the wildcard entry.
+        assert_eq!(batched.megaflow_stats().hits, 4);
+        assert_eq!(batched.flow_cache_stats().hits, 0);
     }
 
     // -------------------------------------------------------- batch tests

@@ -8,6 +8,13 @@
 //! crate holds the data structures that implement that: per-station health
 //! reports, the monitoring store with freshness/offline tracking, the hotspot
 //! detector and the notification log displayed by the UI.
+//!
+//! Data-plane visibility rides the same reports: every
+//! [`report::StationReport`] carries the station's exact-match flow-cache
+//! counters ([`report::FlowCacheTelemetry`]), its megaflow (wildcard) cache
+//! counters ([`report::MegaflowTelemetry`]) and its batch-size distribution
+//! ([`report::BatchTelemetry`]); the emulator aggregates all three across
+//! stations into the `RunReport`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,4 +25,4 @@ pub mod report;
 
 pub use monitor::{HotspotDetector, MonitoringStore, StationHealth, StationStatus};
 pub use notification::{Notification, NotificationLog, NotificationSeverity, NotificationSource};
-pub use report::{BatchTelemetry, FlowCacheTelemetry, StationReport};
+pub use report::{BatchTelemetry, FlowCacheTelemetry, MegaflowTelemetry, StationReport};

@@ -216,6 +216,7 @@ mod tests {
             running_nfs: 2,
             cached_images: 1,
             flow_cache: Default::default(),
+            megaflow: Default::default(),
             batches: Default::default(),
         }
     }

@@ -1,7 +1,8 @@
 //! The periodic state report an Agent sends to the Manager.
 
 use gnf_types::{
-    AgentId, ClientId, FlowCacheStats, HostClass, ResourceSpec, ResourceUsage, SimTime, StationId,
+    AgentId, ClientId, FlowCacheStats, HostClass, MegaflowStats, ResourceSpec, ResourceUsage,
+    SimTime, StationId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +25,41 @@ impl FlowCacheTelemetry {
     }
 
     /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+}
+
+/// Megaflow (wildcard) cache counters reported by a station: how well the
+/// switch's second-level cache turns *new*-flow slow-path work into wildcard
+/// hits, plus its current size and mask diversity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MegaflowTelemetry {
+    /// Hit/miss/install/eviction/invalidation counters (shared with the
+    /// switch).
+    pub stats: MegaflowStats,
+    /// Wildcard entries currently installed.
+    pub entries: usize,
+    /// Distinct wildcard masks currently holding entries (summed over
+    /// stations when aggregated).
+    pub masks: usize,
+}
+
+impl MegaflowTelemetry {
+    /// Merges another station's counters into this aggregate.
+    pub fn merge(&mut self, other: &MegaflowTelemetry) {
+        let MegaflowTelemetry {
+            stats,
+            entries,
+            masks,
+        } = other;
+        self.stats.merge(stats);
+        self.entries += entries;
+        self.masks += masks;
+    }
+
+    /// Fraction of exact-miss lookups served by a wildcard entry (0 when
+    /// idle).
     pub fn hit_rate(&self) -> f64 {
         self.stats.hit_rate()
     }
@@ -112,6 +148,8 @@ pub struct StationReport {
     pub cached_images: usize,
     /// Data-plane fast-path counters.
     pub flow_cache: FlowCacheTelemetry,
+    /// Megaflow (wildcard) cache counters.
+    pub megaflow: MegaflowTelemetry,
     /// Batched data-plane counters (batch sizes processed by the station).
     pub batches: BatchTelemetry,
 }
@@ -152,6 +190,7 @@ mod tests {
             running_nfs: 3,
             cached_images: 2,
             flow_cache: Default::default(),
+            megaflow: Default::default(),
             batches: Default::default(),
         }
     }
@@ -179,6 +218,31 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: StationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn megaflow_telemetry_merges_and_serializes() {
+        let t = MegaflowTelemetry {
+            stats: MegaflowStats {
+                hits: 6,
+                misses: 2,
+                installs: 3,
+                evictions: 1,
+                invalidations: 0,
+            },
+            entries: 2,
+            masks: 1,
+        };
+        assert!((t.hit_rate() - 0.75).abs() < 1e-12);
+        let mut merged = MegaflowTelemetry::default();
+        merged.merge(&t);
+        merged.merge(&t);
+        assert_eq!(merged.stats.hits, 12);
+        assert_eq!(merged.entries, 4);
+        assert_eq!(merged.masks, 2);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: MegaflowTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -51,6 +51,53 @@ impl FlowCacheStats {
     }
 }
 
+/// Counters of the switch's megaflow (wildcard) cache: the second-level
+/// cache probed on exact-match misses, where one masked entry covers every
+/// new flow that matches the same wildcard pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MegaflowStats {
+    /// Exact-miss lookups served by a wildcard entry.
+    pub hits: u64,
+    /// Exact-miss lookups that fell through to the full slow path.
+    pub misses: u64,
+    /// Wildcard entries installed (one per distinct masked pattern).
+    pub installs: u64,
+    /// Entries discarded to honor the capacity bound.
+    pub evictions: u64,
+    /// Entries discarded because the state they were derived from changed.
+    pub invalidations: u64,
+}
+
+impl MegaflowStats {
+    /// Fraction of exact-miss lookups served by a wildcard entry (0 when
+    /// idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Adds another counter block into this one. Destructured field by field
+    /// so a newly added counter cannot be silently dropped from aggregates.
+    pub fn merge(&mut self, other: &MegaflowStats) {
+        let MegaflowStats {
+            hits,
+            misses,
+            installs,
+            evictions,
+            invalidations,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.installs += installs;
+        self.evictions += evictions;
+        self.invalidations += invalidations;
+    }
+}
+
 /// A 48-bit IEEE 802 MAC address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MacAddr(pub [u8; 6]);
@@ -203,6 +250,27 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
+    }
+
+    #[test]
+    fn megaflow_stats_hit_rate_and_merge() {
+        assert_eq!(MegaflowStats::default().hit_rate(), 0.0);
+        let stats = MegaflowStats {
+            hits: 3,
+            misses: 1,
+            installs: 2,
+            evictions: 1,
+            invalidations: 1,
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let mut merged = MegaflowStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.hits, 6);
+        assert_eq!(merged.installs, 4);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: MegaflowStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl ResourceUsage {
 
 /// The classes of hosting platform the paper targets, with representative
 /// capacities. Fig. 1 shows NFs on home routers, enterprise/edge servers and
-/// (via GNFC [2]) public-cloud VMs.
+/// (via GNFC \[2\]) public-cloud VMs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum HostClass {
     /// A consumer home router / access point (the demo's TP-Link WDR3600:

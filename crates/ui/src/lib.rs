@@ -250,7 +250,7 @@ mod tests {
         );
         m.handle_agent_msg(
             StationId::new(0),
-            AgentToManager::Report(gnf_telemetry::StationReport {
+            AgentToManager::Report(Box::new(gnf_telemetry::StationReport {
                 station: StationId::new(0),
                 agent: AgentId::new(0),
                 produced_at: SimTime::from_secs(2),
@@ -267,8 +267,9 @@ mod tests {
                 running_nfs: 3,
                 cached_images: 2,
                 flow_cache: Default::default(),
+                megaflow: Default::default(),
                 batches: Default::default(),
-            }),
+            })),
             SimTime::from_secs(2),
         );
         let (chain, _) = m

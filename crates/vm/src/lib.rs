@@ -7,8 +7,9 @@
 //! servers using resource-hungry Virtual Machines") deploy each network
 //! function as a full VM: a guest OS image of hundreds of megabytes, seconds
 //! to tens of seconds of boot time, and hundreds of megabytes of memory per
-//! instance. [`VmRuntime`] implements exactly the same [`NfvRuntime`]
-//! interface as [`gnf_container::ContainerRuntime`], so the instantiation
+//! instance. [`VmRuntime`] implements exactly the same
+//! [`gnf_container::NfvRuntime`] interface as
+//! [`gnf_container::ContainerRuntime`], so the instantiation
 //! (E2), density (E3) and migration experiments can run both technologies
 //! through identical code paths and compare the outcomes.
 
