@@ -38,10 +38,11 @@ fn ping_pong_scenario(config: GnfConfig, handovers: usize) -> Scenario {
         .build()
 }
 
-fn run_mode(label: &str, make_before_break: bool, bypass: bool) {
+fn run_mode(label: &str, make_before_break: bool, bypass: bool, seed: u64) {
     let config = GnfConfig {
         make_before_break,
         bypass_during_migration: bypass,
+        seed,
         ..Default::default()
     };
     let mut emulator = Emulator::new(ping_pong_scenario(config, 4));
@@ -84,8 +85,9 @@ fn run_mode(label: &str, make_before_break: bool, bypass: bool) {
 
 fn main() {
     println!("E1 — roaming edge vNFs (paper Fig. 2 / Section 4)");
+    let seed = gnf_bench::seed_arg();
     println!("2 home-router cells, 1 smartphone, firewall + HTTP filter chain, 4 handovers");
-    run_mode("default", true, false);
-    run_mode("bypass traffic during migration", true, true);
-    run_mode("break-before-make (no state transfer)", false, false);
+    run_mode("default", true, false, seed);
+    run_mode("bypass traffic during migration", true, true, seed);
+    run_mode("break-before-make (no state transfer)", false, false, seed);
 }

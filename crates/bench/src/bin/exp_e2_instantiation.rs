@@ -10,6 +10,7 @@ use gnf_vm::{VmImageCatalog, VmRuntime};
 
 fn main() {
     println!("E2 — NF instantiation latency (virtual time from the calibrated cost model)");
+    gnf_bench::seed_arg(); // the cost model is deterministic; printed for uniform provenance
     let repo = ImageRepository::with_standard_images();
     let vm_catalog = VmImageCatalog::new();
 

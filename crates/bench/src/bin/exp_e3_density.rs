@@ -50,6 +50,7 @@ fn pack_vms(host: HostClass, kind: NfKind, catalog: &VmImageCatalog) -> usize {
 
 fn main() {
     println!("E3 — NF density per host (how many instances fit before resources exhaust)");
+    let seed = gnf_bench::seed_arg();
     let repo = ImageRepository::with_standard_images();
     let catalog = VmImageCatalog::new();
     let kind = NfKind::Firewall;
@@ -95,7 +96,8 @@ fn main() {
     section("density under live traffic: 8 emulated stations, per-client firewall chains");
     {
         let workers = workers_arg(1);
-        let mut builder = Scenario::builder(8, HostClass::EdgeServer);
+        let mut builder = Scenario::builder(8, HostClass::EdgeServer)
+            .with_config(gnf_types::GnfConfig::default().with_seed(seed));
         let clients = builder.add_clients(
             16,
             TrafficProfile::ConstantBitRate {

@@ -22,10 +22,11 @@ use std::time::Instant;
 /// stations, 4 CBR clients each, every client steered through a 3-NF chain
 /// (firewall + rate limiter + IDS). The IDS signature scan over the 1000-byte
 /// payloads gives each station real per-packet work to parallelize.
-fn sharded_scenario() -> Scenario {
+fn sharded_scenario(seed: u64) -> Scenario {
     let config = GnfConfig {
         // Fewer control events → longer uninterrupted packet runs to batch.
         agent_report_interval: SimDuration::from_secs(10),
+        seed,
         ..GnfConfig::default()
     };
     let mut builder = Scenario::builder(8, HostClass::EdgeServer).with_config(config);
@@ -78,6 +79,7 @@ fn measure<F: FnMut()>(iterations: u64, mut f: F) -> (f64, f64) {
 
 fn main() {
     println!("E4 — data-plane throughput and per-packet latency (wall clock)");
+    let seed = gnf_bench::seed_arg();
     let ctx = NfContext::at(SimTime::from_secs(1));
     let iterations = 200_000u64;
 
@@ -300,7 +302,7 @@ fn main() {
         }
         let mut results: Vec<(usize, f64, u64, String)> = Vec::new();
         for w in [1usize, workers] {
-            let mut emulator = Emulator::new(sharded_scenario());
+            let mut emulator = Emulator::new(sharded_scenario(seed));
             emulator.set_workers(w);
             let start = Instant::now();
             let report = emulator.run();

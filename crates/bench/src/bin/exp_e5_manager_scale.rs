@@ -36,7 +36,8 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
 
 fn main() {
     println!("E5 — Manager monitoring scale and hotspot detection");
-    let config = GnfConfig::default();
+    let seed = gnf_bench::seed_arg();
+    let config = GnfConfig::default().with_seed(seed);
 
     section("control-plane load vs fleet size (10 minutes of virtual time)");
     println!(

@@ -11,8 +11,9 @@ use gnf_switch::TrafficSelector;
 use gnf_types::{HostClass, SimDuration, SimTime};
 use gnf_ui::Dashboard;
 
-fn run(cells: usize, clients: usize, mobile_fraction: f64) {
-    let mut builder = Scenario::builder(cells, HostClass::EdgeServer);
+fn run(cells: usize, clients: usize, mobile_fraction: f64, seed: u64) {
+    let mut builder = Scenario::builder(cells, HostClass::EdgeServer)
+        .with_config(gnf_types::GnfConfig::default().with_seed(seed));
     let ids = builder.add_clients(
         clients,
         TrafficProfile::WebBrowsing {
@@ -80,7 +81,8 @@ fn run(cells: usize, clients: usize, mobile_fraction: f64) {
 
 fn main() {
     println!("E6 — fleet-scale roaming (the Section-4 demo scaled up)");
-    run(4, 20, 0.5);
-    run(9, 60, 0.5);
-    run(16, 120, 0.3);
+    let seed = gnf_bench::seed_arg();
+    run(4, 20, 0.5, seed);
+    run(9, 60, 0.5, seed);
+    run(16, 120, 0.3, seed);
 }

@@ -15,6 +15,7 @@ use std::net::Ipv4Addr;
 
 fn main() {
     println!("E7 — transparent attach/remove of NFs on live traffic");
+    gnf_bench::seed_arg(); // single deterministic flow; printed for uniform provenance
     let (mut agent, _) = Agent::new(
         AgentConfig {
             agent: AgentId::new(0),

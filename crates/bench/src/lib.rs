@@ -36,15 +36,34 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Parses the value following a `--flag` from the command line.
+pub fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|ix| args.get(ix + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 /// Parses `--workers N` from the command line, falling back to `default`
 /// (clamped to at least 1). Shared by the experiment harnesses that drive
 /// the emulator's sharded data plane.
 pub fn workers_arg(default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--workers")
-        .and_then(|ix| args.get(ix + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-        .max(1)
+    arg_value("--workers").unwrap_or(default).max(1)
+}
+
+/// Parses `--seed N` from the command line and prints the seed the run uses
+/// (so every experiment output is reproducible from its own header). Every
+/// `exp_e*` harness calls this; the default is the framework-wide
+/// [`gnf_types::GnfConfig`] seed.
+pub fn seed_arg() -> u64 {
+    let seed = arg_value("--seed").unwrap_or(gnf_types::GnfConfig::default().seed);
+    println!("seed: {seed}  (override with --seed N)");
+    seed
+}
+
+/// Parses `--packets N` from the command line, falling back to `default`.
+/// Used by the workload harness to scale run length (CI smoke vs full runs).
+pub fn packets_arg(default: u64) -> u64 {
+    arg_value("--packets").unwrap_or(default).max(1)
 }

@@ -26,6 +26,12 @@
 //! switch runs with the megaflow (wildcard) cache enabled — toggleable via
 //! [`Emulator::set_megaflow_enabled`] for A/B comparisons.
 //!
+//! Beyond the scenario's built-in per-client profiles, any number of
+//! streaming [`gnf_workload::Workload`] sources — heavy-tail synthetic
+//! generators, attack mixes, replayed pcap traces — can be attached via
+//! [`Emulator::add_workload`]; batches are pulled one at a time, so trace
+//! size never shows up in resident memory.
+//!
 //! ```
 //! use gnf_core::{Emulator, Scenario};
 //! use gnf_types::GnfConfig;

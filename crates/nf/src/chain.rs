@@ -12,11 +12,25 @@ use crate::state::NfStateSnapshot;
 use gnf_packet::{FieldMask, Packet, PacketBatch};
 use std::sync::Arc;
 
+/// Scratch buffers [`NfChain::process_batch`] reuses across calls: the
+/// verdict slots and the alive-index bookkeeping are the same shape every
+/// flush, so their allocations are paid once per chain, not once per batch.
+/// (The packet vector itself must still be handed to each NF by value — that
+/// is the batch contract — so packets are not pooled here.)
+#[derive(Default)]
+struct BatchScratch {
+    verdicts: Vec<Option<Verdict>>,
+    alive_ix: Vec<usize>,
+    next_ix: Vec<usize>,
+    spare: Vec<Packet>,
+}
+
 /// An ordered chain of network functions treated as a single function.
 pub struct NfChain {
     name: String,
     nfs: Vec<Box<dyn NetworkFunction>>,
     stats: NfStats,
+    scratch: BatchScratch,
 }
 
 impl NfChain {
@@ -26,6 +40,7 @@ impl NfChain {
             name: name.to_string(),
             nfs: Vec::new(),
             stats: NfStats::default(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -124,12 +139,26 @@ impl NfChain {
         self.stats
             .record_in_batch(total as u64, batch.total_bytes());
         let len = self.nfs.len();
-        let mut verdicts: Vec<Option<Verdict>> = Vec::new();
+        // The bookkeeping buffers persist across batches (their allocations
+        // amortize to zero on a steady flush load); only their contents are
+        // per-call.
+        let mut verdicts = std::mem::take(&mut self.scratch.verdicts);
+        verdicts.clear();
         verdicts.resize_with(total, || None);
         // The packets still travelling the chain, with their original batch
         // positions so early drop/reply verdicts land in the right slot.
         let mut alive: Vec<Packet> = batch.into_vec();
-        let mut alive_ix: Vec<usize> = (0..total).collect();
+        let mut alive_ix = std::mem::take(&mut self.scratch.alive_ix);
+        alive_ix.clear();
+        alive_ix.extend(0..total);
+        let mut next_ix = std::mem::take(&mut self.scratch.next_ix);
+        // One retained packet vector seeds the first stage's survivor
+        // collection. Each NF consumes the vector it is handed (that is the
+        // by-value batch contract), so stages after the first still pay one
+        // fresh allocation — only the verdict/index buffers and this first
+        // collector amortize across batches.
+        let mut spare = std::mem::take(&mut self.scratch.spare);
+        spare.clear();
         for step in 0..len {
             if alive.is_empty() {
                 break;
@@ -138,16 +167,15 @@ impl NfChain {
                 Direction::Ingress => step,
                 Direction::Egress => len - 1 - step,
             };
+            spare.reserve(alive_ix.len());
             let results = self.nfs[ix].process_batch(
-                PacketBatch::from(std::mem::replace(
-                    &mut alive,
-                    Vec::with_capacity(alive_ix.len()),
-                )),
+                PacketBatch::from(std::mem::replace(&mut alive, spare)),
                 direction,
                 ctx,
             );
             debug_assert_eq!(results.len(), alive_ix.len(), "NF batch must stay aligned");
-            let mut next_ix = Vec::with_capacity(alive_ix.len());
+            next_ix.clear();
+            next_ix.reserve(alive_ix.len());
             for (slot, verdict) in alive_ix.iter().copied().zip(results) {
                 match verdict {
                     Verdict::Forward(packet) => {
@@ -160,17 +188,23 @@ impl NfChain {
                     }
                 }
             }
-            alive_ix = next_ix;
+            std::mem::swap(&mut alive_ix, &mut next_ix);
+            spare = Vec::new();
         }
-        for (slot, packet) in alive_ix.into_iter().zip(alive) {
+        for (slot, packet) in alive_ix.drain(..).zip(alive.drain(..)) {
             let verdict = Verdict::Forward(packet);
             self.stats.record_verdict(&verdict);
             verdicts[slot] = Some(verdict);
         }
-        verdicts
-            .into_iter()
+        let out = verdicts
+            .drain(..)
             .map(|v| v.expect("every batch slot received a verdict"))
-            .collect()
+            .collect();
+        self.scratch.verdicts = verdicts;
+        self.scratch.alive_ix = alive_ix;
+        self.scratch.next_ix = next_ix;
+        self.scratch.spare = alive;
+        out
     }
 
     /// The chain's contribution to a megaflow (wildcard) cache entry for the

@@ -160,6 +160,19 @@ impl Rng {
         x_min / u.powf(1.0 / alpha)
     }
 
+    /// A bounded-Pareto value in `[x_min, x_max]` with shape `alpha`, via the
+    /// inverse CDF of the truncated distribution. Heavy-tailed like
+    /// [`Rng::pareto`], but with a hard cap — the shape flow-size models need
+    /// (mice dominate, elephants exist, nothing is unbounded).
+    pub fn pareto_bounded(&mut self, x_min: f64, x_max: f64, alpha: f64) -> f64 {
+        if x_max <= x_min {
+            return x_min;
+        }
+        let u = self.next_f64();
+        let ratio = (x_min / x_max).powf(alpha);
+        x_min / (1.0 - u * (1.0 - ratio)).powf(1.0 / alpha)
+    }
+
     /// A Zipf-distributed rank in `[0, n)` with exponent `s`, via inverse
     /// transform on the truncated harmonic series. Used for content/domain
     /// popularity in the traffic model.
@@ -316,6 +329,28 @@ mod tests {
         for _ in 0..5000 {
             assert!(rng.pareto(1.5, 2.0) >= 1.5);
         }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range_and_is_heavy_tailed() {
+        let mut rng = Rng::new(41);
+        let mut small = 0usize;
+        let mut large = 0usize;
+        for _ in 0..20_000 {
+            let x = rng.pareto_bounded(1.0, 1000.0, 1.2);
+            assert!((1.0..=1000.0).contains(&x));
+            if x < 10.0 {
+                small += 1;
+            }
+            if x > 100.0 {
+                large += 1;
+            }
+        }
+        assert!(small > 15_000, "mice dominate: {small}");
+        assert!(large > 50, "elephants exist: {large}");
+        // Degenerate range collapses to the minimum.
+        assert_eq!(rng.pareto_bounded(5.0, 5.0, 1.2), 5.0);
+        assert_eq!(rng.pareto_bounded(5.0, 1.0, 1.2), 5.0);
     }
 
     #[test]

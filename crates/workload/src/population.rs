@@ -1,0 +1,150 @@
+//! The client/station population a workload generates traffic for.
+//!
+//! Synthetic generators need consistent addressing — each packet must carry
+//! the MAC/IP of a real client and the gateway MAC of the station serving it,
+//! or the emulated switches will neither steer nor account it the way real
+//! client traffic is handled. A [`Population`] is that addressing table,
+//! either derived from an [`EdgeTopology`] (so workload traffic is
+//! indistinguishable from the built-in per-client generators) or synthesised
+//! free-standing for benches that drive a bare station pipeline.
+
+use gnf_edge::EdgeTopology;
+use gnf_types::{ClientId, MacAddr, StationId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One client endpoint a generator can source traffic from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientEndpoint {
+    /// The client's identity (used by the emulator's policy/gap accounting).
+    pub client: ClientId,
+    /// The client's MAC address (keys the switch's steering rules).
+    pub mac: MacAddr,
+    /// The client's IPv4 address.
+    pub ip: Ipv4Addr,
+    /// The station currently serving the client.
+    pub station: StationId,
+    /// The serving station's gateway MAC (the upstream frames' destination).
+    pub gateway_mac: MacAddr,
+}
+
+/// The set of endpoints a workload spreads its flows over.
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    endpoints: Vec<ClientEndpoint>,
+}
+
+impl Population {
+    /// Builds the population from a topology's *attached* clients, each bound
+    /// to the station serving its cell. Clients without a cell are skipped.
+    pub fn from_topology(topology: &EdgeTopology) -> Self {
+        let mut endpoints = Vec::new();
+        for device in topology.clients() {
+            let Some(cell) = device.attached_cell else {
+                continue;
+            };
+            let Ok(site) = topology.site_for_cell(cell) else {
+                continue;
+            };
+            endpoints.push(ClientEndpoint {
+                client: device.client,
+                mac: device.mac,
+                ip: device.ip,
+                station: site.station,
+                gateway_mac: site.gateway_mac,
+            });
+        }
+        Population { endpoints }
+    }
+
+    /// A free-standing population of `clients_per_station` clients on each of
+    /// `stations` stations, with addressing derived the same way the edge
+    /// topology derives it (for benches without an emulator).
+    pub fn synthetic(stations: usize, clients_per_station: usize) -> Self {
+        let mut endpoints = Vec::new();
+        for s in 0..stations {
+            for c in 0..clients_per_station {
+                let ix = (s * clients_per_station + c) as u32;
+                endpoints.push(ClientEndpoint {
+                    client: ClientId::new(u64::from(ix)),
+                    mac: MacAddr::derived(1, ix),
+                    ip: Ipv4Addr::new(10, (s % 256) as u8, (c / 250) as u8, (2 + c % 250) as u8),
+                    station: StationId::new(s as u64),
+                    gateway_mac: MacAddr::derived(0xA0, s as u32),
+                });
+            }
+        }
+        Population { endpoints }
+    }
+
+    /// The endpoints, in a deterministic order.
+    pub fn endpoints(&self) -> &[ClientEndpoint] {
+        &self.endpoints
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when the population holds no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Maps client MAC → client id, for attributing replayed trace frames to
+    /// the clients that originally sent them.
+    pub fn clients_by_mac(&self) -> HashMap<MacAddr, ClientId> {
+        self.endpoints.iter().map(|e| (e.mac, e.client)).collect()
+    }
+
+    /// Maps gateway MAC → station id, for routing replayed trace frames to
+    /// the station that originally served them (upstream frames are addressed
+    /// to their serving station's gateway).
+    pub fn stations_by_gateway(&self) -> HashMap<MacAddr, StationId> {
+        self.endpoints
+            .iter()
+            .map(|e| (e.gateway_mac, e.station))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_edge::Position;
+    use gnf_types::HostClass;
+
+    #[test]
+    fn population_from_topology_binds_clients_to_their_stations() {
+        let mut topo = EdgeTopology::grid(2, HostClass::HomeRouter, 100.0);
+        let a = topo.add_client(Position::new(1.0, 1.0), true);
+        let b = topo.add_client(Position::new(101.0, 1.0), true);
+        let unattached = topo.add_client(Position::new(5.0, 5.0), false);
+
+        let population = Population::from_topology(&topo);
+        assert_eq!(population.len(), 2, "unattached clients are skipped");
+        assert!(population
+            .endpoints()
+            .iter()
+            .all(|e| e.client != unattached));
+        let by_mac = population.clients_by_mac();
+        assert_eq!(by_mac.len(), 2);
+        let stations: Vec<StationId> = population.endpoints().iter().map(|e| e.station).collect();
+        assert_eq!(stations.len(), 2);
+        assert!(population.endpoints().iter().any(|e| e.client == a));
+        assert!(population.endpoints().iter().any(|e| e.client == b));
+    }
+
+    #[test]
+    fn synthetic_population_is_deterministic_and_unique() {
+        let p = Population::synthetic(2, 3);
+        let q = Population::synthetic(2, 3);
+        assert_eq!(p.endpoints(), q.endpoints());
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        let macs: std::collections::HashSet<_> = p.endpoints().iter().map(|e| e.mac).collect();
+        assert_eq!(macs.len(), 6, "client MACs are unique");
+        assert_eq!(p.stations_by_gateway().len(), 2);
+    }
+}
