@@ -2,11 +2,11 @@
 
 use gnf_api::messages::{AgentToManager, ManagerToAgent};
 use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
-use gnf_nf::{Direction, NfChain, NfContext, NfSpec, NfStateSnapshot, Verdict};
-use gnf_packet::{Packet, PacketBatch};
+use gnf_nf::{ChainBypass, Direction, NfChain, NfContext, NfSpec, NfStateSnapshot, Verdict};
+use gnf_packet::{FieldMask, Packet, PacketBatch};
 use gnf_switch::{
-    Classified, Forwarding, MegaflowState, SoftwareSwitch, SteeringRule, TrafficSelector,
-    DEFAULT_MEGAFLOW_CAPACITY,
+    BypassOutcome, Classified, Forwarding, MegaflowState, SoftwareSwitch, SteeringRule,
+    TrafficSelector, DEFAULT_MEGAFLOW_CAPACITY,
 };
 use gnf_telemetry::{BatchTelemetry, StationReport};
 use gnf_types::{
@@ -61,6 +61,49 @@ pub enum PacketOutcome {
     Replied(Vec<Packet>),
 }
 
+/// The chain report a slow-path megaflow seed seals with, gated on the
+/// (single-flow) run's verdicts:
+///
+/// * every packet was forwarded → the chain's [`ChainBypass::Forward`]
+///   report, when it certifies one;
+/// * every packet was silently dropped **and** drop entries are enabled →
+///   the chain's [`ChainBypass::Drop`] report, when it certifies one;
+/// * anything else (replies, mixed verdicts, a report variant disagreeing
+///   with the verdicts — which would mean an NF broke the purity contract)
+///   → `None`: the entry seals decision-only and matching packets keep
+///   traversing the chain.
+///
+/// Public so the bench fixtures seal through the *same* gate the Agent
+/// uses — a fixture re-implementation could silently drift and leave the
+/// megaflow guardrails measuring a sealing behavior production no longer
+/// takes.
+pub fn seal_report(
+    allow_drops: bool,
+    chain: &NfChain,
+    direction: Direction,
+    verdicts: &[Verdict],
+) -> Option<(FieldMask, BypassOutcome)> {
+    if verdicts.iter().all(Verdict::is_forward) {
+        match chain.wildcard_report(direction) {
+            Some(ChainBypass::Forward { mask, tokens }) => {
+                Some((mask, BypassOutcome::Forward(tokens)))
+            }
+            _ => None,
+        }
+    } else if allow_drops && verdicts.iter().all(Verdict::is_drop) {
+        match chain.wildcard_report(direction) {
+            Some(ChainBypass::Drop {
+                mask,
+                tokens,
+                reason,
+            }) => Some((mask, BypassOutcome::Drop { tokens, reason })),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
 /// The GNF Agent.
 pub struct Agent {
     config: AgentConfig,
@@ -72,6 +115,11 @@ pub struct Agent {
     reports_sent: u64,
     commands_handled: u64,
     batch_sizes: BatchTelemetry,
+    /// Whether certified chain drops seal into wildcarded *drop* entries
+    /// (on by default). When off, a dropped slow-path packet seals
+    /// decision-only — the pre-drop-entry behavior — so outcomes and NF
+    /// statistics are equivalent either way.
+    megaflow_drops: bool,
 }
 
 impl Agent {
@@ -96,6 +144,7 @@ impl Agent {
                 reports_sent: 0,
                 commands_handled: 0,
                 batch_sizes: BatchTelemetry::default(),
+                megaflow_drops: true,
             },
             register,
         )
@@ -156,6 +205,25 @@ impl Agent {
     /// True when the megaflow (wildcard) cache layer is enabled.
     pub fn megaflow_enabled(&self) -> bool {
         self.switch.megaflow_enabled()
+    }
+
+    /// Enables or disables wildcarded **drop** entries (on by default, but
+    /// only effective while the megaflow layer itself is enabled).
+    ///
+    /// When on, a chain that certifiably drops a slow-path packet seals
+    /// into a drop entry: matching attack churn (port scans, floods of
+    /// denied flows) is retired at the switch with the chain's statistics
+    /// and drop reason replayed exactly. When off, such seeds seal
+    /// decision-only and every denied packet re-walks the chain. Packet
+    /// outcomes, NF statistics and port counters are equivalent either way
+    /// — the drop-bypass equivalence property tests assert it.
+    pub fn set_megaflow_drop_enabled(&mut self, enabled: bool) {
+        self.megaflow_drops = enabled;
+    }
+
+    /// True when certified chain drops may seal into wildcard drop entries.
+    pub fn megaflow_drop_enabled(&self) -> bool {
+        self.megaflow_drops
     }
 
     /// Read access to the container runtime.
@@ -386,8 +454,8 @@ impl Agent {
             return Vec::new();
         }
         self.batch_sizes.record(batch.len() as u64);
-        let runs = match self.switch.receive_batch(&batch, in_port, now) {
-            Ok(runs) => runs,
+        let mut cursor = match self.switch.begin_receive_batch(&batch, in_port, now) {
+            Ok(cursor) => cursor,
             Err(e) => {
                 let reason: Cow<'static, str> = e.to_string().into();
                 return batch
@@ -397,64 +465,102 @@ impl Agent {
             }
         };
         let mut outcomes = Vec::with_capacity(batch.len());
-        let mut packets = batch.into_iter();
-        for run in runs {
+        // Classify one run at a time and settle it — chain processing,
+        // megaflow sealing, counters — before classifying the next
+        // (`IntoIter::as_slice` is the unclassified tail): an entry sealed
+        // from run N already serves run N + 1 of the same flush
+        // (mid-batch sealing), exactly as in per-packet processing.
+        let mut packets = batch.into_vec().into_iter();
+        while let Some(run) = self
+            .switch
+            .next_decision_run(&mut cursor, packets.as_slice())
+        {
             let verdicts: Vec<Verdict> = match run.decision.steering {
-                Some((rule, upstream)) => match run.megaflow {
-                    // A wildcard entry certified the chain bypass for this
-                    // run's flow: forward unchanged, replay NF statistics.
-                    MegaflowState::Bypass(tokens) => {
-                        let run_packets: Vec<Packet> = packets.by_ref().take(run.count).collect();
-                        let bytes: u64 = run_packets.iter().map(|p| p.len() as u64).sum();
-                        if let Some(deployed) = self.chains.get_mut(&rule.chain) {
-                            deployed
-                                .chain
-                                .credit_bypass(&tokens, run_packets.len() as u64, bytes);
-                        }
-                        run_packets.into_iter().map(Verdict::Forward).collect()
-                    }
-                    megaflow => {
-                        let direction = if upstream {
-                            Direction::Ingress
-                        } else {
-                            Direction::Egress
-                        };
-                        match self.chains.get_mut(&rule.chain) {
-                            Some(deployed) => {
-                                let ctx = NfContext::for_client(now, deployed.client);
-                                let verdicts = if run.count == 1 {
-                                    let packet = packets.next().expect("runs cover the batch");
-                                    vec![deployed.chain.process(packet, direction, &ctx)]
-                                } else {
-                                    let chunk: PacketBatch =
-                                        packets.by_ref().take(run.count).collect();
-                                    deployed.chain.process_batch(chunk, direction, &ctx)
-                                };
-                                // Seal the slow-path seed into a wildcard
-                                // entry: a full chain bypass when every NF
-                                // certified this run's (single-flow)
-                                // processing, the switch decision alone
-                                // otherwise.
-                                if let MegaflowState::Seed(seed) = megaflow {
-                                    let chain_report = if verdicts.iter().all(Verdict::is_forward) {
-                                        deployed.chain.wildcard_report()
-                                    } else {
-                                        None
-                                    };
-                                    self.switch.install_megaflow(seed, chain_report);
-                                }
-                                verdicts
+                Some((rule, upstream)) => {
+                    let direction = if upstream {
+                        Direction::Ingress
+                    } else {
+                        Direction::Egress
+                    };
+                    match run.megaflow {
+                        // A wildcard entry certified the chain bypass for
+                        // this run's flow: forward unchanged, replay NF
+                        // statistics.
+                        MegaflowState::Bypass(tokens) => {
+                            let run_packets: Vec<Packet> =
+                                packets.by_ref().take(run.count).collect();
+                            let bytes: u64 = run_packets.iter().map(|p| p.len() as u64).sum();
+                            if let Some(deployed) = self.chains.get_mut(&rule.chain) {
+                                deployed.chain.credit_bypass(
+                                    direction,
+                                    &tokens,
+                                    run_packets.len() as u64,
+                                    bytes,
+                                );
                             }
-                            // The steering rule exists but the chain is gone
-                            // (mid reconfiguration): forward unprocessed.
-                            None => packets
+                            run_packets.into_iter().map(Verdict::Forward).collect()
+                        }
+                        // A wildcard entry certified the chain *drops* this
+                        // run's flow: retire the whole run before the chain
+                        // runs, replaying statistics and the exact reason.
+                        MegaflowState::DropBypass { tokens, reason } => {
+                            let bytes: u64 = packets
                                 .by_ref()
                                 .take(run.count)
-                                .map(Verdict::Forward)
-                                .collect(),
+                                .map(|p| p.len() as u64)
+                                .sum();
+                            if let Some(deployed) = self.chains.get_mut(&rule.chain) {
+                                deployed.chain.credit_bypass_drop(
+                                    direction,
+                                    &tokens,
+                                    run.count as u64,
+                                    bytes,
+                                );
+                            }
+                            (0..run.count)
+                                .map(|_| Verdict::Drop(reason.clone()))
+                                .collect()
+                        }
+                        megaflow => {
+                            match self.chains.get_mut(&rule.chain) {
+                                Some(deployed) => {
+                                    let ctx = NfContext::for_client(now, deployed.client);
+                                    let verdicts = if run.count == 1 {
+                                        let packet = packets.next().expect("runs cover the batch");
+                                        vec![deployed.chain.process(packet, direction, &ctx)]
+                                    } else {
+                                        let chunk: PacketBatch =
+                                            packets.by_ref().take(run.count).collect();
+                                        deployed.chain.process_batch(chunk, direction, &ctx)
+                                    };
+                                    // Seal the slow-path seed into a
+                                    // wildcard entry: a certified forward or
+                                    // drop bypass when the chain vouches for
+                                    // this (single-flow) run's processing,
+                                    // the switch decision alone otherwise.
+                                    if let MegaflowState::Seed(seed) = megaflow {
+                                        let report = seal_report(
+                                            self.megaflow_drops,
+                                            &deployed.chain,
+                                            direction,
+                                            &verdicts,
+                                        );
+                                        self.switch.install_megaflow(seed, report);
+                                    }
+                                    verdicts
+                                }
+                                // The steering rule exists but the chain is
+                                // gone (mid reconfiguration): forward
+                                // unprocessed.
+                                None => packets
+                                    .by_ref()
+                                    .take(run.count)
+                                    .map(Verdict::Forward)
+                                    .collect(),
+                            }
                         }
                     }
-                },
+                }
                 None => packets
                     .by_ref()
                     .take(run.count)
@@ -513,47 +619,69 @@ impl Agent {
         };
 
         let processed = match decision.steering {
-            Some((rule, upstream)) => match megaflow {
-                // A wildcard entry certified the chain bypass: forward the
-                // unchanged packet and replay the chain's statistics.
-                MegaflowState::Bypass(tokens) => {
-                    if let Some(deployed) = self.chains.get_mut(&rule.chain) {
-                        deployed
-                            .chain
-                            .credit_bypass(&tokens, 1, packet.len() as u64);
-                    }
-                    Verdict::Forward(packet)
-                }
-                megaflow => {
-                    let direction = if upstream {
-                        Direction::Ingress
-                    } else {
-                        Direction::Egress
-                    };
-                    match self.chains.get_mut(&rule.chain) {
-                        Some(deployed) => {
-                            let ctx = NfContext::for_client(now, deployed.client);
-                            let verdict = deployed.chain.process(packet, direction, &ctx);
-                            // Seal the slow-path seed into a wildcard entry:
-                            // a full chain bypass when every NF certified
-                            // this packet's processing as pure, the switch
-                            // decision alone otherwise.
-                            if let MegaflowState::Seed(seed) = megaflow {
-                                let chain_report = if verdict.is_forward() {
-                                    deployed.chain.wildcard_report()
-                                } else {
-                                    None
-                                };
-                                self.switch.install_megaflow(seed, chain_report);
-                            }
-                            verdict
+            Some((rule, upstream)) => {
+                let direction = if upstream {
+                    Direction::Ingress
+                } else {
+                    Direction::Egress
+                };
+                match megaflow {
+                    // A wildcard entry certified the chain bypass: forward
+                    // the unchanged packet and replay the chain's
+                    // statistics.
+                    MegaflowState::Bypass(tokens) => {
+                        if let Some(deployed) = self.chains.get_mut(&rule.chain) {
+                            deployed.chain.credit_bypass(
+                                direction,
+                                &tokens,
+                                1,
+                                packet.len() as u64,
+                            );
                         }
-                        // The steering rule exists but the chain is gone (mid
-                        // reconfiguration): forward unprocessed.
-                        None => Verdict::Forward(packet),
+                        Verdict::Forward(packet)
+                    }
+                    // A wildcard entry certified the chain *drops* this
+                    // packet: retire it before the chain runs, replaying
+                    // the visited NFs' statistics and the exact reason.
+                    MegaflowState::DropBypass { tokens, reason } => {
+                        if let Some(deployed) = self.chains.get_mut(&rule.chain) {
+                            deployed.chain.credit_bypass_drop(
+                                direction,
+                                &tokens,
+                                1,
+                                packet.len() as u64,
+                            );
+                        }
+                        Verdict::Drop(reason)
+                    }
+                    megaflow => {
+                        match self.chains.get_mut(&rule.chain) {
+                            Some(deployed) => {
+                                let ctx = NfContext::for_client(now, deployed.client);
+                                let verdict = deployed.chain.process(packet, direction, &ctx);
+                                // Seal the slow-path seed into a wildcard
+                                // entry: a certified forward or drop bypass
+                                // when the chain vouches for this packet's
+                                // processing, the switch decision alone
+                                // otherwise.
+                                if let MegaflowState::Seed(seed) = megaflow {
+                                    let report = seal_report(
+                                        self.megaflow_drops,
+                                        &deployed.chain,
+                                        direction,
+                                        std::slice::from_ref(&verdict),
+                                    );
+                                    self.switch.install_megaflow(seed, report);
+                                }
+                                verdict
+                            }
+                            // The steering rule exists but the chain is gone
+                            // (mid reconfiguration): forward unprocessed.
+                            None => Verdict::Forward(packet),
+                        }
                     }
                 }
-            },
+            }
             None => Verdict::Forward(packet),
         };
 
@@ -1018,22 +1146,137 @@ mod tests {
         for (a, b) in on.switch().ports().iter().zip(off.switch().ports()) {
             assert_eq!(a.counters, b.counters, "port {} counters", a.name);
         }
-        // The wildcard layer actually served the churn: two patterns (the
-        // accepted high ports and the dropped privileged port... the dropped
-        // flows stay decision-only, so only accepts are bypassed).
+        // The wildcard layer actually served the churn: the accepted high
+        // ports ride a forward-bypass entry and the dropped privileged
+        // port rides a certified *drop* entry.
         let stats = on.megaflow_telemetry();
         assert!(
             stats.stats.hits > 40,
             "churn rides the wildcard entries: {stats:?}"
         );
+        assert!(
+            stats.stats.drop_hits >= 4,
+            "denied churn rides the drop entries: {stats:?}"
+        );
+        assert_eq!(stats.stats.drop_installs, 1, "one dropped pattern");
         assert_eq!(off.megaflow_telemetry(), Default::default());
 
-        // And the batched path produces the same outcomes and NF stats as
-        // the per-packet megaflow path.
+        // And the batched path produces the same outcomes, NF stats — and,
+        // thanks to mid-batch sealing, the same cache telemetry — as the
+        // per-packet megaflow path.
         let mut on_batched = make_agent(true);
         let batched = on_batched.process_upstream_batch(packets.into(), now);
         assert_eq!(batched, expected);
         for (a, b) in on_batched.chains().zip(on.chains()) {
+            assert_eq!(a.chain.stats(), b.chain.stats());
+            assert_eq!(a.chain.per_nf_stats(), b.chain.per_nf_stats());
+        }
+        assert_eq!(
+            on_batched.megaflow_telemetry(),
+            on.megaflow_telemetry(),
+            "mid-batch sealing makes batched cache telemetry match per-packet"
+        );
+        assert_eq!(on_batched.flow_cache_telemetry(), on.flow_cache_telemetry());
+    }
+
+    #[test]
+    fn drop_bypass_toggle_preserves_outcomes_but_changes_the_cache_split() {
+        use gnf_nf::firewall::{
+            FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction,
+        };
+        use gnf_nf::{NfConfig, NfSpec};
+
+        // A conntrack-off firewall that denies every privileged port: the
+        // scan below is pure dropped-flow churn.
+        let blocking_fw = || {
+            NfSpec::new(
+                "fw",
+                NfConfig::Firewall(FirewallConfig {
+                    rules: vec![FirewallRule {
+                        protocol: ProtocolMatch::Tcp,
+                        dst_port: PortMatch::Range(1, 1023),
+                        action: RuleAction::Drop,
+                        ..FirewallRule::any("privileged", RuleAction::Drop)
+                    }],
+                    default_action: RuleAction::Accept,
+                    track_connections: false,
+                    conntrack_idle_timeout_secs: 60,
+                }),
+            )
+        };
+        let make_agent = |drops: bool| {
+            let (mut agent, _) = agent();
+            agent.set_megaflow_enabled(true);
+            agent.set_megaflow_drop_enabled(drops);
+            agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+            agent.handle_manager_msg(deploy_msg(1, vec![blocking_fw()]), SimTime::from_secs(1));
+            agent
+        };
+        // A port scan: every packet a brand-new flow to the same denied
+        // port (fresh source ports), the wildcard drop entry's workload.
+        let server = MacAddr::derived(0xA0, 1);
+        let dst = Ipv4Addr::new(203, 0, 113, 10);
+        let packets: Vec<gnf_packet::Packet> = (0..40u16)
+            .map(|i| builder::tcp_syn(client_mac(), server, client_ip(), dst, 40_000 + i, 22))
+            .collect();
+        let now = SimTime::from_secs(2);
+
+        let mut with_drops = make_agent(true);
+        let on: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| with_drops.process_upstream_packet(p.clone(), now))
+            .collect();
+        let mut without_drops = make_agent(false);
+        let off: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| without_drops.process_upstream_packet(p.clone(), now))
+            .collect();
+
+        assert_eq!(on, off, "outcomes identical with and without drop entries");
+        assert!(on.iter().all(|o| matches!(o, PacketOutcome::Dropped(_))));
+        for (a, b) in with_drops.chains().zip(without_drops.chains()) {
+            assert_eq!(a.chain.stats(), b.chain.stats());
+            assert_eq!(a.chain.per_nf_stats(), b.chain.per_nf_stats());
+        }
+        for (a, b) in with_drops
+            .switch()
+            .ports()
+            .iter()
+            .zip(without_drops.switch().ports())
+        {
+            assert_eq!(a.counters, b.counters, "port {} counters", a.name);
+        }
+        // Only the cache split differs: with drop entries the scan is
+        // retired at the switch, without them every packet walks the chain.
+        let stats_on = with_drops.megaflow_telemetry().stats;
+        let stats_off = without_drops.megaflow_telemetry().stats;
+        assert_eq!(stats_on.drop_installs, 1);
+        assert_eq!(stats_on.drop_hits, 39, "the rest of the scan bypassed");
+        assert_eq!(stats_off.drop_hits, 0);
+        assert_eq!(stats_off.drop_installs, 0);
+        // Without drop entries the pattern still seals decision-only, so
+        // the wildcard layer serves the switch decision — but every packet
+        // re-walks the chain (chain packets_in above is 40 either way; with
+        // drops on, 39 of those were replayed, not processed).
+        assert_eq!(stats_off.hits, 39);
+        let walked = without_drops
+            .chains()
+            .next()
+            .expect("chain deployed")
+            .chain
+            .stats();
+        assert_eq!(walked.packets_in, 40);
+
+        // The batched entry point retires the scan identically — and the
+        // first packet's mid-batch seal serves the rest of the same flush.
+        let mut batched = make_agent(true);
+        let outcomes = batched.process_upstream_batch(packets.into(), now);
+        assert_eq!(outcomes, on);
+        assert_eq!(
+            batched.megaflow_telemetry(),
+            with_drops.megaflow_telemetry()
+        );
+        for (a, b) in batched.chains().zip(with_drops.chains()) {
             assert_eq!(a.chain.stats(), b.chain.stats());
             assert_eq!(a.chain.per_nf_stats(), b.chain.per_nf_stats());
         }

@@ -40,4 +40,4 @@
 
 pub mod agent;
 
-pub use agent::{Agent, AgentConfig, DeployedChain, PacketOutcome};
+pub use agent::{seal_report, Agent, AgentConfig, DeployedChain, PacketOutcome};

@@ -313,6 +313,75 @@ fn bench_megaflow(c: &mut Criterion) {
     group.finish();
 }
 
+// ----------------------------------------------------------- megaflow_drop
+
+/// Dropped-flow churn: every packet is the first of a brand-new flow whose
+/// destination port the 100-rule firewall *denies* on its last range rule,
+/// so the chain-walking baseline pays the full first-match walk per packet
+/// only to throw the packet away. With wildcarded drop entries the first
+/// packet seals a certified drop and every subsequent new flow of the
+/// pattern is retired at the switch, deny counters and drop reason replayed.
+/// This is the ROADMAP's wildcarded-drop lever; keep `wildcard` ≥1.5× over
+/// `uncached`.
+fn bench_megaflow_drop(c: &mut Criterion) {
+    use gnf_bench::dataplane_fixture as fixture;
+
+    let mut group = quick(c).benchmark_group("megaflow_drop");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let ctx = NfContext::at(SimTime::from_secs(1));
+
+    // Chain 1 is the firewall alone; chain 3 adds the (opaque) rate limiter
+    // and IDS behind it — the drop still seals because the packet never
+    // reaches them.
+    for len in [1usize, 3] {
+        // Baseline: the uncached slow path walks the rules and drops.
+        let (mut sw, mut chain) = fixture::station(len, false);
+        let frames = fixture::blocked_flow_frames(8192);
+        let mut next = 0usize;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("uncached", len), &len, |b, _| {
+            b.iter(|| {
+                let frame = &frames[next];
+                next = (next + 1) % frames.len();
+                black_box(fixture::pipeline_step(
+                    &mut sw,
+                    &mut chain,
+                    black_box(frame),
+                    &ctx,
+                ))
+            })
+        });
+
+        // Wildcarded: identical workload, megaflow enabled. The first
+        // iteration seals the drop entry; every subsequent new flow is a
+        // certified drop bypass that never touches the chain.
+        let (mut sw, mut chain) = fixture::station_megaflow(len);
+        let frames = fixture::blocked_flow_frames(8192);
+        fixture::pipeline_step_megaflow(&mut sw, &mut chain, &frames[0], &ctx); // seal the entry
+        assert_eq!(
+            sw.megaflow_stats().drop_installs,
+            1,
+            "the drop entry must have sealed"
+        );
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::new("wildcard", len), &len, |b, _| {
+            b.iter(|| {
+                let frame = &frames[next];
+                next = (next + 1) % frames.len();
+                black_box(fixture::pipeline_step_megaflow(
+                    &mut sw,
+                    &mut chain,
+                    black_box(frame),
+                    &ctx,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 // ------------------------------------------------------------------- batch
 
 /// Per-packet vs batched station pipeline on a 3-NF chain (100-rule
@@ -378,6 +447,7 @@ criterion_group!(
     bench_switch,
     bench_flow_cache,
     bench_megaflow,
+    bench_megaflow_drop,
     bench_batch
 );
 criterion_main!(benches);

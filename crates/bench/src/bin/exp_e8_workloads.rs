@@ -21,7 +21,7 @@
 //! and `--capture DIR` writes each workload to `DIR/<name>.pcap` for replay.
 
 use gnf_bench::dataplane_fixture::hundred_rule_config;
-use gnf_bench::{arg_value, packets_arg, section, seed_arg, workers_arg};
+use gnf_bench::{arg_value, packets_arg, pct, section, seed_arg, workers_arg};
 use gnf_core::{Emulator, RunReport, Scenario};
 use gnf_edge::TrafficProfile;
 use gnf_nf::firewall::{FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction};
@@ -115,6 +115,10 @@ struct Row {
     kpps: f64,
     flow_cache_pct: f64,
     megaflow_pct: f64,
+    /// Share of NF-dropped packets retired by a wildcarded drop entry
+    /// (0 for mixes that drop nothing).
+    drop_bypass_pct: f64,
+    drop_hits: u64,
     peak_active: usize,
 }
 
@@ -162,9 +166,14 @@ fn run_workload(
     Row {
         name,
         packets: report.packets.generated,
-        kpps: report.packets.generated as f64 / wall / 1e3,
+        kpps: report.packets.generated as f64 / wall.max(1e-9) / 1e3,
         flow_cache_pct: report.flow_cache.hit_rate() * 100.0,
         megaflow_pct: report.megaflow.hit_rate() * 100.0,
+        drop_bypass_pct: pct(
+            report.megaflow.stats.drop_hits,
+            report.packets.dropped_by_nf,
+        ),
+        drop_hits: report.megaflow.stats.drop_hits,
         peak_active: stats.peak_active_flows,
     }
 }
@@ -197,6 +206,13 @@ fn print_report(report: &RunReport, stats: GeneratorStats, budget: u64, wall: f6
         report.megaflow.stats.hits,
         report.megaflow.entries,
         report.megaflow.masks,
+    );
+    println!(
+        "drop bypass: {} certified-drop hits over {} drop entries — {:.1}% of the {} NF drops retired at the switch",
+        report.megaflow.stats.drop_hits,
+        report.megaflow.stats.drop_installs,
+        pct(report.megaflow.stats.drop_hits, report.packets.dropped_by_nf),
+        report.packets.dropped_by_nf,
     );
     println!(
         "batches: {} (mean size {:.1}, max {}) | notifications: {} info / {} warning / {} critical",
@@ -254,7 +270,7 @@ fn main() {
         capture,
     ));
 
-    let bursty = headline / 4;
+    let bursty = (headline / 4).max(1);
     rows.push(run_workload(
         "bursty-mmpp",
         "web mix under MMPP on/off arrival bursts (25% duty cycle)",
@@ -296,7 +312,7 @@ fn main() {
         capture,
     ));
 
-    let churn = headline / 2;
+    let churn = (headline / 2).max(1);
     rows.push(run_workload(
         "new-flow-churn",
         "single-packet flows, fresh source port each (megaflow's workload)",
@@ -314,15 +330,38 @@ fn main() {
         capture,
     ));
 
+    // The whole point of wildcarded drop entries is the attack mix: its
+    // port scans die on the firewall's deny rules in patterns the megaflow
+    // cache can certify, so the drop bypass must engage. Asserted here (and
+    // exercised by the CI smoke run) for any budget big enough for scan
+    // patterns to repeat.
+    let attack = rows
+        .iter()
+        .find(|r| r.name == "attack-mix")
+        .expect("attack row");
+    if headline >= 10_000 {
+        assert!(
+            attack.drop_hits > 0,
+            "attack churn must ride wildcarded drop entries: {} drop hits",
+            attack.drop_hits
+        );
+    }
+
     section("per-workload cache breakdown");
     println!(
-        "{:<18} {:>10} {:>10} {:>12} {:>12} {:>12}",
-        "workload", "packets", "kpps", "flow-cache", "megaflow", "peak flows"
+        "{:<18} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "packets", "kpps", "flow-cache", "megaflow", "drop-bypass", "peak flows"
     );
     for row in &rows {
         println!(
-            "{:<18} {:>10} {:>10.0} {:>11.1}% {:>11.1}% {:>12}",
-            row.name, row.packets, row.kpps, row.flow_cache_pct, row.megaflow_pct, row.peak_active
+            "{:<18} {:>10} {:>10.0} {:>11.1}% {:>11.1}% {:>11.1}% {:>12}",
+            row.name,
+            row.packets,
+            row.kpps,
+            row.flow_cache_pct,
+            row.megaflow_pct,
+            row.drop_bypass_pct,
+            row.peak_active
         );
     }
 }

@@ -6,6 +6,7 @@
 //! path vs the first-packet path. Keeping the fixture here ensures the two
 //! numbers the ROADMAP tracks cannot drift apart.
 
+use gnf_agent::seal_report;
 use gnf_nf::firewall::{
     CidrV4, Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction,
 };
@@ -126,6 +127,28 @@ pub fn new_flow_frames(count: u32) -> Vec<Packet> {
         .collect()
 }
 
+/// `count` frames with distinct source ports towards the destination port
+/// the **last** range rule of [`hundred_rule_config`] denies — dropped-flow
+/// churn. The chain-walking baseline pays the longest first-match walk (59
+/// range rules evaluated before the deny), while a wildcarded drop entry
+/// retires the packet at the switch; this is the `megaflow_drop` criterion
+/// group's workload.
+pub fn blocked_flow_frames(count: u32) -> Vec<Packet> {
+    (0..count)
+        .map(|i| {
+            builder::tcp_data(
+                MacAddr::derived(1, 1),
+                MacAddr::derived(0xA0, 0),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(203, 0, 113, 9),
+                (40_000 + i % u32::from(u16::MAX - 40_000)) as u16,
+                10_595,
+                &[0xAB; 10],
+            )
+        })
+        .collect()
+}
+
 /// One station-pipeline iteration, exactly as the Agent dispatches it:
 /// parse the arriving frame, consult the switch, run the chain when steered.
 /// Returns whether the packet was forwarded.
@@ -154,9 +177,9 @@ pub fn pipeline_step(
 
 /// One megaflow-aware station-pipeline iteration, exactly as the Agent's
 /// classify path dispatches it: parse, classify (exact → wildcard → slow
-/// path), then either credit a certified chain bypass, or run the chain and
-/// seal the slow-path seed into a wildcard entry. Returns whether the packet
-/// was forwarded.
+/// path), then either replay a certified chain bypass (forward or drop), or
+/// run the chain and seal the slow-path seed into a wildcard entry. Returns
+/// whether the packet was forwarded.
 pub fn pipeline_step_megaflow(
     sw: &mut SoftwareSwitch,
     chain: &mut NfChain,
@@ -167,29 +190,33 @@ pub fn pipeline_step_megaflow(
     let port = sw.client_port();
     let Classified { decision, megaflow } = sw.classify(&pkt, port, SimTime::from_secs(1)).unwrap();
     match decision.steering {
-        Some((_, upstream)) => match megaflow {
-            MegaflowState::Bypass(tokens) => {
-                chain.credit_bypass(&tokens, 1, pkt.len() as u64);
-                true
-            }
-            megaflow => {
-                let direction = if upstream {
-                    Direction::Ingress
-                } else {
-                    Direction::Egress
-                };
-                let verdict = chain.process(pkt, direction, ctx);
-                if let MegaflowState::Seed(seed) = megaflow {
-                    let report = if verdict.is_forward() {
-                        chain.wildcard_report()
-                    } else {
-                        None
-                    };
-                    sw.install_megaflow(seed, report);
+        Some((_, upstream)) => {
+            let direction = if upstream {
+                Direction::Ingress
+            } else {
+                Direction::Egress
+            };
+            match megaflow {
+                MegaflowState::Bypass(tokens) => {
+                    chain.credit_bypass(direction, &tokens, 1, pkt.len() as u64);
+                    true
                 }
-                verdict.is_forward()
+                MegaflowState::DropBypass { tokens, .. } => {
+                    chain.credit_bypass_drop(direction, &tokens, 1, pkt.len() as u64);
+                    false
+                }
+                megaflow => {
+                    let verdict = chain.process(pkt, direction, ctx);
+                    if let MegaflowState::Seed(seed) = megaflow {
+                        sw.install_megaflow(
+                            seed,
+                            seal_report(true, chain, direction, std::slice::from_ref(&verdict)),
+                        );
+                    }
+                    verdict.is_forward()
+                }
             }
-        },
+        }
         None => true,
     }
 }

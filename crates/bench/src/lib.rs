@@ -67,3 +67,15 @@ pub fn seed_arg() -> u64 {
 pub fn packets_arg(default: u64) -> u64 {
     arg_value("--packets").unwrap_or(default).max(1)
 }
+
+/// `num / den` as a percentage, defined as 0 when the denominator is zero —
+/// so experiment summaries can never print `NaN` (or panic) on zero-packet
+/// or zero-probe mixes (tiny `--packets` budgets, one-kind traffic mixes
+/// that never exercise a counter).
+pub fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}

@@ -10,7 +10,40 @@ use crate::nf::{
 use crate::spec::NfKind;
 use crate::state::NfStateSnapshot;
 use gnf_packet::{FieldMask, Packet, PacketBatch};
+use std::borrow::Cow;
 use std::sync::Arc;
+
+/// The chain's certified contribution to a megaflow (wildcard) cache entry:
+/// what happens to any packet agreeing with the reported one on the masked
+/// fields, and the tokens that replay the statistics of exactly the NFs that
+/// packet would have visited (see [`NfChain::wildcard_report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainBypass {
+    /// Every NF forwards matching packets unchanged: the whole chain may be
+    /// skipped. `tokens` (one per NF, in **traversal order** for the
+    /// reported direction) replay each NF's statistics via
+    /// [`NfChain::credit_bypass`].
+    Forward {
+        /// Union of the five-tuple fields any NF consulted.
+        mask: FieldMask,
+        /// Per-NF replay tokens, in traversal order.
+        tokens: Arc<[u64]>,
+    },
+    /// The chain silently drops matching packets at the last tokened NF:
+    /// they may be retired before the chain runs. `tokens` (in traversal
+    /// order) cover exactly the NFs the packet would have visited — the
+    /// dropping NF last — and replay their statistics via
+    /// [`NfChain::credit_bypass_drop`]; `reason` is the drop reason every
+    /// matching packet would receive.
+    Drop {
+        /// Union of the five-tuple fields the visited NFs consulted.
+        mask: FieldMask,
+        /// Replay tokens for the visited NFs, the dropping NF last.
+        tokens: Arc<[u64]>,
+        /// The replayed drop reason.
+        reason: Cow<'static, str>,
+    },
+}
 
 /// Scratch buffers [`NfChain::process_batch`] reuses across calls: the
 /// verdict slots and the alive-index bookkeeping are the same shape every
@@ -207,42 +240,114 @@ impl NfChain {
         out
     }
 
+    /// The chain index visited at `step` of a traversal in `direction`
+    /// (ingress walks `0, 1, 2, ...`; egress walks in reverse).
+    fn traversal_ix(&self, direction: Direction, step: usize) -> usize {
+        match direction {
+            Direction::Ingress => step,
+            Direction::Egress => self.nfs.len() - 1 - step,
+        }
+    }
+
     /// The chain's contribution to a megaflow (wildcard) cache entry for the
-    /// most recently processed packet (or single-flow batch).
+    /// most recently processed packet (or single-flow batch) travelling in
+    /// `direction`.
     ///
-    /// Returns `Some((mask, tokens))` when **every** NF reported
-    /// [`FieldsConsulted::Pure`]: `mask` is the union of the fields any NF
-    /// consulted, and `tokens` (one per NF, in chain order) replay each NF's
-    /// statistics through [`NfChain::credit_bypass`]. Returns `None` as soon
-    /// as one NF is opaque — the chain must then keep processing every
-    /// packet, and the switch may cache its own decision only.
+    /// Walks the NFs in traversal order asking each what the cache may
+    /// assume ([`NetworkFunction::fields_consulted`]):
     ///
-    /// An empty chain is trivially bypassable (empty mask, no tokens).
-    pub fn wildcard_report(&self) -> Option<(FieldMask, Arc<[u64]>)> {
+    /// * every NF reports [`FieldsConsulted::Pure`] →
+    ///   [`ChainBypass::Forward`] with the union mask and one token per NF;
+    /// * pure NFs up to one reporting [`FieldsConsulted::PureDrop`] →
+    ///   [`ChainBypass::Drop`]: the walk stops at the dropper, because NFs
+    ///   behind it never saw the packet (their state is stale and must not
+    ///   be consulted) and will not see matching packets either;
+    /// * any visited NF is [`FieldsConsulted::Opaque`] → `None` — the chain
+    ///   must keep processing every packet, and the switch may cache its own
+    ///   decision only.
+    ///
+    /// An empty chain is trivially forward-bypassable (empty mask, no
+    /// tokens).
+    pub fn wildcard_report(&self, direction: Direction) -> Option<ChainBypass> {
         let mut mask = FieldMask::EMPTY;
         let mut tokens = Vec::with_capacity(self.nfs.len());
-        for nf in &self.nfs {
-            match nf.fields_consulted() {
+        for step in 0..self.nfs.len() {
+            let ix = self.traversal_ix(direction, step);
+            match self.nfs[ix].fields_consulted() {
                 FieldsConsulted::Pure { mask: m, token } => {
                     mask.insert(m);
                     tokens.push(token);
                 }
+                FieldsConsulted::PureDrop {
+                    mask: m,
+                    token,
+                    reason,
+                } => {
+                    mask.insert(m);
+                    tokens.push(token);
+                    return Some(ChainBypass::Drop {
+                        mask,
+                        tokens: tokens.into(),
+                        reason,
+                    });
+                }
                 FieldsConsulted::Opaque => return None,
             }
         }
-        Some((mask, tokens.into()))
+        Some(ChainBypass::Forward {
+            mask,
+            tokens: tokens.into(),
+        })
     }
 
     /// Replays the statistics of `packets` bypassed packets totalling
     /// `bytes` — chain-level counters plus every member NF via its token —
-    /// exactly as if each packet had traversed the chain and been forwarded.
-    /// `tokens` must come from a [`NfChain::wildcard_report`] of this chain.
-    pub fn credit_bypass(&mut self, tokens: &[u64], packets: u64, bytes: u64) {
+    /// exactly as if each packet had traversed the chain in `direction` and
+    /// been forwarded. `tokens` must come from a [`ChainBypass::Forward`]
+    /// report of this chain for the same direction.
+    pub fn credit_bypass(
+        &mut self,
+        direction: Direction,
+        tokens: &[u64],
+        packets: u64,
+        bytes: u64,
+    ) {
         self.stats.record_in_batch(packets, bytes);
         self.stats.record_bypassed_forward(packets, bytes);
-        for (nf, token) in self.nfs.iter_mut().zip(tokens) {
-            nf.credit_bypass(*token, packets, bytes);
+        debug_assert!(tokens.len() <= self.nfs.len(), "one token per NF");
+        for (step, token) in tokens.iter().enumerate().take(self.nfs.len()) {
+            let ix = self.traversal_ix(direction, step);
+            self.nfs[ix].credit_bypass(*token, packets, bytes);
         }
+    }
+
+    /// Replays the statistics of `packets` bypassed **dropped** packets
+    /// totalling `bytes`, exactly as if each had traversed the chain in
+    /// `direction` and been dropped by the last tokened NF: the NFs before
+    /// it are credited as having forwarded the packets, the dropper as
+    /// having dropped them, and the chain-level counters record the drops.
+    /// `tokens` must come from a [`ChainBypass::Drop`] report of this chain
+    /// for the same direction.
+    pub fn credit_bypass_drop(
+        &mut self,
+        direction: Direction,
+        tokens: &[u64],
+        packets: u64,
+        bytes: u64,
+    ) {
+        self.stats.record_in_batch(packets, bytes);
+        self.stats.record_bypassed_drop(packets);
+        debug_assert!(tokens.len() <= self.nfs.len(), "at most one token per NF");
+        let visited = tokens.len().min(self.nfs.len());
+        let Some(last_step) = visited.checked_sub(1) else {
+            return;
+        };
+        for (step, token) in tokens.iter().enumerate().take(last_step) {
+            let ix = self.traversal_ix(direction, step);
+            self.nfs[ix].credit_bypass(*token, packets, bytes);
+        }
+        let ix = self.traversal_ix(direction, last_step);
+        self.nfs[ix].credit_bypass_drop(tokens[last_step], packets, bytes);
     }
 
     /// Exports every member NF's state, in chain order.
@@ -497,7 +602,10 @@ mod tests {
         let len = pkt.len() as u64;
         assert!(chain.process(pkt, Direction::Ingress, &ctx()).is_forward());
 
-        let (mask, tokens) = chain.wildcard_report().expect("all NFs pure");
+        let Some(ChainBypass::Forward { mask, tokens }) = chain.wildcard_report(Direction::Ingress)
+        else {
+            panic!("all NFs pure");
+        };
         // The union of both firewalls' consulted fields.
         assert!(mask.contains(FieldMask::PROTOCOL));
         assert!(mask.contains(FieldMask::DST_PORT));
@@ -525,7 +633,7 @@ mod tests {
         for _ in 0..4 {
             reference.process(http("ok.example"), Direction::Ingress, &ctx());
         }
-        chain.credit_bypass(&tokens, 3, 3 * len);
+        chain.credit_bypass(Direction::Ingress, &tokens, 3, 3 * len);
         assert_eq!(chain.stats(), reference.stats());
         assert_eq!(chain.per_nf_stats(), reference.per_nf_stats());
 
@@ -533,13 +641,165 @@ mod tests {
         // payload) makes the whole chain unreportable.
         let mut opaque = demo_chain();
         opaque.process(http("ok.example"), Direction::Ingress, &ctx());
-        assert!(opaque.wildcard_report().is_none());
+        assert!(opaque.wildcard_report(Direction::Ingress).is_none());
 
         // An empty chain is trivially bypassable.
         let empty = NfChain::new("empty");
-        let (mask, tokens) = empty.wildcard_report().expect("empty chain is pure");
+        let Some(ChainBypass::Forward { mask, tokens }) = empty.wildcard_report(Direction::Ingress)
+        else {
+            panic!("empty chain is pure");
+        };
         assert!(mask.is_empty());
         assert!(tokens.is_empty());
+    }
+
+    #[test]
+    fn wildcard_drop_report_stops_at_the_dropping_nf() {
+        use crate::firewall::{PortMatch, ProtocolMatch, RuleAction};
+        use crate::ids::{Ids, IdsConfig};
+        use gnf_packet::FieldMask;
+
+        let untracked = |name: &str, rules: Vec<FirewallRule>| {
+            Box::new(Firewall::new(
+                name,
+                FirewallConfig {
+                    rules,
+                    default_action: RuleAction::Accept,
+                    track_connections: false,
+                    conntrack_idle_timeout_secs: 60,
+                },
+            ))
+        };
+        let deny_privileged = FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Range(1, 1023),
+            action: RuleAction::Drop,
+            ..FirewallRule::any("privileged", RuleAction::Drop)
+        };
+        // Pure pass-through firewall, then the denying firewall, then an
+        // opaque IDS. The IDS never sees the dropped packet, so the chain is
+        // still drop-bypassable despite the opaque tail.
+        let build = || {
+            let mut chain = NfChain::new("drop-chain");
+            chain.push(untracked("fw-pass", vec![]));
+            chain.push(untracked("fw-deny", vec![deny_privileged.clone()]));
+            chain.push(Box::new(Ids::new("ids", IdsConfig::default())));
+            chain
+        };
+        let ssh = builder::tcp_syn(
+            MacAddr::derived(1, 1),
+            MacAddr::derived(2, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(198, 51, 100, 7),
+            40_001,
+            22,
+        );
+        let len = ssh.len() as u64;
+        let mut chain = build();
+        let verdict = chain.process(ssh.clone(), Direction::Ingress, &ctx());
+        let Verdict::Drop(dropped_reason) = &verdict else {
+            panic!("expected a drop");
+        };
+
+        let Some(ChainBypass::Drop {
+            mask,
+            tokens,
+            reason,
+        }) = chain.wildcard_report(Direction::Ingress)
+        else {
+            panic!("drop at the second NF must be certifiable");
+        };
+        assert_eq!(tokens.len(), 2, "tokens cover exactly the visited NFs");
+        assert_eq!(&reason, dropped_reason);
+        assert!(mask.contains(FieldMask::PROTOCOL));
+        assert!(mask.contains(FieldMask::DST_PORT));
+
+        // Crediting replays chain-level and per-NF statistics exactly.
+        let mut reference = build();
+        for _ in 0..4 {
+            reference.process(ssh.clone(), Direction::Ingress, &ctx());
+        }
+        chain.credit_bypass_drop(Direction::Ingress, &tokens, 3, 3 * len);
+        assert_eq!(chain.stats(), reference.stats());
+        assert_eq!(chain.per_nf_stats(), reference.per_nf_stats());
+
+        // Egress traverses the chain in reverse: the opaque IDS is visited
+        // first, so no egress drop entry may be certified.
+        let mut egress = build();
+        let back = builder::tcp_data(
+            MacAddr::derived(2, 1),
+            MacAddr::derived(1, 1),
+            Ipv4Addr::new(198, 51, 100, 7),
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+            22,
+            b"x",
+        );
+        assert!(egress.process(back, Direction::Egress, &ctx()).is_drop());
+        assert!(egress.wildcard_report(Direction::Egress).is_none());
+    }
+
+    #[test]
+    fn egress_wildcard_reports_and_credits_in_traversal_order() {
+        use crate::firewall::{PortMatch, ProtocolMatch, RuleAction};
+
+        let untracked = |name: &str, rules: Vec<FirewallRule>| {
+            Box::new(Firewall::new(
+                name,
+                FirewallConfig {
+                    rules,
+                    default_action: RuleAction::Accept,
+                    track_connections: false,
+                    conntrack_idle_timeout_secs: 60,
+                },
+            ))
+        };
+        // Chain [deny-fw, pass-fw]: on egress the pass firewall is visited
+        // first and the deny firewall drops second, so the drop tokens are
+        // [pass-token, deny-token] in traversal order.
+        let deny_privileged = FirewallRule {
+            protocol: ProtocolMatch::Tcp,
+            dst_port: PortMatch::Range(1, 1023),
+            action: RuleAction::Drop,
+            ..FirewallRule::any("privileged", RuleAction::Drop)
+        };
+        let build = || {
+            let mut chain = NfChain::new("egress-chain");
+            chain.push(untracked("fw-deny", vec![deny_privileged.clone()]));
+            chain.push(untracked("fw-pass", vec![]));
+            chain
+        };
+        let down = builder::tcp_data(
+            MacAddr::derived(2, 1),
+            MacAddr::derived(1, 1),
+            Ipv4Addr::new(198, 51, 100, 7),
+            Ipv4Addr::new(10, 0, 0, 2),
+            40_000,
+            443,
+            b"down",
+        );
+        let len = down.len() as u64;
+        let mut chain = build();
+        assert!(chain
+            .process(down.clone(), Direction::Egress, &ctx())
+            .is_drop());
+        let Some(ChainBypass::Drop { tokens, .. }) = chain.wildcard_report(Direction::Egress)
+        else {
+            panic!("egress drop at the chain-order-first NF is certifiable");
+        };
+        assert_eq!(tokens.len(), 2);
+
+        let mut reference = build();
+        for _ in 0..3 {
+            reference.process(down.clone(), Direction::Egress, &ctx());
+        }
+        chain.credit_bypass_drop(Direction::Egress, &tokens, 2, 2 * len);
+        assert_eq!(chain.stats(), reference.stats());
+        assert_eq!(
+            chain.per_nf_stats(),
+            reference.per_nf_stats(),
+            "tokens land on the right NFs in egress traversal order"
+        );
     }
 
     #[test]

@@ -19,9 +19,15 @@ use gnf_packet::{
 };
 use gnf_types::SimTime;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+
+/// The fixed reason attached to every policy drop. One shared `&'static str`
+/// keeps the flood-of-drops path allocation-free and lets wildcarded drop
+/// entries replay the exact reason byte-for-byte.
+const POLICY_DROP_REASON: &str = "firewall: policy drop";
 
 /// An IPv4 prefix used in rule matching (e.g. `10.0.0.0/8`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -412,6 +418,36 @@ impl Firewall {
         matched.map(|ix| ix as u64 + 1).unwrap_or(0)
     }
 
+    /// Replays the rule/default hit counters for `packets` packets decided
+    /// by the evaluation path `token` names — shared by the forward- and
+    /// drop-bypass credit paths so the counters stay identical to having
+    /// walked the rules per packet.
+    fn replay_path_hits(&mut self, token: u64, packets: u64) {
+        if token == 0 {
+            self.default_hits += packets;
+        } else if let Some(hits) = self.rule_hits.get_mut(token as usize - 1) {
+            *hits += packets;
+        }
+    }
+
+    /// The wildcard report for a deny decided by the evaluation path
+    /// `token` under `mask`: a pure drop for silent `Drop` actions when
+    /// conntrack is off (the deny is then a function of the consulted
+    /// fields and the immutable rule list alone), opaque otherwise — a
+    /// `Reject` builds a reply from the packet's own headers, and a
+    /// conntrack-on deny depends on the conntrack probe having missed.
+    fn deny_consulted(&self, action: RuleAction, mask: FieldMask, token: u64) -> FieldsConsulted {
+        if action == RuleAction::Drop && !self.config.track_connections {
+            FieldsConsulted::PureDrop {
+                mask,
+                token,
+                reason: Cow::Borrowed(POLICY_DROP_REASON),
+            }
+        } else {
+            FieldsConsulted::Opaque
+        }
+    }
+
     /// Evaluates the rule list for a packet, counting the hit (white-box
     /// test helper; the processing paths inline this to also keep the mask).
     #[cfg(test)]
@@ -434,7 +470,7 @@ impl Firewall {
         match action {
             // A fixed reason keeps the flood-of-drops path allocation-free;
             // the per-rule hit counters carry the detail.
-            RuleAction::Drop => Verdict::Drop("firewall: policy drop".into()),
+            RuleAction::Drop => Verdict::Drop(POLICY_DROP_REASON.into()),
             RuleAction::Reject => match Self::reject_reply(packet) {
                 Some(rst) => Verdict::Reply(vec![rst]),
                 None => Verdict::Drop("firewall: policy reject".into()),
@@ -532,10 +568,12 @@ impl NetworkFunction for Firewall {
                 Verdict::Forward(packet)
             }
             deny => {
-                // Denies never report Pure: only Forward-unchanged outcomes
-                // are bypassable (Reject additionally builds a reply from
-                // the packet's own headers).
-                self.last_consulted = FieldsConsulted::Opaque;
+                // Silent drops without conntrack are pure functions of the
+                // consulted fields, so the megaflow cache may retire
+                // matching packets before the chain runs and replay the
+                // deny counters through the token. Rejects and
+                // conntrack-on denies stay opaque.
+                self.last_consulted = self.deny_consulted(deny, mask, Self::path_token(matched));
                 Self::deny_verdict(deny, &packet)
             }
         };
@@ -652,7 +690,8 @@ impl NetworkFunction for Firewall {
                 }
                 deny => {
                     memo = Some((tuple, matched.map(Memo::Rule).unwrap_or(Memo::Default)));
-                    self.last_consulted = FieldsConsulted::Opaque;
+                    self.last_consulted =
+                        self.deny_consulted(deny, mask, Self::path_token(matched));
                     Self::deny_verdict(deny, &packet)
                 }
             };
@@ -667,7 +706,7 @@ impl NetworkFunction for Firewall {
     }
 
     fn fields_consulted(&self) -> FieldsConsulted {
-        self.last_consulted
+        self.last_consulted.clone()
     }
 
     fn credit_bypass(&mut self, token: u64, packets: u64, bytes: u64) {
@@ -675,11 +714,13 @@ impl NetworkFunction for Firewall {
         self.stats.record_bypassed_forward(packets, bytes);
         // Replay the evaluation path the token names, so rule/default hit
         // counters stay identical to having processed every packet.
-        if token == 0 {
-            self.default_hits += packets;
-        } else if let Some(hits) = self.rule_hits.get_mut(token as usize - 1) {
-            *hits += packets;
-        }
+        self.replay_path_hits(token, packets);
+    }
+
+    fn credit_bypass_drop(&mut self, token: u64, packets: u64, bytes: u64) {
+        self.stats.record_in_batch(packets, bytes);
+        self.stats.record_bypassed_drop(packets);
+        self.replay_path_hits(token, packets);
     }
 
     fn export_state(&self) -> NfStateSnapshot {
@@ -1152,7 +1193,7 @@ mod tests {
     }
 
     #[test]
-    fn conntrack_and_denies_are_opaque() {
+    fn conntrack_rejects_and_non_ip_are_opaque() {
         // Conntrack on: both the inserting accept and the established hit
         // are opaque.
         let mut fw = Firewall::new("fw", FirewallConfig::default());
@@ -1161,17 +1202,29 @@ mod tests {
         fw.process(tcp_to_port(443), Direction::Ingress, &ctx());
         assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
 
-        // Denies are opaque even without conntrack.
+        // Denies are opaque when conntrack is on (the deny depends on the
+        // conntrack probe having missed).
+        let mut fw = Firewall::new("fw", FirewallConfig::allowlist(vec![]));
+        assert!(fw
+            .process(tcp_to_port(443), Direction::Ingress, &ctx())
+            .is_drop());
+        assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
+
+        // Rejects are opaque even without conntrack: the reply is built
+        // from the packet's own headers.
+        let reject_all = FirewallRule::any("reject-all", RuleAction::Reject);
         let mut fw = Firewall::new(
             "fw",
             FirewallConfig {
+                rules: vec![reject_all],
+                default_action: RuleAction::Accept,
                 track_connections: false,
-                ..FirewallConfig::allowlist(vec![])
+                conntrack_idle_timeout_secs: 60,
             },
         );
         assert!(fw
             .process(tcp_to_port(443), Direction::Ingress, &ctx())
-            .is_drop());
+            .is_reply());
         assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
 
         // Non-IP traffic is opaque (nothing to wildcard on).
@@ -1183,6 +1236,69 @@ mod tests {
         );
         fw.process(arp, Direction::Ingress, &ctx());
         assert_eq!(fw.fields_consulted(), FieldsConsulted::Opaque);
+    }
+
+    #[test]
+    fn untracked_silent_drop_reports_a_pure_drop_mask() {
+        // The range rule of `untracked_config` (TCP dst 10_000–10_100)
+        // denies this packet; without conntrack the deny is a pure function
+        // of the consulted fields.
+        let mut fw = Firewall::new("fw", untracked_config());
+        let verdict = fw.process(tcp_to_port(10_050), Direction::Ingress, &ctx());
+        let Verdict::Drop(reason) = &verdict else {
+            panic!("expected a drop");
+        };
+        let FieldsConsulted::PureDrop {
+            mask,
+            token,
+            reason: reported,
+        } = fw.fields_consulted()
+        else {
+            panic!("untracked silent drop must be a pure drop");
+        };
+        assert_eq!(token, 1, "rule 0 denied");
+        assert_eq!(&reported, reason, "the entry replays the exact reason");
+        // The range rule consulted protocol + dst port; the CIDR rule was
+        // never reached (first match wins).
+        assert!(mask.contains(FieldMask::PROTOCOL));
+        assert!(mask.contains(FieldMask::DST_PORT));
+        assert!(!mask.contains(FieldMask::DST_IP));
+
+        // A default-policy drop is pure too, with token 0.
+        let mut fw = Firewall::new(
+            "fw",
+            FirewallConfig {
+                track_connections: false,
+                ..FirewallConfig::allowlist(vec![])
+            },
+        );
+        assert!(fw
+            .process(tcp_to_port(443), Direction::Ingress, &ctx())
+            .is_drop());
+        let FieldsConsulted::PureDrop { token, .. } = fw.fields_consulted() else {
+            panic!("untracked default drop must be a pure drop");
+        };
+        assert_eq!(token, 0, "default policy denied");
+    }
+
+    #[test]
+    fn credit_bypass_drop_replays_statistics_exactly() {
+        let pkt = tcp_to_port(10_050); // denied by the range rule
+        let mut processed = Firewall::new("fw", untracked_config());
+        for _ in 0..5 {
+            assert!(processed
+                .process(pkt.clone(), Direction::Ingress, &ctx())
+                .is_drop());
+        }
+        let mut credited = Firewall::new("fw", untracked_config());
+        credited.process(pkt.clone(), Direction::Ingress, &ctx());
+        let FieldsConsulted::PureDrop { token, .. } = credited.fields_consulted() else {
+            panic!("expected a pure drop report");
+        };
+        credited.credit_bypass_drop(token, 4, 4 * pkt.len() as u64);
+        assert_eq!(credited.stats(), processed.stats());
+        assert_eq!(credited.rule_hits(), processed.rule_hits());
+        assert_eq!(credited.default_hits(), processed.default_hits());
     }
 
     #[test]

@@ -36,13 +36,18 @@
 //!   firewall replays one rule resolution per same-flow run, the rate
 //!   limiter refills tokens once per batch, the IDS rolls its window once).
 //! * **Wildcarding** — [`NetworkFunction::fields_consulted`] reports, after
-//!   each packet, either [`FieldsConsulted::Pure`] (the verdict was a pure
+//!   each packet, [`FieldsConsulted::Pure`] (the forward verdict was a pure
 //!   function of a mask of five-tuple fields; the switch's megaflow cache
 //!   may then bypass the NF for matching flows, replaying its statistics via
-//!   [`NetworkFunction::credit_bypass`]) or [`FieldsConsulted::Opaque`]
-//!   (stateful/payload-reading processing — never bypassed; the safe
-//!   default). Of the shipped NFs only the conntrack-off firewall reports
-//!   `Pure`; [`NfChain::wildcard_report`] aggregates the reports chain-wide.
+//!   [`NetworkFunction::credit_bypass`]), [`FieldsConsulted::PureDrop`] (a
+//!   silent drop was such a pure function; matching flows may be retired
+//!   without running the NF, statistics replayed via
+//!   [`NetworkFunction::credit_bypass_drop`] and the drop reason verbatim)
+//!   or [`FieldsConsulted::Opaque`] (stateful/payload-reading processing —
+//!   never bypassed; the safe default). Of the shipped NFs only the
+//!   conntrack-off firewall reports `Pure`/`PureDrop`;
+//!   [`NfChain::wildcard_report`] aggregates the reports chain-wide into a
+//!   [`ChainBypass`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,7 +65,7 @@ pub mod spec;
 pub mod state;
 pub mod testing;
 
-pub use chain::NfChain;
+pub use chain::{ChainBypass, NfChain};
 pub use nf::{
     Direction, FieldsConsulted, NetworkFunction, NfContext, NfEvent, NfEventSeverity, NfStats,
     Verdict,

@@ -151,6 +151,13 @@ impl NfStats {
         self.bytes_out += bytes;
     }
 
+    /// Records `packets` dropped packets in one add — the megaflow drop-entry
+    /// path's equivalent of `record_verdict(Drop)` per packet (dropped
+    /// packets produce no output bytes).
+    pub fn record_bypassed_drop(&mut self, packets: u64) {
+        self.packets_dropped += packets;
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &NfStats) {
         self.packets_in += other.packets_in;
@@ -165,7 +172,7 @@ impl NfStats {
 /// What the megaflow (wildcard) cache may assume about an NF's handling of
 /// the most recently processed packet — the NF's contribution to a wildcard
 /// cache entry (see [`NetworkFunction::fields_consulted`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldsConsulted {
     /// The verdict was `Forward` of the **unchanged** packet, it is a pure
     /// function of the masked five-tuple fields plus the NF's immutable
@@ -179,6 +186,25 @@ pub enum FieldsConsulted {
         /// NF-defined replay token identifying the evaluation path taken
         /// (e.g. which rule matched), passed back to `credit_bypass`.
         token: u64,
+    },
+    /// The verdict was a **silent `Drop`**, it is a pure function of the
+    /// masked five-tuple fields plus the NF's immutable configuration, and
+    /// processing had no side effects beyond statistics. Any packet agreeing
+    /// on the masked fields may therefore be dropped without consulting the
+    /// NF: its statistics are replayed through
+    /// [`NetworkFunction::credit_bypass_drop`] using `token`, and `reason` is
+    /// replayed verbatim as the drop reason. Verdicts that build a reply
+    /// from the packet (e.g. a firewall `Reject`) must **not** use this
+    /// variant — only silent drops whose reason is fixed per evaluation
+    /// path.
+    PureDrop {
+        /// The five-tuple fields the evaluation consulted.
+        mask: FieldMask,
+        /// NF-defined replay token identifying the evaluation path taken
+        /// (e.g. which rule denied), passed back to `credit_bypass_drop`.
+        token: u64,
+        /// The drop reason every matching packet would receive.
+        reason: Cow<'static, str>,
     },
     /// The NF consulted mutable state (conntrack, token buckets, detection
     /// windows), read the payload, modified the packet, or produced side
@@ -282,18 +308,21 @@ pub trait NetworkFunction: Send {
     fn stats(&self) -> NfStats;
 
     /// Reports what the megaflow (wildcard) cache may assume about the most
-    /// recently processed packet: either a [`FieldsConsulted::Pure`] field
-    /// mask under which the NF can be bypassed, or
-    /// [`FieldsConsulted::Opaque`].
+    /// recently processed packet: a [`FieldsConsulted::Pure`] field mask
+    /// under which the NF can be bypassed, a [`FieldsConsulted::PureDrop`]
+    /// mask under which matching packets can be dropped without running the
+    /// NF, or [`FieldsConsulted::Opaque`].
     ///
     /// The default is `Opaque` — always correct, never wildcarded. An NF
-    /// reporting `Pure` enters a contract: for **any** packet agreeing with
-    /// the last one on the masked fields, `process` would have returned
-    /// `Forward` of the unchanged packet, left no state behind, raised no
-    /// events, and changed only statistics — which [`credit_bypass`] must
-    /// replay exactly.
+    /// reporting `Pure` (or `PureDrop`) enters a contract: for **any**
+    /// packet agreeing with the last one on the masked fields, `process`
+    /// would have returned `Forward` of the unchanged packet (respectively
+    /// `Drop` with the reported reason), left no state behind, raised no
+    /// events, and changed only statistics — which [`credit_bypass`]
+    /// (respectively [`credit_bypass_drop`]) must replay exactly.
     ///
     /// [`credit_bypass`]: NetworkFunction::credit_bypass
+    /// [`credit_bypass_drop`]: NetworkFunction::credit_bypass_drop
     fn fields_consulted(&self) -> FieldsConsulted {
         FieldsConsulted::Opaque
     }
@@ -304,6 +333,13 @@ pub trait NetworkFunction: Send {
     /// [`FieldsConsulted::Pure`]; NFs that never report `Pure` keep the
     /// default no-op.
     fn credit_bypass(&mut self, _token: u64, _packets: u64, _bytes: u64) {}
+
+    /// Replays the statistics of `packets` bypassed **dropped** packets
+    /// totalling `bytes`, exactly as if each had been processed and dropped
+    /// by this NF. Called only with a `token` this NF previously reported in
+    /// a [`FieldsConsulted::PureDrop`]; NFs that never report `PureDrop`
+    /// keep the default no-op.
+    fn credit_bypass_drop(&mut self, _token: u64, _packets: u64, _bytes: u64) {}
 
     /// Exports the NF's dynamic state for migration to another station.
     ///
@@ -384,6 +420,15 @@ mod tests {
         merged.merge(&stats);
         merged.merge(&stats);
         assert_eq!(merged.packets_in, 6);
+
+        // Drop-bypass replay mirrors per-packet drop accounting: packets in,
+        // packets dropped, no output bytes.
+        let mut bypassed = NfStats::default();
+        bypassed.record_in_batch(2, 100);
+        bypassed.record_bypassed_drop(2);
+        assert_eq!(bypassed.packets_in, 2);
+        assert_eq!(bypassed.packets_dropped, 2);
+        assert_eq!(bypassed.bytes_out, 0);
     }
 
     #[test]

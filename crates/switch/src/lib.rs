@@ -30,9 +30,11 @@ pub mod steering;
 pub mod switch;
 
 pub use flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
-pub use megaflow::{MegaflowCache, MegaflowHit, MegaflowStats, DEFAULT_MEGAFLOW_CAPACITY};
+pub use megaflow::{
+    BypassOutcome, MegaflowCache, MegaflowHit, MegaflowStats, DEFAULT_MEGAFLOW_CAPACITY,
+};
 pub use steering::{SteeringRule, SteeringTable, TrafficSelector};
 pub use switch::{
-    Classified, DecisionRun, Forwarding, MegaflowSeed, MegaflowState, Port, PortCounters, PortId,
-    PortKind, SoftwareSwitch, SwitchDecision, DEFAULT_MAC_AGING_SECS,
+    BatchCursor, Classified, DecisionRun, Forwarding, MegaflowSeed, MegaflowState, Port,
+    PortCounters, PortId, PortKind, SoftwareSwitch, SwitchDecision, DEFAULT_MAC_AGING_SECS,
 };

@@ -25,11 +25,12 @@
 //! re-validates its destination's MAC→port mapping on lookup.
 
 use crate::flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_CAPACITY};
-use crate::megaflow::{MegaflowCache, MegaflowStats};
+use crate::megaflow::{BypassOutcome, MegaflowCache, MegaflowStats};
 use crate::steering::{SteeringRule, SteeringTable};
 use gnf_packet::{FieldMask, FiveTuple, Packet, PacketBatch};
 use gnf_types::{GnfError, GnfResult, MacAddr, SimTime};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -115,15 +116,40 @@ pub enum MegaflowState {
     None,
     /// A wildcard entry certified that the steered NF chain may be bypassed
     /// for this packet: the chain's verdict is `Forward` of the unchanged
-    /// packet, and the tokens (one per NF, in chain order) replay each NF's
-    /// statistics via `NfChain::credit_bypass`.
+    /// packet, and the tokens (one per NF, in traversal order) replay each
+    /// NF's statistics via `NfChain::credit_bypass`.
     Bypass(Arc<[u64]>),
+    /// A wildcard entry certified that the steered NF chain silently
+    /// *drops* this packet: the caller retires it with `reason` before the
+    /// chain runs, and the tokens (covering exactly the NFs the packet
+    /// would have visited, the dropping NF last) replay their statistics
+    /// via `NfChain::credit_bypass_drop`.
+    DropBypass {
+        /// Replay tokens for the visited NFs, the dropping NF last.
+        tokens: Arc<[u64]>,
+        /// The certified drop reason, replayed verbatim.
+        reason: Cow<'static, str>,
+    },
     /// The packet took the full slow path for a *steered* flow. The caller
     /// may complete the seed into a wildcard entry with
     /// [`SoftwareSwitch::install_megaflow`] once the chain has processed the
     /// packet and reported the fields it consulted. Dropping the seed is
     /// always safe (the flow simply stays on the exact/slow path).
     Seed(MegaflowSeed),
+}
+
+impl MegaflowState {
+    /// Lifts a wildcard hit's certified outcome into the classification
+    /// state handed to the caller.
+    fn from_bypass(bypass: Option<BypassOutcome>) -> MegaflowState {
+        match bypass {
+            None => MegaflowState::None,
+            Some(BypassOutcome::Forward(tokens)) => MegaflowState::Bypass(tokens),
+            Some(BypassOutcome::Drop { tokens, reason }) => {
+                MegaflowState::DropBypass { tokens, reason }
+            }
+        }
+    }
 }
 
 /// The switch's half of a prospective wildcard cache entry: the exact key
@@ -175,6 +201,39 @@ pub struct DecisionRun {
     /// The wildcard-cache aspect shared by every packet of the run (a run is
     /// one flow, so one megaflow entry covers all of it).
     pub megaflow: MegaflowState,
+}
+
+/// Which cache level decided a run — repeats must credit the same counters
+/// the per-packet path would.
+#[derive(Clone, Copy, PartialEq)]
+enum RunSource {
+    /// Exact hit, or slow path (which installs an exact entry, so
+    /// per-packet repeats would exact-hit).
+    Exact,
+    /// Wildcard hit: per-packet repeats would exact-miss and then
+    /// wildcard-hit again (wildcard hits do not promote). `drop_served`
+    /// records whether the entry certified a drop, so repeats keep the
+    /// drop-hit split exact.
+    Megaflow {
+        /// The run was served by a certified-drop entry.
+        drop_served: bool,
+    },
+}
+
+/// The per-batch state of an incremental batched receive, created by
+/// [`SoftwareSwitch::begin_receive_batch`] and advanced one [`DecisionRun`]
+/// at a time by [`SoftwareSwitch::next_decision_run`].
+///
+/// [`SoftwareSwitch::receive_batch`] drives one internally; the Agent
+/// drives its own so megaflow entries sealed after a run are already
+/// visible to the next run of the same flush (mid-batch sealing).
+#[derive(Debug)]
+pub struct BatchCursor {
+    in_port: PortId,
+    now: SimTime,
+    /// The last unicast source MAC learned from this batch: re-learning it
+    /// would write the identical `(port, now)` mapping, so it is skipped.
+    last_learned: Option<MacAddr>,
 }
 
 /// The software switch.
@@ -497,10 +556,7 @@ impl SoftwareSwitch {
             ) {
                 return Ok(Classified {
                     decision: hit.decision,
-                    megaflow: match hit.bypass {
-                        Some(tokens) => MegaflowState::Bypass(tokens),
-                        None => MegaflowState::None,
-                    },
+                    megaflow: MegaflowState::from_bypass(hit.bypass),
                 });
             }
             let (decision, switch_mask) = self.slow_path_masked(packet, in_port);
@@ -526,14 +582,20 @@ impl SoftwareSwitch {
 
     /// Completes a slow-path seed into a wildcard cache entry.
     ///
-    /// `chain` is the steered chain's contribution: `Some((mask, tokens))`
-    /// when every NF certified the packet's processing as a pure function of
-    /// `mask` (the entry then bypasses the chain and the tokens replay NF
-    /// statistics), `None` when the chain is opaque (the entry caches the
+    /// `chain` is the steered chain's contribution: `Some((mask, outcome))`
+    /// when every NF the matching packets would visit certified the
+    /// packet's processing as a pure function of `mask` (the entry then
+    /// bypasses the chain — forwarding unchanged or replaying a certified
+    /// drop per the [`BypassOutcome`] — with NF statistics replayed from
+    /// the tokens), `None` when the chain is opaque (the entry caches the
     /// switch decision only; matching packets still traverse the chain).
-    pub fn install_megaflow(&mut self, seed: MegaflowSeed, chain: Option<(FieldMask, Arc<[u64]>)>) {
+    pub fn install_megaflow(
+        &mut self,
+        seed: MegaflowSeed,
+        chain: Option<(FieldMask, BypassOutcome)>,
+    ) {
         let (mask, bypass) = match chain {
-            Some((chain_mask, tokens)) => (seed.switch_mask.union(chain_mask), Some(tokens)),
+            Some((chain_mask, outcome)) => (seed.switch_mask.union(chain_mask), Some(outcome)),
             None => (seed.switch_mask, None),
         };
         self.megaflow.insert(
@@ -570,7 +632,16 @@ impl SoftwareSwitch {
     /// unknown ingress port (every packet is counted as dropped, exactly as
     /// the per-packet path would).
     ///
+    /// Callers that act on each run (process the chain, seal megaflow
+    /// entries) before classifying the next should drive a
+    /// [`BatchCursor`] via [`begin_receive_batch`] /
+    /// [`next_decision_run`] instead — this method classifies the whole
+    /// batch up front, so an entry sealed from run *N* cannot serve run
+    /// *N + 1* of the same flush.
+    ///
     /// [`receive`]: SoftwareSwitch::receive
+    /// [`begin_receive_batch`]: SoftwareSwitch::begin_receive_batch
+    /// [`next_decision_run`]: SoftwareSwitch::next_decision_run
     pub fn receive_batch(
         &mut self,
         batch: &PacketBatch,
@@ -580,117 +651,156 @@ impl SoftwareSwitch {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
-        if self.port(in_port).is_err() {
-            self.dropped_frames += batch.len() as u64;
-            return Err(GnfError::not_found("switch port", in_port.0));
-        }
-        let total_bytes = batch.total_bytes();
-        if let Some(port) = self.ports.iter_mut().find(|p| p.id == in_port) {
-            port.counters.rx_packets += batch.len() as u64;
-            port.counters.rx_bytes += total_bytes;
-        }
-
-        /// Which cache level decided a run — repeats must credit the same
-        /// counters the per-packet path would.
-        #[derive(Clone, Copy, PartialEq)]
-        enum RunSource {
-            /// Exact hit, or slow path (which installs an exact entry, so
-            /// per-packet repeats would exact-hit).
-            Exact,
-            /// Wildcard hit: per-packet repeats would exact-miss and then
-            /// wildcard-hit again (wildcard hits do not promote).
-            Megaflow,
-        }
-
+        let mut cursor = self.begin_receive_batch(batch, in_port, now)?;
         let mut runs: Vec<DecisionRun> = Vec::new();
-        let mut last_key: Option<(FlowKey, RunSource)> = None;
-        let mut last_learned: Option<MacAddr> = None;
-        for packet in batch.iter() {
-            let src_mac = packet.src_mac();
-            // Re-learning the same MAC within the batch writes the identical
-            // (port, now) mapping; skip the redundant hash insert.
-            if src_mac.is_unicast() && last_learned != Some(src_mac) {
-                self.mac_table.insert(src_mac, (in_port, now));
-                last_learned = Some(src_mac);
-            }
-            let Some(tuple) = packet.five_tuple() else {
-                // Non-flow frames always take the slow path, never grouped.
-                let decision = self.slow_path(packet, in_port);
-                runs.push(DecisionRun {
-                    decision,
-                    count: 1,
-                    megaflow: MegaflowState::None,
-                });
-                last_key = None;
-                continue;
-            };
-            let key = FlowKey {
-                in_port,
-                src_mac,
-                dst_mac: packet.dst_mac(),
-                tuple,
-            };
-            if let Some((last, source)) = &last_key {
-                if *last == key {
-                    // Nothing the batch itself does (idempotent MAC
-                    // re-learning at one timestamp) can change the decision
-                    // within a run, so the per-packet path would score the
-                    // same cache outcome as the run's first packet did.
-                    runs.last_mut().expect("a run exists for the key").count += 1;
-                    match source {
-                        RunSource::Exact => self.flow_cache.note_repeat_hits(1),
-                        RunSource::Megaflow => {
-                            self.flow_cache.note_repeat_misses(1);
-                            self.megaflow.note_repeat_hits(1);
-                        }
-                    }
-                    continue;
-                }
-            }
-            let steering_generation = self.steering.generation();
-            let dst_mapping = self.mac_table.get(&packet.dst_mac()).map(|(port, _)| *port);
-            let (decision, megaflow, source) = if let Some(decision) = self.flow_cache.lookup(
-                &key,
-                self.topology_generation,
-                steering_generation,
-                dst_mapping,
-            ) {
-                (decision, MegaflowState::None, RunSource::Exact)
-            } else if let Some(hit) = self.megaflow.lookup(
-                in_port,
-                key.src_mac,
-                key.dst_mac,
-                &tuple,
-                self.topology_generation,
-                steering_generation,
-                dst_mapping,
-            ) {
-                let megaflow = match hit.bypass {
-                    Some(tokens) => MegaflowState::Bypass(tokens),
-                    None => MegaflowState::None,
-                };
-                (hit.decision, megaflow, RunSource::Megaflow)
-            } else {
-                let (decision, switch_mask) = self.slow_path_masked(packet, in_port);
-                self.flow_cache.insert(
-                    key,
-                    decision.clone(),
-                    self.topology_generation,
-                    steering_generation,
-                    dst_mapping,
-                );
-                let megaflow =
-                    self.seed_or_install_megaflow(&key, tuple, switch_mask, &decision, dst_mapping);
-                (decision, megaflow, RunSource::Exact)
-            };
-            runs.push(DecisionRun {
-                decision,
-                count: 1,
-                megaflow,
-            });
-            last_key = Some((key, source));
+        let packets = batch.as_slice();
+        let mut pos = 0usize;
+        while let Some(run) = self.next_decision_run(&mut cursor, &packets[pos..]) {
+            pos += run.count;
+            runs.push(run);
         }
         Ok(runs)
+    }
+
+    /// Starts a batched receive: validates the ingress port and records the
+    /// whole batch's RX counters in one add (exactly what [`receive_batch`]
+    /// does up front), returning the cursor that classifies the batch one
+    /// [`DecisionRun`] at a time via [`next_decision_run`].
+    ///
+    /// Driving the cursor yourself is what enables **mid-batch sealing**: a
+    /// megaflow entry installed after run *N* (e.g. sealed from the chain's
+    /// wildcard report) is already visible when run *N + 1* is classified —
+    /// exactly as in per-packet processing, where every packet is fully
+    /// settled before the next is classified.
+    ///
+    /// On an unknown ingress port every packet is counted as dropped and the
+    /// whole batch fails, as in [`receive_batch`].
+    ///
+    /// [`receive_batch`]: SoftwareSwitch::receive_batch
+    /// [`next_decision_run`]: SoftwareSwitch::next_decision_run
+    pub fn begin_receive_batch(
+        &mut self,
+        batch: &PacketBatch,
+        in_port: PortId,
+        now: SimTime,
+    ) -> GnfResult<BatchCursor> {
+        if !batch.is_empty() {
+            if self.port(in_port).is_err() {
+                self.dropped_frames += batch.len() as u64;
+                return Err(GnfError::not_found("switch port", in_port.0));
+            }
+            let total_bytes = batch.total_bytes();
+            if let Some(port) = self.ports.iter_mut().find(|p| p.id == in_port) {
+                port.counters.rx_packets += batch.len() as u64;
+                port.counters.rx_bytes += total_bytes;
+            }
+        }
+        Ok(BatchCursor {
+            in_port,
+            now,
+            last_learned: None,
+        })
+    }
+
+    /// Classifies the next run of `remaining` — the not-yet-classified tail
+    /// of the batch `cursor` was started with — returning `None` once it is
+    /// empty. The caller must consume exactly `run.count` packets from its
+    /// batch per returned run, so the tail it passes next time starts at
+    /// the first unclassified packet.
+    ///
+    /// A run covers the longest prefix of consecutive packets sharing the
+    /// first packet's flow key: nothing the batch itself does (idempotent
+    /// MAC re-learning at one timestamp) can change the decision within a
+    /// run, so repeats are credited to whichever cache level served the
+    /// first packet, exactly as the per-packet path would score them.
+    pub fn next_decision_run(
+        &mut self,
+        cursor: &mut BatchCursor,
+        remaining: &[Packet],
+    ) -> Option<DecisionRun> {
+        let packet = remaining.first()?;
+        let in_port = cursor.in_port;
+        let src_mac = packet.src_mac();
+        // Re-learning the same MAC within the batch writes the identical
+        // (port, now) mapping; skip the redundant hash insert.
+        if src_mac.is_unicast() && cursor.last_learned != Some(src_mac) {
+            self.mac_table.insert(src_mac, (in_port, cursor.now));
+            cursor.last_learned = Some(src_mac);
+        }
+        let Some(tuple) = packet.five_tuple() else {
+            // Non-flow frames always take the slow path, never grouped.
+            return Some(DecisionRun {
+                decision: self.slow_path(packet, in_port),
+                count: 1,
+                megaflow: MegaflowState::None,
+            });
+        };
+        let key = FlowKey {
+            in_port,
+            src_mac,
+            dst_mac: packet.dst_mac(),
+            tuple,
+        };
+        let steering_generation = self.steering.generation();
+        let dst_mapping = self.mac_table.get(&packet.dst_mac()).map(|(port, _)| *port);
+        let (decision, megaflow, source) = if let Some(decision) = self.flow_cache.lookup(
+            &key,
+            self.topology_generation,
+            steering_generation,
+            dst_mapping,
+        ) {
+            (decision, MegaflowState::None, RunSource::Exact)
+        } else if let Some(hit) = self.megaflow.lookup(
+            in_port,
+            key.src_mac,
+            key.dst_mac,
+            &tuple,
+            self.topology_generation,
+            steering_generation,
+            dst_mapping,
+        ) {
+            let source = RunSource::Megaflow {
+                drop_served: hit.bypass.as_ref().is_some_and(BypassOutcome::is_drop),
+            };
+            (hit.decision, MegaflowState::from_bypass(hit.bypass), source)
+        } else {
+            let (decision, switch_mask) = self.slow_path_masked(packet, in_port);
+            self.flow_cache.insert(
+                key,
+                decision.clone(),
+                self.topology_generation,
+                steering_generation,
+                dst_mapping,
+            );
+            let megaflow =
+                self.seed_or_install_megaflow(&key, tuple, switch_mask, &decision, dst_mapping);
+            (decision, megaflow, RunSource::Exact)
+        };
+        // Extend over the consecutive same-flow packets. Their source MAC
+        // equals the run's (the key matched), so the learning skip above
+        // already covers them.
+        let mut count = 1usize;
+        for pkt in &remaining[1..] {
+            if pkt.five_tuple() != Some(tuple)
+                || pkt.src_mac() != key.src_mac
+                || pkt.dst_mac() != key.dst_mac
+            {
+                break;
+            }
+            count += 1;
+            match source {
+                RunSource::Exact => self.flow_cache.note_repeat_hits(1),
+                RunSource::Megaflow { drop_served } => {
+                    self.flow_cache.note_repeat_misses(1);
+                    self.megaflow.note_repeat_hits(1, drop_served);
+                }
+            }
+        }
+        Some(DecisionRun {
+            decision,
+            count,
+            megaflow,
+        })
     }
 
     /// The megaflow tail of a slow-path classification, shared by
@@ -1225,7 +1335,13 @@ mod tests {
         // Seal with a chain report: mask + tokens, as the Agent would after
         // every NF certified the packet.
         let tokens: Arc<[u64]> = Arc::from(vec![7u64]);
-        sw.install_megaflow(seed, Some((gnf_packet::FieldMask::DST_PORT, tokens)));
+        sw.install_megaflow(
+            seed,
+            Some((
+                gnf_packet::FieldMask::DST_PORT,
+                BypassOutcome::Forward(tokens),
+            )),
+        );
         assert_eq!(sw.megaflow_len(), 1);
 
         // A new flow to the same destination port: wildcard hit with the
@@ -1243,6 +1359,96 @@ mod tests {
             .classify(&new_flow(41_001, 80), sw.client_port(), t)
             .unwrap();
         assert!(matches!(c3.megaflow, MegaflowState::Seed(_)));
+    }
+
+    #[test]
+    fn sealing_a_drop_outcome_enables_the_drop_bypass() {
+        let mut sw = SoftwareSwitch::new();
+        sw.set_megaflow_capacity(64);
+        sw.steering_mut().install(SteeringRule {
+            client: ClientId::new(3),
+            client_mac: client_mac(),
+            selector: TrafficSelector::all(),
+            chain: ChainId::new(42),
+        });
+        let t = SimTime::from_secs(1);
+        let c = sw
+            .classify(&new_flow(40_000, 22), sw.client_port(), t)
+            .unwrap();
+        let MegaflowState::Seed(seed) = c.megaflow else {
+            panic!("steered slow path must hand out a seed");
+        };
+        // Seal with a certified drop, as the Agent would after the chain
+        // silently dropped the packet on a pure evaluation path.
+        let tokens: Arc<[u64]> = Arc::from(vec![1u64]);
+        sw.install_megaflow(
+            seed,
+            Some((
+                gnf_packet::FieldMask::DST_PORT,
+                BypassOutcome::Drop {
+                    tokens: tokens.clone(),
+                    reason: "firewall: policy drop".into(),
+                },
+            )),
+        );
+        assert_eq!(sw.megaflow_stats().drop_installs, 1);
+
+        // A brand-new flow of the dropped pattern: certified drop bypass.
+        let c2 = sw
+            .classify(&new_flow(41_000, 22), sw.client_port(), t)
+            .unwrap();
+        let MegaflowState::DropBypass { tokens: t2, reason } = c2.megaflow else {
+            panic!("expected a certified drop bypass, got {:?}", c2.megaflow);
+        };
+        assert_eq!(t2, tokens);
+        assert_eq!(reason, "firewall: policy drop");
+        assert_eq!(sw.megaflow_stats().drop_hits, 1);
+        assert_eq!(sw.megaflow_stats().hits, 1);
+    }
+
+    #[test]
+    fn incremental_cursor_matches_receive_batch() {
+        // Driving begin_receive_batch/next_decision_run by hand must
+        // reproduce receive_batch exactly (decisions, runs, counters) when
+        // nothing is installed between runs.
+        let t = SimTime::from_secs(1);
+        let arp = builder::arp_request(
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let packets = vec![
+            new_flow(40_000, 443),
+            new_flow(40_000, 443),
+            new_flow(41_000, 443),
+            arp,
+            new_flow(40_000, 443),
+        ];
+        let batch = PacketBatch::from(packets);
+
+        let mut whole = SoftwareSwitch::new();
+        whole.set_megaflow_capacity(64);
+        let expected = whole.receive_batch(&batch, whole.client_port(), t).unwrap();
+
+        let mut incremental = SoftwareSwitch::new();
+        incremental.set_megaflow_capacity(64);
+        let port = incremental.client_port();
+        let mut cursor = incremental.begin_receive_batch(&batch, port, t).unwrap();
+        let slice = batch.as_slice();
+        let mut pos = 0usize;
+        let mut runs = Vec::new();
+        while let Some(run) = incremental.next_decision_run(&mut cursor, &slice[pos..]) {
+            pos += run.count;
+            runs.push(run);
+        }
+        assert_eq!(runs, expected);
+        assert_eq!(pos, batch.len(), "runs cover the whole batch");
+        assert_eq!(incremental.flow_cache_stats(), whole.flow_cache_stats());
+        assert_eq!(incremental.megaflow_stats(), whole.megaflow_stats());
+        assert_eq!(
+            incremental.port(port).unwrap().counters,
+            whole.port(whole.client_port()).unwrap().counters
+        );
     }
 
     #[test]

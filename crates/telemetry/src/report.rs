@@ -229,6 +229,8 @@ mod tests {
                 installs: 3,
                 evictions: 1,
                 invalidations: 0,
+                drop_hits: 4,
+                drop_installs: 1,
             },
             entries: 2,
             masks: 1,

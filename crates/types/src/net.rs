@@ -66,6 +66,11 @@ pub struct MegaflowStats {
     pub evictions: u64,
     /// Entries discarded because the state they were derived from changed.
     pub invalidations: u64,
+    /// Subset of `hits` served by a certified *drop* entry: the packet was
+    /// retired before the NF chain ran, its drop replayed from the entry.
+    pub drop_hits: u64,
+    /// Subset of `installs` that carried a certified drop outcome.
+    pub drop_installs: u64,
 }
 
 impl MegaflowStats {
@@ -89,12 +94,16 @@ impl MegaflowStats {
             installs,
             evictions,
             invalidations,
+            drop_hits,
+            drop_installs,
         } = other;
         self.hits += hits;
         self.misses += misses;
         self.installs += installs;
         self.evictions += evictions;
         self.invalidations += invalidations;
+        self.drop_hits += drop_hits;
+        self.drop_installs += drop_installs;
     }
 }
 
@@ -261,6 +270,8 @@ mod tests {
             installs: 2,
             evictions: 1,
             invalidations: 1,
+            drop_hits: 2,
+            drop_installs: 1,
         };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         let mut merged = MegaflowStats::default();
@@ -268,6 +279,8 @@ mod tests {
         merged.merge(&stats);
         assert_eq!(merged.hits, 6);
         assert_eq!(merged.installs, 4);
+        assert_eq!(merged.drop_hits, 4);
+        assert_eq!(merged.drop_installs, 2);
         let json = serde_json::to_string(&stats).unwrap();
         let back: MegaflowStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);

@@ -129,7 +129,35 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         })
 }
 
-fn build_agent(megaflow: bool, specs: Vec<NfSpec>, selector: TrafficSelector) -> Agent {
+/// A scan-shaped traffic mix: TCP SYNs sweeping a small privileged-port set
+/// with churning source ports (every packet a brand-new flow), plus benign
+/// high-port flows — the dropped-flow churn wildcard drop entries exist for.
+/// The small destination pool makes masked drop patterns repeat quickly.
+fn arb_attack_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u16..400,     // ephemeral source-port offset (fresh flow each)
+        0usize..4,     // scanned destination port
+        any::<bool>(), // scan vs benign
+    )
+        .prop_map(|(sport, dport_ix, scan)| {
+            let server = MacAddr::derived(0xA0, 0);
+            let dst = Ipv4Addr::new(203, 0, 0, 10);
+            let sport = 40_000 + sport;
+            let dport = if scan {
+                [22u16, 23, 25, 445][dport_ix]
+            } else {
+                [8_080u16, 8_443, 9_000, 9_090][dport_ix]
+            };
+            builder::tcp_syn(client_mac(), server, client_ip(), dst, sport, dport)
+        })
+}
+
+fn build_agent(
+    megaflow: bool,
+    drops: bool,
+    specs: Vec<NfSpec>,
+    selector: TrafficSelector,
+) -> Agent {
     let (mut agent, _) = Agent::new(
         AgentConfig {
             agent: AgentId::new(1),
@@ -139,6 +167,7 @@ fn build_agent(megaflow: bool, specs: Vec<NfSpec>, selector: TrafficSelector) ->
         ImageRepository::with_standard_images(),
     );
     agent.set_megaflow_enabled(megaflow);
+    agent.set_megaflow_drop_enabled(drops);
     agent.client_associated(ClientId::new(0), client_mac(), client_ip());
     agent.handle_manager_msg(
         ManagerToAgent::DeployChain {
@@ -196,7 +225,7 @@ proptest! {
         let now = SimTime::from_secs(2);
 
         // Reference: megaflow disabled (the historical pipeline).
-        let mut off = build_agent(false, specs.clone(), selector);
+        let mut off = build_agent(false, true, specs.clone(), selector);
         let expected: Vec<PacketOutcome> = packets
             .iter()
             .map(|p| off.process_upstream_packet(p.clone(), now))
@@ -204,7 +233,7 @@ proptest! {
         let expected_notifications = off.drain_nf_notifications(now).len();
 
         // Megaflow on, per-packet.
-        let mut on = build_agent(true, specs.clone(), selector);
+        let mut on = build_agent(true, true, specs.clone(), selector);
         let outcomes: Vec<PacketOutcome> = packets
             .iter()
             .map(|p| on.process_upstream_packet(p.clone(), now))
@@ -214,7 +243,7 @@ proptest! {
         prop_assert_eq!(on.drain_nf_notifications(now).len(), expected_notifications);
 
         // Megaflow on, batched.
-        let mut on_batched = build_agent(true, specs, selector);
+        let mut on_batched = build_agent(true, true, specs, selector);
         let outcomes = on_batched.process_upstream_batch(PacketBatch::from(packets), now);
         prop_assert_eq!(&outcomes, &expected);
         assert_station_equivalent(&on_batched, &off)?;
@@ -222,6 +251,59 @@ proptest! {
             on_batched.drain_nf_notifications(now).len(),
             expected_notifications
         );
+    }
+
+    /// Drop-bypass equivalence under attack traffic: with random rule sets
+    /// (denies, rejects, conntrack on/off) and scan-shaped churn, the
+    /// station pipeline produces identical packet outcomes (including drop
+    /// reasons), NF statistics, exported state and port counters whether
+    /// wildcarded drop entries are enabled, disabled, or the megaflow layer
+    /// is off entirely — per-packet and batched (mid-batch sealing
+    /// included).
+    #[test]
+    fn drop_bypass_pipeline_equals_uncached_pipeline(
+        fw in arb_firewall_config(),
+        packets in proptest::collection::vec(arb_attack_packet(), 1..60),
+    ) {
+        let specs = vec![NfSpec::new("fw", NfConfig::Firewall(fw))];
+        let selector = TrafficSelector::all();
+        let now = SimTime::from_secs(2);
+
+        // Reference: megaflow disabled entirely.
+        let mut off = build_agent(false, true, specs.clone(), selector);
+        let expected: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| off.process_upstream_packet(p.clone(), now))
+            .collect();
+
+        // Megaflow on with drop entries, per-packet.
+        let mut drops_on = build_agent(true, true, specs.clone(), selector);
+        let outcomes: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| drops_on.process_upstream_packet(p.clone(), now))
+            .collect();
+        prop_assert_eq!(&outcomes, &expected);
+        assert_station_equivalent(&drops_on, &off)?;
+
+        // Megaflow on with drop entries disabled (the pre-drop behavior).
+        let mut drops_off = build_agent(true, false, specs.clone(), selector);
+        let outcomes: Vec<PacketOutcome> = packets
+            .iter()
+            .map(|p| drops_off.process_upstream_packet(p.clone(), now))
+            .collect();
+        prop_assert_eq!(&outcomes, &expected);
+        assert_station_equivalent(&drops_off, &off)?;
+        prop_assert_eq!(drops_off.megaflow_telemetry().stats.drop_installs, 0);
+        prop_assert_eq!(drops_off.megaflow_telemetry().stats.drop_hits, 0);
+
+        // Batched with drop entries: outcomes match, and mid-batch sealing
+        // makes even the cache telemetry match the per-packet run.
+        let mut batched = build_agent(true, true, specs, selector);
+        let outcomes = batched.process_upstream_batch(PacketBatch::from(packets), now);
+        prop_assert_eq!(&outcomes, &expected);
+        assert_station_equivalent(&batched, &off)?;
+        prop_assert_eq!(batched.megaflow_telemetry(), drops_on.megaflow_telemetry());
+        prop_assert_eq!(batched.flow_cache_telemetry(), drops_on.flow_cache_telemetry());
     }
 
     /// At the switch level (no chain sealing involved), the batched receive
@@ -319,6 +401,75 @@ proptest! {
         prop_assert_eq!(report_off.megaflow.stats.hits, 0);
 
         // Worker counts 1/2/4 with megaflow on: byte-identical reports.
+        let reports: Vec<String> = [1usize, 2, 4]
+            .into_iter()
+            .map(|workers| {
+                let mut emulator = Emulator::new(build());
+                emulator.set_workers(workers);
+                serde_json::to_string(&emulator.run()).unwrap()
+            })
+            .collect();
+        prop_assert_eq!(&reports[0], &reports[1]);
+        prop_assert_eq!(&reports[0], &reports[2]);
+    }
+
+    /// Emulator-level drop-bypass equivalence on an attack-shaped fleet: a
+    /// conntrack-off firewall denying the smartphones' DNS traffic turns
+    /// every lookup (fresh source port each) into dropped-flow churn. Drop
+    /// bypass on vs off reports the same packet accounting, notifications
+    /// and NF-visible statistics; with it on, the drop entries actually
+    /// engage and the RunReport is byte-identical for workers 1, 2 and 4.
+    #[test]
+    fn emulator_drop_bypass_equivalence_across_worker_counts(seed in 0u64..100) {
+        let dns_denying_fw = NfSpec::new(
+            "fw",
+            NfConfig::Firewall(FirewallConfig {
+                rules: vec![FirewallRule {
+                    protocol: ProtocolMatch::Udp,
+                    dst_port: PortMatch::Exact(53),
+                    action: RuleAction::Drop,
+                    ..FirewallRule::any("no-dns", RuleAction::Drop)
+                }],
+                default_action: RuleAction::Accept,
+                track_connections: false,
+                conntrack_idle_timeout_secs: 60,
+            }),
+        );
+        let build = || {
+            let config = GnfConfig::default().with_seed(seed);
+            let mut builder = Scenario::builder(3, HostClass::EdgeServer).with_config(config);
+            let clients = builder.add_clients(5, TrafficProfile::smartphone());
+            let mut sb = builder.with_duration(SimDuration::from_secs(6));
+            for client in &clients {
+                sb = sb.attach_policy(
+                    *client,
+                    vec![dns_denying_fw.clone()],
+                    TrafficSelector::all(),
+                    SimTime::from_secs(1),
+                );
+            }
+            sb.build()
+        };
+
+        // Drop bypass on (the default) vs off: identical packet accounting
+        // and notifications; only the cache split may differ.
+        let report_on = Emulator::new(build()).run();
+        let mut disabled = Emulator::new(build());
+        disabled.set_megaflow_drop_enabled(false);
+        let report_off = disabled.run();
+        prop_assert_eq!(report_on.packets, report_off.packets);
+        prop_assert_eq!(report_on.notifications, report_off.notifications);
+        prop_assert_eq!(report_off.megaflow.stats.drop_hits, 0);
+        prop_assert_eq!(report_off.megaflow.stats.drop_installs, 0);
+        // The denied DNS churn actually rides the drop entries.
+        prop_assert!(report_on.packets.dropped_by_nf > 0, "the deny rule fired");
+        prop_assert!(
+            report_on.megaflow.stats.drop_hits > 0,
+            "dropped-flow churn must bypass: {:?}",
+            report_on.megaflow
+        );
+
+        // Worker counts 1/2/4 with drop bypass on: byte-identical reports.
         let reports: Vec<String> = [1usize, 2, 4]
             .into_iter()
             .map(|workers| {
