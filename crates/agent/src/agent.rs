@@ -120,6 +120,10 @@ pub struct Agent {
     /// decision-only — the pre-drop-entry behavior — so outcomes and NF
     /// statistics are equivalent either way.
     megaflow_drops: bool,
+    /// Intra-station RSS shards: how many chain-execution lanes the batched
+    /// data plane uses (1 = the classic serial path). Outcomes, statistics
+    /// and reports are byte-identical for any value.
+    station_shards: usize,
 }
 
 impl Agent {
@@ -145,9 +149,25 @@ impl Agent {
                 commands_handled: 0,
                 batch_sizes: BatchTelemetry::default(),
                 megaflow_drops: true,
+                station_shards: 1,
             },
             register,
         )
+    }
+
+    /// Sets the intra-station RSS shard count (clamped to at least 1): how
+    /// many chain-execution lanes batched processing uses, and how many
+    /// shard-stat partitions the switch's caches attribute to. Outcomes,
+    /// statistics and reports are byte-identical for any value — sharding
+    /// only changes which thread runs a chain.
+    pub fn set_station_shards(&mut self, shards: usize) {
+        self.station_shards = shards.max(1);
+        self.switch.set_station_shards(self.station_shards);
+    }
+
+    /// The intra-station RSS shard count.
+    pub fn station_shards(&self) -> usize {
+        self.station_shards
     }
 
     /// The Agent's station.
@@ -360,7 +380,26 @@ impl Agent {
             flow_cache: self.flow_cache_telemetry(),
             megaflow: self.megaflow_telemetry(),
             batches: self.batch_sizes.clone(),
+            shards: self.shard_telemetry(),
         }))
+    }
+
+    /// Per-RSS-shard cache counters of this station's switch, in shard-index
+    /// order. Sums over the blocks equal the aggregates in
+    /// [`flow_cache_telemetry`] / [`megaflow_telemetry`].
+    ///
+    /// [`flow_cache_telemetry`]: Agent::flow_cache_telemetry
+    /// [`megaflow_telemetry`]: Agent::megaflow_telemetry
+    pub fn shard_telemetry(&self) -> Vec<gnf_telemetry::ShardTelemetry> {
+        self.switch
+            .flow_cache_shard_stats()
+            .iter()
+            .zip(self.switch.megaflow_shard_stats())
+            .map(|(flow, megaflow)| gnf_telemetry::ShardTelemetry {
+                flow: *flow,
+                megaflow: *megaflow,
+            })
+            .collect()
     }
 
     /// Data-plane fast-path counters of this station's switch.
@@ -452,6 +491,9 @@ impl Agent {
     ) -> Vec<PacketOutcome> {
         if batch.is_empty() {
             return Vec::new();
+        }
+        if self.station_shards > 1 && !self.chains.is_empty() {
+            return self.process_packet_batch_sharded(batch, in_port, now);
         }
         self.batch_sizes.record(batch.len() as u64);
         let mut cursor = match self.switch.begin_receive_batch(&batch, in_port, now) {
@@ -603,6 +645,224 @@ impl Agent {
             }
         }
         debug_assert!(packets.next().is_none(), "runs must cover the whole batch");
+        outcomes
+    }
+
+    /// The sharded counterpart of [`process_packet_batch`]: classification,
+    /// cache maintenance, megaflow installs and TX counters stay serial on
+    /// the calling thread (the *spine*), while chain work is dispatched to
+    /// `station_shards` lane threads, each owning a chain-hash partition of
+    /// the deployed chains (see [`crate::lanes`] for the determinism
+    /// argument). Observably equivalent to the serial path: outcomes, every
+    /// counter and all NF state land byte-identical, because each chain
+    /// still sees its work in run order and everything order-sensitive runs
+    /// on the spine.
+    ///
+    /// [`process_packet_batch`]: Agent::process_packet_batch
+    fn process_packet_batch_sharded(
+        &mut self,
+        batch: PacketBatch,
+        in_port: gnf_switch::PortId,
+        now: SimTime,
+    ) -> Vec<PacketOutcome> {
+        use crate::lanes::{lane_of_chain, lane_worker, LaneMsg};
+        use std::sync::mpsc;
+
+        self.batch_sizes.record(batch.len() as u64);
+        let mut cursor = match self.switch.begin_receive_batch(&batch, in_port, now) {
+            Ok(cursor) => cursor,
+            Err(e) => {
+                let reason: Cow<'static, str> = e.to_string().into();
+                return batch
+                    .into_iter()
+                    .map(|_| PacketOutcome::Dropped(reason.clone()))
+                    .collect();
+            }
+        };
+        // Partition the chains over the lanes by stable chain-id hash; the
+        // spine keeps a read-only routing map.
+        let lanes = self.station_shards.min(self.chains.len()).max(1);
+        let mut lane_chains: Vec<HashMap<ChainId, &mut DeployedChain>> =
+            (0..lanes).map(|_| HashMap::new()).collect();
+        let mut lane_of: HashMap<ChainId, usize> = HashMap::with_capacity(self.chains.len());
+        for (&chain, deployed) in self.chains.iter_mut() {
+            let lane = lane_of_chain(chain, lanes);
+            lane_of.insert(chain, lane);
+            lane_chains[lane].insert(chain, deployed);
+        }
+        let switch = &mut self.switch;
+        let megaflow_drops = self.megaflow_drops;
+        let mut outcomes = Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let (results_tx, results_rx) = mpsc::channel();
+            let mut senders = Vec::with_capacity(lanes);
+            for chains in lane_chains {
+                let (tx, rx) = mpsc::channel::<LaneMsg>();
+                let results = results_tx.clone();
+                scope.spawn(move || lane_worker(chains, rx, results, now, megaflow_drops));
+                senders.push(tx);
+            }
+            drop(results_tx);
+            // The spine: classify one run at a time exactly as the serial
+            // path does. Runs whose verdicts the spine can compute itself
+            // (bypasses, unsteered, chain-gone) settle their slot
+            // immediately; chain runs are dispatched to the owning lane and
+            // their slot is filled from the results channel after
+            // classification finishes. Seed runs block on the lane's reply
+            // so the wildcard entry is installed before the next run is
+            // classified (mid-batch sealing, as on the serial path).
+            let mut packets = batch.into_vec().into_iter();
+            let mut pending: Vec<(Forwarding, Option<Vec<Verdict>>)> = Vec::new();
+            let mut dispatched = 0usize;
+            while let Some(run) = switch.next_decision_run(&mut cursor, packets.as_slice()) {
+                let run_ix = pending.len();
+                let forwarding = run.decision.forwarding.clone();
+                let verdicts: Option<Vec<Verdict>> = match run.decision.steering {
+                    Some((rule, upstream)) => {
+                        let direction = if upstream {
+                            Direction::Ingress
+                        } else {
+                            Direction::Egress
+                        };
+                        match run.megaflow {
+                            MegaflowState::Bypass(tokens) => {
+                                let run_packets: Vec<Packet> =
+                                    packets.by_ref().take(run.count).collect();
+                                let bytes: u64 = run_packets.iter().map(|p| p.len() as u64).sum();
+                                if let Some(&lane) = lane_of.get(&rule.chain) {
+                                    let _ = senders[lane].send(LaneMsg::CreditBypass {
+                                        chain: rule.chain,
+                                        direction,
+                                        tokens,
+                                        packets: run_packets.len() as u64,
+                                        bytes,
+                                    });
+                                }
+                                Some(run_packets.into_iter().map(Verdict::Forward).collect())
+                            }
+                            MegaflowState::DropBypass { tokens, reason } => {
+                                let bytes: u64 = packets
+                                    .by_ref()
+                                    .take(run.count)
+                                    .map(|p| p.len() as u64)
+                                    .sum();
+                                if let Some(&lane) = lane_of.get(&rule.chain) {
+                                    let _ = senders[lane].send(LaneMsg::CreditBypassDrop {
+                                        chain: rule.chain,
+                                        direction,
+                                        tokens,
+                                        packets: run.count as u64,
+                                        bytes,
+                                    });
+                                }
+                                Some(
+                                    (0..run.count)
+                                        .map(|_| Verdict::Drop(reason.clone()))
+                                        .collect(),
+                                )
+                            }
+                            megaflow => match lane_of.get(&rule.chain) {
+                                Some(&lane) => {
+                                    let chunk: PacketBatch =
+                                        packets.by_ref().take(run.count).collect();
+                                    if let MegaflowState::Seed(seed) = megaflow {
+                                        let (seal_tx, seal_rx) = mpsc::channel();
+                                        senders[lane]
+                                            .send(LaneMsg::Run {
+                                                run_ix,
+                                                chain: rule.chain,
+                                                direction,
+                                                packets: chunk,
+                                                seal: Some(seal_tx),
+                                            })
+                                            .expect("lane outlives the spine");
+                                        let reply =
+                                            seal_rx.recv().expect("lane replies to seed runs");
+                                        switch.install_megaflow(seed, reply.report);
+                                        Some(reply.verdicts)
+                                    } else {
+                                        senders[lane]
+                                            .send(LaneMsg::Run {
+                                                run_ix,
+                                                chain: rule.chain,
+                                                direction,
+                                                packets: chunk,
+                                                seal: None,
+                                            })
+                                            .expect("lane outlives the spine");
+                                        dispatched += 1;
+                                        None
+                                    }
+                                }
+                                // Steering rule without a chain (mid
+                                // reconfiguration): forward unprocessed.
+                                None => Some(
+                                    packets
+                                        .by_ref()
+                                        .take(run.count)
+                                        .map(Verdict::Forward)
+                                        .collect(),
+                                ),
+                            },
+                        }
+                    }
+                    None => Some(
+                        packets
+                            .by_ref()
+                            .take(run.count)
+                            .map(Verdict::Forward)
+                            .collect(),
+                    ),
+                };
+                pending.push((forwarding, verdicts));
+            }
+            debug_assert!(packets.next().is_none(), "runs must cover the whole batch");
+            // Close the queues: lanes drain their FIFOs and exit.
+            drop(senders);
+            for _ in 0..dispatched {
+                let (run_ix, verdicts) = results_rx
+                    .recv()
+                    .expect("every dispatched run yields verdicts");
+                pending[run_ix].1 = Some(verdicts);
+            }
+            // Settle in run order — identical outcome order and identical
+            // final counter values as the serial path's per-run settling
+            // (counter updates are sums, so deferring them to one in-order
+            // pass after classification commutes).
+            for (forwarding, verdicts) in pending {
+                let verdicts = verdicts.expect("every run's slot was filled");
+                let mut forwarded = 0u64;
+                let mut forwarded_bytes = 0u64;
+                for verdict in verdicts {
+                    match verdict {
+                        Verdict::Forward(p) => {
+                            forwarded += 1;
+                            forwarded_bytes += p.len() as u64;
+                            outcomes.push(PacketOutcome::Forwarded(p));
+                        }
+                        Verdict::Drop(reason) => outcomes.push(PacketOutcome::Dropped(reason)),
+                        Verdict::Reply(replies) => {
+                            for reply in &replies {
+                                switch.record_tx(in_port, reply.len());
+                            }
+                            outcomes.push(PacketOutcome::Replied(replies));
+                        }
+                    }
+                }
+                if forwarded > 0 {
+                    match &forwarding {
+                        Forwarding::Unicast(port) => {
+                            switch.record_tx_batch(*port, forwarded, forwarded_bytes)
+                        }
+                        Forwarding::Flood(ports) => {
+                            for port in ports.iter() {
+                                switch.record_tx_batch(*port, forwarded, forwarded_bytes);
+                            }
+                        }
+                    }
+                }
+            }
+        });
         outcomes
     }
 

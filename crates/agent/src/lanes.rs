@@ -1,0 +1,201 @@
+//! Intra-station RSS execution lanes: the worker side of the Agent's
+//! sharded batch path.
+//!
+//! When a station runs with more than one shard, the Agent keeps all switch
+//! work — classification, cache lookups, megaflow installs, TX counters — on
+//! the calling thread (the *spine*) and dispatches NF-chain work to `N` lane
+//! threads. Every chain is owned by exactly one lane for the duration of a
+//! batch, chosen by a stable hash of its [`ChainId`], and each lane drains
+//! its queue in FIFO order; together these two facts mean every chain sees
+//! its runs, bypass credits and drop credits in exactly the order the serial
+//! path would have applied them, so NF state, statistics, verdicts and
+//! emitted events never diverge from the unsharded run — only the thread
+//! that executes the chain changes.
+//!
+//! Slow-path runs that carry a megaflow *seed* are the one synchronous case:
+//! the spine must install the sealed wildcard entry before classifying the
+//! next run (mid-batch sealing — an entry sealed from run N already serves
+//! run N + 1), so those runs carry a reply channel and the spine blocks
+//! until the owning lane reports the verdicts and the seal report. Seeds
+//! only occur on slow-path classifications, so a warm steady-state batch
+//! never blocks.
+
+use crate::agent::{seal_report, DeployedChain};
+use gnf_nf::{Direction, NfContext, Verdict};
+use gnf_packet::{FieldMask, PacketBatch};
+use gnf_switch::BypassOutcome;
+use gnf_types::{ChainId, SimTime};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One unit of chain work routed to a lane. Messages for the same chain are
+/// always sent to the same lane, in spine (run) order.
+pub(crate) enum LaneMsg {
+    /// Process a single-flow run through its chain.
+    Run {
+        /// Index of the run within the batch (for result reassembly).
+        run_ix: usize,
+        /// The owning chain (guaranteed to live on this lane).
+        chain: ChainId,
+        /// Traversal direction.
+        direction: Direction,
+        /// The run's packets, in batch order.
+        packets: PacketBatch,
+        /// `Some` when the run carries a megaflow seed: the lane must reply
+        /// with the verdicts *and* the seal report so the spine can install
+        /// the wildcard entry before classifying the next run.
+        seal: Option<mpsc::Sender<SealReply>>,
+    },
+    /// Replay the statistics of a wildcard forward-bypass hit.
+    CreditBypass {
+        /// The credited chain.
+        chain: ChainId,
+        /// Traversal direction.
+        direction: Direction,
+        /// Per-NF replay tokens from the wildcard entry.
+        tokens: Arc<[u64]>,
+        /// Packets bypassed.
+        packets: u64,
+        /// Bytes bypassed.
+        bytes: u64,
+    },
+    /// Replay the statistics of a wildcard certified-drop hit.
+    CreditBypassDrop {
+        /// The credited chain.
+        chain: ChainId,
+        /// Traversal direction.
+        direction: Direction,
+        /// Per-NF replay tokens, the dropping NF last.
+        tokens: Arc<[u64]>,
+        /// Packets retired.
+        packets: u64,
+        /// Bytes retired.
+        bytes: u64,
+    },
+}
+
+/// A lane's synchronous answer to a seed-carrying [`LaneMsg::Run`].
+pub(crate) struct SealReply {
+    /// The run's verdicts, in packet order.
+    pub verdicts: Vec<Verdict>,
+    /// The seal report for the run's megaflow seed (gated through
+    /// [`seal_report`], exactly as on the serial path).
+    pub report: Option<(FieldMask, BypassOutcome)>,
+}
+
+/// The stable lane assignment of a chain: an avalanche hash of the raw id
+/// (MurmurHash3 `fmix64`) so consecutive chain ids spread over lanes.
+pub(crate) fn lane_of_chain(chain: ChainId, lanes: usize) -> usize {
+    if lanes <= 1 {
+        return 0;
+    }
+    let mut hash = chain.raw();
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^= hash >> 33;
+    (hash % lanes as u64) as usize
+}
+
+/// Body of one lane thread: drains the queue in FIFO order, applying each
+/// message to the owned chains, until the spine drops the sender.
+///
+/// Non-seed run verdicts go back through the shared `results` channel (the
+/// spine reassembles them by `run_ix`); seed runs reply synchronously on
+/// their dedicated channel. Credits mutate only NF statistics, but routing
+/// them through the owning lane's queue keeps *every* chain mutation in
+/// spine order, so even an NF whose credit accounting interacted with its
+/// processing state could not observe a sharded/serial difference.
+pub(crate) fn lane_worker(
+    mut chains: HashMap<ChainId, &mut DeployedChain>,
+    queue: mpsc::Receiver<LaneMsg>,
+    results: mpsc::Sender<(usize, Vec<Verdict>)>,
+    now: SimTime,
+    megaflow_drops: bool,
+) {
+    while let Ok(msg) = queue.recv() {
+        match msg {
+            LaneMsg::Run {
+                run_ix,
+                chain,
+                direction,
+                packets,
+                seal,
+            } => {
+                let deployed = chains.get_mut(&chain).expect("run routed to owning lane");
+                let ctx = NfContext::for_client(now, deployed.client);
+                // Mirror the serial path: single packets take the scalar
+                // entry point, longer runs the batched one.
+                let verdicts = if packets.len() == 1 {
+                    let packet = packets.into_iter().next().expect("length checked");
+                    vec![deployed.chain.process(packet, direction, &ctx)]
+                } else {
+                    deployed.chain.process_batch(packets, direction, &ctx)
+                };
+                match seal {
+                    Some(reply) => {
+                        let report =
+                            seal_report(megaflow_drops, &deployed.chain, direction, &verdicts);
+                        // The spine blocks on this reply; it cannot have
+                        // hung up.
+                        let _ = reply.send(SealReply { verdicts, report });
+                    }
+                    None => {
+                        let _ = results.send((run_ix, verdicts));
+                    }
+                }
+            }
+            LaneMsg::CreditBypass {
+                chain,
+                direction,
+                tokens,
+                packets,
+                bytes,
+            } => {
+                if let Some(deployed) = chains.get_mut(&chain) {
+                    deployed
+                        .chain
+                        .credit_bypass(direction, &tokens, packets, bytes);
+                }
+            }
+            LaneMsg::CreditBypassDrop {
+                chain,
+                direction,
+                tokens,
+                packets,
+                bytes,
+            } => {
+                if let Some(deployed) = chains.get_mut(&chain) {
+                    deployed
+                        .chain
+                        .credit_bypass_drop(direction, &tokens, packets, bytes);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_assignment_is_stable_and_spreads() {
+        // Stability: the same chain maps to the same lane, every time.
+        for raw in 0..64u64 {
+            let id = ChainId::new(raw);
+            assert_eq!(lane_of_chain(id, 4), lane_of_chain(id, 4));
+        }
+        // One lane (or fewer) always maps to lane 0.
+        assert_eq!(lane_of_chain(ChainId::new(7), 1), 0);
+        assert_eq!(lane_of_chain(ChainId::new(7), 0), 0);
+        // Sequential ids (how deployments allocate them) spread over lanes.
+        let mut hit = [false; 4];
+        for raw in 0..32u64 {
+            hit[lane_of_chain(ChainId::new(raw), 4)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "all four lanes receive chains");
+    }
+}

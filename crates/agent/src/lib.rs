@@ -39,5 +39,6 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+mod lanes;
 
 pub use agent::{seal_report, Agent, AgentConfig, DeployedChain, PacketOutcome};

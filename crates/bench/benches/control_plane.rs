@@ -32,6 +32,7 @@ fn sample_report(station: u64) -> AgentToManager {
         flow_cache: Default::default(),
         megaflow: Default::default(),
         batches: Default::default(),
+        shards: Vec::new(),
     }))
 }
 

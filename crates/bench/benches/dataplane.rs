@@ -438,6 +438,51 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+// ------------------------------------------------------- batch_hot_station
+
+/// One hot station under intra-station RSS sharding: an Agent with 8
+/// clients, each steered through its own firewall+IDS chain, processing
+/// 256-packet upstream batches of established-flow traffic. The opaque IDS
+/// keeps the chains un-bypassable, so per-packet chain work dominates —
+/// `shards=4` fans that work out over four execution lanes while the switch
+/// spine stays serial. The ROADMAP's intra-station sharding lever; keep
+/// `shards/4` ≥1.5× over `shards/1` on multi-core hosts.
+fn bench_batch_hot_station(c: &mut Criterion) {
+    use gnf_bench::dataplane_fixture as fixture;
+    use gnf_packet::PacketBatch;
+
+    let mut group = quick(c).benchmark_group("batch_hot_station");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let clients = 8u32;
+    let frames = fixture::hot_station_frames(clients, 32);
+    let now = SimTime::from_secs(2);
+    for shards in [1usize, 4] {
+        let mut agent = fixture::hot_station_agent(clients);
+        agent.set_station_shards(shards);
+        // Warm the flow cache and the firewalls' conntrack tables so the
+        // measured iterations are the steady state.
+        let warm: PacketBatch = frames
+            .iter()
+            .map(|f| Packet::parse(f.bytes().clone()).unwrap())
+            .collect();
+        agent.process_upstream_batch(warm, now);
+        group.throughput(Throughput::Elements(frames.len() as u64));
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                let batch: PacketBatch = frames
+                    .iter()
+                    .map(|f| Packet::parse(f.bytes().clone()).unwrap())
+                    .collect();
+                black_box(agent.process_upstream_batch(black_box(batch), now))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parsing,
@@ -448,6 +493,7 @@ criterion_group!(
     bench_flow_cache,
     bench_megaflow,
     bench_megaflow_drop,
-    bench_batch
+    bench_batch,
+    bench_batch_hot_station
 );
 criterion_main!(benches);

@@ -31,6 +31,7 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
         flow_cache: Default::default(),
         megaflow: Default::default(),
         batches: Default::default(),
+        shards: Vec::new(),
     }))
 }
 

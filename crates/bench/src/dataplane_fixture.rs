@@ -6,19 +6,21 @@
 //! path vs the first-packet path. Keeping the fixture here ensures the two
 //! numbers the ROADMAP tracks cannot drift apart.
 
-use gnf_agent::seal_report;
+use gnf_agent::{seal_report, Agent, AgentConfig};
+use gnf_api::messages::ManagerToAgent;
+use gnf_container::ImageRepository;
 use gnf_nf::firewall::{
     CidrV4, Firewall, FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction,
 };
 use gnf_nf::ids::{Ids, IdsConfig};
 use gnf_nf::rate_limiter::{RateLimiter, RateLimiterConfig};
-use gnf_nf::{Direction, NfChain, NfContext, Verdict};
+use gnf_nf::{Direction, NfChain, NfConfig, NfContext, NfSpec, Verdict};
 use gnf_packet::{builder, Packet, PacketBatch};
 use gnf_switch::{
     Classified, MegaflowState, SoftwareSwitch, SteeringRule, TrafficSelector,
     DEFAULT_MEGAFLOW_CAPACITY,
 };
-use gnf_types::{ChainId, ClientId, MacAddr, SimTime};
+use gnf_types::{AgentId, ChainId, ClientId, HostClass, MacAddr, SimTime, StationId};
 use std::net::Ipv4Addr;
 
 /// A 100-rule edge firewall of range and CIDR rules — the shapes the
@@ -147,6 +149,75 @@ pub fn blocked_flow_frames(count: u32) -> Vec<Packet> {
             )
         })
         .collect()
+}
+
+/// The IP a hot-station client sources its traffic from.
+fn hot_station_ip(client: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 1 + (client / 250) as u8, 2 + (client % 250) as u8)
+}
+
+/// One *hot* station: an Agent with `clients` associated clients, each
+/// steered through its own 2-NF chain — the 100-rule conntrack-on firewall
+/// followed by the IDS. The IDS is deliberately opaque (it reads the whole
+/// payload), so the chains never seal a wildcard bypass and every packet of
+/// every established flow still pays the full chain walk — exactly the
+/// workload intra-station RSS sharding exists to parallelize.
+pub fn hot_station_agent(clients: u32) -> Agent {
+    let (mut agent, _) = Agent::new(
+        AgentConfig {
+            agent: AgentId::new(1),
+            station: StationId::new(1),
+            host_class: HostClass::EdgeServer,
+        },
+        ImageRepository::with_standard_images(),
+    );
+    agent.set_megaflow_enabled(true);
+    agent.set_megaflow_drop_enabled(true);
+    for client in 0..clients {
+        let mac = MacAddr::derived(1, client);
+        agent.client_associated(
+            ClientId::new(u64::from(client)),
+            mac,
+            hot_station_ip(client),
+        );
+        agent.handle_manager_msg(
+            ManagerToAgent::DeployChain {
+                chain: ChainId::new(u64::from(client) + 1),
+                client: ClientId::new(u64::from(client)),
+                client_mac: mac,
+                specs: vec![
+                    NfSpec::new("fw", NfConfig::Firewall(hundred_rule_config(true))),
+                    NfSpec::new("ids", NfConfig::Ids(IdsConfig::default())),
+                ],
+                selector: TrafficSelector::all(),
+                restore_state: None,
+                migration: None,
+            },
+            SimTime::from_secs(1),
+        );
+    }
+    agent
+}
+
+/// The hot station's upstream batch: `per_client` back-to-back 1000-byte
+/// TCP data frames per client (one established flow each), client runs
+/// concatenated — so the switch groups the batch into `clients` steered
+/// runs and the IDS signature scan dominates the per-packet cost.
+pub fn hot_station_frames(clients: u32, per_client: usize) -> Vec<Packet> {
+    let mut frames = Vec::with_capacity(clients as usize * per_client);
+    for client in 0..clients {
+        let frame = builder::tcp_data(
+            MacAddr::derived(1, client),
+            MacAddr::derived(0xA0, 0),
+            hot_station_ip(client),
+            Ipv4Addr::new(203, 0, 113, 9),
+            40_000 + client as u16,
+            443,
+            &vec![0xAB; 1000],
+        );
+        frames.extend(std::iter::repeat_n(frame, per_client));
+    }
+    frames
 }
 
 /// One station-pipeline iteration, exactly as the Agent dispatches it:

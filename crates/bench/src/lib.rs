@@ -62,6 +62,13 @@ pub fn seed_arg() -> u64 {
     seed
 }
 
+/// Parses `--station-shards N` from the command line, falling back to
+/// `default` (clamped to at least 1). Drives the intra-station RSS sharding
+/// sweep in the experiment harnesses.
+pub fn station_shards_arg(default: usize) -> usize {
+    arg_value("--station-shards").unwrap_or(default).max(1)
+}
+
 /// Parses `--packets N` from the command line, falling back to `default`.
 /// Used by the workload harness to scale run length (CI smoke vs full runs).
 pub fn packets_arg(default: u64) -> u64 {

@@ -159,6 +159,7 @@ impl Emulator {
                 repository.clone(),
             );
             agent.set_megaflow_enabled(true);
+            agent.set_station_shards(config.station_shards);
             agents.insert(site.station, agent);
             queue.schedule_at(
                 SimTime::ZERO + site.control_latency,
@@ -338,6 +339,18 @@ impl Emulator {
     /// The configured data-plane worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Sets every station's intra-station RSS shard count (clamped to at
+    /// least 1): how many chain-execution lanes each Agent's batched data
+    /// plane uses, and how many shard-stat partitions its switch caches
+    /// attribute to. Overrides the scenario's `GnfConfig::station_shards`.
+    /// The [`RunReport`] is byte-identical for any value — the sharded
+    /// equivalence property tests assert it.
+    pub fn set_station_shards(&mut self, shards: usize) {
+        for agent in self.agents.values_mut() {
+            agent.set_station_shards(shards);
+        }
     }
 
     /// Enables or disables the megaflow (wildcard) cache on every station's
@@ -672,11 +685,39 @@ impl Emulator {
         let mut outcomes: Vec<StationOutcome> = if self.workers <= 1 || work.len() <= 1 {
             work.into_iter().map(Self::run_station).collect()
         } else {
+            // Size-aware assignment: largest station first into the
+            // least-loaded worker (classic LPT bin packing), so one hot
+            // station no longer drags a round-robin bucket of cold ones
+            // behind it. Assignment is report-invariant — outcomes are
+            // merged in station order below regardless of which worker ran
+            // what.
             let shard_count = self.workers.min(work.len());
+            let mut sized: Vec<(u64, StationWork<'_>)> = work
+                .into_iter()
+                .map(|item| {
+                    let packets: u64 = item
+                        .groups
+                        .iter()
+                        .map(|(_, batch)| batch.len() as u64)
+                        .sum();
+                    (packets, item)
+                })
+                .collect();
+            // `sort_by_key` is stable, so equally-sized stations keep their
+            // station-order tiebreak.
+            sized.sort_by_key(|(packets, _)| std::cmp::Reverse(*packets));
             let mut shards: Vec<Vec<StationWork<'_>>> =
                 (0..shard_count).map(|_| Vec::new()).collect();
-            for (ix, item) in work.into_iter().enumerate() {
-                shards[ix % shard_count].push(item);
+            let mut loads = vec![0u64; shard_count];
+            for (packets, item) in sized {
+                let lightest = loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, load)| **load)
+                    .map(|(ix, _)| ix)
+                    .expect("at least one shard");
+                loads[lightest] += packets;
+                shards[lightest].push(item);
             }
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards

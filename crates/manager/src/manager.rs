@@ -1145,6 +1145,7 @@ mod tests {
                 flow_cache: Default::default(),
                 megaflow: Default::default(),
                 batches: Default::default(),
+                shards: Vec::new(),
             })),
             SimTime::from_secs(4),
         );
@@ -1172,6 +1173,7 @@ mod tests {
                 flow_cache: Default::default(),
                 megaflow: Default::default(),
                 batches: Default::default(),
+                shards: Vec::new(),
             })),
             SimTime::from_secs(2),
         );

@@ -480,6 +480,29 @@ impl Packet {
         self.flow_meta().map(|meta| meta.tuple)
     }
 
+    /// RSS-style shard hash of the frame: [`FiveTuple::shard_hash`] for
+    /// transport flows, and a symmetric MAC-pair hash for non-IP frames
+    /// (ARP, unknown EtherTypes) — both directions of an exchange land on
+    /// the same shard either way, and the value is stable across runs and
+    /// platforms (FNV-1a, no `RandomState`).
+    pub fn shard_hash(&self) -> u64 {
+        if let Some(tuple) = self.five_tuple() {
+            return tuple.shard_hash();
+        }
+        // Order the MAC pair so request and reply hash identically.
+        let (a, b) = {
+            let src = self.src_mac();
+            let dst = self.dst_mac();
+            if src.octets() <= dst.octets() {
+                (src, dst)
+            } else {
+                (dst, src)
+            }
+        };
+        let hash = crate::flow::fnv1a(crate::flow::FNV_OFFSET, &a.octets());
+        crate::flow::mix(crate::flow::fnv1a(hash, &b.octets()))
+    }
+
     /// Attempts to parse the payload as a DNS message (UDP port 53 on either
     /// side). Works on the fast-scan offsets, so a DNS miss costs nothing.
     pub fn dns(&self) -> Option<DnsMessage> {
@@ -647,6 +670,45 @@ mod tests {
         assert_eq!(ft.dst_port, 80);
         assert_eq!(ft.protocol, IpProtocol::Tcp);
         assert!(pkt.summary().contains("TCP"));
+    }
+
+    #[test]
+    fn shard_hash_uses_the_tuple_for_flows_and_macs_otherwise() {
+        let pkt = builder::tcp_data(
+            client_mac(),
+            gw_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            40000,
+            80,
+            b"hello",
+        );
+        assert_eq!(pkt.shard_hash(), pkt.five_tuple().unwrap().shard_hash());
+        // The reply direction of the same flow lands on the same shard.
+        let reply = builder::tcp_data(
+            gw_mac(),
+            client_mac(),
+            Ipv4Addr::new(93, 184, 216, 34),
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+            40000,
+            b"world",
+        );
+        assert_eq!(pkt.shard_hash(), reply.shard_hash());
+
+        // Non-IP frames fall back to a symmetric MAC-pair hash.
+        let arp = builder::arp_request(
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert!(arp.five_tuple().is_none());
+        let arp_again = builder::arp_request(
+            client_mac(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert_eq!(arp.shard_hash(), arp_again.shard_hash());
     }
 
     #[test]

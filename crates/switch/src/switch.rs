@@ -28,7 +28,7 @@ use crate::flow_cache::{FlowCache, FlowCacheStats, FlowKey, DEFAULT_FLOW_CACHE_C
 use crate::megaflow::{BypassOutcome, MegaflowCache, MegaflowStats};
 use crate::steering::{SteeringRule, SteeringTable};
 use gnf_packet::{FieldMask, FiveTuple, Packet, PacketBatch};
-use gnf_types::{GnfError, GnfResult, MacAddr, SimTime};
+use gnf_types::{GnfError, GnfResult, MacAddr, ShardCacheStats, SimTime};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -452,6 +452,30 @@ impl SoftwareSwitch {
         self.megaflow.mask_count()
     }
 
+    /// Re-partitions both cache levels' statistics attribution over
+    /// `shards` RSS shards (clamped to at least 1). Entries and aggregate
+    /// counters are untouched — sharding only changes how activity is
+    /// attributed, never what the switch does.
+    pub fn set_station_shards(&mut self, shards: usize) {
+        self.flow_cache.set_shards(shards);
+        self.megaflow.set_shards(shards);
+    }
+
+    /// Number of RSS shards cache statistics are attributed to.
+    pub fn station_shards(&self) -> usize {
+        self.flow_cache.shard_count()
+    }
+
+    /// Per-shard exact-match cache counters, indexed by shard.
+    pub fn flow_cache_shard_stats(&self) -> &[ShardCacheStats] {
+        self.flow_cache.shard_stats()
+    }
+
+    /// Per-shard megaflow cache counters, indexed by shard.
+    pub fn megaflow_shard_stats(&self) -> &[ShardCacheStats] {
+        self.megaflow.shard_stats()
+    }
+
     /// Drops every memoized flow — exact-match and wildcard alike (the slow
     /// path repopulates both on demand).
     pub fn flush_flow_cache(&mut self) {
@@ -780,6 +804,7 @@ impl SoftwareSwitch {
         // equals the run's (the key matched), so the learning skip above
         // already covers them.
         let mut count = 1usize;
+        let mut repeat_shard = None;
         for pkt in &remaining[1..] {
             if pkt.five_tuple() != Some(tuple)
                 || pkt.src_mac() != key.src_mac
@@ -788,11 +813,15 @@ impl SoftwareSwitch {
                 break;
             }
             count += 1;
+            // The run shares one flow, so its shard is computed once (and
+            // only when a repeat actually occurs — the common single-packet
+            // run never pays for the hash).
+            let shard = *repeat_shard.get_or_insert_with(|| self.flow_cache.shard_of(&tuple));
             match source {
-                RunSource::Exact => self.flow_cache.note_repeat_hits(1),
+                RunSource::Exact => self.flow_cache.note_repeat_hits(1, shard),
                 RunSource::Megaflow { drop_served } => {
-                    self.flow_cache.note_repeat_misses(1);
-                    self.megaflow.note_repeat_hits(1, drop_served);
+                    self.flow_cache.note_repeat_misses(1, shard);
+                    self.megaflow.note_repeat_hits(1, drop_served, shard);
                 }
             }
         }

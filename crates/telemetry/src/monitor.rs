@@ -218,6 +218,7 @@ mod tests {
             flow_cache: Default::default(),
             megaflow: Default::default(),
             batches: Default::default(),
+            shards: Vec::new(),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use gnf_types::{
     AgentId, ClientId, FlowCacheStats, HostClass, MegaflowStats, ResourceSpec, ResourceUsage,
-    SimTime, StationId,
+    ShardCacheStats, SimTime, StationId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +124,29 @@ impl BatchTelemetry {
     }
 }
 
+/// Per-RSS-shard cache counters of one station: the exact-match and
+/// megaflow activity attributed to one flow-hash shard. Summing any field
+/// over a station's shard blocks reproduces the corresponding aggregate in
+/// [`FlowCacheTelemetry`] / [`MegaflowTelemetry`] exactly — the switch
+/// updates both in lockstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// Exact-match cache activity attributed to this shard.
+    pub flow: ShardCacheStats,
+    /// Megaflow (wildcard) cache activity attributed to this shard.
+    pub megaflow: ShardCacheStats,
+}
+
+impl ShardTelemetry {
+    /// Merges the same shard index of another station into this block
+    /// (aggregation is always in shard-index order).
+    pub fn merge(&mut self, other: &ShardTelemetry) {
+        let ShardTelemetry { flow, megaflow } = other;
+        self.flow.merge(flow);
+        self.megaflow.merge(megaflow);
+    }
+}
+
 /// A snapshot of one station's state, produced by its Agent every reporting
 /// interval ("reporting periodically the state of the device").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -152,6 +175,10 @@ pub struct StationReport {
     pub megaflow: MegaflowTelemetry,
     /// Batched data-plane counters (batch sizes processed by the station).
     pub batches: BatchTelemetry,
+    /// Per-RSS-shard cache counters, indexed by shard (one block when the
+    /// station runs unsharded). Sums over this vector equal the aggregates
+    /// in `flow_cache` / `megaflow`.
+    pub shards: Vec<ShardTelemetry>,
 }
 
 impl StationReport {
@@ -192,6 +219,7 @@ mod tests {
             flow_cache: Default::default(),
             megaflow: Default::default(),
             batches: Default::default(),
+            shards: Vec::new(),
         }
     }
 

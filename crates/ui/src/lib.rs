@@ -269,6 +269,7 @@ mod tests {
                 flow_cache: Default::default(),
                 megaflow: Default::default(),
                 batches: Default::default(),
+                shards: Vec::new(),
             })),
             SimTime::from_secs(2),
         );

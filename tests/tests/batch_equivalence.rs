@@ -287,3 +287,64 @@ proptest! {
         prop_assert_eq!(&reports[0], &reports[2]);
     }
 }
+
+proptest! {
+    // Each case runs the full scenario nine times (the shards × workers
+    // matrix), so fewer cases keep the wall time in line with the
+    // three-run test above.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Intra-station RSS sharding is invisible in the results: the
+    /// RunReport serializes byte-identically for every combination of
+    /// shards {1, 2, 4} × workers {1, 2, 4}, and all of them equal the
+    /// plain unsharded single-worker run. The chain mix includes the
+    /// (opaque) IDS so the sharded lanes carry real chain work, and half
+    /// the clients get a different chain so multiple lanes are active.
+    #[test]
+    fn rss_sharded_run_reports_are_identical(seed in 0u64..200, cbr in any::<bool>()) {
+        let build = || {
+            let config = GnfConfig::default().with_seed(seed);
+            let mut builder = Scenario::builder(4, HostClass::EdgeServer).with_config(config);
+            let profile = if cbr {
+                TrafficProfile::ConstantBitRate { packets_per_sec: 50.0, payload_bytes: 200 }
+            } else {
+                TrafficProfile::smartphone()
+            };
+            let clients = builder.add_clients(6, profile);
+            let mut sb = builder.with_duration(SimDuration::from_secs(6));
+            for (ix, client) in clients.iter().enumerate() {
+                let specs = if ix % 2 == 0 {
+                    vec![sample_specs()[0].clone(), sample_specs()[6].clone()]
+                } else {
+                    vec![sample_specs()[1].clone()]
+                };
+                sb = sb.attach_policy(
+                    *client,
+                    specs,
+                    TrafficSelector::all(),
+                    SimTime::from_secs(1),
+                );
+            }
+            sb.build()
+        };
+        let baseline = {
+            let mut emulator = Emulator::new(build());
+            emulator.set_workers(1);
+            serde_json::to_string(&emulator.run()).unwrap()
+        };
+        for workers in [1usize, 2, 4] {
+            for shards in [1usize, 2, 4] {
+                let mut emulator = Emulator::new(build());
+                emulator.set_workers(workers);
+                emulator.set_station_shards(shards);
+                let report = serde_json::to_string(&emulator.run()).unwrap();
+                prop_assert!(
+                    report == baseline,
+                    "workers={} shards={} diverged",
+                    workers,
+                    shards
+                );
+            }
+        }
+    }
+}

@@ -184,9 +184,81 @@ fn build_agent(
     agent
 }
 
+/// Attack-mix traffic spread over three clients (distinct MACs/IPs), so the
+/// RSS-sharded agent actually routes work to several execution lanes.
+fn arb_sharded_attack_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u32..3,       // originating client
+        0u16..400,     // ephemeral source-port offset (fresh flow each)
+        0usize..4,     // destination port
+        any::<bool>(), // scan vs benign
+    )
+        .prop_map(|(client, sport, dport_ix, scan)| {
+            let server = MacAddr::derived(0xA0, 0);
+            let dst = Ipv4Addr::new(203, 0, 0, 10);
+            let sport = 40_000 + sport;
+            let dport = if scan {
+                [22u16, 23, 25, 445][dport_ix]
+            } else {
+                [8_080u16, 8_443, 9_000, 9_090][dport_ix]
+            };
+            builder::tcp_syn(
+                MacAddr::derived(1, client),
+                server,
+                Ipv4Addr::new(172, 16, 0, 2 + client as u8),
+                dst,
+                sport,
+                dport,
+            )
+        })
+}
+
+/// Three associated clients, each with its own deployed chain of `specs`.
+fn build_multi_client_agent(specs: Vec<NfSpec>) -> Agent {
+    let (mut agent, _) = Agent::new(
+        AgentConfig {
+            agent: AgentId::new(1),
+            station: StationId::new(1),
+            host_class: HostClass::EdgeServer,
+        },
+        ImageRepository::with_standard_images(),
+    );
+    agent.set_megaflow_enabled(true);
+    agent.set_megaflow_drop_enabled(true);
+    for client in 0..3u32 {
+        let mac = MacAddr::derived(1, client);
+        agent.client_associated(
+            ClientId::new(client as u64),
+            mac,
+            Ipv4Addr::new(172, 16, 0, 2 + client as u8),
+        );
+        agent.handle_manager_msg(
+            ManagerToAgent::DeployChain {
+                chain: ChainId::new(client as u64 + 1),
+                client: ClientId::new(client as u64),
+                client_mac: mac,
+                specs: specs.clone(),
+                selector: TrafficSelector::all(),
+                restore_state: None,
+                migration: None,
+            },
+            SimTime::from_secs(1),
+        );
+    }
+    agent
+}
+
 /// Packet-outcome + NF-state + port-counter equivalence between two agents.
 fn assert_station_equivalent(a: &Agent, b: &Agent) -> Result<(), proptest::TestCaseError> {
-    for (x, y) in a.chains().zip(b.chains()) {
+    // The agents store chains in a HashMap, so pair them up by id rather
+    // than trusting the two maps to iterate in the same order.
+    let mut xs: Vec<_> = a.chains().collect();
+    let mut ys: Vec<_> = b.chains().collect();
+    xs.sort_by_key(|c| c.chain_id.raw());
+    ys.sort_by_key(|c| c.chain_id.raw());
+    prop_assert_eq!(xs.len(), ys.len());
+    for (x, y) in xs.into_iter().zip(ys) {
+        prop_assert_eq!(x.chain_id, y.chain_id);
         prop_assert_eq!(x.chain.stats(), y.chain.stats());
         prop_assert_eq!(x.chain.per_nf_stats(), y.chain.per_nf_stats());
         prop_assert_eq!(x.chain.export_state(), y.chain.export_state());
@@ -480,6 +552,70 @@ proptest! {
             .collect();
         prop_assert_eq!(&reports[0], &reports[1]);
         prop_assert_eq!(&reports[0], &reports[2]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The RSS-sharded station pipeline equals the serial one under
+    /// attack-shaped churn across random rule sets and shard counts:
+    /// identical packet outcomes, NF statistics and exported state, port
+    /// counters, notifications and cache telemetry — and the per-shard
+    /// telemetry blocks sum exactly to the station-level aggregates.
+    #[test]
+    fn sharded_station_equals_serial_station(
+        fw in arb_firewall_config(),
+        packets in proptest::collection::vec(arb_sharded_attack_packet(), 1..80),
+        shards in 2usize..5,
+    ) {
+        let specs = vec![NfSpec::new("fw", NfConfig::Firewall(fw))];
+        let now = SimTime::from_secs(2);
+
+        let mut serial = build_multi_client_agent(specs.clone());
+        let expected = serial.process_upstream_batch(PacketBatch::from(packets.clone()), now);
+        let expected_notifications = serial.drain_nf_notifications(now).len();
+
+        let mut sharded = build_multi_client_agent(specs);
+        sharded.set_station_shards(shards);
+        let outcomes = sharded.process_upstream_batch(PacketBatch::from(packets), now);
+        prop_assert_eq!(&outcomes, &expected);
+        assert_station_equivalent(&sharded, &serial)?;
+        prop_assert_eq!(sharded.drain_nf_notifications(now).len(), expected_notifications);
+        prop_assert_eq!(sharded.flow_cache_telemetry(), serial.flow_cache_telemetry());
+        prop_assert_eq!(sharded.megaflow_telemetry(), serial.megaflow_telemetry());
+
+        // Per-shard attribution is exhaustive: every counter lands in
+        // exactly one shard block, so the blocks sum back to the
+        // aggregates (drop hits are a subset of hits in both views).
+        let blocks = sharded.shard_telemetry();
+        prop_assert_eq!(blocks.len(), shards);
+        let flow = sharded.flow_cache_telemetry();
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.flow.hits).sum::<u64>(),
+            flow.stats.hits
+        );
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.flow.misses).sum::<u64>(),
+            flow.stats.misses
+        );
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.flow.entries).sum::<u64>(),
+            flow.entries as u64
+        );
+        let mega = sharded.megaflow_telemetry();
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.megaflow.hits).sum::<u64>(),
+            mega.stats.hits
+        );
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.megaflow.misses).sum::<u64>(),
+            mega.stats.misses
+        );
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.megaflow.entries).sum::<u64>(),
+            mega.entries as u64
+        );
     }
 }
 
