@@ -8,7 +8,7 @@ use gnf_switch::{
     BypassOutcome, Classified, Forwarding, MegaflowState, SoftwareSwitch, SteeringRule,
     TrafficSelector, DEFAULT_MEGAFLOW_CAPACITY,
 };
-use gnf_telemetry::{BatchTelemetry, StationReport};
+use gnf_telemetry::{BatchTelemetry, ChaosTelemetry, StationReport};
 use gnf_types::{
     AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr, ResourceUsage,
     SimDuration, SimTime, StationId,
@@ -124,6 +124,11 @@ pub struct Agent {
     /// data plane uses (1 = the classic serial path). Outcomes, statistics
     /// and reports are byte-identical for any value.
     station_shards: usize,
+    /// Soft-state generation: bumped on every crash so post-restart traffic
+    /// can never be served from a pre-crash cache entry.
+    generation: u64,
+    /// Fault-injection counters reported through the periodic station report.
+    chaos: ChaosTelemetry,
 }
 
 impl Agent {
@@ -150,6 +155,8 @@ impl Agent {
                 batch_sizes: BatchTelemetry::default(),
                 megaflow_drops: true,
                 station_shards: 1,
+                generation: 0,
+                chaos: ChaosTelemetry::default(),
             },
             register,
         )
@@ -254,6 +261,83 @@ impl Agent {
     /// Total commands handled from the Manager.
     pub fn commands_handled(&self) -> u64 {
         self.commands_handled
+    }
+
+    /// The station's current soft-state generation (bumped per crash).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// This station's fault-injection counters, with the current soft-state
+    /// generation stamped in.
+    pub fn chaos_telemetry(&self) -> ChaosTelemetry {
+        ChaosTelemetry {
+            generation: self.generation,
+            ..self.chaos
+        }
+    }
+
+    /// Crashes the station: every piece of soft state is lost — deployed
+    /// chains and their NF conntrack, running containers, associated
+    /// clients, the flow cache, the megaflow cache and the learned MAC
+    /// table. The soft-state generation is bumped so no pre-crash cache
+    /// entry can ever serve post-restart traffic. Cumulative counters
+    /// (reports sent, batch telemetry, switch statistics) survive: they
+    /// describe the run, not the crashed process.
+    pub fn crash(&mut self) {
+        let mut chain_ids: Vec<ChainId> = self.chains.keys().copied().collect();
+        chain_ids.sort();
+        for chain in chain_ids {
+            let _ = self.remove_chain(chain);
+        }
+        self.clients.clear();
+        self.switch.flush_flow_cache();
+        self.switch.clear_mac_table();
+        self.switch.invalidate_caches();
+        self.generation += 1;
+        self.chaos.crashes += 1;
+    }
+
+    /// Restarts a crashed station: returns the `Register` message the reborn
+    /// Agent sends, exactly as a fresh [`Agent::new`] would. The Manager
+    /// treats a re-registration as a reboot and resets its view of every
+    /// attachment the station carried.
+    pub fn rejoin(&self) -> AgentToManager {
+        AgentToManager::Register {
+            agent: self.config.agent,
+            station: self.config.station,
+            host_class: self.config.host_class,
+            capacity: self.runtime.capacity(),
+        }
+    }
+
+    /// Applies a steering-rule churn storm: installs and immediately removes
+    /// `rules` synthetic rules. Each install/remove pair bumps the steering
+    /// generation, forcing memoized flow decisions to revalidate — the
+    /// stress a flapping control plane puts on the data plane's caches.
+    pub fn chaos_steering_churn(&mut self, rules: u64) {
+        for i in 0..rules {
+            let mac = MacAddr::derived(0xC4, i as u32);
+            let chain = ChainId::new(u64::MAX - i);
+            self.switch.steering_mut().install(SteeringRule {
+                client: ClientId::new(u64::MAX - i),
+                client_mac: mac,
+                selector: TrafficSelector::all(),
+                chain,
+            });
+            self.switch.steering_mut().remove_chain(mac, chain);
+        }
+        self.chaos.steering_churn_rules += rules;
+    }
+
+    /// Applies a cache-invalidation flood: bumps the switch's topology
+    /// generation `floods` times, lazily invalidating every memoized flow
+    /// decision and wildcard entry.
+    pub fn chaos_invalidate_caches(&mut self, floods: u64) {
+        for _ in 0..floods {
+            self.switch.invalidate_caches();
+        }
+        self.chaos.cache_invalidations += floods;
     }
 
     /// Handles a client associating with this station's cell.
@@ -381,6 +465,7 @@ impl Agent {
             megaflow: self.megaflow_telemetry(),
             batches: self.batch_sizes.clone(),
             shards: self.shard_telemetry(),
+            chaos: self.chaos_telemetry(),
         }))
     }
 
@@ -1600,6 +1685,56 @@ mod tests {
             SimTime::from_secs(3),
         );
         assert!(matches!(replies[0], AgentToManager::CommandFailed { .. }));
+    }
+
+    #[test]
+    fn crash_loses_all_soft_state_and_bumps_the_generation() {
+        let (mut agent, _) = agent();
+        agent.client_associated(ClientId::new(0), client_mac(), client_ip());
+        agent.handle_manager_msg(
+            deploy_msg(1, vec![sample_specs()[0].clone()]),
+            SimTime::from_secs(1),
+        );
+        // Warm the data plane: a forwarded flow populates the flow cache and
+        // the MAC table.
+        let now = SimTime::from_secs(2);
+        let flow = || {
+            builder::tcp_syn(
+                client_mac(),
+                MacAddr::derived(0xA0, 1),
+                client_ip(),
+                Ipv4Addr::new(203, 0, 113, 10),
+                41_000,
+                443,
+            )
+        };
+        agent.process_upstream_packet(flow(), now);
+        agent.process_upstream_packet(flow(), now);
+        assert!(agent.switch().flow_cache_len() > 0);
+        assert!(agent.switch().mac_table_len() > 0);
+        assert_eq!(agent.generation(), 0);
+
+        agent.crash();
+        assert_eq!(agent.generation(), 1);
+        assert_eq!(agent.chaos_telemetry().crashes, 1);
+        assert_eq!(agent.running_nfs(), 0);
+        assert!(agent.connected_clients().is_empty());
+        assert_eq!(agent.switch().flow_cache_len(), 0);
+        assert_eq!(agent.switch().megaflow_len(), 0);
+        assert_eq!(agent.switch().mac_table_len(), 0);
+        assert_eq!(agent.switch().steering().len(), 0);
+
+        // The reborn Agent re-registers exactly like a fresh one.
+        let rejoin = agent.rejoin();
+        assert!(matches!(rejoin, AgentToManager::Register { .. }));
+
+        // Churn storms and invalidation floods are counted.
+        agent.chaos_steering_churn(5);
+        agent.chaos_invalidate_caches(3);
+        let chaos = agent.chaos_telemetry();
+        assert_eq!(chaos.steering_churn_rules, 5);
+        assert_eq!(chaos.cache_invalidations, 3);
+        assert_eq!(agent.switch().steering().len(), 0, "churn rules removed");
     }
 
     #[test]

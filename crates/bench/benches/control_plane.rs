@@ -33,6 +33,7 @@ fn sample_report(station: u64) -> AgentToManager {
         megaflow: Default::default(),
         batches: Default::default(),
         shards: Vec::new(),
+        chaos: Default::default(),
     }))
 }
 

@@ -32,6 +32,7 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
         megaflow: Default::default(),
         batches: Default::default(),
         shards: Vec::new(),
+        chaos: Default::default(),
     }))
 }
 

@@ -10,6 +10,7 @@
 //! travel with configurable latency; container operations take the time the
 //! cost model assigns them; every run is deterministic in its seed.
 
+use crate::chaos::{ChaosReport, FaultKind, FaultSchedule, PartitionMode};
 use crate::report::{MigrationSummary, PacketStats, RunReport};
 use crate::scenario::{Mobility, Scenario};
 use gnf_agent::{Agent, AgentConfig, PacketOutcome};
@@ -78,6 +79,21 @@ enum EmuEvent {
         /// Index into the scenario's policy list.
         policy_index: usize,
     },
+    /// A scheduled fault fires (index into the emulator's fault schedule).
+    Fault {
+        /// Index into `Emulator::fault_schedule`.
+        index: usize,
+    },
+    /// A crashed station comes back up and re-registers.
+    StationRestart {
+        /// The restarting station.
+        station: StationId,
+    },
+    /// A control-link partition ends.
+    PartitionHeal {
+        /// The station whose link heals.
+        station: StationId,
+    },
 }
 
 /// A packet-batch event held back for sharded delivery at the next flush.
@@ -135,6 +151,17 @@ pub struct Emulator {
     workloads: Vec<Box<dyn Workload>>,
     /// The one outstanding batch per source (pulled, not yet delivered).
     workload_next: Vec<Option<TimedBatch>>,
+    /// The fault schedule set via [`Emulator::set_fault_schedule`].
+    fault_schedule: FaultSchedule,
+    /// Stations currently down, with the time they crashed.
+    dead: BTreeMap<StationId, SimTime>,
+    /// Stations whose control link is partitioned: heal time and mode.
+    partitions: BTreeMap<StationId, (SimTime, PartitionMode)>,
+    /// Restarted stations whose chains have not all reconverged yet, with
+    /// their restart time.
+    recovery_pending: BTreeMap<StationId, SimTime>,
+    /// Fault-injection accounting for the report.
+    chaos: ChaosReport,
 }
 
 impl Emulator {
@@ -297,7 +324,22 @@ impl Emulator {
             workers: 1,
             workloads: Vec::new(),
             workload_next: Vec::new(),
+            fault_schedule: FaultSchedule::new(),
+            dead: BTreeMap::new(),
+            partitions: BTreeMap::new(),
+            recovery_pending: BTreeMap::new(),
+            chaos: ChaosReport::default(),
         }
+    }
+
+    /// Arms a fault schedule: each fault fires as a control event at its
+    /// scheduled virtual time (flushing pending packet batches first, so the
+    /// mutation point is deterministic). Call once, before [`Emulator::run`].
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        for (index, event) in schedule.events().iter().enumerate() {
+            self.queue.schedule_at(event.at, EmuEvent::Fault { index });
+        }
+        self.fault_schedule = schedule;
     }
 
     /// Attaches a streaming [`Workload`] source: its batches are delivered
@@ -413,6 +455,7 @@ impl Emulator {
                 event => {
                     self.flush_packets(&mut pending);
                     self.handle(event, scheduled.time);
+                    self.check_recoveries(scheduled.time);
                 }
             }
         }
@@ -476,13 +519,42 @@ impl Emulator {
         }
     }
 
+    /// True when the control link to `station` is currently unusable (the
+    /// station is down or its link is partitioned).
+    fn link_broken(&self, station: StationId) -> bool {
+        self.dead.contains_key(&station) || self.partitions.contains_key(&station)
+    }
+
+    /// Consumes a control message caught by a broken link: dropped when the
+    /// station is dead or the partition drops, re-enqueued at the heal time
+    /// when the partition delays. (The heal event was enqueued before any
+    /// delayed message, so at the heal instant the partition is gone before
+    /// the message re-delivers.)
+    fn chaos_absorb(&mut self, station: StationId, event: EmuEvent) {
+        match self.partitions.get(&station).copied() {
+            Some((heal, PartitionMode::Delay)) if !self.dead.contains_key(&station) => {
+                self.chaos.messages_delayed += 1;
+                self.queue.schedule_at(heal, event);
+            }
+            _ => self.chaos.messages_dropped += 1,
+        }
+    }
+
     fn handle(&mut self, event: EmuEvent, now: SimTime) {
         match event {
             EmuEvent::ToManager { station, msg } => {
+                if self.link_broken(station) {
+                    self.chaos_absorb(station, EmuEvent::ToManager { station, msg });
+                    return;
+                }
                 let actions = self.manager.handle_agent_msg(station, msg, now);
                 self.dispatch_manager_actions(actions, now);
             }
             EmuEvent::ToAgent { station, msg } => {
+                if self.link_broken(station) {
+                    self.chaos_absorb(station, EmuEvent::ToAgent { station, msg });
+                    return;
+                }
                 let Some(agent) = self.agents.get_mut(&station) else {
                     return;
                 };
@@ -528,23 +600,30 @@ impl Emulator {
                     let _ = self.scenario.topology.attach_client(client, cell);
                     self.scenario.topology.client(client).unwrap().clone()
                 };
-                // Disassociate from the old station.
+                // Disassociate from the old station. A dead station already
+                // lost its client table with the crash; skip it.
                 if let Some(old) = old_cell.filter(|c| *c != cell) {
                     if let Ok(old_site) = self.scenario.topology.site_for_cell(old) {
                         let station = old_site.station;
-                        if let Some(agent) = self.agents.get_mut(&station) {
-                            let msgs = agent.client_disassociated(client);
-                            self.dispatch_agent_messages(station, msgs, now, SimDuration::ZERO);
+                        if !self.dead.contains_key(&station) {
+                            if let Some(agent) = self.agents.get_mut(&station) {
+                                let msgs = agent.client_disassociated(client);
+                                self.dispatch_agent_messages(station, msgs, now, SimDuration::ZERO);
+                            }
                         }
                     }
                 }
-                // Associate with the new one.
+                // Associate with the new one. A dead station cannot serve the
+                // association now; the restart path re-associates every client
+                // still parked on its cells.
                 if let Ok(site) = self.scenario.topology.site_for_cell(cell) {
                     let station = site.station;
-                    if let Some(agent) = self.agents.get_mut(&station) {
-                        let msgs = agent.client_associated(client, device.mac, device.ip);
-                        let assoc = self.scenario.config.association_latency;
-                        self.dispatch_agent_messages(station, msgs, now, assoc);
+                    if !self.dead.contains_key(&station) {
+                        if let Some(agent) = self.agents.get_mut(&station) {
+                            let msgs = agent.client_associated(client, device.mac, device.ip);
+                            let assoc = self.scenario.config.association_latency;
+                            self.dispatch_agent_messages(station, msgs, now, assoc);
+                        }
                     }
                 }
             }
@@ -552,9 +631,13 @@ impl Emulator {
                 unreachable!("packet batches are coalesced and flushed by run()")
             }
             EmuEvent::ReportTimer { station } => {
-                if let Some(agent) = self.agents.get_mut(&station) {
-                    let report = agent.make_report(now);
-                    self.dispatch_agent_messages(station, vec![report], now, SimDuration::ZERO);
+                // A dead station cannot report; the timer keeps ticking so
+                // reporting resumes after the restart.
+                if !self.dead.contains_key(&station) {
+                    if let Some(agent) = self.agents.get_mut(&station) {
+                        let report = agent.make_report(now);
+                        self.dispatch_agent_messages(station, vec![report], now, SimDuration::ZERO);
+                    }
                 }
                 self.queue.schedule_at(
                     now + self.scenario.config.agent_report_interval,
@@ -585,7 +668,173 @@ impl Emulator {
                     }
                 }
             }
+            EmuEvent::Fault { index } => {
+                let fault = self.fault_schedule.events()[index];
+                self.inject_fault(fault.kind, now);
+            }
+            EmuEvent::StationRestart { station } => self.restart_station(station, now),
+            EmuEvent::PartitionHeal { station } => {
+                // Only clear the partition this heal belongs to: a newer,
+                // longer partition on the same station outlives older heals.
+                if let Some((heal, _)) = self.partitions.get(&station) {
+                    if *heal <= now {
+                        self.partitions.remove(&station);
+                    }
+                }
+            }
         }
+    }
+
+    /// Executes one fault from the schedule.
+    fn inject_fault(&mut self, kind: FaultKind, now: SimTime) {
+        if !self.agents.contains_key(&kind.station()) {
+            return;
+        }
+        self.chaos.faults_injected += 1;
+        match kind {
+            FaultKind::StationCrash { station, down_for } => {
+                if self.dead.contains_key(&station) {
+                    return;
+                }
+                self.chaos.crashes += 1;
+                let agent = self.agents.get_mut(&station).expect("checked above");
+                agent.crash();
+                // Everything the emulator believed about the station's data
+                // plane dies with it.
+                self.chain_ready.retain(|(s, _), _| *s != station);
+                self.dead.insert(station, now);
+                // A recovery interrupted by a second crash starts over.
+                self.recovery_pending.remove(&station);
+                self.queue
+                    .schedule_at(now + down_for, EmuEvent::StationRestart { station });
+            }
+            FaultKind::LinkPartition {
+                station,
+                duration,
+                mode,
+            } => {
+                self.chaos.partitions += 1;
+                self.partitions.insert(station, (now + duration, mode));
+                self.queue
+                    .schedule_at(now + duration, EmuEvent::PartitionHeal { station });
+            }
+            FaultKind::SteeringChurn { station, rules } => {
+                if self.dead.contains_key(&station) {
+                    return;
+                }
+                self.chaos.churn_storms += 1;
+                let agent = self.agents.get_mut(&station).expect("checked above");
+                agent.chaos_steering_churn(rules);
+            }
+            FaultKind::CacheInvalidation { station, floods } => {
+                if self.dead.contains_key(&station) {
+                    return;
+                }
+                self.chaos.invalidation_floods += 1;
+                let agent = self.agents.get_mut(&station).expect("checked above");
+                agent.chaos_invalidate_caches(floods);
+            }
+        }
+    }
+
+    /// Brings a crashed station back: it re-registers with its bumped
+    /// generation (the Manager resets the station's attachments on the
+    /// re-registration) and re-associates every client still parked on its
+    /// cells, which drives chain redeployment.
+    fn restart_station(&mut self, station: StationId, now: SimTime) {
+        if self.dead.remove(&station).is_none() {
+            return;
+        }
+        self.chaos.restarts += 1;
+        self.recovery_pending.insert(station, now);
+        let register = {
+            let agent = self
+                .agents
+                .get(&station)
+                .expect("restarting station exists");
+            agent.rejoin()
+        };
+        self.dispatch_agent_messages(station, vec![register], now, SimDuration::ZERO);
+        // Re-associate the clients whose cells this station serves (their
+        // radios never moved; only the station-side soft state was lost).
+        let parked: Vec<_> = self
+            .scenario
+            .topology
+            .clients()
+            .iter()
+            .filter_map(|device| {
+                let cell = device.attached_cell?;
+                let site = self.scenario.topology.site_for_cell(cell).ok()?;
+                (site.station == station).then_some((device.client, device.mac, device.ip))
+            })
+            .collect();
+        let assoc = self.scenario.config.association_latency;
+        for (client, mac, ip) in parked {
+            let agent = self
+                .agents
+                .get_mut(&station)
+                .expect("restarting station exists");
+            let msgs = agent.client_associated(client, mac, ip);
+            self.dispatch_agent_messages(station, msgs, now, assoc);
+        }
+    }
+
+    /// Records recovery times: a restarted station has reconverged when every
+    /// chain owed to it (client parked on its cells, attachment on record) is
+    /// active on it again and actually deployed on its Agent.
+    fn check_recoveries(&mut self, now: SimTime) {
+        if self.recovery_pending.is_empty() {
+            return;
+        }
+        let recovered: Vec<StationId> = self
+            .recovery_pending
+            .keys()
+            .copied()
+            .filter(|station| self.station_converged(*station))
+            .collect();
+        for station in recovered {
+            let since = self
+                .recovery_pending
+                .remove(&station)
+                .expect("station came from the pending map");
+            self.chaos
+                .recovery_ms
+                .record(now.duration_since(since).as_millis_f64());
+        }
+    }
+
+    fn station_converged(&self, station: StationId) -> bool {
+        let Some(agent) = self.agents.get(&station) else {
+            return true;
+        };
+        for device in self.scenario.topology.clients().iter() {
+            let Some(cell) = device.attached_cell else {
+                continue;
+            };
+            let Ok(site) = self.scenario.topology.site_for_cell(cell) else {
+                continue;
+            };
+            if site.station != station {
+                continue;
+            }
+            for attachment in self
+                .manager
+                .attachments()
+                .filter(|a| a.client == device.client)
+            {
+                // Checking the Agent's deployed chains (not just the
+                // Manager's bookkeeping) rejects the stale pre-crash
+                // "active" state that persists until the re-registration
+                // is processed.
+                if attachment.station != Some(station)
+                    || !attachment.active
+                    || agent.chain(attachment.chain).is_none()
+                {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Delivers every pending packet event: gap-filters on the main thread
@@ -604,6 +853,12 @@ impl Emulator {
         let mut jobs: BTreeMap<StationId, Vec<(SimTime, PacketBatch)>> = BTreeMap::new();
         for group in pending.drain(..) {
             tally.generated += group.packets.len() as u64;
+            // Packets in flight to a crashed station are simply lost: its
+            // radio and switch are down, so nothing classifies or forwards.
+            if self.dead.contains_key(&group.station) {
+                tally.dropped_station_down += group.packets.len() as u64;
+                continue;
+            }
             if !self.agents.contains_key(&group.station) {
                 tally.dropped_in_gap += group.packets.len() as u64;
                 continue;
@@ -763,6 +1018,7 @@ impl Emulator {
         self.packets.replied_by_nf += tally.replied_by_nf;
         self.packets.dropped_in_gap += tally.dropped_in_gap;
         self.packets.bypassed_in_gap += tally.bypassed_in_gap;
+        self.packets.dropped_station_down += tally.dropped_station_down;
     }
 
     /// Processes one station's coalesced batches on whichever thread owns it.
@@ -819,10 +1075,12 @@ impl Emulator {
         let mut flow_cache = gnf_telemetry::FlowCacheTelemetry::default();
         let mut megaflow = gnf_telemetry::MegaflowTelemetry::default();
         let mut batches = gnf_telemetry::BatchTelemetry::default();
+        let mut chaos = self.chaos.clone();
         for agent in self.agents.values() {
             flow_cache.merge(&agent.flow_cache_telemetry());
             megaflow.merge(&agent.megaflow_telemetry());
             batches.merge(agent.batch_telemetry());
+            chaos.stations.merge(&agent.chaos_telemetry());
         }
         RunReport {
             duration: self.scenario.duration,
@@ -836,6 +1094,7 @@ impl Emulator {
             deploy_latency_ms: self.deploy_latency_ms.clone(),
             packets: self.packets,
             manager: self.manager.stats(),
+            chaos,
             notifications,
             ended_at,
         }
@@ -1094,6 +1353,92 @@ mod tests {
             report.packets.generated,
             builtin_only + 2_000,
             "built-in traffic and both sources all flowed"
+        );
+    }
+
+    #[test]
+    fn crashed_station_rejoins_and_reconverges() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+
+        let build = |workers: usize| {
+            let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+            let clients = builder.add_clients(8, TrafficProfile::smartphone());
+            let mut sb = builder.with_duration(gnf_types::SimDuration::from_secs(40));
+            for client in &clients {
+                sb = sb.attach_policy(
+                    *client,
+                    vec![sample_specs()[0].clone()],
+                    TrafficSelector::all(),
+                    SimTime::from_secs(2),
+                );
+            }
+            let mut schedule = FaultSchedule::new();
+            schedule.push(
+                SimTime::from_secs(10),
+                FaultKind::StationCrash {
+                    station: gnf_types::StationId::new(0),
+                    down_for: gnf_types::SimDuration::from_secs(5),
+                },
+            );
+            schedule.push(
+                SimTime::from_secs(20),
+                FaultKind::CacheInvalidation {
+                    station: gnf_types::StationId::new(1),
+                    floods: 2,
+                },
+            );
+            schedule.push(
+                SimTime::from_secs(18),
+                FaultKind::LinkPartition {
+                    station: gnf_types::StationId::new(2),
+                    duration: gnf_types::SimDuration::from_secs(6),
+                    mode: crate::chaos::PartitionMode::Drop,
+                },
+            );
+            let mut emulator = Emulator::new(sb.build());
+            emulator.set_workers(workers);
+            emulator.set_fault_schedule(schedule);
+            emulator
+        };
+
+        let mut emulator = build(1);
+        let report = emulator.run();
+        assert_eq!(report.chaos.faults_injected, 3);
+        assert_eq!(report.chaos.crashes, 1);
+        assert_eq!(report.chaos.restarts, 1);
+        assert_eq!(report.chaos.partitions, 1);
+        assert_eq!(report.chaos.invalidation_floods, 1);
+        assert!(report.chaos.fully_recovered(), "{:?}", report.chaos);
+        assert_eq!(report.chaos.stations.crashes, 1);
+        assert_eq!(report.chaos.stations.cache_invalidations, 2);
+        // The crashed station's generation bumped exactly once.
+        assert_eq!(
+            emulator
+                .agent(gnf_types::StationId::new(0))
+                .unwrap()
+                .generation(),
+            1
+        );
+        // In-flight traffic to the dead station is a distinct loss class.
+        assert!(report.packets.dropped_station_down > 0);
+        // The partitioned station's periodic reports were lost on the link.
+        assert!(report.chaos.messages_dropped > 0);
+        // Every chain is back up and active after the storm.
+        assert_eq!(
+            emulator
+                .manager()
+                .attachments()
+                .filter(|a| a.active)
+                .count(),
+            8
+        );
+
+        // The fault storm replays byte-for-byte across worker counts.
+        let report_4 = build(4).run();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&report_4).unwrap(),
+            "chaos runs must stay deterministic across workers"
         );
     }
 

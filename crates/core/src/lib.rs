@@ -47,10 +47,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod emulator;
 pub mod report;
 pub mod scenario;
 
+pub use chaos::{ChaosReport, ChaosSpec, FaultEvent, FaultKind, FaultSchedule, PartitionMode};
 pub use emulator::Emulator;
 pub use report::{MigrationSummary, PacketStats, RunReport};
 pub use scenario::{ClientWorkload, Mobility, PolicyAttachment, Scenario, ScenarioBuilder};

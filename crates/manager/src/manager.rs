@@ -102,8 +102,27 @@ pub struct ManagerStats {
     pub migrations_completed: u64,
     /// Migrations that failed.
     pub migrations_failed: u64,
+    /// Migrations aborted because they missed their deadline.
+    pub migrations_timed_out: u64,
+    /// Retry attempts launched for timed-out/failed migrations.
+    pub migration_retries: u64,
+    /// Stations that re-registered after a crash (reboot reconciliations).
+    pub station_rejoins: u64,
     /// Hotspot notifications raised.
     pub hotspot_alerts: u64,
+}
+
+/// A scheduled retry of a timed-out/failed migration: re-examined when due,
+/// and skipped if the fleet moved on in the meantime (client roamed again,
+/// chain detached, or a late success landed).
+#[derive(Debug, Clone, PartialEq)]
+struct RetryPlan {
+    chain: ChainId,
+    client: ClientId,
+    from: StationId,
+    to: StationId,
+    at: SimTime,
+    attempt: u32,
 }
 
 /// The GNF Manager.
@@ -119,6 +138,7 @@ pub struct Manager {
     chain_ids: IdAllocator,
     migration_ids: IdAllocator,
     last_hotspot_scan: SimTime,
+    pending_retries: Vec<RetryPlan>,
     stats: ManagerStats,
 }
 
@@ -142,6 +162,7 @@ impl Manager {
             chain_ids: IdAllocator::new(),
             migration_ids: IdAllocator::new(),
             last_hotspot_scan: SimTime::ZERO,
+            pending_retries: Vec::new(),
             stats: ManagerStats::default(),
         }
     }
@@ -251,6 +272,7 @@ impl Manager {
                 capacity,
                 ..
             } => {
+                let rejoined = self.stations.contains_key(&station);
                 self.stations.insert(
                     station,
                     StationRecord {
@@ -261,14 +283,36 @@ impl Manager {
                     },
                 );
                 self.monitoring.register_station(station);
-                self.notifications.raise(
-                    now,
-                    NotificationSeverity::Info,
-                    NotificationSource::Station { station },
-                    "station-registered",
-                    format!("station {station} ({host_class}) registered"),
-                    None,
-                );
+                if rejoined {
+                    // A re-registration is a reboot: every piece of soft
+                    // state the station carried is gone, so forget what the
+                    // Manager believed was deployed there. The chains are
+                    // redeployed when their clients re-associate.
+                    self.stats.station_rejoins += 1;
+                    for attachment in self.attachments.values_mut() {
+                        if attachment.station == Some(station) {
+                            attachment.station = None;
+                            attachment.active = false;
+                        }
+                    }
+                    self.notifications.raise(
+                        now,
+                        NotificationSeverity::Warning,
+                        NotificationSource::Station { station },
+                        "station-rejoined",
+                        format!("station {station} ({host_class}) re-registered after a restart"),
+                        None,
+                    );
+                } else {
+                    self.notifications.raise(
+                        now,
+                        NotificationSeverity::Info,
+                        NotificationSource::Station { station },
+                        "station-registered",
+                        format!("station {station} ({host_class}) registered"),
+                        None,
+                    );
+                }
                 vec![ManagerAction::send(
                     station,
                     ManagerToAgent::RegisterAck { station },
@@ -336,25 +380,7 @@ impl Manager {
                 chain,
                 error,
                 migration,
-            } => {
-                self.notifications.raise(
-                    now,
-                    NotificationSeverity::Critical,
-                    NotificationSource::Station { station: from },
-                    "command-failed",
-                    format!("command failed on {from}: {error}"),
-                    None,
-                );
-                if let Some(id) = migration {
-                    if let Some(record) = self.migrations.get_mut(&id) {
-                        record.phase = MigrationPhase::Failed;
-                        record.failure = Some(error.to_string());
-                        self.stats.migrations_failed += 1;
-                    }
-                }
-                let _ = chain;
-                Vec::new()
-            }
+            } => self.on_command_failed(from, chain, error, migration, now),
             AgentToManager::Pong => Vec::new(),
         };
         self.stats.messages_sent += actions.len() as u64;
@@ -401,7 +427,10 @@ impl Manager {
         // Scheduled activation windows.
         let chains: Vec<ChainId> = self.attachments.keys().copied().collect();
         for chain in chains {
-            let attachment = self.attachments.get(&chain).unwrap().clone();
+            // A concurrent detach/crash may have removed the attachment.
+            let Some(attachment) = self.attachments.get(&chain).cloned() else {
+                continue;
+            };
             let Some((from, to)) = attachment.window else {
                 continue;
             };
@@ -415,22 +444,151 @@ impl Manager {
                     self.attachments.insert(chain, updated);
                     actions.push(action);
                 }
-            } else if !in_window && attachment.station.is_some() {
-                // Window closed: remove the chain but keep the attachment for
-                // the next window.
-                actions.push(ManagerAction::send(
-                    attachment.station.unwrap(),
-                    ManagerToAgent::RemoveChain {
-                        chain,
-                        client: attachment.client,
-                        migration: None,
-                    },
-                ));
+            } else if !in_window {
+                if let Some(station) = attachment.station {
+                    // Window closed: remove the chain but keep the attachment
+                    // for the next window.
+                    actions.push(ManagerAction::send(
+                        station,
+                        ManagerToAgent::RemoveChain {
+                            chain,
+                            client: attachment.client,
+                            migration: None,
+                        },
+                    ));
+                }
+            }
+        }
+
+        // Migration deadlines: abort (and roll back) anything still waiting
+        // for its checkpoint or deployment past the deadline, then schedule a
+        // backoff retry while attempts remain.
+        let overdue: Vec<MigrationId> = self
+            .migrations
+            .iter()
+            .filter(|(_, r)| {
+                matches!(
+                    r.phase,
+                    MigrationPhase::AwaitingState | MigrationPhase::Deploying
+                ) && r.deadline.is_some_and(|d| now >= d)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            let Some(record) = self.migrations.get_mut(&id) else {
+                continue;
+            };
+            record.phase = MigrationPhase::TimedOut;
+            record.failure = Some("migration deadline exceeded".into());
+            let record = record.clone();
+            self.stats.migrations_timed_out += 1;
+            // Roll back: under make-before-break the source chain never
+            // stopped serving, so point the attachment back at it. A
+            // stateless redeploy has no source to fall back to — the
+            // retry simply deploys again.
+            if record.with_state {
+                if let Some(attachment) = self.attachments.get_mut(&record.chain) {
+                    if attachment.station == Some(record.to) {
+                        attachment.station = Some(record.from);
+                        attachment.active = true;
+                    }
+                }
+            }
+            self.notifications.raise(
+                now,
+                NotificationSeverity::Warning,
+                NotificationSource::Manager,
+                "migration-timeout",
+                format!(
+                    "migration of {} from {} to {} missed its deadline (attempt {})",
+                    record.chain, record.from, record.to, record.attempt
+                ),
+                Some(record.client),
+            );
+            if record.attempt < self.config.migration_max_retries {
+                self.pending_retries.push(RetryPlan {
+                    chain: record.chain,
+                    client: record.client,
+                    from: record.from,
+                    to: record.to,
+                    at: now + self.retry_backoff(record.attempt),
+                    attempt: record.attempt + 1,
+                });
+            }
+        }
+
+        // Launch due retries — unless the fleet moved on while the plan
+        // waited (client roamed again, chain detached, late success landed).
+        let due: Vec<RetryPlan> = {
+            let (due, pending) = self
+                .pending_retries
+                .drain(..)
+                .partition(|plan| now >= plan.at);
+            self.pending_retries = pending;
+            due
+        };
+        for plan in due {
+            if self.clients.get(&plan.client).and_then(|c| c.station) != Some(plan.to) {
+                continue;
+            }
+            let Some(attachment) = self.attachments.get(&plan.chain).cloned() else {
+                continue;
+            };
+            if attachment.active && attachment.station == Some(plan.to) {
+                continue;
+            }
+            self.stats.migration_retries += 1;
+            match attachment.station {
+                // The source chain is still serving (rolled back): run a
+                // fresh checkpoint/deploy migration from wherever it is now.
+                Some(current) if current != plan.to && attachment.active => {
+                    actions.extend(self.start_migration_attempt(
+                        plan.chain,
+                        plan.client,
+                        current,
+                        plan.to,
+                        now,
+                        plan.attempt,
+                    ));
+                }
+                // Nothing serving anywhere (source crashed, or the previous
+                // deploy is wedged): redeploy the chain statelessly on the
+                // target under a fresh deadline.
+                _ => {
+                    let id: MigrationId = self.migration_ids.next_id();
+                    let mut record = MigrationRecord::new(
+                        id,
+                        plan.chain,
+                        plan.client,
+                        plan.from,
+                        plan.to,
+                        now,
+                        false,
+                    );
+                    record.attempt = plan.attempt;
+                    record.deadline = Some(now + self.config.migration_deadline);
+                    // Nothing to tear down on the old side: the deploy
+                    // confirmation alone completes this record (the
+                    // timestamp is bumped then).
+                    record.completed_at = Some(now);
+                    self.migrations.insert(id, record);
+                    self.stats.migrations_started += 1;
+                    let mut updated = attachment;
+                    let action = self.deploy_action(&mut updated, plan.to, Some((id, Vec::new())));
+                    self.attachments.insert(plan.chain, updated);
+                    actions.push(action);
+                }
             }
         }
 
         self.stats.messages_sent += actions.len() as u64;
         actions
+    }
+
+    /// Capped exponential retry backoff for the given (zero-based) attempt.
+    fn retry_backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << attempt.min(16);
+        (self.config.migration_backoff_base * factor).min(self.config.migration_backoff_cap)
     }
 
     // ------------------------------------------------------------------
@@ -542,7 +700,11 @@ impl Manager {
             .map(|a| a.chain)
             .collect();
         for chain in chains {
-            let attachment = self.attachments.get(&chain).unwrap().clone();
+            // A chain collected above may have been detached by an earlier
+            // iteration's actions; skip rather than panic.
+            let Some(attachment) = self.attachments.get(&chain).cloned() else {
+                continue;
+            };
             // Respect scheduling windows.
             if let Some((from, to)) = attachment.window {
                 if !(now >= from && now < to) {
@@ -577,9 +739,27 @@ impl Manager {
         to: StationId,
         now: SimTime,
     ) -> Vec<ManagerAction> {
+        self.start_migration_attempt(chain, client, from, to, now, 0)
+    }
+
+    fn start_migration_attempt(
+        &mut self,
+        chain: ChainId,
+        client: ClientId,
+        from: StationId,
+        to: StationId,
+        now: SimTime,
+        attempt: u32,
+    ) -> Vec<ManagerAction> {
+        // A concurrent detach may have removed the attachment.
+        let Some(attachment) = self.attachments.get(&chain).cloned() else {
+            return Vec::new();
+        };
         let id: MigrationId = self.migration_ids.next_id();
         let with_state = self.config.make_before_break;
-        let record = MigrationRecord::new(id, chain, client, from, to, now, with_state);
+        let mut record = MigrationRecord::new(id, chain, client, from, to, now, with_state);
+        record.attempt = attempt;
+        record.deadline = Some(now + self.config.migration_deadline);
         self.migrations.insert(id, record);
         self.stats.migrations_started += 1;
         self.notifications.raise(
@@ -605,7 +785,7 @@ impl Manager {
         } else {
             // Break-before-make: remove the old instance immediately and
             // deploy a fresh (stateless) chain on the target in parallel.
-            let mut attachment = self.attachments.get(&chain).unwrap().clone();
+            let mut attachment = attachment;
             let deploy = self.deploy_action(&mut attachment, to, Some((id, Vec::new())));
             self.attachments.insert(chain, attachment);
             vec![
@@ -632,6 +812,11 @@ impl Manager {
         let Some(record) = self.migrations.get_mut(&migration) else {
             return Vec::new();
         };
+        // A checkpoint that arrives after the migration was aborted (timed
+        // out, failed, superseded by a retry) must not restart it.
+        if record.phase != MigrationPhase::AwaitingState {
+            return Vec::new();
+        }
         record.state_bytes = state.iter().map(|s| s.approximate_size_bytes()).sum();
         record.phase = MigrationPhase::Deploying;
         let to = record.to;
@@ -670,14 +855,22 @@ impl Manager {
             format!("{chain} for {client} active on {from} after {latency}"),
             Some(client),
         );
+        // Any deploy confirmation for this chain supersedes pending retries.
+        self.pending_retries.retain(|plan| plan.chain != chain);
         let mut actions = Vec::new();
         if let Some(id) = migration {
             if let Some(record) = self.migrations.get_mut(&id) {
                 record.service_restored_at = Some(now);
-                if record.phase == MigrationPhase::Deploying
-                    || record.phase == MigrationPhase::AwaitingState
-                {
-                    if self.config.make_before_break {
+                // `TimedOut` is a late success: the deploy confirmation
+                // outran its abort, so resurrect the migration — the
+                // attachment already points at the target again (above).
+                if matches!(
+                    record.phase,
+                    MigrationPhase::Deploying
+                        | MigrationPhase::AwaitingState
+                        | MigrationPhase::TimedOut
+                ) {
+                    if record.with_state {
                         record.phase = MigrationPhase::RemovingOld;
                         actions.push(ManagerAction::send(
                             record.from,
@@ -688,12 +881,16 @@ impl Manager {
                             },
                         ));
                     } else {
-                        // Break-before-make: the old side was already told to
-                        // remove; deployment completes the migration unless
-                        // the removal is still outstanding (handled in
-                        // on_chain_removed).
-                        if record.completed_at.is_some() {
+                        // Stateless deploy (break-before-make or a retry
+                        // redeploy): the old side was already told to remove
+                        // — or there is nothing to remove; deployment
+                        // completes the migration unless the removal is
+                        // still outstanding (handled in on_chain_removed).
+                        if let Some(done) = record.completed_at {
                             record.phase = MigrationPhase::Complete;
+                            if done < now {
+                                record.completed_at = Some(now);
+                            }
                             self.stats.migrations_completed += 1;
                         } else {
                             record.phase = MigrationPhase::RemovingOld;
@@ -715,6 +912,14 @@ impl Manager {
         match migration {
             Some(id) => {
                 if let Some(record) = self.migrations.get_mut(&id) {
+                    // A removal confirmation for an aborted migration must
+                    // not mark it complete.
+                    if matches!(
+                        record.phase,
+                        MigrationPhase::Failed | MigrationPhase::TimedOut
+                    ) {
+                        return Vec::new();
+                    }
                     record.completed_at = Some(now);
                     if record.service_restored_at.is_some() {
                         record.phase = MigrationPhase::Complete;
@@ -748,6 +953,88 @@ impl Manager {
                     }
                 }
                 let _ = from;
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_command_failed(
+        &mut self,
+        from: StationId,
+        chain: Option<ChainId>,
+        error: GnfError,
+        migration: Option<MigrationId>,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        // Reconcile failures that are really stale-view successes before
+        // treating anything as an error:
+        //
+        // * a duplicate-deploy rejection means an earlier deploy of this
+        //   chain (a retry racing its original) already landed — the
+        //   migration succeeded, not failed;
+        // * a not-found removal during teardown means the old instance is
+        //   already gone (e.g. the source station crashed and lost it) —
+        //   the teardown's goal is met.
+        if let (Some(chain_id), Some(id)) = (chain, migration) {
+            if let Some(record) = self.migrations.get(&id) {
+                if error.category() == "already_exists" {
+                    let client = record.client;
+                    return self.on_chain_deployed(
+                        from,
+                        chain_id,
+                        client,
+                        SimDuration::ZERO,
+                        true,
+                        Some(id),
+                        now,
+                    );
+                }
+                if error.category() == "not_found" && record.phase == MigrationPhase::RemovingOld {
+                    if let Some(record) = self.migrations.get_mut(&id) {
+                        record.completed_at = Some(now);
+                        record.phase = MigrationPhase::Complete;
+                        self.stats.migrations_completed += 1;
+                    }
+                    return Vec::new();
+                }
+            }
+        }
+        self.notifications.raise(
+            now,
+            NotificationSeverity::Critical,
+            NotificationSource::Station { station: from },
+            "command-failed",
+            format!("command failed on {from}: {error}"),
+            None,
+        );
+        if let Some(id) = migration {
+            if let Some(record) = self.migrations.get_mut(&id) {
+                if !record.is_finished() {
+                    record.phase = MigrationPhase::Failed;
+                    record.failure = Some(error.to_string());
+                    let record = record.clone();
+                    self.stats.migrations_failed += 1;
+                    // Roll back exactly as a timeout would, and retry with
+                    // backoff while attempts remain.
+                    if record.with_state {
+                        if let Some(attachment) = self.attachments.get_mut(&record.chain) {
+                            if attachment.station == Some(record.to) {
+                                attachment.station = Some(record.from);
+                                attachment.active = true;
+                            }
+                        }
+                    }
+                    if record.attempt < self.config.migration_max_retries {
+                        self.pending_retries.push(RetryPlan {
+                            chain: record.chain,
+                            client: record.client,
+                            from: record.from,
+                            to: record.to,
+                            at: now + self.retry_backoff(record.attempt),
+                            attempt: record.attempt + 1,
+                        });
+                    }
+                }
             }
         }
         Vec::new()
@@ -1146,6 +1433,7 @@ mod tests {
                 megaflow: Default::default(),
                 batches: Default::default(),
                 shards: Vec::new(),
+                chaos: Default::default(),
             })),
             SimTime::from_secs(4),
         );
@@ -1174,6 +1462,7 @@ mod tests {
                 megaflow: Default::default(),
                 batches: Default::default(),
                 shards: Vec::new(),
+                chaos: Default::default(),
             })),
             SimTime::from_secs(2),
         );
@@ -1294,6 +1583,220 @@ mod tests {
         );
         assert_eq!(m.stats().migrations_failed, 1);
         assert_eq!(m.migrations().next().unwrap().phase, MigrationPhase::Failed);
+    }
+
+    #[test]
+    fn timed_out_migrations_roll_back_and_retry_with_backoff() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        register(&mut m, 1, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(200),
+                images_cached: false,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        // The client roams; the checkpoint command to station 0 is lost.
+        connect_client(&mut m, 1, 0, SimTime::from_secs(10));
+        assert_eq!(m.stats().migrations_started, 1);
+
+        // Deadline (10 s + 20 s default) passes: the migration is aborted,
+        // the attachment still points at the serving source, and a backoff
+        // retry is scheduled.
+        m.tick(SimTime::from_secs(30));
+        assert_eq!(m.stats().migrations_timed_out, 1);
+        assert_eq!(
+            m.migrations().next().unwrap().phase,
+            MigrationPhase::TimedOut
+        );
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(0)));
+        assert!(attachment.active, "source keeps serving after the abort");
+
+        // The retry (base backoff 500 ms) launches a fresh migration.
+        let actions = m.tick(SimTime::from_secs(31));
+        assert_eq!(m.stats().migration_retries, 1);
+        assert_eq!(m.stats().migrations_started, 2);
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(0));
+        let ManagerToAgent::CheckpointChain { migration, .. } = message else {
+            panic!("expected a retry checkpoint, got {message:?}");
+        };
+        let retry_id = *migration;
+
+        // This time the checkpoint succeeds and the migration completes.
+        let actions = m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainState {
+                chain,
+                client: ClientId::new(0),
+                migration: retry_id,
+                state: vec![],
+                checkpoint_latency: SimDuration::from_millis(20),
+            },
+            SimTime::from_secs(32),
+        );
+        assert_eq!(actions.len(), 1);
+        m.handle_agent_msg(
+            StationId::new(1),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(250),
+                images_cached: true,
+                migration: Some(retry_id),
+            },
+            SimTime::from_secs(33),
+        );
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainRemoved {
+                chain,
+                client: ClientId::new(0),
+                migration: Some(retry_id),
+            },
+            SimTime::from_secs(34),
+        );
+        let retry = m.migrations().find(|r| r.id == retry_id).unwrap();
+        assert_eq!(retry.phase, MigrationPhase::Complete);
+        assert_eq!(retry.attempt, 1);
+        assert_eq!(m.stats().migrations_completed, 1);
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(1)));
+        assert!(attachment.active);
+    }
+
+    #[test]
+    fn station_reregistration_resets_its_attachments() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(100),
+                images_cached: true,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        assert!(m.attachment(chain).unwrap().active);
+
+        // The station crashes and re-registers: its soft state is gone, so
+        // the Manager must forget what it believed was deployed there.
+        register(&mut m, 0, SimTime::from_secs(20));
+        assert_eq!(m.stats().station_rejoins, 1);
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, None);
+        assert!(!attachment.active);
+
+        // The client re-associating triggers a plain redeploy.
+        let actions = connect_client(&mut m, 0, 0, SimTime::from_secs(21));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ManagerAction::Send {
+                message: ManagerToAgent::DeployChain { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_deploy_failure_on_a_migration_counts_as_success() {
+        let mut m = manager();
+        register(&mut m, 0, SimTime::ZERO);
+        register(&mut m, 1, SimTime::ZERO);
+        connect_client(&mut m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(100),
+                images_cached: true,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        let actions = connect_client(&mut m, 1, 0, SimTime::from_secs(10));
+        let ManagerAction::Send { message, .. } = &actions[0];
+        let ManagerToAgent::CheckpointChain { migration, .. } = message else {
+            panic!()
+        };
+        let id = *migration;
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainState {
+                chain,
+                client: ClientId::new(0),
+                migration: id,
+                state: vec![],
+                checkpoint_latency: SimDuration::from_millis(10),
+            },
+            SimTime::from_secs(11),
+        );
+        // The target rejects the deploy as a duplicate (an earlier attempt
+        // already landed): the Manager treats it as a late success and moves
+        // on to removing the source instance.
+        let actions = m.handle_agent_msg(
+            StationId::new(1),
+            AgentToManager::CommandFailed {
+                chain: Some(chain),
+                error: GnfError::already_exists("chain", chain),
+                migration: Some(id),
+            },
+            SimTime::from_secs(12),
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ManagerAction::Send {
+                station,
+                message: ManagerToAgent::RemoveChain { .. },
+            } if station == StationId::new(0)
+        ));
+        assert_eq!(m.stats().migrations_failed, 0);
+        assert_eq!(
+            m.migrations().next().unwrap().phase,
+            MigrationPhase::RemovingOld
+        );
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(1)));
+        assert!(attachment.active);
     }
 
     #[test]

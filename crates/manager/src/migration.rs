@@ -23,6 +23,10 @@ pub enum MigrationPhase {
     Complete,
     /// The migration failed (reason recorded).
     Failed,
+    /// The migration missed its deadline and was aborted (and rolled back:
+    /// the source chain keeps serving under make-before-break). A retry, if
+    /// any, runs as a fresh record.
+    TimedOut,
 }
 
 /// One chain migration, from trigger to completion.
@@ -48,8 +52,19 @@ pub struct MigrationRecord {
     pub completed_at: Option<SimTime>,
     /// Bytes of NF state transferred.
     pub state_bytes: usize,
-    /// Failure reason, when `phase == Failed`.
+    /// Failure reason, when `phase == Failed` or `phase == TimedOut`.
     pub failure: Option<String>,
+    /// Hard deadline: a migration still awaiting state or deployment at this
+    /// instant is aborted and (with attempts left) retried with backoff.
+    pub deadline: Option<SimTime>,
+    /// Which retry this record is: 0 for the original attempt, n for the
+    /// n-th backoff retry of a timed-out/failed predecessor.
+    pub attempt: u32,
+    /// Whether this migration carries checkpointed NF state from a live
+    /// source chain (and therefore must tear the old instance down when
+    /// done). False for plain redeploys — e.g. a retry after the source
+    /// station crashed, where there is no state left to move.
+    pub with_state: bool,
 }
 
 impl MigrationRecord {
@@ -79,6 +94,9 @@ impl MigrationRecord {
             completed_at: None,
             state_bytes: 0,
             failure: None,
+            deadline: None,
+            attempt: 0,
+            with_state,
         }
     }
 
@@ -99,7 +117,7 @@ impl MigrationRecord {
     pub fn is_finished(&self) -> bool {
         matches!(
             self.phase,
-            MigrationPhase::Complete | MigrationPhase::Failed
+            MigrationPhase::Complete | MigrationPhase::Failed | MigrationPhase::TimedOut
         )
     }
 }
@@ -128,6 +146,23 @@ mod tests {
         record.phase = MigrationPhase::Complete;
         assert_eq!(record.downtime().unwrap(), SimDuration::from_secs(1));
         assert_eq!(record.total_duration().unwrap(), SimDuration::from_secs(2));
+        assert!(record.is_finished());
+    }
+
+    #[test]
+    fn timed_out_is_terminal() {
+        let mut record = MigrationRecord::new(
+            MigrationId::new(3),
+            ChainId::new(1),
+            ClientId::new(1),
+            StationId::new(0),
+            StationId::new(1),
+            SimTime::from_secs(10),
+            true,
+        );
+        assert_eq!(record.attempt, 0);
+        assert!(record.with_state);
+        record.phase = MigrationPhase::TimedOut;
         assert!(record.is_finished());
     }
 

@@ -483,6 +483,29 @@ impl SoftwareSwitch {
         self.megaflow.clear();
     }
 
+    /// Invalidates every memoized forwarding decision by bumping the
+    /// topology generation: both cache levels lazily discard entries stamped
+    /// with an older generation on their next lookup. Used by the chaos
+    /// layer's invalidation floods; O(1) regardless of cache size.
+    pub fn invalidate_caches(&mut self) {
+        self.note_topology_change();
+    }
+
+    /// The current topology generation — the stamp new cache entries carry
+    /// and old ones are validated against.
+    pub fn cache_generation(&self) -> u64 {
+        self.topology_generation
+    }
+
+    /// Forgets every learned MAC location (a rebooted switch has an empty
+    /// MAC table). No generation bump needed: cached flows validate their
+    /// destination's MAC mapping on lookup, as with [`age_mac_table`].
+    ///
+    /// [`age_mac_table`]: SoftwareSwitch::age_mac_table
+    pub fn clear_mac_table(&mut self) {
+        self.mac_table.clear();
+    }
+
     /// Expires MAC-table entries older than the aging time.
     pub fn age_mac_table(&mut self, now: SimTime) -> usize {
         let aging = self.mac_aging;
@@ -1029,6 +1052,31 @@ mod tests {
         let decision = sw.receive(&downstream(), sw.uplink_port(), t).unwrap();
         assert_eq!(decision.forwarding, Forwarding::Unicast(sw.client_port()));
         assert_eq!(sw.mac_table_len(), 2);
+    }
+
+    #[test]
+    fn invalidate_caches_defeats_warm_entries_and_clear_mac_table_forgets() {
+        let mut sw = SoftwareSwitch::new();
+        let t = SimTime::from_secs(1);
+        sw.receive(&upstream(), sw.client_port(), t).unwrap();
+        sw.receive(&upstream(), sw.client_port(), t).unwrap();
+        let warm = sw.flow_cache_stats();
+        assert_eq!(warm.hits, 1, "second identical frame hits the flow cache");
+        assert!(sw.mac_table_len() > 0);
+
+        let gen_before = sw.cache_generation();
+        sw.invalidate_caches();
+        assert_eq!(sw.cache_generation(), gen_before + 1);
+
+        // The memoized decision is stamped with the old generation, so the
+        // next lookup must fall through to the slow path, not hit.
+        sw.receive(&upstream(), sw.client_port(), t).unwrap();
+        let after = sw.flow_cache_stats();
+        assert_eq!(after.hits, warm.hits, "no stale hit after invalidation");
+        assert_eq!(after.misses, warm.misses + 1);
+
+        sw.clear_mac_table();
+        assert_eq!(sw.mac_table_len(), 0);
     }
 
     #[test]

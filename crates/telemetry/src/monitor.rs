@@ -219,6 +219,7 @@ mod tests {
             megaflow: Default::default(),
             batches: Default::default(),
             shards: Vec::new(),
+            chaos: Default::default(),
         }
     }
 

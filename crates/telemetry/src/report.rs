@@ -147,6 +147,41 @@ impl ShardTelemetry {
     }
 }
 
+/// Fault-injection and recovery counters of one station: how often the
+/// station crashed and rejoined, the soft-state generation it is currently
+/// serving from, and how much synthetic churn/invalidation pressure the
+/// chaos layer applied to its switch. All zeros outside chaos runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosTelemetry {
+    /// Times this station crashed (lost all soft state).
+    pub crashes: u64,
+    /// The station's soft-state generation: bumped on every crash so no
+    /// pre-crash cache entry can serve post-restart traffic. Summed over
+    /// stations when aggregated.
+    pub generation: u64,
+    /// Synthetic steering rules installed-and-removed by churn storms.
+    pub steering_churn_rules: u64,
+    /// Cache-invalidation floods applied to the switch (each flood bumps the
+    /// topology generation, lazily invalidating both cache levels).
+    pub cache_invalidations: u64,
+}
+
+impl ChaosTelemetry {
+    /// Merges another station's counters into this aggregate.
+    pub fn merge(&mut self, other: &ChaosTelemetry) {
+        let ChaosTelemetry {
+            crashes,
+            generation,
+            steering_churn_rules,
+            cache_invalidations,
+        } = other;
+        self.crashes += crashes;
+        self.generation += generation;
+        self.steering_churn_rules += steering_churn_rules;
+        self.cache_invalidations += cache_invalidations;
+    }
+}
+
 /// A snapshot of one station's state, produced by its Agent every reporting
 /// interval ("reporting periodically the state of the device").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,6 +214,8 @@ pub struct StationReport {
     /// station runs unsharded). Sums over this vector equal the aggregates
     /// in `flow_cache` / `megaflow`.
     pub shards: Vec<ShardTelemetry>,
+    /// Fault-injection and recovery counters (all zeros outside chaos runs).
+    pub chaos: ChaosTelemetry,
 }
 
 impl StationReport {
@@ -220,6 +257,7 @@ mod tests {
             megaflow: Default::default(),
             batches: Default::default(),
             shards: Vec::new(),
+            chaos: Default::default(),
         }
     }
 

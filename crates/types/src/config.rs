@@ -47,6 +47,19 @@ pub struct GnfConfig {
     /// Outcomes, statistics and the final report are byte-identical for any
     /// value — sharding only changes which thread runs a chain.
     pub station_shards: usize,
+    /// Hard deadline for the checkpoint/deploy half of a migration: a
+    /// migration still awaiting state or deployment after this long is
+    /// aborted, rolled back (the source chain keeps serving under
+    /// make-before-break) and retried with backoff instead of wedging the
+    /// Manager forever on a lost message.
+    pub migration_deadline: SimDuration,
+    /// How many times a timed-out or failed migration is retried before the
+    /// Manager gives up on it.
+    pub migration_max_retries: u32,
+    /// First retry delay after a migration timeout; doubled per attempt.
+    pub migration_backoff_base: SimDuration,
+    /// Upper bound on the exponential migration retry backoff.
+    pub migration_backoff_cap: SimDuration,
 }
 
 impl Default for GnfConfig {
@@ -62,6 +75,10 @@ impl Default for GnfConfig {
             bypass_during_migration: false,
             seed: 0x6e46_5f67_6c61_7367, // "gnf_glasg"
             station_shards: 1,
+            migration_deadline: SimDuration::from_secs(20),
+            migration_max_retries: 3,
+            migration_backoff_base: SimDuration::from_millis(500),
+            migration_backoff_cap: SimDuration::from_secs(8),
         }
     }
 }
@@ -98,6 +115,24 @@ impl GnfConfig {
             return Err(GnfError::InvalidConfig {
                 parameter: "station_shards".into(),
                 reason: "must be at least 1".into(),
+            });
+        }
+        if self.migration_deadline.is_zero() {
+            return Err(GnfError::InvalidConfig {
+                parameter: "migration_deadline".into(),
+                reason: "must be positive".into(),
+            });
+        }
+        if self.migration_backoff_base.is_zero() {
+            return Err(GnfError::InvalidConfig {
+                parameter: "migration_backoff_base".into(),
+                reason: "must be positive".into(),
+            });
+        }
+        if self.migration_backoff_cap < self.migration_backoff_base {
+            return Err(GnfError::InvalidConfig {
+                parameter: "migration_backoff_cap".into(),
+                reason: "must be at least migration_backoff_base".into(),
             });
         }
         Ok(())
@@ -184,6 +219,26 @@ mod tests {
             GnfConfig::default().with_station_shards(4).station_shards,
             4
         );
+    }
+
+    #[test]
+    fn migration_retry_knobs_are_validated() {
+        let cfg = GnfConfig {
+            migration_deadline: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = GnfConfig {
+            migration_backoff_base: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = GnfConfig {
+            migration_backoff_base: SimDuration::from_secs(10),
+            migration_backoff_cap: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -270,6 +270,7 @@ mod tests {
                 megaflow: Default::default(),
                 batches: Default::default(),
                 shards: Vec::new(),
+                chaos: Default::default(),
             })),
             SimTime::from_secs(2),
         );
