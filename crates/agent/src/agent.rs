@@ -2,7 +2,9 @@
 
 use gnf_api::messages::{AgentToManager, ManagerToAgent};
 use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
-use gnf_nf::{ChainBypass, Direction, NfChain, NfContext, NfSpec, NfStateSnapshot, Verdict};
+use gnf_nf::{
+    ChainBypass, Direction, NfChain, NfContext, NfSpec, NfStateDelta, NfStateSnapshot, Verdict,
+};
 use gnf_packet::{FieldMask, Packet, PacketBatch};
 use gnf_switch::{
     BypassOutcome, Classified, Forwarding, MegaflowState, SoftwareSwitch, SteeringRule,
@@ -46,6 +48,13 @@ pub struct DeployedChain {
     pub selector: TrafficSelector,
     /// End-to-end latency of deploying the chain on this station.
     pub deploy_latency: SimDuration,
+    /// True while the chain is a pre-copy staging target: containers run and
+    /// the baseline state is imported, but no steering rule exists, so the
+    /// chain never sees traffic until activated.
+    pub staged: bool,
+    /// Baseline snapshot retained by the *source* after a pre-copy export,
+    /// used to compute the dirty delta at switchover.
+    pub precopy_baseline: Option<Vec<NfStateSnapshot>>,
 }
 
 /// What happened to a packet handed to the station's data plane.
@@ -418,6 +427,87 @@ impl Agent {
                     migration,
                     state,
                     checkpoint_latency: latency,
+                }],
+                Err(error) => vec![AgentToManager::CommandFailed {
+                    chain: Some(chain),
+                    error,
+                    migration: Some(migration),
+                }],
+            },
+            ManagerToAgent::PreCopyChain {
+                chain,
+                client,
+                migration,
+            } => match self.precopy_chain(chain) {
+                Ok((state, latency)) => vec![AgentToManager::ChainPreCopy {
+                    chain,
+                    client,
+                    migration,
+                    state,
+                    checkpoint_latency: latency,
+                }],
+                Err(error) => vec![AgentToManager::CommandFailed {
+                    chain: Some(chain),
+                    error,
+                    migration: Some(migration),
+                }],
+            },
+            ManagerToAgent::PrepareChain {
+                chain,
+                client,
+                client_mac,
+                specs,
+                selector,
+                precopy_state,
+                migration,
+            } => {
+                match self.prepare_chain(chain, client, client_mac, &specs, selector, precopy_state)
+                {
+                    Ok((latency, images_cached)) => vec![AgentToManager::ChainPrepared {
+                        chain,
+                        client,
+                        migration,
+                        latency,
+                        images_cached,
+                    }],
+                    Err(error) => vec![AgentToManager::CommandFailed {
+                        chain: Some(chain),
+                        error,
+                        migration: Some(migration),
+                    }],
+                }
+            }
+            ManagerToAgent::DeltaChain {
+                chain,
+                client,
+                migration,
+            } => match self.delta_chain(chain) {
+                Ok((deltas, latency)) => vec![AgentToManager::ChainDelta {
+                    chain,
+                    client,
+                    migration,
+                    deltas,
+                    checkpoint_latency: latency,
+                }],
+                Err(error) => vec![AgentToManager::CommandFailed {
+                    chain: Some(chain),
+                    error,
+                    migration: Some(migration),
+                }],
+            },
+            ManagerToAgent::ActivateChain {
+                chain,
+                client,
+                migration,
+                deltas,
+            } => match self.activate_chain(chain, deltas) {
+                Ok(latency) => vec![AgentToManager::ChainDeployed {
+                    chain,
+                    client,
+                    latency,
+                    // Activation never pulls images: the staged deploy did.
+                    images_cached: true,
+                    migration: Some(migration),
                 }],
                 Err(error) => vec![AgentToManager::CommandFailed {
                     chain: Some(chain),
@@ -1120,6 +1210,70 @@ impl Agent {
                 containers,
                 selector,
                 deploy_latency: total_latency,
+                staged: false,
+                precopy_baseline: None,
+            },
+        );
+        Ok((total_latency, all_cached))
+    }
+
+    /// Stages a chain on a pre-copy migration target: deploys the containers
+    /// and imports the baseline state exactly like [`Agent::deploy_chain`],
+    /// but installs **no steering rule** — the staged chain never sees
+    /// traffic until [`Agent::activate_chain`] switches it over. Re-preparing
+    /// an already-staged chain is idempotent (the baseline is replaced
+    /// wholesale), so a retried `PrepareChain` after a lost reply converges.
+    fn prepare_chain(
+        &mut self,
+        chain_id: ChainId,
+        client: ClientId,
+        client_mac: MacAddr,
+        specs: &[NfSpec],
+        selector: TrafficSelector,
+        precopy_state: Vec<NfStateSnapshot>,
+    ) -> GnfResult<(SimDuration, bool)> {
+        let state_bytes: usize = precopy_state
+            .iter()
+            .map(|s| s.approximate_size_bytes())
+            .sum();
+        if let Some(existing) = self.chains.get_mut(&chain_id) {
+            if !existing.staged {
+                return Err(GnfError::already_exists("chain", chain_id));
+            }
+            existing.chain.replace_state(precopy_state);
+            let latency = self.runtime.cost_model().restore_time(state_bytes);
+            return Ok((latency, true));
+        }
+        let mut total_latency = SimDuration::ZERO;
+        let mut all_cached = true;
+        let mut containers = Vec::with_capacity(specs.len());
+        let mut chain = NfChain::new(&format!("chain-{}", chain_id.raw()));
+        for spec in specs {
+            let image = self.repository.by_name(spec.image_name())?.clone();
+            let deployed = self
+                .runtime
+                .deploy(&spec.name, &image, spec.container_footprint())?;
+            total_latency += deployed.total_duration;
+            all_cached &= deployed.image_was_cached;
+            self.switch.connect_container(deployed.handle, &spec.name);
+            containers.push(deployed.handle);
+            chain.push(spec.instantiate());
+        }
+        total_latency += self.runtime.cost_model().restore_time(state_bytes);
+        chain.replace_state(precopy_state);
+        self.chains.insert(
+            chain_id,
+            DeployedChain {
+                chain_id,
+                client,
+                client_mac,
+                specs: specs.to_vec(),
+                chain,
+                containers,
+                selector,
+                deploy_latency: total_latency,
+                staged: true,
+                precopy_baseline: None,
             },
         );
         Ok((total_latency, all_cached))
@@ -1165,6 +1319,84 @@ impl Agent {
                 .checkpoint(*handle, state_bytes / deployed.containers.len().max(1))?;
         }
         Ok((state, latency))
+    }
+
+    /// Exports the chain's full state as a pre-copy baseline and retains a
+    /// copy so a later [`Agent::delta_chain`] can diff against it. The chain
+    /// keeps serving traffic throughout — nothing is torn down or paused.
+    fn precopy_chain(
+        &mut self,
+        chain_id: ChainId,
+    ) -> GnfResult<(Vec<NfStateSnapshot>, SimDuration)> {
+        let (state, latency) = self.checkpoint_chain(chain_id)?;
+        if let Some(deployed) = self.chains.get_mut(&chain_id) {
+            deployed.precopy_baseline = Some(state.clone());
+        }
+        Ok((state, latency))
+    }
+
+    /// Diffs the chain's current state against the baseline retained by
+    /// [`Agent::precopy_chain`], returning only the dirty delta. The baseline
+    /// stays retained, so a retried `DeltaChain` after a lost reply is
+    /// idempotent.
+    fn delta_chain(&mut self, chain_id: ChainId) -> GnfResult<(Vec<NfStateDelta>, SimDuration)> {
+        let deployed = self
+            .chains
+            .get(&chain_id)
+            .ok_or_else(|| GnfError::not_found("chain", chain_id))?;
+        let baseline = deployed
+            .precopy_baseline
+            .as_ref()
+            .ok_or_else(|| GnfError::not_found("precopy baseline for chain", chain_id))?;
+        let current = deployed.chain.export_state();
+        let deltas: Vec<NfStateDelta> = baseline
+            .iter()
+            .zip(&current)
+            .map(|(base, cur)| NfStateDelta::diff(base, cur))
+            .collect();
+        // Checkpointing the delta costs time proportional to the *dirty*
+        // bytes, not the full table — that is the whole point of pre-copy.
+        let delta_bytes: usize = deltas.iter().map(|d| d.approximate_size_bytes()).sum();
+        let mut latency = SimDuration::ZERO;
+        for handle in &deployed.containers {
+            latency += self
+                .runtime
+                .checkpoint(*handle, delta_bytes / deployed.containers.len().max(1))?;
+        }
+        Ok((deltas, latency))
+    }
+
+    /// Switches a staged chain over: replays the dirty deltas onto the
+    /// pre-copied baseline and installs the steering rule. Only after this
+    /// does the chain see traffic; the service-affecting window is therefore
+    /// the delta replay, whose cost scales with churn rather than table size.
+    fn activate_chain(
+        &mut self,
+        chain_id: ChainId,
+        deltas: Vec<NfStateDelta>,
+    ) -> GnfResult<SimDuration> {
+        let deployed = self
+            .chains
+            .get_mut(&chain_id)
+            .ok_or_else(|| GnfError::not_found("chain", chain_id))?;
+        if !deployed.staged {
+            // A duplicate activation (retry after a lost reply): the chain is
+            // already serving. Report already-exists so the Manager's
+            // reconciliation counts it as a late success.
+            return Err(GnfError::already_exists("chain", chain_id));
+        }
+        let delta_bytes: usize = deltas.iter().map(|d| d.approximate_size_bytes()).sum();
+        deployed.chain.apply_state_deltas(deltas);
+        deployed.staged = false;
+        let (client, client_mac, selector) =
+            (deployed.client, deployed.client_mac, deployed.selector);
+        self.switch.steering_mut().install(SteeringRule {
+            client,
+            client_mac,
+            selector,
+            chain: chain_id,
+        });
+        Ok(self.runtime.cost_model().restore_time(delta_bytes))
     }
 }
 

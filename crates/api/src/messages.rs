@@ -6,7 +6,7 @@
 //! (dis)connections, report device state periodically and relay NF
 //! notifications. These enums are that API, in both directions.
 
-use gnf_nf::{NfEvent, NfSpec, NfStateSnapshot};
+use gnf_nf::{NfEvent, NfSpec, NfStateDelta, NfStateSnapshot};
 use gnf_switch::TrafficSelector;
 use gnf_telemetry::StationReport;
 use gnf_types::{
@@ -60,6 +60,59 @@ pub enum ManagerToAgent {
         client: ClientId,
         /// The migration the checkpoint belongs to.
         migration: MigrationId,
+    },
+    /// Pre-copy phase 1, source side: export the chain's full NF state AND
+    /// retain it as the baseline for a later [`ManagerToAgent::DeltaChain`].
+    /// The source keeps serving traffic throughout.
+    PreCopyChain {
+        /// The chain to pre-copy.
+        chain: ChainId,
+        /// The client it belongs to.
+        client: ClientId,
+        /// The migration the baseline belongs to.
+        migration: MigrationId,
+    },
+    /// Pre-copy phase 2, target side: deploy the chain's containers and
+    /// import the shipped baseline, but install **no steering** — the chain
+    /// is staged, not serving, until [`ManagerToAgent::ActivateChain`].
+    PrepareChain {
+        /// Chain identifier allocated by the Manager.
+        chain: ChainId,
+        /// The client whose traffic will be steered through the chain.
+        client: ClientId,
+        /// The client's MAC address (what steering will match on).
+        client_mac: MacAddr,
+        /// Ordered NF specs making up the chain.
+        specs: Vec<NfSpec>,
+        /// Which subset of the client's traffic to divert once activated.
+        selector: TrafficSelector,
+        /// The pre-copied baseline state, in chain order.
+        precopy_state: Vec<NfStateSnapshot>,
+        /// The migration this staging belongs to.
+        migration: MigrationId,
+    },
+    /// Pre-copy phase 3, source side: diff the chain's current state against
+    /// the baseline retained by [`ManagerToAgent::PreCopyChain`] and send
+    /// back only the dirty delta.
+    DeltaChain {
+        /// The chain to diff.
+        chain: ChainId,
+        /// The client it belongs to.
+        client: ClientId,
+        /// The migration the delta belongs to.
+        migration: MigrationId,
+    },
+    /// Pre-copy phase 4, target side: replay the delta onto the staged
+    /// baseline and install steering — the switchover proper.
+    ActivateChain {
+        /// The staged chain to activate.
+        chain: ChainId,
+        /// The client it serves.
+        client: ClientId,
+        /// The migration being switched over.
+        migration: MigrationId,
+        /// Per-NF dirty deltas in chain order.
+        deltas: Vec<NfStateDelta>,
     },
     /// Liveness probe.
     Ping,
@@ -131,6 +184,50 @@ pub enum AgentToManager {
         /// How long the checkpoint took on the station.
         checkpoint_latency: SimDuration,
     },
+    /// The pre-copied baseline of a chain's NF state (reply to
+    /// [`ManagerToAgent::PreCopyChain`]; the source retains a copy for the
+    /// later delta).
+    ChainPreCopy {
+        /// The chain.
+        chain: ChainId,
+        /// The client it serves.
+        client: ClientId,
+        /// The migration the baseline belongs to.
+        migration: MigrationId,
+        /// Per-NF baseline snapshots in chain order.
+        state: Vec<NfStateSnapshot>,
+        /// How long the baseline checkpoint took on the station.
+        checkpoint_latency: SimDuration,
+    },
+    /// A staged chain finished deploying on the migration target (reply to
+    /// [`ManagerToAgent::PrepareChain`]). The chain is not serving yet.
+    ChainPrepared {
+        /// The chain.
+        chain: ChainId,
+        /// The client it will serve.
+        client: ClientId,
+        /// The migration the staging belongs to.
+        migration: MigrationId,
+        /// End-to-end staging latency on the station (container deploys plus
+        /// baseline restore).
+        latency: SimDuration,
+        /// True when every image was already cached locally.
+        images_cached: bool,
+    },
+    /// The dirty delta between a chain's current state and its retained
+    /// pre-copy baseline (reply to [`ManagerToAgent::DeltaChain`]).
+    ChainDelta {
+        /// The chain.
+        chain: ChainId,
+        /// The client it serves.
+        client: ClientId,
+        /// The migration the delta belongs to.
+        migration: MigrationId,
+        /// Per-NF dirty deltas in chain order.
+        deltas: Vec<NfStateDelta>,
+        /// How long the delta checkpoint took on the station.
+        checkpoint_latency: SimDuration,
+    },
     /// An NF relayed an event (intrusion attempt, blocked URL, ...).
     NfNotification {
         /// The chain containing the NF.
@@ -163,6 +260,10 @@ impl ManagerToAgent {
             ManagerToAgent::DeployChain { .. } => "deploy-chain",
             ManagerToAgent::RemoveChain { .. } => "remove-chain",
             ManagerToAgent::CheckpointChain { .. } => "checkpoint-chain",
+            ManagerToAgent::PreCopyChain { .. } => "precopy-chain",
+            ManagerToAgent::PrepareChain { .. } => "prepare-chain",
+            ManagerToAgent::DeltaChain { .. } => "delta-chain",
+            ManagerToAgent::ActivateChain { .. } => "activate-chain",
             ManagerToAgent::Ping => "ping",
         }
     }
@@ -179,6 +280,9 @@ impl AgentToManager {
             AgentToManager::ChainDeployed { .. } => "chain-deployed",
             AgentToManager::ChainRemoved { .. } => "chain-removed",
             AgentToManager::ChainState { .. } => "chain-state",
+            AgentToManager::ChainPreCopy { .. } => "chain-precopy",
+            AgentToManager::ChainPrepared { .. } => "chain-prepared",
+            AgentToManager::ChainDelta { .. } => "chain-delta",
             AgentToManager::NfNotification { .. } => "nf-notification",
             AgentToManager::CommandFailed { .. } => "command-failed",
             AgentToManager::Pong => "pong",
@@ -235,6 +339,31 @@ mod tests {
                 client: ClientId::new(1),
                 migration: MigrationId::new(1),
             },
+            ManagerToAgent::PreCopyChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+            },
+            ManagerToAgent::PrepareChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                client_mac: MacAddr::derived(1, 1),
+                specs: sample_specs(),
+                selector: TrafficSelector::all(),
+                precopy_state: vec![NfStateSnapshot::Stateless],
+                migration: MigrationId::new(1),
+            },
+            ManagerToAgent::DeltaChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+            },
+            ManagerToAgent::ActivateChain {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+                deltas: vec![NfStateDelta::Unchanged],
+            },
             ManagerToAgent::Ping,
         ];
         for msg in m2a {
@@ -243,6 +372,27 @@ mod tests {
         let a2m = [
             AgentToManager::ClientDisconnected {
                 client: ClientId::new(1),
+            },
+            AgentToManager::ChainPreCopy {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+                state: vec![NfStateSnapshot::Stateless],
+                checkpoint_latency: SimDuration::from_millis(3),
+            },
+            AgentToManager::ChainPrepared {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+                latency: SimDuration::from_millis(40),
+                images_cached: true,
+            },
+            AgentToManager::ChainDelta {
+                chain: ChainId::new(1),
+                client: ClientId::new(1),
+                migration: MigrationId::new(1),
+                deltas: vec![NfStateDelta::Unchanged],
+                checkpoint_latency: SimDuration::from_millis(1),
             },
             AgentToManager::Pong,
             AgentToManager::CommandFailed {
@@ -254,5 +404,34 @@ mod tests {
         for msg in a2m {
             assert!(!msg.label().is_empty());
         }
+    }
+
+    #[test]
+    fn precopy_messages_roundtrip_through_json() {
+        let prepare = ManagerToAgent::PrepareChain {
+            chain: ChainId::new(3),
+            client: ClientId::new(4),
+            client_mac: MacAddr::derived(3, 4),
+            specs: sample_specs(),
+            selector: TrafficSelector::all(),
+            precopy_state: vec![NfStateSnapshot::Stateless],
+            migration: MigrationId::new(9),
+        };
+        let json = serde_json::to_string(&prepare).unwrap();
+        let back: ManagerToAgent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, prepare);
+        assert_eq!(prepare.label(), "prepare-chain");
+
+        let delta = AgentToManager::ChainDelta {
+            chain: ChainId::new(3),
+            client: ClientId::new(4),
+            migration: MigrationId::new(9),
+            deltas: vec![NfStateDelta::Unchanged],
+            checkpoint_latency: SimDuration::from_millis(2),
+        };
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: AgentToManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(delta.label(), "chain-delta");
     }
 }

@@ -69,6 +69,20 @@ pub fn station_shards_arg(default: usize) -> usize {
     arg_value("--station-shards").unwrap_or(default).max(1)
 }
 
+/// Parses `--migration-workers N` from the command line, falling back to
+/// `default` (clamped to at least 1). Drives the emulator's migration worker
+/// pool in the mass-roaming harness.
+pub fn migration_workers_arg(default: usize) -> usize {
+    arg_value("--migration-workers").unwrap_or(default).max(1)
+}
+
+/// Parses `--roams N` from the command line, falling back to `default`
+/// (clamped to at least 1): how many clients roam simultaneously in the
+/// mass-roaming storm.
+pub fn roams_arg(default: usize) -> usize {
+    arg_value("--roams").unwrap_or(default).max(1)
+}
+
 /// Parses `--packets N` from the command line, falling back to `default`.
 /// Used by the workload harness to scale run length (CI smoke vs full runs).
 pub fn packets_arg(default: u64) -> u64 {

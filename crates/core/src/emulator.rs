@@ -11,7 +11,7 @@
 //! cost model assigns them; every run is deterministic in its seed.
 
 use crate::chaos::{ChaosReport, FaultKind, FaultSchedule, PartitionMode};
-use crate::report::{MigrationSummary, PacketStats, RunReport};
+use crate::report::{MigrationReport, MigrationSummary, PacketStats, RunReport};
 use crate::scenario::{Mobility, Scenario};
 use gnf_agent::{Agent, AgentConfig, PacketOutcome};
 use gnf_api::messages::{AgentToManager, ManagerToAgent};
@@ -20,7 +20,7 @@ use gnf_edge::{MobilityModel, TrafficGenerator};
 use gnf_manager::{Manager, ManagerAction};
 use gnf_packet::{Packet, PacketBatch};
 use gnf_sim::{EventQueue, Histogram, Rng};
-use gnf_telemetry::NotificationSeverity;
+use gnf_telemetry::{MigrationPoolTelemetry, NotificationSeverity};
 use gnf_types::{AgentId, CellId, ChainId, ClientId, SimDuration, SimTime, StationId};
 use gnf_workload::{TimedBatch, Workload};
 use std::collections::{BTreeMap, HashMap};
@@ -103,6 +103,44 @@ struct PendingBatch {
     packets: Vec<(ClientId, Packet)>,
 }
 
+/// A migration-lifecycle command held back for pooled execution at the next
+/// migration flush. All parked commands share one virtual timestamp.
+struct PendingMigration {
+    time: SimTime,
+    station: StationId,
+    msg: ManagerToAgent,
+}
+
+/// One station's parked migration commands (in park order) paired with the
+/// Agent that will execute them — the unit of work the migration pool
+/// shards across its threads.
+type MigrationGroup<'a> = (StationId, &'a mut Agent, Vec<(usize, ManagerToAgent)>);
+
+/// True for the Manager→Agent commands that belong to the migration
+/// lifecycle: the station-side work (checkpoints, staged deploys, delta
+/// replays) dominates a mass-roam's control-plane cost, the commands target
+/// per-chain Agent state, and same-timestamp runs of them are therefore safe
+/// to execute on a worker pool. Plain deploys and removals (no migration id)
+/// stay inline — they interleave with association bookkeeping.
+fn is_migration_command(msg: &ManagerToAgent) -> bool {
+    matches!(
+        msg,
+        ManagerToAgent::CheckpointChain { .. }
+            | ManagerToAgent::PreCopyChain { .. }
+            | ManagerToAgent::PrepareChain { .. }
+            | ManagerToAgent::DeltaChain { .. }
+            | ManagerToAgent::ActivateChain { .. }
+            | ManagerToAgent::DeployChain {
+                migration: Some(_),
+                ..
+            }
+            | ManagerToAgent::RemoveChain {
+                migration: Some(_),
+                ..
+            }
+    )
+}
+
 /// Per-client gap state, computed once per client per flush (control-plane
 /// state is frozen between flushes, so it cannot change mid-flush).
 #[derive(Clone, Copy)]
@@ -115,6 +153,12 @@ enum GapState {
     /// Policy attached but no chain ready on this station: every packet is
     /// in the gap.
     NeverReady,
+    /// An in-flight pre-copy migration keeps the source chain serving
+    /// (make-before-break): packets detour through the chain on this
+    /// station until switchover. This is what dirties the pre-copied
+    /// baseline — the dirty delta replayed at cutover is exactly the state
+    /// these packets created.
+    Hairpin(StationId),
 }
 
 /// One station's coalesced data-plane work for a flush: batches grouped by
@@ -147,6 +191,13 @@ pub struct Emulator {
     handovers: u64,
     /// Data-plane worker threads for a flush (1 = process stations inline).
     workers: usize,
+    /// Migration-pool worker threads for a migration flush (1 = inline).
+    migration_workers: usize,
+    /// Parked-command cap: a same-timestamp migration batch this deep is
+    /// flushed early (bounds peak memory under a mass-roam storm).
+    migration_queue_size: usize,
+    /// Host-side pool counters (kept out of the byte-compared `RunReport`).
+    migration_pool: MigrationPoolTelemetry,
     /// Streaming traffic sources attached via [`Emulator::add_workload`].
     workloads: Vec<Box<dyn Workload>>,
     /// The one outstanding batch per source (pulled, not yet delivered).
@@ -312,6 +363,8 @@ impl Emulator {
             queue.schedule_at(at, EmuEvent::PacketBatch { station, packets });
         }
 
+        let migration_workers = config.migration_workers.max(1);
+        let migration_queue_size = config.migration_queue_size.max(1);
         Emulator {
             scenario,
             manager,
@@ -322,6 +375,9 @@ impl Emulator {
             packets: PacketStats::default(),
             handovers: 0,
             workers: 1,
+            migration_workers,
+            migration_queue_size,
+            migration_pool: MigrationPoolTelemetry::default(),
             workloads: Vec::new(),
             workload_next: Vec::new(),
             fault_schedule: FaultSchedule::new(),
@@ -383,6 +439,33 @@ impl Emulator {
         self.workers
     }
 
+    /// Sets how many worker threads the migration pool may use per flush
+    /// (clamped to at least 1), overriding `GnfConfig::migration_workers`.
+    /// Migration-lifecycle commands sharing one virtual timestamp are
+    /// sharded per station across the pool and their replies merged in park
+    /// order — the [`RunReport`] is byte-identical for any value.
+    pub fn set_migration_workers(&mut self, workers: usize) {
+        self.migration_workers = workers.max(1);
+    }
+
+    /// The configured migration-pool worker count.
+    pub fn migration_workers(&self) -> usize {
+        self.migration_workers
+    }
+
+    /// Sets the parked-command cap of the migration pool (clamped to at
+    /// least 1), overriding `GnfConfig::migration_queue_size`. Only changes
+    /// when batches flush — never what they compute.
+    pub fn set_migration_queue_size(&mut self, size: usize) {
+        self.migration_queue_size = size.max(1);
+    }
+
+    /// Host-side migration-pool counters (batches, commands, cap flushes).
+    /// Observability only: deliberately not part of the [`RunReport`].
+    pub fn migration_pool_telemetry(&self) -> MigrationPoolTelemetry {
+        self.migration_pool
+    }
+
     /// Sets every station's intra-station RSS shard count (clamped to at
     /// least 1): how many chain-execution lanes each Agent's batched data
     /// plane uses, and how many shard-stat partitions its switch caches
@@ -433,14 +516,33 @@ impl Emulator {
     pub fn run(&mut self) -> RunReport {
         let deadline = SimTime::ZERO + self.scenario.duration;
         let mut pending: Vec<PendingBatch> = Vec::new();
-        while let Some(scheduled) = self.queue.pop_until(deadline) {
+        let mut migrations: Vec<PendingMigration> = Vec::new();
+        loop {
+            // A parked migration batch only ever holds commands of one
+            // virtual timestamp: the moment the queue's head moves past it
+            // (or runs dry), the batch flushes before anything else pops.
+            if let Some(first) = migrations.first() {
+                if self.queue.peek_time() != Some(first.time) {
+                    self.flush_migrations(&mut migrations);
+                }
+            }
+            let Some(scheduled) = self.queue.pop_until(deadline) else {
+                break;
+            };
             match scheduled.event {
-                EmuEvent::PacketBatch { station, packets } => pending.push(PendingBatch {
-                    time: scheduled.time,
-                    station,
-                    packets,
-                }),
+                EmuEvent::PacketBatch { station, packets } => {
+                    // Packets interleaved between same-time migration
+                    // commands break the contiguous run: flush the pool so
+                    // processing order matches the strict per-event order.
+                    self.flush_migrations(&mut migrations);
+                    pending.push(PendingBatch {
+                        time: scheduled.time,
+                        station,
+                        packets,
+                    });
+                }
                 EmuEvent::WorkloadBatch { source } => {
+                    self.flush_migrations(&mut migrations);
                     if let Some(batch) = self.workload_next[source].take() {
                         pending.push(PendingBatch {
                             time: scheduled.time,
@@ -452,13 +554,31 @@ impl Emulator {
                     // batch per source, ever.
                     self.pump_workload(source);
                 }
+                EmuEvent::ToAgent { station, msg } if is_migration_command(&msg) => {
+                    // Park for pooled execution. At most one of the packet
+                    // and migration batches is ever non-empty: parking one
+                    // kind flushes the other first, so the relative order of
+                    // data-plane and migration work is exactly event order.
+                    self.flush_packets(&mut pending);
+                    migrations.push(PendingMigration {
+                        time: scheduled.time,
+                        station,
+                        msg,
+                    });
+                    if migrations.len() >= self.migration_queue_size {
+                        self.migration_pool.cap_flushes += 1;
+                        self.flush_migrations(&mut migrations);
+                    }
+                }
                 event => {
+                    self.flush_migrations(&mut migrations);
                     self.flush_packets(&mut pending);
                     self.handle(event, scheduled.time);
                     self.check_recoveries(scheduled.time);
                 }
             }
         }
+        self.flush_migrations(&mut migrations);
         self.flush_packets(&mut pending);
         self.queue.advance_to(deadline);
         self.build_report(deadline)
@@ -559,28 +679,7 @@ impl Emulator {
                     return;
                 };
                 let replies = agent.handle_manager_msg(msg, now);
-                // Commands that take time on the station (deployments,
-                // checkpoints) report their own latency; delay the reply and
-                // remember when the chain actually becomes ready.
-                let mut extra_delay = SimDuration::ZERO;
-                for reply in &replies {
-                    match reply {
-                        AgentToManager::ChainDeployed { chain, latency, .. } => {
-                            extra_delay = extra_delay.max(*latency);
-                            self.chain_ready.insert((station, *chain), now + *latency);
-                            self.deploy_latency_ms.record(latency.as_millis_f64());
-                        }
-                        AgentToManager::ChainState {
-                            checkpoint_latency, ..
-                        } => {
-                            extra_delay = extra_delay.max(*checkpoint_latency);
-                        }
-                        AgentToManager::ChainRemoved { chain, .. } => {
-                            self.chain_ready.remove(&(station, *chain));
-                        }
-                        _ => {}
-                    }
-                }
+                let extra_delay = self.scan_agent_replies(station, &replies, now);
                 self.dispatch_agent_messages(station, replies, now, extra_delay);
             }
             EmuEvent::Attach { client, cell } => {
@@ -803,6 +902,24 @@ impl Emulator {
         }
     }
 
+    /// The station whose chain keeps serving `client` while its pre-copy
+    /// migration to `station` is in flight, if any. Only pre-copy records
+    /// hairpin — the classic monolithic path freezes the source at
+    /// checkpoint time, so replaying traffic through it would lose state.
+    fn precopy_hairpin(&self, client: ClientId, station: StationId) -> Option<StationId> {
+        let record = self
+            .manager
+            .migrations()
+            .find(|m| m.client == client && m.to == station && m.precopy && !m.is_finished())?;
+        let source = record.from;
+        if source == station || self.dead.contains_key(&source) {
+            return None;
+        }
+        let agent = self.agents.get(&source)?;
+        agent.chain(record.chain)?;
+        Some(source)
+    }
+
     fn station_converged(&self, station: StationId) -> bool {
         let Some(agent) = self.agents.get(&station) else {
             return true;
@@ -837,6 +954,175 @@ impl Emulator {
         true
     }
 
+    /// Scans an Agent's replies to one control command: commands that take
+    /// time on the station (deployments, checkpoints, staged restores, delta
+    /// replays) report their own latency; the reply is delayed by it and the
+    /// emulator remembers when the chain actually becomes ready. Shared by
+    /// the inline control path and the migration pool's merge, so both
+    /// produce identical timing and `chain_ready` state.
+    fn scan_agent_replies(
+        &mut self,
+        station: StationId,
+        replies: &[AgentToManager],
+        now: SimTime,
+    ) -> SimDuration {
+        let mut extra_delay = SimDuration::ZERO;
+        for reply in replies {
+            match reply {
+                AgentToManager::ChainDeployed { chain, latency, .. } => {
+                    extra_delay = extra_delay.max(*latency);
+                    self.chain_ready.insert((station, *chain), now + *latency);
+                    self.deploy_latency_ms.record(latency.as_millis_f64());
+                }
+                // A staged chain (PrepareChain reply) is deliberately NOT
+                // marked ready: it holds state but no steering, so traffic
+                // at its station still counts as in-gap until activation
+                // (the ChainDeployed reply to ActivateChain) flips it.
+                AgentToManager::ChainPrepared { latency, .. } => {
+                    extra_delay = extra_delay.max(*latency);
+                }
+                AgentToManager::ChainState {
+                    checkpoint_latency, ..
+                }
+                | AgentToManager::ChainPreCopy {
+                    checkpoint_latency, ..
+                }
+                | AgentToManager::ChainDelta {
+                    checkpoint_latency, ..
+                } => {
+                    extra_delay = extra_delay.max(*checkpoint_latency);
+                }
+                AgentToManager::ChainRemoved { chain, .. } => {
+                    self.chain_ready.remove(&(station, *chain));
+                }
+                _ => {}
+            }
+        }
+        extra_delay
+    }
+
+    /// Executes a parked batch of same-timestamp migration commands.
+    ///
+    /// The main thread first applies the broken-link filter in park order
+    /// (exactly what the inline path would have done per event), then groups
+    /// the survivors per station — commands to one station stay in park
+    /// order, commands to different stations touch disjoint Agents — and
+    /// shards the station groups across the migration pool. Replies are
+    /// merged back in park-index order and dispatched at the parked
+    /// timestamp, so queue sequence numbers (and therefore every downstream
+    /// pop) are identical to inline execution: the `RunReport` is
+    /// byte-identical for any `migration_workers`.
+    fn flush_migrations(&mut self, parked: &mut Vec<PendingMigration>) {
+        if parked.is_empty() {
+            return;
+        }
+        let now = parked[0].time;
+        debug_assert!(
+            parked.iter().all(|p| p.time == now),
+            "a migration batch spans exactly one virtual timestamp"
+        );
+        self.migration_pool.record_batch(parked.len() as u64);
+
+        let mut live: Vec<(usize, StationId, ManagerToAgent)> = Vec::with_capacity(parked.len());
+        for (ix, cmd) in parked.drain(..).enumerate() {
+            if self.link_broken(cmd.station) {
+                self.chaos_absorb(
+                    cmd.station,
+                    EmuEvent::ToAgent {
+                        station: cmd.station,
+                        msg: cmd.msg,
+                    },
+                );
+            } else if self.agents.contains_key(&cmd.station) {
+                live.push((ix, cmd.station, cmd.msg));
+            }
+        }
+
+        // Group per station, preserving park order within each group, and
+        // pair each group with its Agent (both sides iterate in station
+        // order, so one linear walk pairs them all).
+        let mut groups: BTreeMap<StationId, Vec<(usize, ManagerToAgent)>> = BTreeMap::new();
+        for (ix, station, msg) in live {
+            groups.entry(station).or_default().push((ix, msg));
+        }
+        let mut work: Vec<MigrationGroup<'_>> = Vec::with_capacity(groups.len());
+        let mut agents = self.agents.iter_mut();
+        for (station, cmds) in groups {
+            let agent = loop {
+                let (id, agent) = agents.next().expect("groups only name existing stations");
+                if *id == station {
+                    break agent;
+                }
+            };
+            work.push((station, agent, cmds));
+        }
+
+        // One station runs its commands serially; distinct stations run on
+        // the pool. `migration_workers = 1` (or a single busy station) runs
+        // inline; both paths execute the identical per-command routine.
+        let mut results: Vec<(usize, StationId, Vec<AgentToManager>)> =
+            if self.migration_workers <= 1 || work.len() <= 1 {
+                work.into_iter()
+                    .flat_map(|(station, agent, cmds)| {
+                        Self::run_migration_group(station, agent, cmds, now)
+                    })
+                    .collect()
+            } else {
+                // LPT by command count: heaviest station group first into
+                // the least-loaded worker. Assignment is report-invariant —
+                // results are merged in park order below regardless of
+                // which worker ran what.
+                let shard_count = self.migration_workers.min(work.len());
+                let mut sized: Vec<(u64, MigrationGroup<'_>)> = work
+                    .into_iter()
+                    .map(|item| (item.2.len() as u64, item))
+                    .collect();
+                sized.sort_by_key(|(cost, _)| std::cmp::Reverse(*cost));
+                let mut shards: Vec<Vec<MigrationGroup<'_>>> =
+                    (0..shard_count).map(|_| Vec::new()).collect();
+                let mut loads = vec![0u64; shard_count];
+                for (cost, item) in sized {
+                    let lightest = loads
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, load)| **load)
+                        .map(|(ix, _)| ix)
+                        .expect("at least one shard");
+                    loads[lightest] += cost;
+                    shards[lightest].push(item);
+                }
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .into_iter()
+                        .map(|shard| {
+                            scope.spawn(move || {
+                                shard
+                                    .into_iter()
+                                    .flat_map(|(station, agent, cmds)| {
+                                        Self::run_migration_group(station, agent, cmds, now)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|handle| handle.join().expect("migration worker panicked"))
+                        .collect()
+                })
+            };
+
+        // Deterministic merge: park order, regardless of which worker
+        // finished first. The reply scan and dispatch then run in exactly
+        // the order (and at the time) the inline path would have used.
+        results.sort_by_key(|(ix, _, _)| *ix);
+        for (_, station, replies) in results {
+            let extra_delay = self.scan_agent_replies(station, &replies, now);
+            self.dispatch_agent_messages(station, replies, now, extra_delay);
+        }
+        self.check_recoveries(now);
+    }
+
     /// Delivers every pending packet event: gap-filters on the main thread
     /// (control-plane state is frozen between flushes, so the per-client
     /// attachment scan happens once per client per flush, not once per
@@ -864,6 +1150,7 @@ impl Emulator {
                 continue;
             }
             let mut batch = PacketBatch::with_capacity(group.packets.len());
+            let mut hairpins: BTreeMap<StationId, PacketBatch> = BTreeMap::new();
             for (client, packet) in group.packets {
                 // Does policy say this client's traffic must traverse a
                 // chain right now, and is that chain ready on this station?
@@ -890,11 +1177,14 @@ impl Emulator {
                     match (wanted, ready) {
                         (false, _) => GapState::NoPolicy,
                         (true, Some(at)) => GapState::ReadyAt(at),
-                        (true, None) => GapState::NeverReady,
+                        (true, None) => match self.precopy_hairpin(client, group.station) {
+                            Some(source) => GapState::Hairpin(source),
+                            None => GapState::NeverReady,
+                        },
                     }
                 });
                 let in_gap = match state {
-                    GapState::NoPolicy => false,
+                    GapState::NoPolicy | GapState::Hairpin(_) => false,
                     GapState::ReadyAt(at) => group.time < *at,
                     GapState::NeverReady => true,
                 };
@@ -907,12 +1197,26 @@ impl Emulator {
                     }
                     continue;
                 }
+                if let GapState::Hairpin(source) = state {
+                    tally.hairpinned += 1;
+                    hairpins
+                        .entry(*source)
+                        .or_insert_with(|| PacketBatch::with_capacity(4))
+                        .push(packet);
+                    continue;
+                }
                 batch.push(packet);
             }
             if !batch.is_empty() {
                 jobs.entry(group.station)
                     .or_default()
                     .push((group.time, batch));
+            }
+            // Hairpinned packets join the source station's work at the same
+            // timestamp (station order after the native batch: deterministic
+            // for any worker count).
+            for (source, detour) in hairpins {
+                jobs.entry(source).or_default().push((group.time, detour));
             }
         }
 
@@ -1019,6 +1323,20 @@ impl Emulator {
         self.packets.dropped_in_gap += tally.dropped_in_gap;
         self.packets.bypassed_in_gap += tally.bypassed_in_gap;
         self.packets.dropped_station_down += tally.dropped_station_down;
+        self.packets.hairpinned += tally.hairpinned;
+    }
+
+    /// Runs one station's parked migration commands, in park order, on
+    /// whichever thread owns it.
+    fn run_migration_group(
+        station: StationId,
+        agent: &mut Agent,
+        cmds: Vec<(usize, ManagerToAgent)>,
+        now: SimTime,
+    ) -> Vec<(usize, StationId, Vec<AgentToManager>)> {
+        cmds.into_iter()
+            .map(|(ix, msg)| (ix, station, agent.handle_manager_msg(msg, now)))
+            .collect()
     }
 
     /// Processes one station's coalesced batches on whichever thread owns it.
@@ -1055,6 +1373,7 @@ impl Emulator {
             .migrations()
             .map(MigrationSummary::from_record)
             .collect();
+        let migration = MigrationReport::from_summaries(&migrations);
         let mut downtime_ms = Histogram::new();
         for m in &migrations {
             if let Some(d) = m.downtime_ms {
@@ -1090,6 +1409,7 @@ impl Emulator {
             events_processed: self.queue.processed_total(),
             handovers: self.handovers,
             migrations,
+            migration,
             downtime_ms,
             deploy_latency_ms: self.deploy_latency_ms.clone(),
             packets: self.packets,
@@ -1262,6 +1582,114 @@ mod tests {
                 "RunReport must be byte-identical for workers=1 vs workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn precopy_pipeline_cuts_switchover_downtime() {
+        let config = GnfConfig {
+            migration_precopy: true,
+            ..Default::default()
+        };
+        let mut emulator = Emulator::new(Scenario::demo_roaming(config));
+        let report = emulator.run();
+
+        assert_eq!(report.handovers, 1);
+        assert_eq!(report.migrations.len(), 1);
+        assert!(report.all_migrations_completed());
+
+        let record = emulator.manager().migrations().next().unwrap();
+        assert!(record.precopy, "the run used the pre-copy pipeline");
+        assert!(record.switchover_started_at.is_some());
+        assert!(record.state_bytes > 0, "the baseline shipped NF state");
+        // The service-affecting window is strictly inside the full
+        // handover-to-restored interval: the baseline transfer ran while
+        // the source was still serving.
+        let switchover = record.switchover_downtime().unwrap();
+        let downtime = record.downtime().unwrap();
+        assert!(
+            switchover < downtime,
+            "switchover {switchover:?} must undercut full downtime {downtime:?}"
+        );
+        // Every lifecycle command of the migration went through the pool.
+        let pool = emulator.migration_pool_telemetry();
+        assert!(pool.batches > 0);
+        assert!(
+            pool.commands >= 5,
+            "precopy + prepare + delta + activate + remove, got {pool:?}"
+        );
+    }
+
+    #[test]
+    fn migration_worker_count_does_not_change_the_report() {
+        use gnf_edge::RoamTrace;
+
+        // Six clients with stateful chains roam simultaneously: a mass-roam
+        // burst whose migration lifecycles all land on the pool at the same
+        // virtual timestamps.
+        let build = || {
+            let config = GnfConfig {
+                migration_precopy: true,
+                ..Default::default()
+            };
+            let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+            let clients = builder.add_clients(6, TrafficProfile::smartphone());
+            let mut sb = builder
+                .with_config(config)
+                .with_duration(gnf_types::SimDuration::from_secs(40));
+            for client in &clients {
+                sb = sb.attach_policy(
+                    *client,
+                    vec![sample_specs()[0].clone()],
+                    TrafficSelector::all(),
+                    SimTime::from_secs(1),
+                );
+            }
+            let mut trace = RoamTrace::new();
+            for (ix, client) in clients.iter().enumerate() {
+                trace = trace.roam(
+                    SimTime::from_secs(20),
+                    *client,
+                    gnf_types::CellId::new(((ix + 1) % 4) as u64),
+                );
+            }
+            sb.with_mobility(crate::scenario::Mobility::Trace(trace))
+                .build()
+        };
+
+        let mut baseline = Emulator::new(build());
+        baseline.set_migration_workers(1);
+        let report_1 = baseline.run();
+        assert_eq!(report_1.handovers, 6);
+        assert!(report_1.migrations.len() >= 6);
+        let pool = baseline.migration_pool_telemetry();
+        assert!(
+            pool.max_batch > 1,
+            "simultaneous roams must coalesce into one pool batch, got {pool:?}"
+        );
+
+        for migration_workers in [2usize, 4] {
+            let mut pooled = Emulator::new(build());
+            pooled.set_migration_workers(migration_workers);
+            assert_eq!(pooled.migration_workers(), migration_workers);
+            let report_n = pooled.run();
+            assert_eq!(
+                serde_json::to_string(&report_1).unwrap(),
+                serde_json::to_string(&report_n).unwrap(),
+                "RunReport must be byte-identical at migration_workers={migration_workers}"
+            );
+        }
+
+        // A tight queue cap only changes when batches flush, never results.
+        let mut capped = Emulator::new(build());
+        capped.set_migration_workers(4);
+        capped.set_migration_queue_size(2);
+        let report_capped = capped.run();
+        assert!(capped.migration_pool_telemetry().cap_flushes > 0);
+        assert_eq!(
+            serde_json::to_string(&report_1).unwrap(),
+            serde_json::to_string(&report_capped).unwrap(),
+            "queue cap must not leak into the RunReport"
+        );
     }
 
     #[test]

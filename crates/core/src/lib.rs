@@ -54,5 +54,5 @@ pub mod scenario;
 
 pub use chaos::{ChaosReport, ChaosSpec, FaultEvent, FaultKind, FaultSchedule, PartitionMode};
 pub use emulator::Emulator;
-pub use report::{MigrationSummary, PacketStats, RunReport};
+pub use report::{MigrationReport, MigrationSummary, PacketStats, RunReport};
 pub use scenario::{ClientWorkload, Mobility, PolicyAttachment, Scenario, ScenarioBuilder};

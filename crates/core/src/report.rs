@@ -26,6 +26,15 @@ pub struct MigrationSummary {
     pub total_ms: Option<f64>,
     /// Bytes of NF state transferred.
     pub state_bytes: usize,
+    /// Whether the migration ran the pre-copy pipeline (baseline shipped
+    /// ahead while the source served, dirty delta replayed at cutover).
+    pub precopy: bool,
+    /// Downtime of the switchover window alone in milliseconds: the
+    /// service-affecting interval pre-copy keeps independent of state size.
+    /// Falls back to `downtime_ms` for classic monolithic migrations.
+    pub switchover_ms: Option<f64>,
+    /// Bytes of dirty delta replayed at cutover (pre-copy only).
+    pub delta_bytes: usize,
     /// Whether the migration completed.
     pub completed: bool,
     /// Terminal outcome: `"complete"`, `"failed"`, `"timed-out"`, or
@@ -46,6 +55,9 @@ impl MigrationSummary {
             downtime_ms: record.downtime().map(|d| d.as_millis_f64()),
             total_ms: record.total_duration().map(|d| d.as_millis_f64()),
             state_bytes: record.state_bytes,
+            precopy: record.precopy,
+            switchover_ms: record.switchover_downtime().map(|d| d.as_millis_f64()),
+            delta_bytes: record.delta_bytes,
             completed: record.phase == MigrationPhase::Complete,
             outcome: match record.phase {
                 MigrationPhase::Complete => "complete",
@@ -56,6 +68,56 @@ impl MigrationSummary {
             .to_string(),
             attempt: record.attempt,
         }
+    }
+}
+
+/// Aggregate view of every migration in a run: how many ran the pre-copy
+/// pipeline, how much state moved ahead of switchover versus inside it, and
+/// the distribution of the switchover window — the headline number of the
+/// mass-roaming experiment (E6). Derived purely from the Manager's migration
+/// records, so it is byte-identical for any worker/shard/pool configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// Migration records observed (including retries and failures).
+    pub total: usize,
+    /// Migrations that completed successfully.
+    pub completed: usize,
+    /// Migrations that ran the pre-copy pipeline.
+    pub precopied: usize,
+    /// Pre-copy migrations whose cutover replayed a non-empty dirty delta.
+    pub deltas_replayed: usize,
+    /// Total bytes of baseline/monolithic NF state transferred.
+    pub state_bytes_total: u64,
+    /// Total bytes of dirty delta replayed inside switchover windows.
+    pub delta_bytes_total: u64,
+    /// Distribution of the switchover window (milliseconds); classic
+    /// migrations contribute their full downtime (their entire restore sits
+    /// inside the service-affecting window).
+    pub switchover_ms: Histogram,
+}
+
+impl MigrationReport {
+    /// Aggregates the per-migration summaries.
+    pub fn from_summaries(migrations: &[MigrationSummary]) -> Self {
+        let mut report = MigrationReport::default();
+        for m in migrations {
+            report.total += 1;
+            if m.completed {
+                report.completed += 1;
+            }
+            if m.precopy {
+                report.precopied += 1;
+                if m.delta_bytes > 0 {
+                    report.deltas_replayed += 1;
+                }
+            }
+            report.state_bytes_total += m.state_bytes as u64;
+            report.delta_bytes_total += m.delta_bytes as u64;
+            if let Some(ms) = m.switchover_ms {
+                report.switchover_ms.record(ms);
+            }
+        }
+        report
     }
 }
 
@@ -81,6 +143,12 @@ pub struct PacketStats {
     /// Packets lost because they were in flight to (or arrived at) a station
     /// that had crashed and not yet restarted.
     pub dropped_station_down: u64,
+    /// Packets that arrived at a migration target while a pre-copy
+    /// migration was in flight and detoured through the still-serving
+    /// source chain (make-before-break). Informational: each such packet is
+    /// also counted in its terminal class (`forwarded`, `dropped_by_nf`,
+    /// ...), so it does not enter the conservation sum.
+    pub hairpinned: u64,
 }
 
 impl PacketStats {
@@ -104,6 +172,8 @@ pub struct RunReport {
     pub handovers: u64,
     /// Per-migration summaries.
     pub migrations: Vec<MigrationSummary>,
+    /// Aggregate migration accounting (pre-copy counts, switchover CDF).
+    pub migration: MigrationReport,
     /// Distribution of migration downtime (milliseconds).
     pub downtime_ms: Histogram,
     /// Distribution of chain deployment latency (milliseconds).
@@ -147,7 +217,8 @@ impl RunReport {
         format!(
             "run of {} ({} events): {} handovers, {} migrations ({} completed), \
              mean downtime {:.1} ms (p99 {:.1} ms), mean deploy {:.1} ms, \
-             packets: {} generated / {} forwarded / {} dropped-by-NF / {} replied / {} gap-dropped / {} gap-bypassed / {} station-down-dropped, \
+             pre-copy: {} migrations ({} deltas replayed, {} delta bytes, switchover p99 {:.1} ms), \
+             packets: {} generated / {} forwarded / {} dropped-by-NF / {} replied / {} gap-dropped / {} gap-bypassed / {} station-down-dropped / {} precopy-hairpinned, \
              flow cache: {:.0}% hit rate ({} hits / {} misses), \
              megaflow: {:.0}% hit rate ({} hits / {} misses, {} drop-bypassed, {} entries / {} masks), \
              batches: {} (mean size {:.1}, max {}), \
@@ -161,6 +232,10 @@ impl RunReport {
             self.downtime_ms.mean(),
             self.downtime_ms.p99(),
             self.deploy_latency_ms.mean(),
+            self.migration.precopied,
+            self.migration.deltas_replayed,
+            self.migration.delta_bytes_total,
+            self.migration.switchover_ms.p99(),
             self.packets.generated,
             self.packets.forwarded,
             self.packets.dropped_by_nf,
@@ -168,6 +243,7 @@ impl RunReport {
             self.packets.dropped_in_gap,
             self.packets.bypassed_in_gap,
             self.packets.dropped_station_down,
+            self.packets.hairpinned,
             self.flow_cache.hit_rate() * 100.0,
             self.flow_cache.stats.hits,
             self.flow_cache.stats.misses,
@@ -205,6 +281,7 @@ mod tests {
             dropped_in_gap: 3,
             bypassed_in_gap: 2,
             dropped_station_down: 0,
+            hairpinned: 0,
         };
         assert!((stats.gap_fraction() - 0.05).abs() < 1e-12);
         assert_eq!(PacketStats::default().gap_fraction(), 0.0);
@@ -224,10 +301,26 @@ mod tests {
                 downtime_ms: Some(450.0),
                 total_ms: Some(600.0),
                 state_bytes: 128,
+                precopy: true,
+                switchover_ms: Some(90.0),
+                delta_bytes: 24,
                 completed: true,
                 outcome: "complete".to_string(),
                 attempt: 0,
             }],
+            migration: MigrationReport {
+                total: 1,
+                completed: 1,
+                precopied: 1,
+                deltas_replayed: 1,
+                state_bytes_total: 128,
+                delta_bytes_total: 24,
+                switchover_ms: {
+                    let mut h = Histogram::new();
+                    h.record(90.0);
+                    h
+                },
+            },
             downtime_ms: {
                 let mut h = Histogram::new();
                 h.record(450.0);
@@ -242,6 +335,7 @@ mod tests {
                 replied_by_nf: 0,
                 bypassed_in_gap: 0,
                 dropped_station_down: 0,
+                hairpinned: 0,
             },
             flow_cache: FlowCacheTelemetry {
                 stats: gnf_types::FlowCacheStats {
@@ -265,5 +359,67 @@ mod tests {
         assert!(text.contains("450.0 ms"));
         assert!(text.contains("10 generated"));
         assert!(text.contains("80% hit rate"));
+        assert!(text.contains("1 deltas replayed"));
+        assert!(text.contains("switchover p99 90.0 ms"));
+    }
+
+    #[test]
+    fn migration_report_aggregates_summaries() {
+        let precopied = MigrationSummary {
+            client: 1,
+            chain: 1,
+            from: 0,
+            to: 1,
+            downtime_ms: Some(700.0),
+            total_ms: Some(900.0),
+            state_bytes: 4_000,
+            precopy: true,
+            switchover_ms: Some(100.0),
+            delta_bytes: 64,
+            completed: true,
+            outcome: "complete".to_string(),
+            attempt: 0,
+        };
+        let classic = MigrationSummary {
+            client: 2,
+            chain: 2,
+            from: 1,
+            to: 0,
+            downtime_ms: Some(500.0),
+            total_ms: Some(650.0),
+            state_bytes: 2_000,
+            precopy: false,
+            switchover_ms: Some(500.0),
+            delta_bytes: 0,
+            completed: true,
+            outcome: "complete".to_string(),
+            attempt: 0,
+        };
+        let aborted = MigrationSummary {
+            client: 3,
+            chain: 3,
+            from: 0,
+            to: 1,
+            downtime_ms: None,
+            total_ms: None,
+            state_bytes: 0,
+            precopy: true,
+            switchover_ms: None,
+            delta_bytes: 0,
+            completed: false,
+            outcome: "timed-out".to_string(),
+            attempt: 0,
+        };
+        let report = MigrationReport::from_summaries(&[precopied, classic, aborted]);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.precopied, 2);
+        assert_eq!(report.deltas_replayed, 1, "only non-empty deltas count");
+        assert_eq!(report.state_bytes_total, 6_000);
+        assert_eq!(report.delta_bytes_total, 64);
+        assert_eq!(report.switchover_ms.count(), 2);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MigrationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 }

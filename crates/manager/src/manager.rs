@@ -2,7 +2,7 @@
 
 use crate::migration::{MigrationPhase, MigrationRecord};
 use gnf_api::messages::{AgentToManager, ManagerToAgent};
-use gnf_nf::{NfEventSeverity, NfSpec, NfStateSnapshot};
+use gnf_nf::{NfEventSeverity, NfSpec, NfStateDelta, NfStateSnapshot};
 use gnf_switch::TrafficSelector;
 use gnf_telemetry::{
     HotspotDetector, MonitoringStore, NotificationLog, NotificationSeverity, NotificationSource,
@@ -352,6 +352,22 @@ impl Manager {
                 state,
                 ..
             } => self.on_chain_state(chain, client, migration, state),
+            AgentToManager::ChainPreCopy {
+                chain,
+                client,
+                migration,
+                state,
+                ..
+            } => self.on_chain_precopy(chain, client, migration, state),
+            AgentToManager::ChainPrepared {
+                chain, migration, ..
+            } => self.on_chain_prepared(chain, migration, now),
+            AgentToManager::ChainDelta {
+                chain,
+                migration,
+                deltas,
+                ..
+            } => self.on_chain_delta(chain, migration, deltas),
             AgentToManager::NfNotification {
                 chain,
                 client,
@@ -469,7 +485,12 @@ impl Manager {
             .filter(|(_, r)| {
                 matches!(
                     r.phase,
-                    MigrationPhase::AwaitingState | MigrationPhase::Deploying
+                    MigrationPhase::AwaitingState
+                        | MigrationPhase::Deploying
+                        | MigrationPhase::AwaitingPreCopy
+                        | MigrationPhase::Preparing
+                        | MigrationPhase::AwaitingDelta
+                        | MigrationPhase::SwitchingOver
                 ) && r.deadline.is_some_and(|d| now >= d)
             })
             .map(|(id, _)| *id)
@@ -478,6 +499,7 @@ impl Manager {
             let Some(record) = self.migrations.get_mut(&id) else {
                 continue;
             };
+            let aborted_in = record.phase;
             record.phase = MigrationPhase::TimedOut;
             record.failure = Some("migration deadline exceeded".into());
             let record = record.clone();
@@ -493,6 +515,30 @@ impl Manager {
                         attachment.active = true;
                     }
                 }
+            }
+            // A pre-copy migration aborted once `PrepareChain` went out may
+            // have left a staged (steering-less) chain on the target; tear it
+            // down so an `already_exists` reconciliation on a later retry can
+            // never activate a stale baseline. The removal carries the
+            // migration id so `on_chain_removed` treats it as abort cleanup,
+            // not a detach; a not-found reply (the target never staged it) is
+            // benign.
+            if record.precopy
+                && matches!(
+                    aborted_in,
+                    MigrationPhase::Preparing
+                        | MigrationPhase::AwaitingDelta
+                        | MigrationPhase::SwitchingOver
+                )
+            {
+                actions.push(ManagerAction::send(
+                    record.to,
+                    ManagerToAgent::RemoveChain {
+                        chain: record.chain,
+                        client: record.client,
+                        migration: Some(id),
+                    },
+                ));
             }
             self.notifications.raise(
                 now,
@@ -672,6 +718,39 @@ impl Manager {
         )
     }
 
+    /// Like [`Manager::deploy_action`] but without touching the attachment:
+    /// used for the target-side deploy of a make-before-break migration,
+    /// where the source chain keeps serving throughout the checkpoint/restore
+    /// round-trip. The attachment stays pointed at the serving source for
+    /// the whole phase and only flips when the target confirms — each phase
+    /// updates the attachment table on its own completion instead of the
+    /// table being claimed for the entire migration.
+    fn deploy_action_keep_serving(
+        &self,
+        attachment: &AttachmentRecord,
+        station: StationId,
+        migration: MigrationId,
+        restore_state: Vec<NfStateSnapshot>,
+    ) -> ManagerAction {
+        let client_mac = self
+            .clients
+            .get(&attachment.client)
+            .map(|c| c.mac)
+            .unwrap_or(MacAddr::ZERO);
+        ManagerAction::send(
+            station,
+            ManagerToAgent::DeployChain {
+                chain: attachment.chain,
+                client: attachment.client,
+                client_mac,
+                specs: attachment.specs.clone(),
+                selector: attachment.selector,
+                restore_state: Some(restore_state),
+                migration: Some(migration),
+            },
+        )
+    }
+
     fn on_client_connected(
         &mut self,
         station: StationId,
@@ -757,9 +836,14 @@ impl Manager {
         };
         let id: MigrationId = self.migration_ids.next_id();
         let with_state = self.config.make_before_break;
+        let precopy = with_state && self.config.migration_precopy;
         let mut record = MigrationRecord::new(id, chain, client, from, to, now, with_state);
         record.attempt = attempt;
         record.deadline = Some(now + self.config.migration_deadline);
+        if precopy {
+            record.precopy = true;
+            record.phase = MigrationPhase::AwaitingPreCopy;
+        }
         self.migrations.insert(id, record);
         self.stats.migrations_started += 1;
         self.notifications.raise(
@@ -771,7 +855,20 @@ impl Manager {
             Some(client),
         );
 
-        if with_state {
+        if precopy {
+            // Pre-copy pipeline: ship the bulk of the state ahead of
+            // switchover while the source keeps serving, then replay only
+            // the dirty delta at cutover. The source retains the exported
+            // baseline so the later `DeltaChain` can diff against it.
+            vec![ManagerAction::send(
+                from,
+                ManagerToAgent::PreCopyChain {
+                    chain,
+                    client,
+                    migration: id,
+                },
+            )]
+        } else if with_state {
             // Make-before-break: fetch the state first, deploy on the target,
             // and only then tear down the source.
             vec![ManagerAction::send(
@@ -820,14 +917,113 @@ impl Manager {
         record.state_bytes = state.iter().map(|s| s.approximate_size_bytes()).sum();
         record.phase = MigrationPhase::Deploying;
         let to = record.to;
-        let Some(attachment) = self.attachments.get(&chain).cloned() else {
+        // The attachment is deliberately NOT updated here: the source chain
+        // keeps serving during the restore, so the attachment keeps pointing
+        // at it until the target's deploy confirmation flips it
+        // (on_chain_deployed). Claiming the attachment for the whole
+        // checkpoint/restore round-trip would mark the chain inactive — and
+        // mis-route concurrent steering decisions — for the entire window.
+        let Some(attachment) = self.attachments.get(&chain) else {
             return Vec::new();
         };
-        let mut updated = attachment;
-        let action = self.deploy_action(&mut updated, to, Some((migration, state)));
-        self.attachments.insert(chain, updated);
+        let action = self.deploy_action_keep_serving(attachment, to, migration, state);
         let _ = client;
         vec![action]
+    }
+
+    fn on_chain_precopy(
+        &mut self,
+        chain: ChainId,
+        client: ClientId,
+        migration: MigrationId,
+        state: Vec<NfStateSnapshot>,
+    ) -> Vec<ManagerAction> {
+        let Some(record) = self.migrations.get_mut(&migration) else {
+            return Vec::new();
+        };
+        // A baseline arriving after the migration was aborted (timed out,
+        // failed, superseded) must not restart the pipeline.
+        if record.phase != MigrationPhase::AwaitingPreCopy {
+            return Vec::new();
+        }
+        record.state_bytes = state.iter().map(|s| s.approximate_size_bytes()).sum();
+        record.phase = MigrationPhase::Preparing;
+        let to = record.to;
+        let Some(attachment) = self.attachments.get(&chain) else {
+            return Vec::new();
+        };
+        let client_mac = self
+            .clients
+            .get(&client)
+            .map(|c| c.mac)
+            .unwrap_or(MacAddr::ZERO);
+        // Stage the chain on the target: containers plus baseline, no
+        // steering. The attachment stays pointed at the serving source.
+        vec![ManagerAction::send(
+            to,
+            ManagerToAgent::PrepareChain {
+                chain,
+                client,
+                client_mac,
+                specs: attachment.specs.clone(),
+                selector: attachment.selector,
+                precopy_state: state,
+                migration,
+            },
+        )]
+    }
+
+    fn on_chain_prepared(
+        &mut self,
+        chain: ChainId,
+        migration: MigrationId,
+        now: SimTime,
+    ) -> Vec<ManagerAction> {
+        let Some(record) = self.migrations.get_mut(&migration) else {
+            return Vec::new();
+        };
+        if record.phase != MigrationPhase::Preparing {
+            return Vec::new();
+        }
+        // The staged target is ready: the switchover window opens now, with
+        // the request for the source's dirty delta.
+        record.phase = MigrationPhase::AwaitingDelta;
+        record.switchover_started_at = Some(now);
+        let (from, client) = (record.from, record.client);
+        vec![ManagerAction::send(
+            from,
+            ManagerToAgent::DeltaChain {
+                chain,
+                client,
+                migration,
+            },
+        )]
+    }
+
+    fn on_chain_delta(
+        &mut self,
+        chain: ChainId,
+        migration: MigrationId,
+        deltas: Vec<NfStateDelta>,
+    ) -> Vec<ManagerAction> {
+        let Some(record) = self.migrations.get_mut(&migration) else {
+            return Vec::new();
+        };
+        if record.phase != MigrationPhase::AwaitingDelta {
+            return Vec::new();
+        }
+        record.delta_bytes = deltas.iter().map(|d| d.approximate_size_bytes()).sum();
+        record.phase = MigrationPhase::SwitchingOver;
+        let (to, client) = (record.to, record.client);
+        vec![ManagerAction::send(
+            to,
+            ManagerToAgent::ActivateChain {
+                chain,
+                client,
+                migration,
+                deltas,
+            },
+        )]
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -868,6 +1064,14 @@ impl Manager {
                     record.phase,
                     MigrationPhase::Deploying
                         | MigrationPhase::AwaitingState
+                        // Pre-copy phases: SwitchingOver is the normal
+                        // activation confirmation; Preparing/AwaitingDelta
+                        // cover an `already_exists` reconciliation where the
+                        // target already serves the chain (a prior attempt's
+                        // activation outran its lost reply).
+                        | MigrationPhase::Preparing
+                        | MigrationPhase::AwaitingDelta
+                        | MigrationPhase::SwitchingOver
                         | MigrationPhase::TimedOut
                 ) {
                     if record.with_state {
@@ -1007,9 +1211,11 @@ impl Manager {
             format!("command failed on {from}: {error}"),
             None,
         );
+        let mut actions = Vec::new();
         if let Some(id) = migration {
             if let Some(record) = self.migrations.get_mut(&id) {
                 if !record.is_finished() {
+                    let failed_in = record.phase;
                     record.phase = MigrationPhase::Failed;
                     record.failure = Some(error.to_string());
                     let record = record.clone();
@@ -1024,6 +1230,25 @@ impl Manager {
                             }
                         }
                     }
+                    // A source-side failure after the target confirmed its
+                    // staging (pre-copy) leaves a staged chain behind there;
+                    // tear it down so no stale baseline survives to a retry.
+                    if record.precopy
+                        && from == record.from
+                        && matches!(
+                            failed_in,
+                            MigrationPhase::AwaitingDelta | MigrationPhase::SwitchingOver
+                        )
+                    {
+                        actions.push(ManagerAction::send(
+                            record.to,
+                            ManagerToAgent::RemoveChain {
+                                chain: record.chain,
+                                client: record.client,
+                                migration: Some(id),
+                            },
+                        ));
+                    }
                     if record.attempt < self.config.migration_max_retries {
                         self.pending_retries.push(RetryPlan {
                             chain: record.chain,
@@ -1037,7 +1262,7 @@ impl Manager {
                 }
             }
         }
-        Vec::new()
+        actions
     }
 }
 
@@ -1807,5 +2032,224 @@ mod tests {
         let stats = m.stats();
         assert_eq!(stats.messages_received, 2);
         assert!(stats.messages_sent >= 1);
+    }
+
+    /// Sets up a pre-copy Manager with a chain serving client 0 on station 0
+    /// and the client roamed to station 1, returning (chain, migration id)
+    /// with the pipeline stopped in `AwaitingPreCopy`.
+    fn start_precopy_migration(m: &mut Manager) -> (ChainId, MigrationId) {
+        register(m, 0, SimTime::ZERO);
+        register(m, 1, SimTime::ZERO);
+        connect_client(m, 0, 0, SimTime::from_secs(1));
+        let (chain, _) = m
+            .attach_chain(
+                ClientId::new(0),
+                firewall_spec(),
+                TrafficSelector::all(),
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(200),
+                images_cached: false,
+                migration: None,
+            },
+            SimTime::from_secs(3),
+        );
+        let actions = connect_client(m, 1, 0, SimTime::from_secs(10));
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(0));
+        let ManagerToAgent::PreCopyChain { migration, .. } = message else {
+            panic!("expected a pre-copy command, got {message:?}");
+        };
+        (chain, *migration)
+    }
+
+    #[test]
+    fn precopy_migration_runs_the_full_pipeline() {
+        let mut m = Manager::new(GnfConfig::default().with_migration_precopy(true));
+        let (chain, migration) = start_precopy_migration(&mut m);
+        let record = m.migrations().find(|r| r.id == migration).unwrap();
+        assert!(record.precopy);
+        assert_eq!(record.phase, MigrationPhase::AwaitingPreCopy);
+        // The attachment keeps pointing at the serving source all the way to
+        // switchover.
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(0)));
+        assert!(attachment.active);
+
+        // Source ships the baseline → the Manager stages it on the target.
+        let baseline = vec![NfStateSnapshot::Firewall {
+            established: vec![],
+        }];
+        let actions = m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainPreCopy {
+                chain,
+                client: ClientId::new(0),
+                migration,
+                state: baseline,
+                checkpoint_latency: SimDuration::from_millis(30),
+            },
+            SimTime::from_millis(10_100),
+        );
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(1));
+        assert!(matches!(message, ManagerToAgent::PrepareChain { .. }));
+        assert_eq!(
+            m.migrations().find(|r| r.id == migration).unwrap().phase,
+            MigrationPhase::Preparing
+        );
+
+        // Target confirms the staging → switchover opens: delta requested.
+        let actions = m.handle_agent_msg(
+            StationId::new(1),
+            AgentToManager::ChainPrepared {
+                chain,
+                client: ClientId::new(0),
+                migration,
+                latency: SimDuration::from_millis(400),
+                images_cached: false,
+            },
+            SimTime::from_millis(10_600),
+        );
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(0));
+        assert!(matches!(message, ManagerToAgent::DeltaChain { .. }));
+        let record = m.migrations().find(|r| r.id == migration).unwrap();
+        assert_eq!(record.phase, MigrationPhase::AwaitingDelta);
+        assert_eq!(
+            record.switchover_started_at,
+            Some(SimTime::from_millis(10_600))
+        );
+        // Still serving from the source.
+        assert_eq!(
+            m.attachment(chain).unwrap().station,
+            Some(StationId::new(0))
+        );
+
+        // Source ships the dirty delta → activation on the target.
+        let actions = m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainDelta {
+                chain,
+                client: ClientId::new(0),
+                migration,
+                deltas: vec![NfStateDelta::Unchanged],
+                checkpoint_latency: SimDuration::from_millis(1),
+            },
+            SimTime::from_millis(10_650),
+        );
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(1));
+        assert!(matches!(message, ManagerToAgent::ActivateChain { .. }));
+
+        // Target activates (reports ChainDeployed) → old side torn down.
+        let actions = m.handle_agent_msg(
+            StationId::new(1),
+            AgentToManager::ChainDeployed {
+                chain,
+                client: ClientId::new(0),
+                latency: SimDuration::from_millis(5),
+                images_cached: true,
+                migration: Some(migration),
+            },
+            SimTime::from_millis(10_700),
+        );
+        assert_eq!(actions.len(), 1);
+        let ManagerAction::Send { station, message } = &actions[0];
+        assert_eq!(*station, StationId::new(0));
+        assert!(matches!(message, ManagerToAgent::RemoveChain { .. }));
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(1)));
+        assert!(attachment.active);
+
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainRemoved {
+                chain,
+                client: ClientId::new(0),
+                migration: Some(migration),
+            },
+            SimTime::from_millis(10_900),
+        );
+        let record = m.migrations().find(|r| r.id == migration).unwrap();
+        assert_eq!(record.phase, MigrationPhase::Complete);
+        // Switchover downtime counts only the delta window (10.6s → 10.7s),
+        // not the whole migration (10s → 10.7s).
+        assert_eq!(
+            record.switchover_downtime().unwrap(),
+            SimDuration::from_millis(100)
+        );
+        assert_eq!(record.downtime().unwrap(), SimDuration::from_millis(700));
+    }
+
+    #[test]
+    fn timed_out_precopy_migration_cleans_up_the_staged_target() {
+        let mut m = Manager::new(GnfConfig::default().with_migration_precopy(true));
+        let (chain, migration) = start_precopy_migration(&mut m);
+        // Baseline arrives, staging starts... and then nothing: the
+        // PrepareChain reply is lost.
+        m.handle_agent_msg(
+            StationId::new(0),
+            AgentToManager::ChainPreCopy {
+                chain,
+                client: ClientId::new(0),
+                migration,
+                state: vec![NfStateSnapshot::Firewall {
+                    established: vec![],
+                }],
+                checkpoint_latency: SimDuration::from_millis(30),
+            },
+            SimTime::from_millis(10_100),
+        );
+
+        // Past the deadline the abort must (a) keep the source serving and
+        // (b) tear the possibly-staged chain off the target so no stale
+        // baseline survives to the retry.
+        let deadline = SimTime::from_secs(10) + GnfConfig::default().migration_deadline;
+        let actions = m.tick(deadline + SimDuration::from_secs(1));
+        let cleanup = actions
+            .iter()
+            .filter(|a| {
+                let ManagerAction::Send { station, message } = a;
+                *station == StationId::new(1)
+                    && matches!(
+                        message,
+                        ManagerToAgent::RemoveChain {
+                            migration: Some(id),
+                            ..
+                        } if *id == migration
+                    )
+            })
+            .count();
+        assert_eq!(cleanup, 1);
+        let record = m.migrations().find(|r| r.id == migration).unwrap();
+        assert_eq!(record.phase, MigrationPhase::TimedOut);
+        let attachment = m.attachment(chain).unwrap();
+        assert_eq!(attachment.station, Some(StationId::new(0)));
+        assert!(attachment.active);
+        // The cleanup's confirmation must not resurrect the aborted record.
+        m.handle_agent_msg(
+            StationId::new(1),
+            AgentToManager::ChainRemoved {
+                chain,
+                client: ClientId::new(0),
+                migration: Some(migration),
+            },
+            deadline + SimDuration::from_secs(2),
+        );
+        assert_eq!(
+            m.migrations().find(|r| r.id == migration).unwrap().phase,
+            MigrationPhase::TimedOut
+        );
     }
 }

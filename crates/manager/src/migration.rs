@@ -15,6 +15,18 @@ use serde::{Deserialize, Serialize};
 pub enum MigrationPhase {
     /// Waiting for the source station to return the chain's NF state.
     AwaitingState,
+    /// Pre-copy pipeline: waiting for the source to export (and retain) the
+    /// baseline state while it keeps serving.
+    AwaitingPreCopy,
+    /// Pre-copy pipeline: waiting for the target to stage the chain
+    /// (containers deployed, baseline imported, no steering yet).
+    Preparing,
+    /// Pre-copy pipeline: waiting for the source's dirty delta. Switchover
+    /// has begun — the clock for switchover downtime starts here.
+    AwaitingDelta,
+    /// Pre-copy pipeline: waiting for the target to replay the delta and
+    /// install steering.
+    SwitchingOver,
     /// Waiting for the target station to finish deploying the chain.
     Deploying,
     /// Waiting for the source station to confirm removal of the old chain.
@@ -65,6 +77,17 @@ pub struct MigrationRecord {
     /// done). False for plain redeploys — e.g. a retry after the source
     /// station crashed, where there is no state left to move.
     pub with_state: bool,
+    /// Whether this migration runs the pre-copy pipeline (baseline shipped
+    /// ahead of switchover, dirty delta replayed at cutover) instead of the
+    /// classic monolithic checkpoint/restore.
+    pub precopy: bool,
+    /// When the switchover window opened: the target reported the staged
+    /// chain ready and the Manager requested the source's dirty delta.
+    /// Pre-copy migrations only.
+    pub switchover_started_at: Option<SimTime>,
+    /// Bytes of dirty delta replayed during the switchover window.
+    /// Pre-copy migrations only.
+    pub delta_bytes: usize,
 }
 
 impl MigrationRecord {
@@ -97,6 +120,9 @@ impl MigrationRecord {
             deadline: None,
             attempt: 0,
             with_state,
+            precopy: false,
+            switchover_started_at: None,
+            delta_bytes: 0,
         }
     }
 
@@ -105,6 +131,20 @@ impl MigrationRecord {
     pub fn downtime(&self) -> Option<SimDuration> {
         self.service_restored_at
             .map(|restored| restored.duration_since(self.started_at))
+    }
+
+    /// Downtime of the switchover window alone: for a pre-copy migration,
+    /// from the instant the staged target was ready (and the dirty delta was
+    /// requested) until steering switched over. This is the service-affecting
+    /// interval that the pre-copy pipeline keeps independent of state size;
+    /// for classic migrations it degenerates to the full [`downtime`].
+    ///
+    /// [`downtime`]: MigrationRecord::downtime
+    pub fn switchover_downtime(&self) -> Option<SimDuration> {
+        match (self.switchover_started_at, self.service_restored_at) {
+            (Some(start), Some(restored)) => Some(restored.duration_since(start)),
+            _ => self.downtime(),
+        }
     }
 
     /// Total migration duration (until the old chain was removed).
@@ -164,6 +204,38 @@ mod tests {
         assert!(record.with_state);
         record.phase = MigrationPhase::TimedOut;
         assert!(record.is_finished());
+    }
+
+    #[test]
+    fn switchover_downtime_is_the_delta_window_for_precopy() {
+        let mut record = MigrationRecord::new(
+            MigrationId::new(4),
+            ChainId::new(1),
+            ClientId::new(1),
+            StationId::new(0),
+            StationId::new(1),
+            SimTime::from_secs(10),
+            true,
+        );
+        record.precopy = true;
+        record.phase = MigrationPhase::AwaitingPreCopy;
+        assert!(!record.is_finished());
+
+        // Classic fallback while the switchover clock has not started.
+        record.service_restored_at = Some(SimTime::from_secs(13));
+        assert_eq!(
+            record.switchover_downtime().unwrap(),
+            SimDuration::from_secs(3)
+        );
+
+        // Once the staged target was ready at t=12s, only the final second
+        // counts as switchover downtime.
+        record.switchover_started_at = Some(SimTime::from_secs(12));
+        assert_eq!(
+            record.switchover_downtime().unwrap(),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(record.downtime().unwrap(), SimDuration::from_secs(3));
     }
 
     #[test]

@@ -192,6 +192,14 @@ impl NetworkFunction for HttpCache {
             }
         }
     }
+
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        if matches!(state, NfStateSnapshot::HttpCache { .. }) {
+            self.entries.clear();
+            self.lru.clear();
+        }
+        self.import_state(state);
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use crate::nf::{
     Direction, FieldsConsulted, NetworkFunction, NfContext, NfEvent, NfStats, Verdict,
 };
 use crate::spec::NfKind;
-use crate::state::NfStateSnapshot;
+use crate::state::{NfStateDelta, NfStateSnapshot};
 use gnf_packet::{FieldMask, Packet, PacketBatch};
 use std::borrow::Cow;
 use std::sync::Arc;
@@ -361,6 +361,31 @@ impl NfChain {
     pub fn import_state(&mut self, states: Vec<NfStateSnapshot>) {
         for (nf, state) in self.nfs.iter_mut().zip(states) {
             nf.import_state(state);
+        }
+    }
+
+    /// Replaces every member NF's state wholesale with `states` (chain
+    /// order), discarding anything accumulated locally. Used when a pre-copy
+    /// baseline is (re-)staged on a migration target: unlike
+    /// [`NfChain::import_state`] this does not merge with prior contents.
+    pub fn replace_state(&mut self, states: Vec<NfStateSnapshot>) {
+        for (nf, state) in self.nfs.iter_mut().zip(states) {
+            nf.replace_state(state);
+        }
+    }
+
+    /// Applies one pre-copy delta per NF (chain order) on top of the current
+    /// state: each NF's state is exported, patched with
+    /// [`NfStateDelta::apply`], and replaced. After this the chain's exported
+    /// state is identical to the source's at the moment the deltas were
+    /// diffed.
+    pub fn apply_state_deltas(&mut self, deltas: Vec<NfStateDelta>) {
+        for (nf, delta) in self.nfs.iter_mut().zip(deltas) {
+            if matches!(delta, NfStateDelta::Unchanged) {
+                continue;
+            }
+            let base = nf.export_state();
+            nf.replace_state(delta.apply(&base));
         }
     }
 

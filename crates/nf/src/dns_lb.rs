@@ -213,6 +213,13 @@ impl NetworkFunction for DnsLoadBalancer {
             }
         }
     }
+
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        if matches!(state, NfStateSnapshot::DnsLoadBalancer { .. }) {
+            self.assignments.clear();
+        }
+        self.import_state(state);
+    }
 }
 
 #[cfg(test)]

@@ -743,6 +743,13 @@ impl NetworkFunction for Firewall {
             }
         }
     }
+
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        if matches!(state, NfStateSnapshot::Firewall { .. }) {
+            self.conntrack.clear();
+        }
+        self.import_state(state);
+    }
 }
 
 #[cfg(test)]

@@ -213,6 +213,11 @@ impl NetworkFunction for Ids {
         }
     }
 
+    // IDS import already replaces its window wholesale, so replace == import.
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        self.import_state(state);
+    }
+
     fn drain_events(&mut self) -> Vec<NfEvent> {
         std::mem::take(&mut self.events)
     }

@@ -71,4 +71,4 @@ pub use nf::{
     Verdict,
 };
 pub use spec::{instantiate_chain, NfConfig, NfKind, NfSpec};
-pub use state::NfStateSnapshot;
+pub use state::{NfStateDelta, NfStateSnapshot};

@@ -238,6 +238,14 @@ impl NetworkFunction for Nat {
             self.next_port = next_port;
         }
     }
+
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        if matches!(state, NfStateSnapshot::Nat { .. }) {
+            self.forward.clear();
+            self.reverse.clear();
+        }
+        self.import_state(state);
+    }
 }
 
 #[cfg(test)]

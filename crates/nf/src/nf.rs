@@ -354,6 +354,21 @@ pub trait NetworkFunction: Send {
     /// [`export_state`]: NetworkFunction::export_state
     fn import_state(&mut self, _state: NfStateSnapshot) {}
 
+    /// Replaces the NF's dynamic state wholesale with `state`, discarding
+    /// anything accumulated locally.
+    ///
+    /// [`import_state`] merges (it only ever inserts), which is right for
+    /// layering a checkpoint onto a freshly created NF but wrong for applying
+    /// a pre-copy delta: entries *removed* between baseline and cutover must
+    /// disappear on the target too. Stateful NFs override this to clear their
+    /// tables before importing; the default (import into a fresh NF) is
+    /// correct for stateless NFs.
+    ///
+    /// [`import_state`]: NetworkFunction::import_state
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        self.import_state(state);
+    }
+
     /// Drains any pending events to be relayed to the Manager.
     ///
     /// The default implementation returns no events.

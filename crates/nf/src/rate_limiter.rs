@@ -283,6 +283,13 @@ impl NetworkFunction for RateLimiter {
         }
     }
 
+    fn replace_state(&mut self, state: NfStateSnapshot) {
+        if matches!(state, NfStateSnapshot::RateLimiter { .. }) {
+            self.buckets.clear();
+        }
+        self.import_state(state);
+    }
+
     fn drain_events(&mut self) -> Vec<NfEvent> {
         std::mem::take(&mut self.events)
     }

@@ -81,6 +81,321 @@ impl NfStateSnapshot {
     }
 }
 
+/// Incremental difference between two [`NfStateSnapshot`]s of the same NF,
+/// used by pre-copy migration: the source ships a full baseline ahead of
+/// switchover, keeps serving, and at cutover ships only this delta — so the
+/// data that crosses the wire during the service-affecting window scales with
+/// churn, not with table size.
+///
+/// The contract is `delta.apply(&base) == current` whenever
+/// `delta == NfStateDelta::diff(&base, &current)`; `apply` reproduces each
+/// NF's canonical export ordering so the result compares byte-for-byte with a
+/// fresh monolithic checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NfStateDelta {
+    /// The state did not change since the baseline.
+    Unchanged,
+    /// Conntrack churn: new/refreshed flows and flows pruned by the idle
+    /// timeout.
+    Firewall {
+        /// Flows added or whose last-seen timestamp advanced.
+        upserts: Vec<(FiveTuple, u64)>,
+        /// Flows present in the baseline but since pruned.
+        removals: Vec<FiveTuple>,
+    },
+    /// Token-bucket churn plus the refill clock.
+    RateLimiter {
+        /// Buckets added or whose level changed.
+        upserts: Vec<(FiveTuple, f64)>,
+        /// Buckets dropped since the baseline.
+        removals: Vec<FiveTuple>,
+        /// Current refill timestamp (always shipped: it advances with time).
+        last_refill_nanos: u64,
+    },
+    /// Translation-table churn plus the port allocator cursor.
+    Nat {
+        /// Mappings added since the baseline.
+        upserts: Vec<(FiveTuple, u16)>,
+        /// Mappings removed since the baseline.
+        removals: Vec<FiveTuple>,
+        /// Current ephemeral-port cursor.
+        next_port: u16,
+    },
+    /// Scheduling-state churn. The assignment key sequence is the backend
+    /// list, which is configuration and therefore identical on both sides;
+    /// only changed counts travel.
+    DnsLoadBalancer {
+        /// Index of the next round-robin backend.
+        next_backend: usize,
+        /// Backends whose assignment count changed.
+        upserts: Vec<(Ipv4Addr, u64)>,
+    },
+    /// Per-source counter churn plus the window clock.
+    Ids {
+        /// Sources added or whose SYN count changed.
+        upserts: Vec<(Ipv4Addr, u64)>,
+        /// Sources cleared since the baseline (window reset).
+        removals: Vec<Ipv4Addr>,
+        /// Current window start.
+        window_start_nanos: u64,
+    },
+    /// Fallback for order-sensitive state (the LRU-ordered HTTP cache) and
+    /// for variant mismatches: ship the full current snapshot.
+    Full(NfStateSnapshot),
+}
+
+impl NfStateDelta {
+    /// Computes the delta that turns `base` into `current`.
+    pub fn diff(base: &NfStateSnapshot, current: &NfStateSnapshot) -> Self {
+        if base == current {
+            return NfStateDelta::Unchanged;
+        }
+        match (base, current) {
+            (
+                NfStateSnapshot::Firewall { established: b },
+                NfStateSnapshot::Firewall { established: c },
+            ) => {
+                let before: BTreeMap<FiveTuple, u64> = b.iter().copied().collect();
+                let after: BTreeMap<FiveTuple, u64> = c.iter().copied().collect();
+                let upserts = after
+                    .iter()
+                    .filter(|(k, v)| before.get(*k) != Some(v))
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                let removals = before
+                    .keys()
+                    .filter(|k| !after.contains_key(*k))
+                    .copied()
+                    .collect();
+                NfStateDelta::Firewall { upserts, removals }
+            }
+            (
+                NfStateSnapshot::RateLimiter { buckets: b, .. },
+                NfStateSnapshot::RateLimiter {
+                    buckets: c,
+                    last_refill_nanos,
+                },
+            ) => {
+                let before: BTreeMap<FiveTuple, f64> = b.iter().copied().collect();
+                let after: BTreeMap<FiveTuple, f64> = c.iter().copied().collect();
+                let upserts = after
+                    .iter()
+                    .filter(|(k, v)| before.get(*k) != Some(v))
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                let removals = before
+                    .keys()
+                    .filter(|k| !after.contains_key(*k))
+                    .copied()
+                    .collect();
+                NfStateDelta::RateLimiter {
+                    upserts,
+                    removals,
+                    last_refill_nanos: *last_refill_nanos,
+                }
+            }
+            (
+                NfStateSnapshot::Nat { mappings: b, .. },
+                NfStateSnapshot::Nat {
+                    mappings: c,
+                    next_port,
+                },
+            ) => {
+                let before: BTreeMap<FiveTuple, u16> = b.iter().copied().collect();
+                let after: BTreeMap<FiveTuple, u16> = c.iter().copied().collect();
+                let upserts = after
+                    .iter()
+                    .filter(|(k, v)| before.get(*k) != Some(v))
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                let removals = before
+                    .keys()
+                    .filter(|k| !after.contains_key(*k))
+                    .copied()
+                    .collect();
+                NfStateDelta::Nat {
+                    upserts,
+                    removals,
+                    next_port: *next_port,
+                }
+            }
+            (
+                NfStateSnapshot::DnsLoadBalancer { assignments: b, .. },
+                NfStateSnapshot::DnsLoadBalancer {
+                    next_backend,
+                    assignments: c,
+                },
+            ) => {
+                // The key sequence is the configured backend list on both
+                // sides; a differing sequence means the baseline is not
+                // comparable, so fall back to a full snapshot.
+                if b.len() != c.len() || b.iter().zip(c).any(|((kb, _), (kc, _))| kb != kc) {
+                    return NfStateDelta::Full(current.clone());
+                }
+                let upserts = b
+                    .iter()
+                    .zip(c)
+                    .filter(|((_, vb), (_, vc))| vb != vc)
+                    .map(|(_, (k, v))| (*k, *v))
+                    .collect();
+                NfStateDelta::DnsLoadBalancer {
+                    next_backend: *next_backend,
+                    upserts,
+                }
+            }
+            (
+                NfStateSnapshot::Ids { syn_counts: b, .. },
+                NfStateSnapshot::Ids {
+                    syn_counts: c,
+                    window_start_nanos,
+                },
+            ) => {
+                let upserts = c
+                    .iter()
+                    .filter(|(k, v)| b.get(*k) != Some(v))
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                let removals = b.keys().filter(|k| !c.contains_key(*k)).copied().collect();
+                NfStateDelta::Ids {
+                    upserts,
+                    removals,
+                    window_start_nanos: *window_start_nanos,
+                }
+            }
+            _ => NfStateDelta::Full(current.clone()),
+        }
+    }
+
+    /// Applies this delta to `base`, reproducing the snapshot it was diffed
+    /// against — including each NF's canonical export ordering.
+    pub fn apply(&self, base: &NfStateSnapshot) -> NfStateSnapshot {
+        match (self, base) {
+            (NfStateDelta::Unchanged, _) => base.clone(),
+            (NfStateDelta::Full(full), _) => full.clone(),
+            (
+                NfStateDelta::Firewall { upserts, removals },
+                NfStateSnapshot::Firewall { established },
+            ) => {
+                let mut table: BTreeMap<FiveTuple, u64> = established.iter().copied().collect();
+                for key in removals {
+                    table.remove(key);
+                }
+                for (key, seen) in upserts {
+                    table.insert(*key, *seen);
+                }
+                let mut established: Vec<(FiveTuple, u64)> = table.into_iter().collect();
+                established.sort_by_key(|(tuple, t)| (*t, *tuple));
+                NfStateSnapshot::Firewall { established }
+            }
+            (
+                NfStateDelta::RateLimiter {
+                    upserts,
+                    removals,
+                    last_refill_nanos,
+                },
+                NfStateSnapshot::RateLimiter { buckets, .. },
+            ) => {
+                let mut table: BTreeMap<FiveTuple, f64> = buckets.iter().copied().collect();
+                for key in removals {
+                    table.remove(key);
+                }
+                for (key, level) in upserts {
+                    table.insert(*key, *level);
+                }
+                NfStateSnapshot::RateLimiter {
+                    buckets: table.into_iter().collect(),
+                    last_refill_nanos: *last_refill_nanos,
+                }
+            }
+            (
+                NfStateDelta::Nat {
+                    upserts,
+                    removals,
+                    next_port,
+                },
+                NfStateSnapshot::Nat { mappings, .. },
+            ) => {
+                let mut table: BTreeMap<FiveTuple, u16> = mappings.iter().copied().collect();
+                for key in removals {
+                    table.remove(key);
+                }
+                for (key, port) in upserts {
+                    table.insert(*key, *port);
+                }
+                let mut mappings: Vec<(FiveTuple, u16)> = table.into_iter().collect();
+                mappings.sort_by_key(|(_, port)| *port);
+                NfStateSnapshot::Nat {
+                    mappings,
+                    next_port: *next_port,
+                }
+            }
+            (
+                NfStateDelta::DnsLoadBalancer {
+                    next_backend,
+                    upserts,
+                },
+                NfStateSnapshot::DnsLoadBalancer { assignments, .. },
+            ) => {
+                let mut assignments = assignments.clone();
+                for (backend, count) in upserts {
+                    if let Some(slot) = assignments.iter_mut().find(|(k, _)| k == backend) {
+                        slot.1 = *count;
+                    }
+                }
+                NfStateSnapshot::DnsLoadBalancer {
+                    next_backend: *next_backend,
+                    assignments,
+                }
+            }
+            (
+                NfStateDelta::Ids {
+                    upserts,
+                    removals,
+                    window_start_nanos,
+                },
+                NfStateSnapshot::Ids { syn_counts, .. },
+            ) => {
+                let mut syn_counts = syn_counts.clone();
+                for key in removals {
+                    syn_counts.remove(key);
+                }
+                for (key, count) in upserts {
+                    syn_counts.insert(*key, *count);
+                }
+                NfStateSnapshot::Ids {
+                    syn_counts,
+                    window_start_nanos: *window_start_nanos,
+                }
+            }
+            // Variant mismatch: the delta cannot be interpreted against this
+            // baseline; keep the baseline rather than invent state.
+            _ => base.clone(),
+        }
+    }
+
+    /// Approximate serialized size in bytes — the quantity that crosses the
+    /// wire during the switchover window, priced by the migration cost model.
+    pub fn approximate_size_bytes(&self) -> usize {
+        match self {
+            NfStateDelta::Unchanged => 0,
+            NfStateDelta::Firewall { upserts, removals } => {
+                upserts.len() * 24 + removals.len() * 16
+            }
+            NfStateDelta::RateLimiter {
+                upserts, removals, ..
+            } => upserts.len() * 28 + removals.len() * 16 + 8,
+            NfStateDelta::Nat {
+                upserts, removals, ..
+            } => upserts.len() * 22 + removals.len() * 16 + 2,
+            NfStateDelta::DnsLoadBalancer { upserts, .. } => upserts.len() * 12 + 8,
+            NfStateDelta::Ids {
+                upserts, removals, ..
+            } => upserts.len() * 12 + removals.len() * 4 + 8,
+            NfStateDelta::Full(full) => full.approximate_size_bytes(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +466,126 @@ mod tests {
             let back: NfStateSnapshot = serde_json::from_str(&json).unwrap();
             assert_eq!(back, s);
         }
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_unchanged() {
+        let snap = NfStateSnapshot::Firewall {
+            established: vec![(tuple(1), 42)],
+        };
+        let delta = NfStateDelta::diff(&snap, &snap);
+        assert_eq!(delta, NfStateDelta::Unchanged);
+        assert_eq!(delta.approximate_size_bytes(), 0);
+        assert_eq!(delta.apply(&snap), snap);
+    }
+
+    #[test]
+    fn delta_round_trips_map_style_churn() {
+        // Firewall: one entry refreshed, one pruned, one added. The canonical
+        // export order is by (last-seen, tuple).
+        let base = NfStateSnapshot::Firewall {
+            established: vec![(tuple(1), 10), (tuple(2), 20)],
+        };
+        let current = NfStateSnapshot::Firewall {
+            established: vec![(tuple(3), 15), (tuple(1), 30)],
+        };
+        let delta = NfStateDelta::diff(&base, &current);
+        assert_eq!(delta.apply(&base), current);
+        match &delta {
+            NfStateDelta::Firewall { upserts, removals } => {
+                assert_eq!(upserts.len(), 2);
+                assert_eq!(removals, &vec![tuple(2)]);
+            }
+            other => panic!("expected a firewall delta, got {other:?}"),
+        }
+
+        let base = NfStateSnapshot::Nat {
+            mappings: vec![(tuple(1), 40_000), (tuple(2), 40_001)],
+            next_port: 40_002,
+        };
+        let current = NfStateSnapshot::Nat {
+            mappings: vec![(tuple(2), 40_001), (tuple(4), 40_002)],
+            next_port: 40_003,
+        };
+        assert_eq!(NfStateDelta::diff(&base, &current).apply(&base), current);
+
+        let base = NfStateSnapshot::RateLimiter {
+            buckets: vec![(tuple(1), 100.0)],
+            last_refill_nanos: 5,
+        };
+        let current = NfStateSnapshot::RateLimiter {
+            buckets: vec![(tuple(1), 40.0), (tuple(2), 90.0)],
+            last_refill_nanos: 9,
+        };
+        assert_eq!(NfStateDelta::diff(&base, &current).apply(&base), current);
+
+        let base = NfStateSnapshot::Ids {
+            syn_counts: [(Ipv4Addr::new(10, 0, 0, 1), 3u64)].into_iter().collect(),
+            window_start_nanos: 0,
+        };
+        let current = NfStateSnapshot::Ids {
+            syn_counts: [(Ipv4Addr::new(10, 0, 0, 2), 7u64)].into_iter().collect(),
+            window_start_nanos: 100,
+        };
+        assert_eq!(NfStateDelta::diff(&base, &current).apply(&base), current);
+    }
+
+    #[test]
+    fn dns_delta_ships_only_changed_counts() {
+        let backend = |i: u8| Ipv4Addr::new(10, 1, 0, i);
+        let base = NfStateSnapshot::DnsLoadBalancer {
+            next_backend: 0,
+            assignments: vec![(backend(1), 4), (backend(2), 4)],
+        };
+        let current = NfStateSnapshot::DnsLoadBalancer {
+            next_backend: 1,
+            assignments: vec![(backend(1), 9), (backend(2), 4)],
+        };
+        let delta = NfStateDelta::diff(&base, &current);
+        match &delta {
+            NfStateDelta::DnsLoadBalancer { upserts, .. } => {
+                assert_eq!(upserts, &vec![(backend(1), 9)]);
+            }
+            other => panic!("expected a dns delta, got {other:?}"),
+        }
+        assert_eq!(delta.apply(&base), current);
+    }
+
+    #[test]
+    fn order_sensitive_and_mismatched_states_fall_back_to_full() {
+        let base = NfStateSnapshot::HttpCache {
+            entries: vec![("a".into(), b"1".to_vec()), ("b".into(), b"2".to_vec())],
+        };
+        // Same entries, different LRU order: must ship in full to preserve
+        // eviction behaviour on the target.
+        let current = NfStateSnapshot::HttpCache {
+            entries: vec![("b".into(), b"2".to_vec()), ("a".into(), b"1".to_vec())],
+        };
+        let delta = NfStateDelta::diff(&base, &current);
+        assert!(matches!(delta, NfStateDelta::Full(_)));
+        assert_eq!(delta.apply(&base), current);
+
+        let mismatched = NfStateDelta::diff(
+            &NfStateSnapshot::Stateless,
+            &NfStateSnapshot::Firewall {
+                established: vec![(tuple(1), 1)],
+            },
+        );
+        assert!(matches!(mismatched, NfStateDelta::Full(_)));
+    }
+
+    #[test]
+    fn deltas_serialize_roundtrip() {
+        let base = NfStateSnapshot::Firewall {
+            established: vec![(tuple(1), 10)],
+        };
+        let current = NfStateSnapshot::Firewall {
+            established: vec![(tuple(2), 12)],
+        };
+        let delta = NfStateDelta::diff(&base, &current);
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: NfStateDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+        assert!(delta.approximate_size_bytes() > 0);
     }
 }

@@ -26,6 +26,6 @@ pub mod report;
 pub use monitor::{HotspotDetector, MonitoringStore, StationHealth, StationStatus};
 pub use notification::{Notification, NotificationLog, NotificationSeverity, NotificationSource};
 pub use report::{
-    BatchTelemetry, ChaosTelemetry, FlowCacheTelemetry, MegaflowTelemetry, ShardTelemetry,
-    StationReport,
+    BatchTelemetry, ChaosTelemetry, FlowCacheTelemetry, MegaflowTelemetry, MigrationPoolTelemetry,
+    ShardTelemetry, StationReport,
 };

@@ -182,6 +182,43 @@ impl ChaosTelemetry {
     }
 }
 
+/// Host-side counters of the emulator's migration worker pool: how the
+/// migration-lifecycle control commands (checkpoints, pre-copies, staged
+/// deploys, delta replays, activations) were batched for parallel execution.
+///
+/// These are **host-CPU observability only** and deliberately live outside
+/// the `RunReport`: `cap_flushes` depends on the configured queue depth and
+/// `batches`/`max_batch` on how roams align in virtual time, none of which
+/// may influence (or appear in) the byte-compared run results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPoolTelemetry {
+    /// Flushes of the parked same-timestamp migration command batch.
+    pub batches: u64,
+    /// Migration-lifecycle commands that went through the pool.
+    pub commands: u64,
+    /// Largest batch flushed at once.
+    pub max_batch: u64,
+    /// Flushes forced early by the `migration_queue_size` cap.
+    pub cap_flushes: u64,
+}
+
+impl MigrationPoolTelemetry {
+    /// Records one flushed batch of `size` commands.
+    pub fn record_batch(&mut self, size: u64) {
+        self.batches += 1;
+        self.commands += size;
+        self.max_batch = self.max_batch.max(size);
+    }
+
+    /// Mean commands per flushed batch (0 when nothing was pooled).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.commands as f64 / self.batches as f64
+    }
+}
+
 /// A snapshot of one station's state, produced by its Agent every reporting
 /// interval ("reporting periodically the state of the device").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -341,6 +378,23 @@ mod tests {
 
         let json = serde_json::to_string(&t).unwrap();
         let back: BatchTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn migration_pool_telemetry_tracks_batches() {
+        let mut t = MigrationPoolTelemetry::default();
+        assert_eq!(t.mean_batch_size(), 0.0);
+        t.record_batch(1);
+        t.record_batch(7);
+        t.cap_flushes += 1;
+        assert_eq!(t.batches, 2);
+        assert_eq!(t.commands, 8);
+        assert_eq!(t.max_batch, 7);
+        assert_eq!(t.cap_flushes, 1);
+        assert!((t.mean_batch_size() - 4.0).abs() < 1e-12);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: MigrationPoolTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
     }
 }

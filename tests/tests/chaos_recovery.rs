@@ -208,6 +208,122 @@ fn no_stale_cache_entry_survives_a_restart_generation_bump() {
 }
 
 #[test]
+fn source_crash_during_precopy_rolls_back_and_never_serves_staged_state() {
+    // A pre-copy migration whose source station dies mid-transfer: the
+    // roamer leaves station 0 at t=20s, the pre-copy pipeline starts, and at
+    // t=20.25s — with the baseline/delta exchange still in flight — station 0
+    // crashes for 8 s. The first attempt must time out and roll back; the
+    // backoff retry (finding nothing serving anywhere) must redeploy on the
+    // target; and no half-imported staged chain may ever end up serving
+    // traffic.
+    let config = GnfConfig {
+        seed: 17,
+        migration_precopy: true,
+        migration_deadline: SimDuration::from_secs(3),
+        migration_max_retries: 4,
+        migration_backoff_base: SimDuration::from_millis(500),
+        migration_backoff_cap: SimDuration::from_secs(2),
+        hotspot_scan_interval: SimDuration::from_secs(1),
+        ..GnfConfig::default()
+    };
+    let mut builder = Scenario::builder(4, HostClass::EdgeServer).with_config(config);
+    let clients = builder.add_clients(4, TrafficProfile::smartphone());
+    let roamer = clients[0]; // starts on station 0
+    let mut sb = builder
+        .with_duration(SimDuration::from_secs(45))
+        .with_mobility(Mobility::Trace(RoamTrace::new().roam(
+            SimTime::from_secs(20),
+            roamer,
+            CellId::new(1),
+        )));
+    for client in &clients {
+        sb = sb.attach_policy(
+            *client,
+            vec![sample_specs()[0].clone()],
+            TrafficSelector::all(),
+            SimTime::from_secs(2),
+        );
+    }
+    let mut schedule = FaultSchedule::new();
+    schedule.push(
+        SimTime::from_secs(20) + SimDuration::from_millis(250),
+        FaultKind::StationCrash {
+            station: StationId::new(0),
+            down_for: SimDuration::from_secs(8),
+        },
+    );
+    let mut emulator = Emulator::new(sb.build());
+    emulator.set_fault_schedule(schedule);
+    let report = emulator.run();
+
+    // The first attempt ran the pre-copy pipeline and died with the source.
+    assert!(
+        report.manager.migrations_timed_out >= 1,
+        "the source crash must push the migration past its deadline: {:?}",
+        report.manager
+    );
+    let rolled_back = report
+        .migrations
+        .iter()
+        .filter(|m| m.precopy && m.outcome == "timed-out")
+        .count();
+    assert!(
+        rolled_back >= 1,
+        "a pre-copy attempt must be rolled back: {:?}",
+        report.migrations
+    );
+
+    // The retry completed: the roamer's chain serves on the target.
+    let completed = report
+        .migrations
+        .iter()
+        .filter(|m| m.client == roamer.raw() && m.outcome == "complete")
+        .count();
+    assert!(
+        completed >= 1,
+        "the backoff retry must complete the move: {:?}",
+        report.migrations
+    );
+    let attachment = emulator
+        .manager()
+        .attachments()
+        .find(|a| a.client == roamer)
+        .expect("attachment survives the crash");
+    assert!(attachment.active, "the roamer's chain serves traffic");
+    assert_eq!(
+        attachment.station,
+        Some(StationId::new(1)),
+        "the retry lands the chain on the roam target"
+    );
+
+    // Exactly one live instance — the staged target copy from the aborted
+    // attempt was torn down, not promoted.
+    let instances = (0..4)
+        .filter(|ix| {
+            emulator
+                .agent(StationId::new(*ix))
+                .is_some_and(|agent| agent.chain(attachment.chain).is_some())
+        })
+        .count();
+    assert_eq!(instances, 1, "the chain must exist on exactly one station");
+
+    // No half-imported state anywhere: a staged chain either activated
+    // (staged flag cleared, steering installed) or was removed with its
+    // migration. Nothing may sit in the staged limbo at the end of the run.
+    for ix in 0..4 {
+        if let Some(agent) = emulator.agent(StationId::new(ix)) {
+            for chain in agent.chains() {
+                assert!(
+                    !chain.staged,
+                    "station {ix}: staged chain {:?} survived the rollback",
+                    chain.chain_id
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn migration_retry_storm_never_loses_or_double_applies_chains() {
     // Four co-located clients mass-roam from cell 0 to cell 2 while station
     // 0's control link drops everything: every checkpoint dies, every
