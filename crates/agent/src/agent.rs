@@ -7,10 +7,12 @@ use gnf_nf::{
 };
 use gnf_packet::{FieldMask, Packet, PacketBatch};
 use gnf_switch::{
-    BypassOutcome, Classified, Forwarding, MegaflowState, SoftwareSwitch, SteeringRule,
-    TrafficSelector, DEFAULT_MEGAFLOW_CAPACITY,
+    BypassOutcome, Classified, Forwarding, MegaflowInstall, MegaflowState, SoftwareSwitch,
+    SteeringRule, TrafficSelector, DEFAULT_MEGAFLOW_CAPACITY,
 };
-use gnf_telemetry::{BatchTelemetry, ChaosTelemetry, StationReport};
+use gnf_telemetry::{
+    BatchTelemetry, ChaosTelemetry, FlightRecorder, FlowRecord, StationReport, TraceKind, TraceSink,
+};
 use gnf_types::{
     AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr, ResourceUsage,
     SimDuration, SimTime, StationId,
@@ -113,6 +115,22 @@ pub fn seal_report(
     }
 }
 
+/// Aggregate verdict label of one (single-flow) decision run, for the
+/// flight recorder: `dropped` when every packet dropped, `replied` when any
+/// packet drew replies, `mixed` for a run whose stateful chain flipped
+/// verdict mid-run, `forwarded` otherwise.
+fn run_verdict(count: u64, dropped: u64, replied: u64) -> &'static str {
+    if dropped == count {
+        "dropped"
+    } else if replied > 0 {
+        "replied"
+    } else if dropped > 0 {
+        "mixed"
+    } else {
+        "forwarded"
+    }
+}
+
 /// The GNF Agent.
 pub struct Agent {
     config: AgentConfig,
@@ -138,6 +156,11 @@ pub struct Agent {
     generation: u64,
     /// Fault-injection counters reported through the periodic station report.
     chaos: ChaosTelemetry,
+    /// Data-plane event sink (batch flushes, megaflow seals/evictions).
+    /// Disabled by default: one branch on the hot path, nothing recorded.
+    trace: TraceSink,
+    /// Seeded flow-sampled flight recorder. Disabled by default.
+    flight: FlightRecorder,
 }
 
 impl Agent {
@@ -166,9 +189,58 @@ impl Agent {
                 station_shards: 1,
                 generation: 0,
                 chaos: ChaosTelemetry::default(),
+                trace: TraceSink::default(),
+                flight: FlightRecorder::default(),
             },
             register,
         )
+    }
+
+    /// Arms (or disarms) the data-plane observability sinks: `trace`
+    /// receives batch-flush and megaflow seal/eviction events, `flight` the
+    /// seeded flow-sampled lifecycle records. Both default to disabled —
+    /// a single branch on the hot path, no allocation, no buffering.
+    pub fn set_tracing(&mut self, trace: TraceSink, flight: FlightRecorder) {
+        self.trace = trace;
+        self.flight = flight;
+    }
+
+    /// Mutable access to the event sink, for the harness to drain.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Mutable access to the flight recorder, for the harness to drain.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// Emits the trace events one megaflow install implies: the seal, and an
+    /// eviction event when the capacity bound displaced entries to make
+    /// room. An associated function over a borrowed sink (not `&mut self`)
+    /// so the sharded spine — which holds disjoint borrows of the switch and
+    /// the sink — shares the exact emission logic of the serial path.
+    #[inline]
+    fn trace_install(trace: &mut TraceSink, now: SimTime, install: MegaflowInstall) {
+        if !trace.enabled() || !install.installed {
+            return;
+        }
+        trace.emit(
+            now,
+            TraceKind::MegaflowSeal {
+                outcome: install.outcome,
+                occupancy: install.occupancy,
+            },
+        );
+        if install.evicted > 0 {
+            trace.emit(
+                now,
+                TraceKind::MegaflowEvict {
+                    evicted: install.evicted,
+                    occupancy: install.occupancy,
+                },
+            );
+        }
     }
 
     /// Sets the intra-station RSS shard count (clamped to at least 1): how
@@ -594,6 +666,13 @@ impl Agent {
         }
     }
 
+    /// Exact-match cache occupancy attributed to `n` fixed virtual flow-hash
+    /// shards — independent of the configured station shards, so fleet
+    /// samplers stay byte-identical across the sharding matrix.
+    pub fn flow_cache_occupancy_by_virtual_shard(&self, n: usize) -> Vec<u64> {
+        self.switch.flow_cache_occupancy_by_virtual_shard(n)
+    }
+
     /// Batch-size distribution of the data-plane work this station processed.
     pub fn batch_telemetry(&self) -> &BatchTelemetry {
         &self.batch_sizes
@@ -671,6 +750,8 @@ impl Agent {
             return self.process_packet_batch_sharded(batch, in_port, now);
         }
         self.batch_sizes.record(batch.len() as u64);
+        let batch_len = batch.len() as u64;
+        let mut runs = 0u64;
         let mut cursor = match self.switch.begin_receive_batch(&batch, in_port, now) {
             Ok(cursor) => cursor,
             Err(e) => {
@@ -692,6 +773,28 @@ impl Agent {
             .switch
             .next_decision_run(&mut cursor, packets.as_slice())
         {
+            runs += 1;
+            let run_count = run.count as u64;
+            // Flight probe: runs are single-flow, so the first unclassified
+            // packet names the run's flow. Sampling is a seeded hash check;
+            // the tuple string is only rendered for sampled flows.
+            let flight_probe: Option<(u64, String)> = if self.flight.enabled() {
+                packets
+                    .as_slice()
+                    .first()
+                    .and_then(|p| p.five_tuple())
+                    .filter(|t| self.flight.samples(t.shard_hash()))
+                    .map(|t| (t.shard_hash(), t.to_string()))
+            } else {
+                None
+            };
+            let stage = match (&run.decision.steering, &run.megaflow) {
+                (None, _) => "unsteered",
+                (_, MegaflowState::Bypass(_)) => "megaflow-bypass",
+                (_, MegaflowState::DropBypass { .. }) => "megaflow-drop",
+                (_, MegaflowState::Seed(_)) => "slow-path",
+                (_, MegaflowState::None) => "exact",
+            };
             let verdicts: Vec<Verdict> = match run.decision.steering {
                 Some((rule, upstream)) => {
                     let direction = if upstream {
@@ -762,7 +865,8 @@ impl Agent {
                                             direction,
                                             &verdicts,
                                         );
-                                        self.switch.install_megaflow(seed, report);
+                                        let install = self.switch.install_megaflow(seed, report);
+                                        Self::trace_install(&mut self.trace, now, install);
                                     }
                                     verdicts
                                 }
@@ -788,6 +892,8 @@ impl Agent {
             // the forwarded packets instead of one per packet.
             let mut forwarded = 0u64;
             let mut forwarded_bytes = 0u64;
+            let mut dropped = 0u64;
+            let mut replied = 0u64;
             for verdict in verdicts {
                 match verdict {
                     Verdict::Forward(p) => {
@@ -795,8 +901,12 @@ impl Agent {
                         forwarded_bytes += p.len() as u64;
                         outcomes.push(PacketOutcome::Forwarded(p));
                     }
-                    Verdict::Drop(reason) => outcomes.push(PacketOutcome::Dropped(reason)),
+                    Verdict::Drop(reason) => {
+                        dropped += 1;
+                        outcomes.push(PacketOutcome::Dropped(reason));
+                    }
                     Verdict::Reply(replies) => {
+                        replied += 1;
                         for reply in &replies {
                             self.switch.record_tx(in_port, reply.len());
                         }
@@ -818,8 +928,28 @@ impl Agent {
                     }
                 }
             }
+            if let Some((flow, tuple)) = flight_probe {
+                self.flight.record(
+                    now,
+                    FlowRecord {
+                        station: self.config.station.raw(),
+                        flow,
+                        tuple,
+                        stage,
+                        verdict: run_verdict(run_count, dropped, replied),
+                        count: run_count,
+                    },
+                );
+            }
         }
         debug_assert!(packets.next().is_none(), "runs must cover the whole batch");
+        self.trace.emit(
+            now,
+            TraceKind::BatchFlush {
+                packets: batch_len,
+                runs,
+            },
+        );
         outcomes
     }
 
@@ -844,6 +974,8 @@ impl Agent {
         use std::sync::mpsc;
 
         self.batch_sizes.record(batch.len() as u64);
+        let batch_len = batch.len() as u64;
+        let mut runs = 0u64;
         let mut cursor = match self.switch.begin_receive_batch(&batch, in_port, now) {
             Ok(cursor) => cursor,
             Err(e) => {
@@ -867,6 +999,9 @@ impl Agent {
         }
         let switch = &mut self.switch;
         let megaflow_drops = self.megaflow_drops;
+        let trace = &mut self.trace;
+        let flight = &mut self.flight;
+        let station = self.config.station.raw();
         let mut outcomes = Vec::with_capacity(batch.len());
         std::thread::scope(|scope| {
             let (results_tx, results_rx) = mpsc::channel();
@@ -887,9 +1022,38 @@ impl Agent {
             // so the wildcard entry is installed before the next run is
             // classified (mid-batch sealing, as on the serial path).
             let mut packets = batch.into_vec().into_iter();
-            let mut pending: Vec<(Forwarding, Option<Vec<Verdict>>)> = Vec::new();
+            #[allow(clippy::type_complexity)]
+            let mut pending: Vec<(
+                Forwarding,
+                Option<Vec<Verdict>>,
+                u64,
+                &'static str,
+                Option<(u64, String)>,
+            )> = Vec::new();
             let mut dispatched = 0usize;
             while let Some(run) = switch.next_decision_run(&mut cursor, packets.as_slice()) {
+                runs += 1;
+                let run_count = run.count as u64;
+                // Same flight probe and stage attribution as the serial
+                // path, so sampled records are byte-identical across shard
+                // counts (settling happens in run order either way).
+                let flight_probe: Option<(u64, String)> = if flight.enabled() {
+                    packets
+                        .as_slice()
+                        .first()
+                        .and_then(|p| p.five_tuple())
+                        .filter(|t| flight.samples(t.shard_hash()))
+                        .map(|t| (t.shard_hash(), t.to_string()))
+                } else {
+                    None
+                };
+                let stage = match (&run.decision.steering, &run.megaflow) {
+                    (None, _) => "unsteered",
+                    (_, MegaflowState::Bypass(_)) => "megaflow-bypass",
+                    (_, MegaflowState::DropBypass { .. }) => "megaflow-drop",
+                    (_, MegaflowState::Seed(_)) => "slow-path",
+                    (_, MegaflowState::None) => "exact",
+                };
                 let run_ix = pending.len();
                 let forwarding = run.decision.forwarding.clone();
                 let verdicts: Option<Vec<Verdict>> = match run.decision.steering {
@@ -953,7 +1117,8 @@ impl Agent {
                                             .expect("lane outlives the spine");
                                         let reply =
                                             seal_rx.recv().expect("lane replies to seed runs");
-                                        switch.install_megaflow(seed, reply.report);
+                                        let install = switch.install_megaflow(seed, reply.report);
+                                        Self::trace_install(trace, now, install);
                                         Some(reply.verdicts)
                                     } else {
                                         senders[lane]
@@ -989,7 +1154,7 @@ impl Agent {
                             .collect(),
                     ),
                 };
-                pending.push((forwarding, verdicts));
+                pending.push((forwarding, verdicts, run_count, stage, flight_probe));
             }
             debug_assert!(packets.next().is_none(), "runs must cover the whole batch");
             // Close the queues: lanes drain their FIFOs and exit.
@@ -1004,10 +1169,12 @@ impl Agent {
             // final counter values as the serial path's per-run settling
             // (counter updates are sums, so deferring them to one in-order
             // pass after classification commutes).
-            for (forwarding, verdicts) in pending {
+            for (forwarding, verdicts, run_count, stage, flight_probe) in pending {
                 let verdicts = verdicts.expect("every run's slot was filled");
                 let mut forwarded = 0u64;
                 let mut forwarded_bytes = 0u64;
+                let mut dropped = 0u64;
+                let mut replied = 0u64;
                 for verdict in verdicts {
                     match verdict {
                         Verdict::Forward(p) => {
@@ -1015,8 +1182,12 @@ impl Agent {
                             forwarded_bytes += p.len() as u64;
                             outcomes.push(PacketOutcome::Forwarded(p));
                         }
-                        Verdict::Drop(reason) => outcomes.push(PacketOutcome::Dropped(reason)),
+                        Verdict::Drop(reason) => {
+                            dropped += 1;
+                            outcomes.push(PacketOutcome::Dropped(reason));
+                        }
                         Verdict::Reply(replies) => {
+                            replied += 1;
                             for reply in &replies {
                                 switch.record_tx(in_port, reply.len());
                             }
@@ -1036,8 +1207,28 @@ impl Agent {
                         }
                     }
                 }
+                if let Some((flow, tuple)) = flight_probe {
+                    flight.record(
+                        now,
+                        FlowRecord {
+                            station,
+                            flow,
+                            tuple,
+                            stage,
+                            verdict: run_verdict(run_count, dropped, replied),
+                            count: run_count,
+                        },
+                    );
+                }
             }
         });
+        self.trace.emit(
+            now,
+            TraceKind::BatchFlush {
+                packets: batch_len,
+                runs,
+            },
+        );
         outcomes
     }
 
@@ -1051,6 +1242,23 @@ impl Agent {
         let Classified { decision, megaflow } = match self.switch.classify(&packet, in_port, now) {
             Ok(c) => c,
             Err(e) => return PacketOutcome::Dropped(e.to_string().into()),
+        };
+        // Flight probe and stage, mirroring the batch paths: a per-packet
+        // call is a degenerate single-flow run of one.
+        let flight_probe: Option<(u64, String)> = if self.flight.enabled() {
+            packet
+                .five_tuple()
+                .filter(|t| self.flight.samples(t.shard_hash()))
+                .map(|t| (t.shard_hash(), t.to_string()))
+        } else {
+            None
+        };
+        let stage = match (&decision.steering, &megaflow) {
+            (None, _) => "unsteered",
+            (_, MegaflowState::Bypass(_)) => "megaflow-bypass",
+            (_, MegaflowState::DropBypass { .. }) => "megaflow-drop",
+            (_, MegaflowState::Seed(_)) => "slow-path",
+            (_, MegaflowState::None) => "exact",
         };
 
         let processed = match decision.steering {
@@ -1106,7 +1314,8 @@ impl Agent {
                                         direction,
                                         std::slice::from_ref(&verdict),
                                     );
-                                    self.switch.install_megaflow(seed, report);
+                                    let install = self.switch.install_megaflow(seed, report);
+                                    Self::trace_install(&mut self.trace, now, install);
                                 }
                                 verdict
                             }
@@ -1120,7 +1329,7 @@ impl Agent {
             None => Verdict::Forward(packet),
         };
 
-        match processed {
+        let outcome = match processed {
             Verdict::Forward(p) => {
                 match decision.forwarding {
                     gnf_switch::Forwarding::Unicast(port) => self.switch.record_tx(port, p.len()),
@@ -1139,7 +1348,33 @@ impl Agent {
                 }
                 PacketOutcome::Replied(replies)
             }
+        };
+        if let Some((flow, tuple)) = flight_probe {
+            let (dropped, replied) = match &outcome {
+                PacketOutcome::Forwarded(_) => (0, 0),
+                PacketOutcome::Dropped(_) => (1, 0),
+                PacketOutcome::Replied(_) => (0, 1),
+            };
+            self.flight.record(
+                now,
+                FlowRecord {
+                    station: self.config.station.raw(),
+                    flow,
+                    tuple,
+                    stage,
+                    verdict: run_verdict(1, dropped, replied),
+                    count: 1,
+                },
+            );
         }
+        self.trace.emit(
+            now,
+            TraceKind::BatchFlush {
+                packets: 1,
+                runs: 1,
+            },
+        );
+        outcome
     }
 
     /// Installs a chain: pulls images, creates a container per NF, wires the

@@ -483,6 +483,63 @@ fn bench_batch_hot_station(c: &mut Criterion) {
     group.finish();
 }
 
+// ----------------------------------------------------------- trace_overhead
+
+/// The observability overhead contract on the hot batch path: the same
+/// hot-station agent batch as `batch_hot_station` (serial, shards=1) with
+/// the trace sink disabled vs armed. `disabled` must sit within noise of
+/// the untraced agent (the sink is an enum branch, no allocation), and
+/// `enabled` — buffered spans plus the 1-in-16 flow flight recorder — must
+/// stay within 10% of `disabled`.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use gnf_bench::dataplane_fixture as fixture;
+    use gnf_packet::PacketBatch;
+    use gnf_telemetry::{
+        FlightRecorder, TraceScope, TraceSink, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_SAMPLE_RATE,
+        DEFAULT_TRACE_CAPACITY,
+    };
+
+    let mut group = quick(c).benchmark_group("trace_overhead");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let clients = 8u32;
+    let frames = fixture::hot_station_frames(clients, 32);
+    let now = SimTime::from_secs(2);
+    for traced in [false, true] {
+        let mut agent = fixture::hot_station_agent(clients);
+        if traced {
+            agent.set_tracing(
+                TraceSink::buffered(TraceScope::Station(0), DEFAULT_TRACE_CAPACITY),
+                FlightRecorder::armed(
+                    TraceScope::Station(0),
+                    7,
+                    DEFAULT_FLIGHT_SAMPLE_RATE,
+                    DEFAULT_FLIGHT_CAPACITY,
+                ),
+            );
+        }
+        let warm: PacketBatch = frames
+            .iter()
+            .map(|f| Packet::parse(f.bytes().clone()).unwrap())
+            .collect();
+        agent.process_upstream_batch(warm, now);
+        group.throughput(Throughput::Elements(frames.len() as u64));
+        let label = if traced { "enabled" } else { "disabled" };
+        group.bench_with_input(BenchmarkId::new("tracing", label), &traced, |b, _| {
+            b.iter(|| {
+                let batch: PacketBatch = frames
+                    .iter()
+                    .map(|f| Packet::parse(f.bytes().clone()).unwrap())
+                    .collect();
+                black_box(agent.process_upstream_batch(black_box(batch), now))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parsing,
@@ -494,6 +551,7 @@ criterion_group!(
     bench_megaflow,
     bench_megaflow_drop,
     bench_batch,
-    bench_batch_hot_station
+    bench_batch_hot_station,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! migration modes (make-before-break vs break-before-make), plus the fate of
 //! packets that arrive during the gap.
 
-use gnf_bench::section;
+use gnf_bench::{section, ObservabilityArgs};
 use gnf_core::{Emulator, Mobility, Scenario};
 use gnf_edge::{Position, RoamTrace, TrafficProfile};
 use gnf_nf::testing::sample_specs;
@@ -38,7 +38,13 @@ fn ping_pong_scenario(config: GnfConfig, handovers: usize) -> Scenario {
         .build()
 }
 
-fn run_mode(label: &str, make_before_break: bool, bypass: bool, seed: u64) {
+fn run_mode(
+    label: &str,
+    make_before_break: bool,
+    bypass: bool,
+    seed: u64,
+    obs: &ObservabilityArgs,
+) {
     let config = GnfConfig {
         make_before_break,
         bypass_during_migration: bypass,
@@ -46,6 +52,7 @@ fn run_mode(label: &str, make_before_break: bool, bypass: bool, seed: u64) {
         ..Default::default()
     };
     let mut emulator = Emulator::new(ping_pong_scenario(config, 4));
+    obs.arm(&mut emulator);
     let report = emulator.run();
 
     section(&format!(
@@ -81,13 +88,23 @@ fn run_mode(label: &str, make_before_break: bool, bypass: bool, seed: u64) {
         report.all_migrations_completed(),
         report.handovers
     );
+    obs.write(&mut emulator);
 }
 
 fn main() {
     println!("E1 — roaming edge vNFs (paper Fig. 2 / Section 4)");
     let seed = gnf_bench::seed_arg();
     println!("2 home-router cells, 1 smartphone, firewall + HTTP filter chain, 4 handovers");
-    run_mode("default", true, false, seed);
-    run_mode("bypass traffic during migration", true, true, seed);
-    run_mode("break-before-make (no state transfer)", false, false, seed);
+    // Artifacts (when requested) describe the default make-before-break run.
+    let obs = gnf_bench::observability_args();
+    run_mode("default", true, false, seed, &obs);
+    let off = ObservabilityArgs::default();
+    run_mode("bypass traffic during migration", true, true, seed, &off);
+    run_mode(
+        "break-before-make (no state transfer)",
+        false,
+        false,
+        seed,
+        &off,
+    );
 }

@@ -5,7 +5,8 @@
 use gnf_bench::section;
 use gnf_container::{ContainerRuntime, ImageRepository, NfvRuntime};
 use gnf_nf::NfKind;
-use gnf_types::HostClass;
+use gnf_telemetry::{MetricsSeries, TraceLog};
+use gnf_types::{HostClass, SimDuration};
 use gnf_vm::{VmImageCatalog, VmRuntime};
 
 fn main() {
@@ -75,4 +76,13 @@ fn main() {
         v_cold,
         v_cold.as_millis_f64() / c_cold.as_millis_f64()
     );
+
+    // This harness exercises the runtime cost models only — no emulator, no
+    // packets — so --trace-out / --metrics-out write valid empty artifacts
+    // (uniform CLI contract across the exp_e* family).
+    let obs = gnf_bench::observability_args();
+    if obs.any() {
+        obs.write_log(&TraceLog::new());
+        obs.write_series(&MetricsSeries::new(SimDuration::from_millis(100), 1));
+    }
 }

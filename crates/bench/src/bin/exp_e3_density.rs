@@ -116,6 +116,9 @@ fn main() {
         }
         let mut emulator = Emulator::new(sb.build());
         emulator.set_workers(workers);
+        // Artifacts (when requested) describe this live-traffic run.
+        let obs = gnf_bench::observability_args();
+        obs.arm(&mut emulator);
         let start = Instant::now();
         let report = emulator.run();
         let elapsed = start.elapsed().as_secs_f64();
@@ -132,5 +135,6 @@ fn main() {
             report.batches.max_batch,
             report.flow_cache.hit_rate() * 100.0,
         );
+        obs.write(&mut emulator);
     }
 }

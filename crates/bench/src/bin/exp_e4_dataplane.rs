@@ -394,10 +394,16 @@ fn main() {
             }
             sb.build()
         };
+        // Artifacts (when requested) describe the sharded hot-station run;
+        // read wall-clock comparisons without the flags.
+        let obs = gnf_bench::observability_args();
         let mut results: Vec<(usize, f64, String)> = Vec::new();
-        for s in [1usize, shards] {
+        for (ix, s) in [1usize, shards].into_iter().enumerate() {
             let mut emulator = Emulator::new(hot_scenario());
             emulator.set_station_shards(s);
+            if ix == 1 {
+                obs.arm(&mut emulator);
+            }
             let start = Instant::now();
             let report = emulator.run();
             let elapsed = start.elapsed().as_secs_f64();
@@ -417,6 +423,9 @@ fn main() {
                 elapsed,
                 serde_json::to_string(&report).expect("reports serialize"),
             ));
+            if ix == 1 {
+                obs.write(&mut emulator);
+            }
         }
         if results.len() == 2 && results[0].0 != results[1].0 {
             println!(

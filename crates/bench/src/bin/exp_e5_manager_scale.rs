@@ -5,7 +5,9 @@
 use gnf_api::messages::AgentToManager;
 use gnf_bench::section;
 use gnf_manager::Manager;
-use gnf_telemetry::StationReport;
+use gnf_telemetry::{
+    MetricsSeries, StationReport, TraceLog, TraceScope, TraceSink, DEFAULT_TRACE_CAPACITY,
+};
 use gnf_types::{
     AgentId, ClientId, GnfConfig, HostClass, ResourceUsage, SimDuration, SimTime, StationId,
 };
@@ -91,7 +93,14 @@ fn main() {
     }
 
     section("hotspot detection precision (100 stations, 7 genuinely overloaded)");
+    let obs = gnf_bench::observability_args();
     let mut manager = Manager::new(config.clone());
+    if obs.trace_out.is_some() {
+        manager.set_tracing(TraceSink::buffered(
+            TraceScope::Manager,
+            DEFAULT_TRACE_CAPACITY,
+        ));
+    }
     for s in 0..100u64 {
         manager.handle_agent_msg(
             StationId::new(s),
@@ -119,5 +128,17 @@ fn main() {
     println!("flagged {} stations (expected 7):", flagged.len());
     for f in &flagged {
         println!("  {f}");
+    }
+
+    // This harness drives the Manager directly (no emulator), so the trace
+    // artifact carries the Manager-scope events of the precision run only
+    // (empty when no migration runs) and the metrics CSV is header-only —
+    // both still valid for downstream tooling.
+    if obs.any() {
+        let mut log = TraceLog::new();
+        log.absorb(manager.trace_mut());
+        log.sort();
+        obs.write_log(&log);
+        obs.write_series(&MetricsSeries::new(config.metrics_interval, 1));
     }
 }

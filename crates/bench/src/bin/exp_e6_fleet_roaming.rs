@@ -3,7 +3,7 @@
 //! migration success, downtime distribution and how the NF population follows
 //! the clients across stations.
 
-use gnf_bench::{ms_row, section};
+use gnf_bench::{ms_row, section, ObservabilityArgs};
 use gnf_core::{Emulator, Mobility, Scenario};
 use gnf_edge::{RandomWalkMobility, TrafficProfile};
 use gnf_nf::testing::sample_specs;
@@ -11,7 +11,7 @@ use gnf_switch::TrafficSelector;
 use gnf_types::{HostClass, SimDuration, SimTime};
 use gnf_ui::Dashboard;
 
-fn run(cells: usize, clients: usize, mobile_fraction: f64, seed: u64) {
+fn run(cells: usize, clients: usize, mobile_fraction: f64, seed: u64, obs: &ObservabilityArgs) {
     let mut builder = Scenario::builder(cells, HostClass::EdgeServer)
         .with_config(gnf_types::GnfConfig::default().with_seed(seed));
     let ids = builder.add_clients(
@@ -35,6 +35,7 @@ fn run(cells: usize, clients: usize, mobile_fraction: f64, seed: u64) {
         );
     }
     let mut emulator = Emulator::new(sb.build());
+    obs.arm(&mut emulator);
     let report = emulator.run();
 
     section(&format!(
@@ -77,12 +78,16 @@ fn run(cells: usize, clients: usize, mobile_fraction: f64, seed: u64) {
         "final NF placement: {} chains active across {} online stations",
         dashboard.enabled_chains, dashboard.online_stations
     );
+    obs.write(&mut emulator);
 }
 
 fn main() {
     println!("E6 — fleet-scale roaming (the Section-4 demo scaled up)");
     let seed = gnf_bench::seed_arg();
-    run(4, 20, 0.5, seed);
-    run(9, 60, 0.5, seed);
-    run(16, 120, 0.3, seed);
+    // Artifacts (when requested) describe the first (smallest) fleet run.
+    let obs = gnf_bench::observability_args();
+    run(4, 20, 0.5, seed, &obs);
+    let off = ObservabilityArgs::default();
+    run(9, 60, 0.5, seed, &off);
+    run(16, 120, 0.3, seed, &off);
 }

@@ -22,11 +22,13 @@
 //! matrix cell for the headline run.
 
 use gnf_bench::{
-    migration_workers_arg, roams_arg, section, seed_arg, station_shards_arg, workers_arg,
+    cdf_row, migration_workers_arg, roams_arg, section, seed_arg, station_shards_arg, workers_arg,
+    ObservabilityArgs,
 };
 use gnf_core::{Emulator, Mobility, RunReport, Scenario};
 use gnf_edge::{RoamTrace, TrafficProfile};
 use gnf_nf::testing::sample_specs;
+use gnf_sim::Histogram;
 use gnf_switch::TrafficSelector;
 use gnf_telemetry::MigrationPoolTelemetry;
 use gnf_types::{CellId, GnfConfig, HostClass, SimDuration, SimTime};
@@ -77,47 +79,35 @@ fn run_cell(
     migration_workers: usize,
     workers: usize,
     shards: usize,
+    obs: &ObservabilityArgs,
 ) -> Cell {
     let mut emulator = Emulator::new(scenario(seed, clients, concurrency));
     emulator.set_workers(workers);
     emulator.set_station_shards(shards);
     emulator.set_migration_workers(migration_workers);
+    obs.arm(&mut emulator);
     let report = emulator.run();
+    obs.write(&mut emulator);
     Cell {
         report,
         pool: emulator.migration_pool_telemetry(),
     }
 }
 
-/// Sorted switchover-downtime samples (ms) of the completed migrations.
-fn switchover_samples(report: &RunReport) -> Vec<f64> {
-    let mut samples: Vec<f64> = report
+/// Exact switchover-downtime histogram (ms) of the completed migrations.
+/// Built from the per-migration summaries (not the report's log-bucketed
+/// aggregate) so the flat-downtime assertion compares exact quantiles.
+fn switchover_histogram(report: &RunReport) -> Histogram {
+    let mut h = Histogram::new();
+    for ms in report
         .migrations
         .iter()
         .filter(|m| m.completed)
         .filter_map(|m| m.switchover_ms)
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("downtimes are finite"));
-    samples
-}
-
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+    {
+        h.record(ms);
     }
-    let ix = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[ix.min(sorted.len() - 1)]
-}
-
-fn cdf_row(sorted: &[f64]) -> String {
-    format!(
-        "p10 {:>7.1} ms | p50 {:>7.1} ms | p90 {:>7.1} ms | p99 {:>7.1} ms | max {:>7.1} ms",
-        quantile(sorted, 0.10),
-        quantile(sorted, 0.50),
-        quantile(sorted, 0.90),
-        quantile(sorted, 0.99),
-        quantile(sorted, 1.0),
-    )
+    h
 }
 
 fn main() {
@@ -141,14 +131,22 @@ fn main() {
     let mut p99_single = 0.0f64;
     let mut p99_storm = 0.0f64;
     for &level in &levels {
-        let cell = run_cell(seed, roams, level, migration_workers, workers, shards);
-        let samples = switchover_samples(&cell.report);
+        let cell = run_cell(
+            seed,
+            roams,
+            level,
+            migration_workers,
+            workers,
+            shards,
+            &ObservabilityArgs::default(),
+        );
+        let samples = switchover_histogram(&cell.report);
         assert_eq!(
-            samples.len(),
+            samples.count() as usize,
             level,
             "every one of the {level} concurrent roams must complete its migration"
         );
-        let p99 = quantile(&samples, 0.99);
+        let p99 = samples.p99();
         if level == 1 {
             p99_single = p99;
         }
@@ -161,7 +159,9 @@ fn main() {
     // ------------------------------------------------------------------
     // The headline storm run.
     // ------------------------------------------------------------------
-    let storm = run_cell(seed, roams, roams, migration_workers, workers, shards);
+    // Artifacts (when requested) describe the headline storm run.
+    let obs = gnf_bench::observability_args();
+    let storm = run_cell(seed, roams, roams, migration_workers, workers, shards, &obs);
     let report = &storm.report;
 
     section("storm outcome");
@@ -249,7 +249,7 @@ fn main() {
                 if mw == migration_workers && w == workers && s == shards {
                     continue;
                 }
-                let other = run_cell(seed, roams, roams, mw, w, s);
+                let other = run_cell(seed, roams, roams, mw, w, s, &ObservabilityArgs::default());
                 let bytes = serde_json::to_string(&other.report).expect("report serializes");
                 assert_eq!(
                     baseline, bytes,

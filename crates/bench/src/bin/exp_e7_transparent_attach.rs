@@ -10,12 +10,17 @@ use gnf_container::ImageRepository;
 use gnf_nf::testing::sample_specs;
 use gnf_packet::builder;
 use gnf_switch::TrafficSelector;
+use gnf_telemetry::{
+    FlightRecorder, MetricsSeries, TraceLog, TraceScope, TraceSink, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
+};
 use gnf_types::{AgentId, ChainId, ClientId, HostClass, MacAddr, SimDuration, SimTime, StationId};
 use std::net::Ipv4Addr;
 
 fn main() {
     println!("E7 — transparent attach/remove of NFs on live traffic");
-    gnf_bench::seed_arg(); // single deterministic flow; printed for uniform provenance
+    let seed = gnf_bench::seed_arg(); // single deterministic flow; printed for uniform provenance
+    let obs = gnf_bench::observability_args();
     let (mut agent, _) = Agent::new(
         AgentConfig {
             agent: AgentId::new(0),
@@ -24,6 +29,14 @@ fn main() {
         },
         ImageRepository::with_standard_images(),
     );
+    if obs.trace_out.is_some() {
+        // Sample rate 1: with a single deterministic flow the flight
+        // recorder must capture it, whatever the seed.
+        agent.set_tracing(
+            TraceSink::buffered(TraceScope::Station(0), DEFAULT_TRACE_CAPACITY),
+            FlightRecorder::armed(TraceScope::Station(0), seed, 1, DEFAULT_FLIGHT_CAPACITY),
+        );
+    }
     let client = ClientId::new(0);
     let client_mac = MacAddr::derived(1, 0);
     let client_ip = Ipv4Addr::new(172, 16, 0, 2);
@@ -113,4 +126,18 @@ fn main() {
         "no packet of the flow may be lost by attach/detach"
     );
     println!("\nresult: attach/remove did not drop a single in-flight packet (make-before-break steering)");
+
+    // This harness drives one Agent directly (no emulator): the trace
+    // artifact carries the station-scope events (a flight record and a
+    // flush instant per packet of the single flow, plus any megaflow
+    // seals) and the metrics CSV is header-only.
+    if obs.any() {
+        let mut log = TraceLog::new();
+        log.absorb(agent.trace_mut());
+        let dropped = agent.flight_mut().dropped();
+        log.extend(agent.flight_mut().take_events(), dropped);
+        log.sort();
+        obs.write_log(&log);
+        obs.write_series(&MetricsSeries::new(SimDuration::from_millis(100), 1));
+    }
 }

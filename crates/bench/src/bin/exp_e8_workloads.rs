@@ -21,7 +21,7 @@
 //! and `--capture DIR` writes each workload to `DIR/<name>.pcap` for replay.
 
 use gnf_bench::dataplane_fixture::hundred_rule_config;
-use gnf_bench::{arg_value, packets_arg, pct, section, seed_arg, workers_arg};
+use gnf_bench::{arg_value, packets_arg, pct, section, seed_arg, workers_arg, ObservabilityArgs};
 use gnf_core::{Emulator, RunReport, Scenario};
 use gnf_edge::TrafficProfile;
 use gnf_nf::firewall::{FirewallConfig, FirewallRule, PortMatch, ProtocolMatch, RuleAction};
@@ -132,6 +132,7 @@ fn run_workload(
     seed: u64,
     workers: usize,
     capture_dir: Option<&str>,
+    obs: &ObservabilityArgs,
 ) -> Row {
     section(&format!("E8 workload: {name} — {describe}"));
     let scenario = scenario(seed, chain, duration);
@@ -158,11 +159,13 @@ fn run_workload(
         None => emulator.add_workload(Box::new(probe)),
     }
 
+    obs.arm(&mut emulator);
     let start = Instant::now();
     let report = emulator.run();
     let wall = start.elapsed().as_secs_f64();
     let stats = *shared.lock().unwrap();
     print_report(&report, stats, budget, wall);
+    obs.write(&mut emulator);
     Row {
         name,
         packets: report.packets.generated,
@@ -237,6 +240,9 @@ fn main() {
     let workers = workers_arg(1);
     let capture_dir = arg_value::<String>("--capture");
     let capture = capture_dir.as_deref();
+    // Artifacts (when requested) describe the heavy-tail headline workload.
+    let obs = gnf_bench::observability_args();
+    let off = ObservabilityArgs::default();
     println!(
         "{STATIONS} stations x {} clients, {headline} packets per headline workload, workers={workers}"
     , CLIENTS);
@@ -268,6 +274,7 @@ fn main() {
         seed,
         workers,
         capture,
+        &obs,
     ));
 
     let bursty = (headline / 4).max(1);
@@ -288,6 +295,7 @@ fn main() {
         seed,
         workers,
         capture,
+        &off,
     ));
 
     rows.push(run_workload(
@@ -310,6 +318,7 @@ fn main() {
         seed,
         workers,
         capture,
+        &off,
     ));
 
     let churn = (headline / 2).max(1);
@@ -328,6 +337,7 @@ fn main() {
         seed,
         workers,
         capture,
+        &off,
     ));
 
     // The whole point of wildcarded drop entries is the attack mix: its

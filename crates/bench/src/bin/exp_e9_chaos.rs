@@ -24,7 +24,9 @@
 //! `--seed N` reproduces a storm exactly; `--workers N` / `--station-shards
 //! N` pick the matrix cell for the headline run.
 
-use gnf_bench::{ms_row, pct, section, seed_arg, station_shards_arg, workers_arg};
+use gnf_bench::{
+    ms_row_log, pct, section, seed_arg, station_shards_arg, workers_arg, ObservabilityArgs,
+};
 use gnf_core::{
     ChaosSpec, Emulator, FaultKind, FaultSchedule, Mobility, PartitionMode, RunReport, Scenario,
 };
@@ -127,12 +129,19 @@ fn storm(seed: u64) -> FaultSchedule {
     schedule
 }
 
-fn run_cell(seed: u64, workers: usize, shards: usize) -> (RunReport, usize) {
+fn run_cell(
+    seed: u64,
+    workers: usize,
+    shards: usize,
+    obs: &ObservabilityArgs,
+) -> (RunReport, usize) {
     let mut emulator = Emulator::new(scenario(seed));
     emulator.set_workers(workers);
     emulator.set_station_shards(shards);
     emulator.set_fault_schedule(storm(seed));
+    obs.arm(&mut emulator);
     let report = emulator.run();
+    obs.write(&mut emulator);
     let active = emulator
         .manager()
         .attachments()
@@ -153,7 +162,9 @@ fn main() {
         println!("  {:>12}  {:?}", format!("{}", event.at), event.kind);
     }
 
-    let (report, active) = run_cell(seed, workers, shards);
+    // Artifacts (when requested) describe the headline matrix cell.
+    let obs = gnf_bench::observability_args();
+    let (report, active) = run_cell(seed, workers, shards, &obs);
 
     section("chaos outcome");
     let chaos = &report.chaos;
@@ -178,7 +189,7 @@ fn main() {
         chaos.stations.cache_invalidations,
     );
     if chaos.recovery_ms.count() > 0 {
-        println!("crash → reconvergence: {}", ms_row(&chaos.recovery_ms));
+        println!("crash → reconvergence: {}", ms_row_log(&chaos.recovery_ms));
     }
 
     section("migration outcomes under the storm");
@@ -278,7 +289,7 @@ fn main() {
             if w == workers && s == shards {
                 continue;
             }
-            let (other, _) = run_cell(seed, w, s);
+            let (other, _) = run_cell(seed, w, s, &ObservabilityArgs::default());
             let bytes = serde_json::to_string(&other).expect("report serializes");
             assert_eq!(
                 baseline, bytes,

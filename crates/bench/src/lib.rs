@@ -18,7 +18,9 @@
 
 pub mod dataplane_fixture;
 
+use gnf_core::Emulator;
 use gnf_sim::Histogram;
+use gnf_telemetry::{LogHistogram, MetricsSeries, TraceLog};
 
 /// Formats a histogram (in ms) as `mean/median/p99/max` for experiment tables.
 pub fn ms_row(h: &Histogram) -> String {
@@ -27,6 +29,31 @@ pub fn ms_row(h: &Histogram) -> String {
         h.mean(),
         h.median(),
         h.p99(),
+        h.max()
+    )
+}
+
+/// [`ms_row`] for the log-bucketed aggregate histograms carried by run
+/// reports (`MigrationReport::switchover_ms`, `ChaosReport::recovery_ms`).
+pub fn ms_row_log(h: &LogHistogram) -> String {
+    format!(
+        "mean {:>8.1} ms | median {:>8.1} ms | p99 {:>8.1} ms | max {:>8.1} ms",
+        h.mean(),
+        h.median(),
+        h.p99(),
+        h.max()
+    )
+}
+
+/// Formats a histogram (in ms) as a `p10/p50/p90/p99/max` CDF row — the
+/// shape the paper's downtime figures use.
+pub fn cdf_row(h: &Histogram) -> String {
+    format!(
+        "p10 {:>7.1} ms | p50 {:>7.1} ms | p90 {:>7.1} ms | p99 {:>7.1} ms | max {:>7.1} ms",
+        h.quantile(0.10),
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
         h.max()
     )
 }
@@ -87,6 +114,87 @@ pub fn roams_arg(default: usize) -> usize {
 /// Used by the workload harness to scale run length (CI smoke vs full runs).
 pub fn packets_arg(default: u64) -> u64 {
     arg_value("--packets").unwrap_or(default).max(1)
+}
+
+/// The `--trace-out PATH` / `--metrics-out PATH` pair every experiment
+/// harness accepts: which observability artifacts the run should write.
+/// Both default to off, so the harness pays no tracing cost unless asked.
+#[derive(Debug, Clone, Default)]
+pub struct ObservabilityArgs {
+    /// Chrome `trace_event` JSON target (a `.csv` sibling rides along).
+    pub trace_out: Option<String>,
+    /// Virtual-time metrics CSV target.
+    pub metrics_out: Option<String>,
+}
+
+/// Parses `--trace-out PATH` and `--metrics-out PATH` from the command line.
+pub fn observability_args() -> ObservabilityArgs {
+    ObservabilityArgs {
+        trace_out: arg_value("--trace-out"),
+        metrics_out: arg_value("--metrics-out"),
+    }
+}
+
+impl ObservabilityArgs {
+    /// Arms tracing and/or metrics on an emulator, matching the flags that
+    /// are present. Call before `run()`, on the run the artifacts should
+    /// describe (sweep harnesses pick one representative run).
+    pub fn arm(&self, emulator: &mut Emulator) {
+        if self.trace_out.is_some() {
+            emulator.enable_tracing();
+        }
+        if self.metrics_out.is_some() {
+            emulator.enable_metrics();
+        }
+    }
+
+    /// True when either artifact was requested.
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Writes the requested artifacts from an armed emulator. Call after
+    /// `run()`, on the same emulator [`ObservabilityArgs::arm`] touched.
+    pub fn write(&self, emulator: &mut Emulator) {
+        if self.trace_out.is_some() {
+            self.write_log(&emulator.trace_log());
+        }
+        if self.metrics_out.is_some() {
+            self.write_series(
+                emulator
+                    .metrics_series()
+                    .expect("metrics armed before the run"),
+            );
+        }
+    }
+
+    /// Writes a pre-merged trace log to `--trace-out` (Chrome JSON, plus a
+    /// `.csv` sibling). The component-level harnesses — which drive an Agent
+    /// or the Manager without an emulator — merge their own sinks and call
+    /// this directly.
+    pub fn write_log(&self, log: &TraceLog) {
+        let Some(path) = &self.trace_out else {
+            return;
+        };
+        std::fs::write(path, log.to_chrome_json()).expect("write trace JSON");
+        let csv_path = format!("{path}.csv");
+        std::fs::write(&csv_path, log.to_csv()).expect("write trace CSV");
+        println!(
+            "trace: {} events ({} dropped) -> {path} (+ {csv_path})",
+            log.len(),
+            log.dropped()
+        );
+    }
+
+    /// Writes a metrics series to `--metrics-out`. Harnesses without a
+    /// virtual-time sampler pass an empty series: a valid header-only CSV.
+    pub fn write_series(&self, series: &MetricsSeries) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        std::fs::write(path, series.to_csv()).expect("write metrics CSV");
+        println!("metrics: {} samples -> {path}", series.len());
+    }
 }
 
 /// `num / den` as a percentage, defined as 0 when the denominator is zero —

@@ -14,8 +14,8 @@
 //! control event (flushing pending packet batches first, like every other
 //! control mutation) and tallies the outcome into a [`ChaosReport`].
 
-use gnf_sim::{Histogram, Rng};
-use gnf_telemetry::ChaosTelemetry;
+use gnf_sim::Rng;
+use gnf_telemetry::{ChaosTelemetry, LogHistogram};
 use gnf_types::{SimDuration, SimTime, StationId};
 use serde::{Deserialize, Serialize};
 
@@ -265,8 +265,8 @@ pub struct ChaosReport {
     /// Manager⇄Agent messages held back by `Delay` partitions.
     pub messages_delayed: u64,
     /// Time from each restart until every chain owed to that station was
-    /// active again, in milliseconds.
-    pub recovery_ms: Histogram,
+    /// active again, in milliseconds (log-bucketed).
+    pub recovery_ms: LogHistogram,
     /// Per-station chaos counters summed across the fleet.
     pub stations: ChaosTelemetry,
 }

@@ -20,8 +20,16 @@ use gnf_edge::{MobilityModel, TrafficGenerator};
 use gnf_manager::{Manager, ManagerAction};
 use gnf_packet::{Packet, PacketBatch};
 use gnf_sim::{EventQueue, Histogram, Rng};
-use gnf_telemetry::{MigrationPoolTelemetry, NotificationSeverity};
-use gnf_types::{AgentId, CellId, ChainId, ClientId, SimDuration, SimTime, StationId};
+use gnf_telemetry::{
+    FlightRecorder, FlowCacheTelemetry, FlowRecord, MegaflowTelemetry, MetricsSample,
+    MetricsSeries, MigrationPoolTelemetry, NotificationSeverity, TraceKind, TraceLog, TraceScope,
+    TraceSink, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_SAMPLE_RATE, DEFAULT_TRACE_CAPACITY,
+    VIRTUAL_SHARDS,
+};
+use gnf_types::{
+    AgentId, CellId, ChainId, ClientId, FlowCacheStats, MegaflowStats, SimDuration, SimTime,
+    StationId,
+};
 use gnf_workload::{TimedBatch, Workload};
 use std::collections::{BTreeMap, HashMap};
 
@@ -213,6 +221,33 @@ pub struct Emulator {
     recovery_pending: BTreeMap<StationId, SimTime>,
     /// Fault-injection accounting for the report.
     chaos: ChaosReport,
+    /// Run-scope event sink (fault instants, recovery/partition windows).
+    /// Disabled unless [`Emulator::enable_tracing`] armed it.
+    trace: TraceSink,
+    /// Run-scope flight recorder for the loss classes only the emulator
+    /// sees: gap drops/bypasses, crashed-station losses, hairpin detours.
+    flight: FlightRecorder,
+    /// The virtual-time metrics sampler, armed by
+    /// [`Emulator::enable_metrics`].
+    sampler: Option<MetricsSampler>,
+}
+
+/// Bound on retained fleet metrics samples.
+const METRICS_SERIES_CAPACITY: usize = 1 << 14;
+
+/// The virtual-time fleet sampler behind `--metrics-out`: snapshots the
+/// fleet counters at every `k × metrics_interval` boundary the event clock
+/// crosses. Sampling only reads emulator state and writes the series — it
+/// schedules no events and flushes no batches, so the event sequence (and
+/// the byte-compared [`RunReport`]) is identical with or without it.
+struct MetricsSampler {
+    series: MetricsSeries,
+    /// The next unsampled boundary.
+    next: SimTime,
+    /// Totals at the previous boundary, for interval deltas.
+    prev_packets: PacketStats,
+    prev_flow: FlowCacheStats,
+    prev_mega: MegaflowStats,
 }
 
 impl Emulator {
@@ -385,6 +420,160 @@ impl Emulator {
             partitions: BTreeMap::new(),
             recovery_pending: BTreeMap::new(),
             chaos: ChaosReport::default(),
+            trace: TraceSink::default(),
+            flight: FlightRecorder::default(),
+            sampler: None,
+        }
+    }
+
+    /// Arms event tracing: the Manager, every Agent and the run loop get
+    /// buffered sinks, and every scope gets a flight recorder sampling one
+    /// in [`DEFAULT_FLIGHT_SAMPLE_RATE`] flows keyed by the scenario seed —
+    /// the same flows on every station and in every worker configuration.
+    /// Call before [`Emulator::run`]. Purely observational: the
+    /// [`RunReport`] is byte-identical with tracing on or off.
+    pub fn enable_tracing(&mut self) {
+        let seed = self.scenario.config.seed;
+        self.trace = TraceSink::buffered(TraceScope::Run, DEFAULT_TRACE_CAPACITY);
+        self.flight = FlightRecorder::armed(
+            TraceScope::Run,
+            seed,
+            DEFAULT_FLIGHT_SAMPLE_RATE,
+            DEFAULT_FLIGHT_CAPACITY,
+        );
+        self.manager.set_tracing(TraceSink::buffered(
+            TraceScope::Manager,
+            DEFAULT_TRACE_CAPACITY,
+        ));
+        for (station, agent) in &mut self.agents {
+            let scope = TraceScope::Station(station.raw());
+            agent.set_tracing(
+                TraceSink::buffered(scope, DEFAULT_TRACE_CAPACITY),
+                FlightRecorder::armed(
+                    scope,
+                    seed,
+                    DEFAULT_FLIGHT_SAMPLE_RATE,
+                    DEFAULT_FLIGHT_CAPACITY,
+                ),
+            );
+        }
+    }
+
+    /// Arms the virtual-time metrics sampler: one fleet-wide
+    /// [`MetricsSample`] per `GnfConfig::metrics_interval` of virtual time.
+    /// Call before [`Emulator::run`]. Like tracing, purely observational.
+    pub fn enable_metrics(&mut self) {
+        let interval = self.scenario.config.metrics_interval;
+        self.sampler = Some(MetricsSampler {
+            series: MetricsSeries::new(interval, METRICS_SERIES_CAPACITY),
+            next: SimTime::ZERO + interval,
+            prev_packets: PacketStats::default(),
+            prev_flow: FlowCacheStats::default(),
+            prev_mega: MegaflowStats::default(),
+        });
+    }
+
+    /// Drains every armed sink into one deterministically merged run log
+    /// (sorted by `(timestamp, scope, seq)`). Call after [`Emulator::run`];
+    /// empty when tracing was never enabled.
+    pub fn trace_log(&mut self) -> TraceLog {
+        let mut log = TraceLog::new();
+        log.absorb(&mut self.trace);
+        let dropped = self.flight.dropped();
+        log.extend(self.flight.take_events(), dropped);
+        log.absorb(self.manager.trace_mut());
+        for agent in self.agents.values_mut() {
+            log.absorb(agent.trace_mut());
+            let dropped = agent.flight_mut().dropped();
+            let events = agent.flight_mut().take_events();
+            log.extend(events, dropped);
+        }
+        log.sort();
+        log
+    }
+
+    /// The metrics series the sampler filled, if [`Emulator::enable_metrics`]
+    /// armed it.
+    pub fn metrics_series(&self) -> Option<&MetricsSeries> {
+        self.sampler.as_ref().map(|s| &s.series)
+    }
+
+    /// Takes every pending fleet sample whose boundary the virtual clock has
+    /// reached (`k × metrics_interval <= upto`), in boundary order. A sample
+    /// reflects the state established by all strictly earlier events: the
+    /// call sits between an event-queue pop and the event's processing.
+    fn sample_metrics(&mut self, upto: SimTime) {
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        while sampler.next <= upto {
+            let at = sampler.next;
+            sampler.next = at + sampler.series.interval();
+            let mut flow = FlowCacheTelemetry::default();
+            let mut mega = MegaflowTelemetry::default();
+            let mut shard_occupancy = [0u64; VIRTUAL_SHARDS];
+            for agent in self.agents.values() {
+                flow.merge(&agent.flow_cache_telemetry());
+                mega.merge(&agent.megaflow_telemetry());
+                for (ix, occ) in agent
+                    .flow_cache_occupancy_by_virtual_shard(VIRTUAL_SHARDS)
+                    .iter()
+                    .enumerate()
+                {
+                    shard_occupancy[ix] += occ;
+                }
+            }
+            // Interval deltas (saturating: a crash wipes a station's counters
+            // with the rest of its soft state, which can move fleet totals
+            // backwards).
+            let d = |cur: u64, prev: u64| cur.saturating_sub(prev);
+            let p = &sampler.prev_packets;
+            let generated = d(self.packets.generated, p.generated);
+            let forwarded = d(self.packets.forwarded, p.forwarded);
+            let dropped_by_nf = d(self.packets.dropped_by_nf, p.dropped_by_nf);
+            let dropped_in_gap = d(self.packets.dropped_in_gap, p.dropped_in_gap);
+            let bypassed_in_gap = d(self.packets.bypassed_in_gap, p.bypassed_in_gap);
+            let dropped_station_down = d(self.packets.dropped_station_down, p.dropped_station_down);
+            let flow_lookups = d(flow.stats.hits, sampler.prev_flow.hits)
+                + d(flow.stats.misses, sampler.prev_flow.misses);
+            let flow_hit_rate = if flow_lookups == 0 {
+                0.0
+            } else {
+                d(flow.stats.hits, sampler.prev_flow.hits) as f64 / flow_lookups as f64
+            };
+            let mega_probes = d(mega.stats.hits, sampler.prev_mega.hits)
+                + d(mega.stats.misses, sampler.prev_mega.misses);
+            let megaflow_hit_rate = if mega_probes == 0 {
+                0.0
+            } else {
+                d(mega.stats.hits, sampler.prev_mega.hits) as f64 / mega_probes as f64
+            };
+            let interval_ms = sampler.series.interval().as_millis_f64();
+            sampler.series.push(MetricsSample {
+                at,
+                // Forwarded packets per virtual millisecond = kpps.
+                kpps: forwarded as f64 / interval_ms,
+                generated,
+                forwarded,
+                dropped_by_nf,
+                dropped_in_gap,
+                bypassed_in_gap,
+                dropped_station_down,
+                flow_hit_rate,
+                megaflow_hit_rate,
+                flow_entries: flow.entries as u64,
+                megaflow_entries: mega.entries as u64,
+                in_flight_migrations: self
+                    .manager
+                    .migrations()
+                    .filter(|m| !m.is_finished())
+                    .count() as u64,
+                dead_stations: self.dead.len() as u64,
+                shard_occupancy,
+            });
+            sampler.prev_packets = self.packets;
+            sampler.prev_flow = flow.stats;
+            sampler.prev_mega = mega.stats;
         }
     }
 
@@ -529,6 +718,9 @@ impl Emulator {
             let Some(scheduled) = self.queue.pop_until(deadline) else {
                 break;
             };
+            // Fleet samples fall due the moment the clock first reaches a
+            // boundary — before the boundary's own events process.
+            self.sample_metrics(scheduled.time);
             match scheduled.event {
                 EmuEvent::PacketBatch { station, packets } => {
                     // Packets interleaved between same-time migration
@@ -581,6 +773,7 @@ impl Emulator {
         self.flush_migrations(&mut migrations);
         self.flush_packets(&mut pending);
         self.queue.advance_to(deadline);
+        self.sample_metrics(deadline);
         self.build_report(deadline)
     }
 
@@ -796,6 +989,14 @@ impl Emulator {
                     return;
                 }
                 self.chaos.crashes += 1;
+                self.trace.emit(
+                    now,
+                    TraceKind::Fault {
+                        station: station.raw(),
+                        kind: "crash",
+                        detail: down_for.as_millis_f64() as u64,
+                    },
+                );
                 let agent = self.agents.get_mut(&station).expect("checked above");
                 agent.crash();
                 // Everything the emulator believed about the station's data
@@ -813,6 +1014,19 @@ impl Emulator {
                 mode,
             } => {
                 self.chaos.partitions += 1;
+                // The span is emitted at injection but timestamped at the
+                // heal: `at` is the window close, `since` the open.
+                self.trace.emit(
+                    now + duration,
+                    TraceKind::PartitionWindow {
+                        station: station.raw(),
+                        mode: match mode {
+                            PartitionMode::Drop => "drop",
+                            PartitionMode::Delay => "delay",
+                        },
+                        since: now,
+                    },
+                );
                 self.partitions.insert(station, (now + duration, mode));
                 self.queue
                     .schedule_at(now + duration, EmuEvent::PartitionHeal { station });
@@ -822,6 +1036,14 @@ impl Emulator {
                     return;
                 }
                 self.chaos.churn_storms += 1;
+                self.trace.emit(
+                    now,
+                    TraceKind::Fault {
+                        station: station.raw(),
+                        kind: "steering-churn",
+                        detail: rules,
+                    },
+                );
                 let agent = self.agents.get_mut(&station).expect("checked above");
                 agent.chaos_steering_churn(rules);
             }
@@ -830,6 +1052,14 @@ impl Emulator {
                     return;
                 }
                 self.chaos.invalidation_floods += 1;
+                self.trace.emit(
+                    now,
+                    TraceKind::Fault {
+                        station: station.raw(),
+                        kind: "cache-invalidation",
+                        detail: floods,
+                    },
+                );
                 let agent = self.agents.get_mut(&station).expect("checked above");
                 agent.chaos_invalidate_caches(floods);
             }
@@ -845,6 +1075,14 @@ impl Emulator {
             return;
         }
         self.chaos.restarts += 1;
+        self.trace.emit(
+            now,
+            TraceKind::Fault {
+                station: station.raw(),
+                kind: "restart",
+                detail: 0,
+            },
+        );
         self.recovery_pending.insert(station, now);
         let register = {
             let agent = self
@@ -899,6 +1137,13 @@ impl Emulator {
             self.chaos
                 .recovery_ms
                 .record(now.duration_since(since).as_millis_f64());
+            self.trace.emit(
+                now,
+                TraceKind::RecoveryWindow {
+                    station: station.raw(),
+                    since,
+                },
+            );
         }
     }
 
@@ -1143,6 +1388,18 @@ impl Emulator {
             // radio and switch are down, so nothing classifies or forwards.
             if self.dead.contains_key(&group.station) {
                 tally.dropped_station_down += group.packets.len() as u64;
+                if self.flight.enabled() {
+                    for (_, packet) in &group.packets {
+                        Self::record_flight(
+                            &mut self.flight,
+                            group.time,
+                            group.station,
+                            packet,
+                            "station-down",
+                            "lost",
+                        );
+                    }
+                }
                 continue;
             }
             if !self.agents.contains_key(&group.station) {
@@ -1189,16 +1446,38 @@ impl Emulator {
                     GapState::NeverReady => true,
                 };
                 if in_gap {
-                    if self.scenario.config.bypass_during_migration {
+                    let (stage, verdict) = if self.scenario.config.bypass_during_migration {
                         tally.bypassed_in_gap += 1;
                         tally.forwarded += 1;
+                        ("gap-bypass", "forwarded")
                     } else {
                         tally.dropped_in_gap += 1;
+                        ("gap-drop", "lost")
+                    };
+                    if self.flight.enabled() {
+                        Self::record_flight(
+                            &mut self.flight,
+                            group.time,
+                            group.station,
+                            &packet,
+                            stage,
+                            verdict,
+                        );
                     }
                     continue;
                 }
                 if let GapState::Hairpin(source) = state {
                     tally.hairpinned += 1;
+                    if self.flight.enabled() {
+                        Self::record_flight(
+                            &mut self.flight,
+                            group.time,
+                            group.station,
+                            &packet,
+                            "hairpin",
+                            "forwarded",
+                        );
+                    }
                     hairpins
                         .entry(*source)
                         .or_insert_with(|| PacketBatch::with_capacity(4))
@@ -1324,6 +1603,38 @@ impl Emulator {
         self.packets.bypassed_in_gap += tally.bypassed_in_gap;
         self.packets.dropped_station_down += tally.dropped_station_down;
         self.packets.hairpinned += tally.hairpinned;
+    }
+
+    /// Records one loss-class flight sample for a packet, if its flow is in
+    /// the deterministic sample set. An associated function so call sites
+    /// can pass `&mut self.flight` while other fields of `self` stay
+    /// borrowed.
+    fn record_flight(
+        flight: &mut FlightRecorder,
+        at: SimTime,
+        station: StationId,
+        packet: &Packet,
+        stage: &'static str,
+        verdict: &'static str,
+    ) {
+        let Some(tuple) = packet.five_tuple() else {
+            return;
+        };
+        let flow = tuple.shard_hash();
+        if !flight.samples(flow) {
+            return;
+        }
+        flight.record(
+            at,
+            FlowRecord {
+                station: station.raw(),
+                flow,
+                tuple: tuple.to_string(),
+                stage,
+                verdict,
+                count: 1,
+            },
+        );
     }
 
     /// Runs one station's parked migration commands, in park order, on
@@ -1868,6 +2179,177 @@ mod tests {
             serde_json::to_string(&report_4).unwrap(),
             "chaos runs must stay deterministic across workers"
         );
+    }
+
+    /// Roam + crash scenario shared by the observability tests: six
+    /// stateful clients roam at t=25 s (after station 0 crashed at t=10 s
+    /// and rejoined), so one run produces migration spans, fault instants
+    /// and a crash→reconvergence recovery window in the same trace.
+    fn observability_scenario() -> Scenario {
+        use gnf_edge::RoamTrace;
+
+        let config = GnfConfig {
+            migration_precopy: true,
+            ..Default::default()
+        };
+        let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+        let clients = builder.add_clients(6, TrafficProfile::smartphone());
+        let mut sb = builder
+            .with_config(config)
+            .with_duration(gnf_types::SimDuration::from_secs(40));
+        for client in &clients {
+            sb = sb.attach_policy(
+                *client,
+                vec![sample_specs()[0].clone()],
+                TrafficSelector::all(),
+                SimTime::from_secs(1),
+            );
+        }
+        let mut trace = RoamTrace::new();
+        for (ix, client) in clients.iter().enumerate() {
+            trace = trace.roam(
+                SimTime::from_secs(25),
+                *client,
+                gnf_types::CellId::new(((ix + 1) % 4) as u64),
+            );
+        }
+        sb.with_mobility(crate::scenario::Mobility::Trace(trace))
+            .build()
+    }
+
+    fn observability_fault_schedule() -> crate::chaos::FaultSchedule {
+        use crate::chaos::FaultKind;
+
+        let mut schedule = crate::chaos::FaultSchedule::new();
+        schedule.push(
+            SimTime::from_secs(10),
+            FaultKind::StationCrash {
+                station: gnf_types::StationId::new(0),
+                down_for: gnf_types::SimDuration::from_secs(5),
+            },
+        );
+        schedule
+    }
+
+    #[test]
+    fn tracing_and_metrics_never_leak_into_the_report_and_replay_byte_identically() {
+        // Baseline: the same run with observability off.
+        let mut plain = Emulator::new(observability_scenario());
+        plain.set_fault_schedule(observability_fault_schedule());
+        let plain_bytes = serde_json::to_string(&plain.run()).unwrap();
+
+        // Armed headline run.
+        let run_cell = |workers: usize, shards: usize, migration_workers: usize| {
+            let mut emulator = Emulator::new(observability_scenario());
+            emulator.set_workers(workers);
+            emulator.set_station_shards(shards);
+            emulator.set_migration_workers(migration_workers);
+            emulator.set_fault_schedule(observability_fault_schedule());
+            emulator.enable_tracing();
+            emulator.enable_metrics();
+            let report = emulator.run();
+            let log = emulator.trace_log();
+            let metrics = emulator.metrics_series().unwrap().to_csv();
+            (
+                serde_json::to_string(&report).unwrap(),
+                log.to_chrome_json(),
+                log.to_csv(),
+                metrics,
+            )
+        };
+        let (report_bytes, trace_json, trace_csv, metrics_csv) = run_cell(1, 1, 1);
+
+        // The observers are read-only: the report is byte-identical to the
+        // untraced baseline.
+        assert_eq!(
+            plain_bytes, report_bytes,
+            "tracing + metrics must not change the RunReport"
+        );
+        assert!(trace_json.contains("traceEvents"));
+        assert!(metrics_csv.lines().count() > 1, "sampler produced rows");
+
+        // Every cell of the workers x station-shards x migration-workers
+        // matrix reproduces all three artifacts byte-for-byte.
+        for workers in [1usize, 2, 4] {
+            for shards in [1usize, 4] {
+                for migration_workers in [1usize, 2, 4] {
+                    if (workers, shards, migration_workers) == (1, 1, 1) {
+                        continue;
+                    }
+                    let (r, j, c, m) = run_cell(workers, shards, migration_workers);
+                    assert_eq!(
+                        report_bytes, r,
+                        "report @ {workers}/{shards}/{migration_workers}"
+                    );
+                    assert_eq!(
+                        trace_json, j,
+                        "trace JSON @ {workers}/{shards}/{migration_workers}"
+                    );
+                    assert_eq!(
+                        trace_csv, c,
+                        "trace CSV @ {workers}/{shards}/{migration_workers}"
+                    );
+                    assert_eq!(
+                        metrics_csv, m,
+                        "metrics @ {workers}/{shards}/{migration_workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_trace_carries_migration_fault_and_recovery_events() {
+        let mut emulator = Emulator::new(observability_scenario());
+        emulator.set_fault_schedule(observability_fault_schedule());
+        emulator.enable_tracing();
+        emulator.enable_metrics();
+        let report = emulator.run();
+        assert!(report.all_migrations_completed());
+        assert!(report.chaos.fully_recovered());
+
+        let log = emulator.trace_log();
+        assert!(!log.is_empty());
+        assert!(
+            log.count_category("migration") >= 6,
+            "six roams must leave migration spans, got {}",
+            log.count_category("migration")
+        );
+        assert!(
+            log.count_category("chaos") >= 1,
+            "the crash must leave a fault instant"
+        );
+        assert!(
+            log.count_category("recovery") >= 1,
+            "the rejoin must close a recovery window"
+        );
+        assert!(
+            log.count_category("batch") >= 1,
+            "data-plane batches must leave flush events"
+        );
+
+        // The sampler walked the run in interval steps: timestamps strictly
+        // increase and the forwarded counter never runs backwards past a
+        // crash (deltas are saturating, so kpps stays finite and >= 0).
+        let series = emulator.metrics_series().unwrap();
+        let samples: Vec<_> = series.samples().collect();
+        assert!(samples.len() > 10, "40 s run yields many samples");
+        for pair in samples.windows(2) {
+            assert!(pair[0].at < pair[1].at);
+        }
+        assert!(samples.iter().all(|s| s.kpps >= 0.0));
+        assert!(samples.iter().any(|s| s.forwarded > 0));
+    }
+
+    #[test]
+    fn disabled_sinks_cost_nothing_and_emit_nothing() {
+        let mut emulator = Emulator::new(observability_scenario());
+        let report = emulator.run();
+        assert!(report.packets.forwarded > 0);
+        let log = emulator.trace_log();
+        assert_eq!(log.len(), 0, "disabled sinks must record nothing");
+        assert_eq!(log.dropped(), 0);
+        assert!(emulator.metrics_series().is_none());
     }
 
     #[test]

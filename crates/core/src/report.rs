@@ -5,7 +5,7 @@
 use crate::chaos::ChaosReport;
 use gnf_manager::{ManagerStats, MigrationPhase, MigrationRecord};
 use gnf_sim::Histogram;
-use gnf_telemetry::{BatchTelemetry, FlowCacheTelemetry, MegaflowTelemetry};
+use gnf_telemetry::{BatchTelemetry, FlowCacheTelemetry, LogHistogram, MegaflowTelemetry};
 use gnf_types::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -92,8 +92,10 @@ pub struct MigrationReport {
     pub delta_bytes_total: u64,
     /// Distribution of the switchover window (milliseconds); classic
     /// migrations contribute their full downtime (their entire restore sits
-    /// inside the service-affecting window).
-    pub switchover_ms: Histogram,
+    /// inside the service-affecting window). Log-bucketed so the aggregate
+    /// stays O(1) in the number of migrations; per-migration exact values
+    /// remain in [`RunReport::migrations`].
+    pub switchover_ms: LogHistogram,
 }
 
 impl MigrationReport {
@@ -316,7 +318,7 @@ mod tests {
                 state_bytes_total: 128,
                 delta_bytes_total: 24,
                 switchover_ms: {
-                    let mut h = Histogram::new();
+                    let mut h = LogHistogram::new();
                     h.record(90.0);
                     h
                 },

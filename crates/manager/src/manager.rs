@@ -6,6 +6,7 @@ use gnf_nf::{NfEventSeverity, NfSpec, NfStateDelta, NfStateSnapshot};
 use gnf_switch::TrafficSelector;
 use gnf_telemetry::{
     HotspotDetector, MonitoringStore, NotificationLog, NotificationSeverity, NotificationSource,
+    TraceKind, TraceSink,
 };
 use gnf_types::ids::IdAllocator;
 use gnf_types::{
@@ -140,6 +141,14 @@ pub struct Manager {
     last_hotspot_scan: SimTime,
     pending_retries: Vec<RetryPlan>,
     stats: ManagerStats,
+    /// Migration-lifecycle event sink: one span per phase a migration
+    /// passes through, one instant per terminal outcome. Disabled by
+    /// default (a single branch per phase transition).
+    trace: TraceSink,
+    /// When each in-flight migration entered its current phase, for the
+    /// phase spans. Only populated while tracing is enabled; terminal
+    /// outcomes clear their entry.
+    phase_entered: BTreeMap<MigrationId, SimTime>,
 }
 
 impl Manager {
@@ -164,7 +173,92 @@ impl Manager {
             last_hotspot_scan: SimTime::ZERO,
             pending_retries: Vec::new(),
             stats: ManagerStats::default(),
+            trace: TraceSink::default(),
+            phase_entered: BTreeMap::new(),
         }
+    }
+
+    /// Arms (or disarms) the migration-lifecycle event sink. Disabled by
+    /// default: one branch per phase transition, nothing recorded.
+    pub fn set_tracing(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// Mutable access to the event sink, for the harness to drain.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Stable span label of a migration phase. The pre-copy pipeline renders
+    /// as `PreCopy → Prepare → Delta → Activate`, the classic path as
+    /// `Checkpoint → Deploy`, both tailed by `RemoveOld`.
+    fn phase_label(phase: MigrationPhase) -> &'static str {
+        match phase {
+            MigrationPhase::AwaitingState => "Checkpoint",
+            MigrationPhase::AwaitingPreCopy => "PreCopy",
+            MigrationPhase::Preparing => "Prepare",
+            MigrationPhase::AwaitingDelta => "Delta",
+            MigrationPhase::SwitchingOver => "Activate",
+            MigrationPhase::Deploying => "Deploy",
+            MigrationPhase::RemovingOld => "RemoveOld",
+            MigrationPhase::Complete => "Complete",
+            MigrationPhase::Failed => "Failed",
+            MigrationPhase::TimedOut => "TimedOut",
+        }
+    }
+
+    /// Emits the span of the phase `record` is about to leave (call *before*
+    /// overwriting `record.phase`). An associated function over disjoint
+    /// field borrows, because every call site holds `record` borrowed out of
+    /// `self.migrations`.
+    fn trace_phase_left(
+        trace: &mut TraceSink,
+        entered: &mut BTreeMap<MigrationId, SimTime>,
+        record: &MigrationRecord,
+        now: SimTime,
+    ) {
+        if !trace.enabled() {
+            return;
+        }
+        let since = entered.insert(record.id, now).unwrap_or(record.started_at);
+        trace.emit(
+            now,
+            TraceKind::MigrationPhase {
+                migration: record.id.raw(),
+                client: record.client.raw(),
+                phase: Self::phase_label(record.phase),
+                since,
+            },
+        );
+    }
+
+    /// Emits the terminal-outcome instant for a migration whose phase is
+    /// already terminal, and drops its phase-clock entry.
+    fn trace_outcome(
+        trace: &mut TraceSink,
+        entered: &mut BTreeMap<MigrationId, SimTime>,
+        record: &MigrationRecord,
+        now: SimTime,
+    ) {
+        entered.remove(&record.id);
+        if !trace.enabled() {
+            return;
+        }
+        let outcome = match record.phase {
+            MigrationPhase::Complete => "complete",
+            MigrationPhase::Failed => "failed",
+            MigrationPhase::TimedOut => "timed-out",
+            _ => return,
+        };
+        trace.emit(
+            now,
+            TraceKind::MigrationOutcome {
+                migration: record.id.raw(),
+                client: record.client.raw(),
+                outcome,
+                attempt: record.attempt as u64,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -351,14 +445,14 @@ impl Manager {
                 migration,
                 state,
                 ..
-            } => self.on_chain_state(chain, client, migration, state),
+            } => self.on_chain_state(chain, client, migration, state, now),
             AgentToManager::ChainPreCopy {
                 chain,
                 client,
                 migration,
                 state,
                 ..
-            } => self.on_chain_precopy(chain, client, migration, state),
+            } => self.on_chain_precopy(chain, client, migration, state, now),
             AgentToManager::ChainPrepared {
                 chain, migration, ..
             } => self.on_chain_prepared(chain, migration, now),
@@ -367,7 +461,7 @@ impl Manager {
                 migration,
                 deltas,
                 ..
-            } => self.on_chain_delta(chain, migration, deltas),
+            } => self.on_chain_delta(chain, migration, deltas, now),
             AgentToManager::NfNotification {
                 chain,
                 client,
@@ -500,8 +594,10 @@ impl Manager {
                 continue;
             };
             let aborted_in = record.phase;
+            Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
             record.phase = MigrationPhase::TimedOut;
             record.failure = Some("migration deadline exceeded".into());
+            Self::trace_outcome(&mut self.trace, &mut self.phase_entered, record, now);
             let record = record.clone();
             self.stats.migrations_timed_out += 1;
             // Roll back: under make-before-break the source chain never
@@ -905,6 +1001,7 @@ impl Manager {
         client: ClientId,
         migration: MigrationId,
         state: Vec<NfStateSnapshot>,
+        now: SimTime,
     ) -> Vec<ManagerAction> {
         let Some(record) = self.migrations.get_mut(&migration) else {
             return Vec::new();
@@ -915,6 +1012,7 @@ impl Manager {
             return Vec::new();
         }
         record.state_bytes = state.iter().map(|s| s.approximate_size_bytes()).sum();
+        Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
         record.phase = MigrationPhase::Deploying;
         let to = record.to;
         // The attachment is deliberately NOT updated here: the source chain
@@ -937,6 +1035,7 @@ impl Manager {
         client: ClientId,
         migration: MigrationId,
         state: Vec<NfStateSnapshot>,
+        now: SimTime,
     ) -> Vec<ManagerAction> {
         let Some(record) = self.migrations.get_mut(&migration) else {
             return Vec::new();
@@ -947,6 +1046,7 @@ impl Manager {
             return Vec::new();
         }
         record.state_bytes = state.iter().map(|s| s.approximate_size_bytes()).sum();
+        Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
         record.phase = MigrationPhase::Preparing;
         let to = record.to;
         let Some(attachment) = self.attachments.get(&chain) else {
@@ -987,6 +1087,7 @@ impl Manager {
         }
         // The staged target is ready: the switchover window opens now, with
         // the request for the source's dirty delta.
+        Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
         record.phase = MigrationPhase::AwaitingDelta;
         record.switchover_started_at = Some(now);
         let (from, client) = (record.from, record.client);
@@ -1005,6 +1106,7 @@ impl Manager {
         chain: ChainId,
         migration: MigrationId,
         deltas: Vec<NfStateDelta>,
+        now: SimTime,
     ) -> Vec<ManagerAction> {
         let Some(record) = self.migrations.get_mut(&migration) else {
             return Vec::new();
@@ -1013,6 +1115,7 @@ impl Manager {
             return Vec::new();
         }
         record.delta_bytes = deltas.iter().map(|d| d.approximate_size_bytes()).sum();
+        Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
         record.phase = MigrationPhase::SwitchingOver;
         let (to, client) = (record.to, record.client);
         vec![ManagerAction::send(
@@ -1075,6 +1178,12 @@ impl Manager {
                         | MigrationPhase::TimedOut
                 ) {
                     if record.with_state {
+                        Self::trace_phase_left(
+                            &mut self.trace,
+                            &mut self.phase_entered,
+                            record,
+                            now,
+                        );
                         record.phase = MigrationPhase::RemovingOld;
                         actions.push(ManagerAction::send(
                             record.from,
@@ -1090,12 +1199,24 @@ impl Manager {
                         // — or there is nothing to remove; deployment
                         // completes the migration unless the removal is
                         // still outstanding (handled in on_chain_removed).
+                        Self::trace_phase_left(
+                            &mut self.trace,
+                            &mut self.phase_entered,
+                            record,
+                            now,
+                        );
                         if let Some(done) = record.completed_at {
                             record.phase = MigrationPhase::Complete;
                             if done < now {
                                 record.completed_at = Some(now);
                             }
                             self.stats.migrations_completed += 1;
+                            Self::trace_outcome(
+                                &mut self.trace,
+                                &mut self.phase_entered,
+                                record,
+                                now,
+                            );
                         } else {
                             record.phase = MigrationPhase::RemovingOld;
                         }
@@ -1126,7 +1247,14 @@ impl Manager {
                     }
                     record.completed_at = Some(now);
                     if record.service_restored_at.is_some() {
+                        Self::trace_phase_left(
+                            &mut self.trace,
+                            &mut self.phase_entered,
+                            record,
+                            now,
+                        );
                         record.phase = MigrationPhase::Complete;
+                        Self::trace_outcome(&mut self.trace, &mut self.phase_entered, record, now);
                         self.stats.migrations_completed += 1;
                         self.notifications.raise(
                             now,
@@ -1196,7 +1324,14 @@ impl Manager {
                 if error.category() == "not_found" && record.phase == MigrationPhase::RemovingOld {
                     if let Some(record) = self.migrations.get_mut(&id) {
                         record.completed_at = Some(now);
+                        Self::trace_phase_left(
+                            &mut self.trace,
+                            &mut self.phase_entered,
+                            record,
+                            now,
+                        );
                         record.phase = MigrationPhase::Complete;
+                        Self::trace_outcome(&mut self.trace, &mut self.phase_entered, record, now);
                         self.stats.migrations_completed += 1;
                     }
                     return Vec::new();
@@ -1216,8 +1351,10 @@ impl Manager {
             if let Some(record) = self.migrations.get_mut(&id) {
                 if !record.is_finished() {
                     let failed_in = record.phase;
+                    Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
                     record.phase = MigrationPhase::Failed;
                     record.failure = Some(error.to_string());
+                    Self::trace_outcome(&mut self.trace, &mut self.phase_entered, record, now);
                     let record = record.clone();
                     self.stats.migrations_failed += 1;
                     // Roll back exactly as a timeout would, and retry with

@@ -164,6 +164,20 @@ impl FlowCache {
         }
     }
 
+    /// Live-entry occupancy partitioned over `n` *virtual* shards by the
+    /// direction-symmetric flow hash, independent of the configured shard
+    /// count. Observability uses this so metrics artifacts are byte-identical
+    /// whether the data plane runs 1 shard or 4: the configured shards change
+    /// which lane executes a chain, the virtual partition never changes.
+    pub fn occupancy_by_virtual_shard(&self, n: usize) -> Vec<u64> {
+        let n = n.max(1);
+        let mut occupancy = vec![0u64; n];
+        for key in self.entries.keys() {
+            occupancy[(key.tuple.shard_hash() % n as u64) as usize] += 1;
+        }
+        occupancy
+    }
+
     /// The capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity

@@ -176,6 +176,23 @@ impl MegaflowSeed {
     }
 }
 
+/// What one [`SoftwareSwitch::install_megaflow`] call did, reported back to
+/// the caller so the sealing layer (the Agent) can trace seals and evictions
+/// itself — the switch stays plain serializable state with no sink inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegaflowInstall {
+    /// False when the megaflow cache is disabled (the install was a no-op).
+    pub installed: bool,
+    /// The sealed entry's class: `"forward"` / `"drop"` (certified chain
+    /// bypass) or `"decision"` (caches the switch decision only; the chain
+    /// still runs).
+    pub outcome: &'static str,
+    /// Entries the FIFO capacity bound evicted to make room in this call.
+    pub evicted: u64,
+    /// Live wildcard entries after the install.
+    pub occupancy: u64,
+}
+
 /// The result of classifying one received frame: the forwarding decision
 /// plus how the wildcard cache layer was (or can be) involved.
 #[derive(Debug, Clone, PartialEq)]
@@ -423,6 +440,13 @@ impl SoftwareSwitch {
         self.flow_cache.len()
     }
 
+    /// Flow-cache occupancy partitioned over `n` virtual shards by flow
+    /// hash, independent of the configured execution shards (see
+    /// [`FlowCache::occupancy_by_virtual_shard`]).
+    pub fn flow_cache_occupancy_by_virtual_shard(&self, n: usize) -> Vec<u64> {
+        self.flow_cache.occupancy_by_virtual_shard(n)
+    }
+
     /// Bounds the megaflow (wildcard) cache to `capacity` entries; 0
     /// disables the layer entirely. Resizing drops every wildcard entry
     /// (they repopulate from slow-path traffic) but keeps the cumulative
@@ -636,15 +660,26 @@ impl SoftwareSwitch {
     /// drop per the [`BypassOutcome`] — with NF statistics replayed from
     /// the tokens), `None` when the chain is opaque (the entry caches the
     /// switch decision only; matching packets still traverse the chain).
+    ///
+    /// Returns what the install did so the caller can trace seals and
+    /// evictions without the switch owning an observability sink (the switch
+    /// stays plain serializable state).
     pub fn install_megaflow(
         &mut self,
         seed: MegaflowSeed,
         chain: Option<(FieldMask, BypassOutcome)>,
-    ) {
+    ) -> MegaflowInstall {
         let (mask, bypass) = match chain {
             Some((chain_mask, outcome)) => (seed.switch_mask.union(chain_mask), Some(outcome)),
             None => (seed.switch_mask, None),
         };
+        let outcome = match &bypass {
+            Some(b) if b.is_drop() => "drop",
+            Some(_) => "forward",
+            None => "decision",
+        };
+        let installed = self.megaflow.enabled();
+        let evictions_before = self.megaflow.stats().evictions;
         self.megaflow.insert(
             seed.in_port,
             seed.src_mac,
@@ -657,6 +692,12 @@ impl SoftwareSwitch {
             seed.steering_generation,
             seed.dst_mapping,
         );
+        MegaflowInstall {
+            installed,
+            outcome,
+            evicted: self.megaflow.stats().evictions - evictions_before,
+            occupancy: self.megaflow.len() as u64,
+        }
     }
 
     /// Processes a batch of frames received on `in_port`: the batched

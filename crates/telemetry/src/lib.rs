@@ -15,17 +15,33 @@
 //! counters ([`report::MegaflowTelemetry`]) and its batch-size distribution
 //! ([`report::BatchTelemetry`]); the emulator aggregates all three across
 //! stations into the `RunReport`.
+//!
+//! Time-resolved observability lives in three further modules, all driven by
+//! **virtual time** so the determinism contract survives: [`trace`] (typed
+//! spans/instants merged in deterministic `(timestamp, scope, seq)` order,
+//! exported as Chrome `trace_event` JSON or CSV), [`metrics`] (the
+//! virtual-time fleet sampler's ring-buffered series plus the shared
+//! log-bucketed [`metrics::LogHistogram`]) and [`flight`] (the seeded
+//! flow-sampled flight recorder).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
+pub mod metrics;
 pub mod monitor;
 pub mod notification;
 pub mod report;
+pub mod trace;
 
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_SAMPLE_RATE};
+pub use metrics::{LogHistogram, MetricsSample, MetricsSeries, RingSeries, VIRTUAL_SHARDS};
 pub use monitor::{HotspotDetector, MonitoringStore, StationHealth, StationStatus};
 pub use notification::{Notification, NotificationLog, NotificationSeverity, NotificationSource};
 pub use report::{
     BatchTelemetry, ChaosTelemetry, FlowCacheTelemetry, MegaflowTelemetry, MigrationPoolTelemetry,
     ShardTelemetry, StationReport,
+};
+pub use trace::{
+    FlowRecord, TraceEvent, TraceKind, TraceLog, TraceScope, TraceSink, DEFAULT_TRACE_CAPACITY,
 };

@@ -3,8 +3,8 @@
 //! resource-hotspot detection ("the part of the infrastructure that should be
 //! upgraded").
 
+use crate::metrics::RingSeries;
 use crate::report::StationReport;
-use gnf_sim::TimeSeries;
 use gnf_types::{SimDuration, SimTime, StationId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -31,11 +31,16 @@ pub struct StationHealth {
     pub last_seen: Option<SimTime>,
     /// Liveness status.
     pub status: StationStatus,
-    /// History of the dominant-utilisation fraction over time.
-    pub utilisation_history: TimeSeries,
+    /// History of the dominant-utilisation fraction over time, bounded to
+    /// [`UTILISATION_HISTORY_CAPACITY`] points (oldest rotated out and
+    /// counted) so long emulations cannot grow Manager memory without bound.
+    pub utilisation_history: RingSeries,
     /// Total reports received.
     pub reports_received: u64,
 }
+
+/// Retained utilisation-history points per station.
+pub const UTILISATION_HISTORY_CAPACITY: usize = 1024;
 
 impl StationHealth {
     fn new(station: StationId) -> Self {
@@ -44,7 +49,7 @@ impl StationHealth {
             last_report: None,
             last_seen: None,
             status: StationStatus::Offline,
-            utilisation_history: TimeSeries::new(),
+            utilisation_history: RingSeries::new(UTILISATION_HISTORY_CAPACITY),
             reports_received: 0,
         }
     }
@@ -239,6 +244,28 @@ mod tests {
         assert_eq!(store.online_count(), 1);
         assert_eq!(store.connected_clients(), 1);
         assert_eq!(store.running_nfs(), 2);
+    }
+
+    #[test]
+    fn utilisation_history_is_bounded_with_drop_accounting() {
+        let mut store = store();
+        let n = UTILISATION_HISTORY_CAPACITY as u64 + 5;
+        for i in 0..n {
+            let t = SimTime::from_secs(2 * (i + 1));
+            store.ingest(report(1, 0.5, t), t);
+        }
+        let health = store.station(StationId::new(1)).unwrap();
+        assert_eq!(health.reports_received, n, "totals keep counting");
+        assert_eq!(
+            health.utilisation_history.len(),
+            UTILISATION_HISTORY_CAPACITY,
+            "history is bounded"
+        );
+        assert_eq!(
+            health.utilisation_history.dropped(),
+            5,
+            "rotated-out points are accounted"
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct NotificationLog {
     capacity: usize,
     next_id: u64,
     total_by_severity: [u64; 3],
+    dropped: u64,
 }
 
 impl Default for NotificationLog {
@@ -79,6 +80,7 @@ impl NotificationLog {
             capacity: capacity.max(1),
             next_id: 0,
             total_by_severity: [0; 3],
+            dropped: 0,
         }
     }
 
@@ -106,8 +108,20 @@ impl NotificationLog {
         });
         if self.entries.len() > self.capacity {
             self.entries.pop_front();
+            self.dropped += 1;
         }
         id
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries rotated out by the capacity bound (the per-severity totals
+    /// still count them).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// The retained entries, oldest first.
@@ -179,6 +193,19 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.total(NotificationSeverity::Critical), 10);
         assert_eq!(log.total(NotificationSeverity::Info), 0);
+        assert_eq!(log.dropped(), 7, "rotated-out entries are counted");
+        assert_eq!(log.capacity(), 3);
+    }
+
+    #[test]
+    fn nothing_is_dropped_below_capacity() {
+        let mut log = NotificationLog::new(8);
+        for _ in 0..8 {
+            raise(&mut log, NotificationSeverity::Info, "ok");
+        }
+        assert_eq!(log.dropped(), 0);
+        raise(&mut log, NotificationSeverity::Info, "overflow");
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub struct GnfConfig {
     /// serving, then replay only the dirty delta at cutover. When false the
     /// classic monolithic checkpoint/restore path is used.
     pub migration_precopy: bool,
+    /// Sampling period of the virtual-time metrics sampler: when metrics
+    /// collection is enabled, the emulator snapshots the fleet's counters at
+    /// every multiple of this interval. Purely observational — sampling
+    /// schedules no events and never changes the `RunReport`.
+    pub metrics_interval: SimDuration,
 }
 
 impl Default for GnfConfig {
@@ -95,6 +100,7 @@ impl Default for GnfConfig {
             migration_workers: 1,
             migration_queue_size: 32,
             migration_precopy: false,
+            metrics_interval: SimDuration::from_secs(1),
         }
     }
 }
@@ -163,6 +169,12 @@ impl GnfConfig {
                 reason: "must be at least 1".into(),
             });
         }
+        if self.metrics_interval.is_zero() {
+            return Err(GnfError::InvalidConfig {
+                parameter: "metrics_interval".into(),
+                reason: "must be positive".into(),
+            });
+        }
         Ok(())
     }
 
@@ -212,6 +224,12 @@ mod tests {
 
         let cfg = GnfConfig {
             hotspot_scan_interval: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = GnfConfig {
+            metrics_interval: SimDuration::ZERO,
             ..Default::default()
         };
         assert!(cfg.validate().is_err());
