@@ -11,7 +11,8 @@ use gnf_switch::{
     SteeringRule, TrafficSelector, DEFAULT_MEGAFLOW_CAPACITY,
 };
 use gnf_telemetry::{
-    BatchTelemetry, ChaosTelemetry, FlightRecorder, FlowRecord, StationReport, TraceKind, TraceSink,
+    BatchTelemetry, ChaosTelemetry, DeltaEncoder, FlightRecorder, FlowRecord, SectionHints,
+    StationReport, TraceKind, TraceSink,
 };
 use gnf_types::{
     AgentId, ChainId, ClientId, GnfError, GnfResult, HostClass, MacAddr, ResourceUsage,
@@ -161,6 +162,17 @@ pub struct Agent {
     trace: TraceSink,
     /// Seeded flow-sampled flight recorder. Disabled by default.
     flight: FlightRecorder,
+    /// Scratch report buffer, filled in place every interval so periodic
+    /// reporting reuses one allocation (and its vectors' capacity) instead
+    /// of constructing a fresh boxed report per interval.
+    scratch: Box<StationReport>,
+    /// Delta-report encoder (None = classic full reports).
+    delta: Option<DeltaEncoder>,
+    /// Dirty bits piggybacked on the mutation paths: which report sections
+    /// may differ from the delta stream's current keyframe. Conservative
+    /// hints only — the encoder still compares hinted sections, and clears
+    /// the bits when a keyframe resynchronises the stream.
+    report_hints: SectionHints,
 }
 
 impl Agent {
@@ -174,6 +186,22 @@ impl Agent {
             host_class: config.host_class,
             capacity: runtime.capacity(),
         };
+        let scratch = Box::new(StationReport {
+            station: config.station,
+            agent: config.agent,
+            produced_at: SimTime::ZERO,
+            host_class: config.host_class,
+            capacity: runtime.capacity(),
+            usage: ResourceUsage::IDLE,
+            connected_clients: Vec::new(),
+            running_nfs: 0,
+            cached_images: 0,
+            flow_cache: Default::default(),
+            megaflow: Default::default(),
+            batches: BatchTelemetry::default(),
+            shards: Vec::new(),
+            chaos: ChaosTelemetry::default(),
+        });
         (
             Agent {
                 config,
@@ -191,9 +219,26 @@ impl Agent {
                 chaos: ChaosTelemetry::default(),
                 trace: TraceSink::default(),
                 flight: FlightRecorder::default(),
+                scratch,
+                delta: None,
+                report_hints: SectionHints::all(),
             },
             register,
         )
+    }
+
+    /// Switches periodic reporting to the delta wire format: keyframes every
+    /// `keyframe_interval` deltas, cumulative per-section deltas in between,
+    /// and a forced keyframe after every crash or rejoin. The reconstructed
+    /// reports are byte-identical to full-report mode.
+    pub fn set_delta_reporting(&mut self, keyframe_interval: u64) {
+        self.delta = Some(DeltaEncoder::new(keyframe_interval));
+        self.report_hints = SectionHints::all();
+    }
+
+    /// True when periodic reports use the delta wire format.
+    pub fn delta_reporting(&self) -> bool {
+        self.delta.is_some()
     }
 
     /// Arms (or disarms) the data-plane observability sinks: `trace`
@@ -251,6 +296,7 @@ impl Agent {
     pub fn set_station_shards(&mut self, shards: usize) {
         self.station_shards = shards.max(1);
         self.switch.set_station_shards(self.station_shards);
+        self.report_hints.traffic = true;
     }
 
     /// The intra-station RSS shard count.
@@ -308,6 +354,7 @@ impl Agent {
         } else {
             0
         });
+        self.report_hints.traffic = true;
     }
 
     /// True when the megaflow (wildcard) cache layer is enabled.
@@ -327,6 +374,7 @@ impl Agent {
     /// — the drop-bypass equivalence property tests assert it.
     pub fn set_megaflow_drop_enabled(&mut self, enabled: bool) {
         self.megaflow_drops = enabled;
+        self.report_hints.traffic = true;
     }
 
     /// True when certified chain drops may seal into wildcard drop entries.
@@ -377,6 +425,12 @@ impl Agent {
         self.switch.invalidate_caches();
         self.generation += 1;
         self.chaos.crashes += 1;
+        // The manager's held keyframe describes pre-crash state: the next
+        // report must open a new generation (chaos-safe forced resync).
+        self.report_hints = SectionHints::all();
+        if let Some(encoder) = &mut self.delta {
+            encoder.force_resync();
+        }
     }
 
     /// Restarts a crashed station: returns the `Register` message the reborn
@@ -409,6 +463,8 @@ impl Agent {
             self.switch.steering_mut().remove_chain(mac, chain);
         }
         self.chaos.steering_churn_rules += rules;
+        self.report_hints.chaos = true;
+        self.report_hints.traffic = true;
     }
 
     /// Applies a cache-invalidation flood: bumps the switch's topology
@@ -419,6 +475,8 @@ impl Agent {
             self.switch.invalidate_caches();
         }
         self.chaos.cache_invalidations += floods;
+        self.report_hints.chaos = true;
+        self.report_hints.traffic = true;
     }
 
     /// Handles a client associating with this station's cell.
@@ -429,6 +487,7 @@ impl Agent {
         ip: Ipv4Addr,
     ) -> Vec<AgentToManager> {
         self.clients.insert(client, (mac, ip));
+        self.report_hints.clients = true;
         vec![AgentToManager::ClientConnected { client, mac, ip }]
     }
 
@@ -437,6 +496,7 @@ impl Agent {
         if self.clients.remove(&client).is_none() {
             return Vec::new();
         }
+        self.report_hints.clients = true;
         vec![AgentToManager::ClientDisconnected { client }]
     }
 
@@ -594,13 +654,39 @@ impl Agent {
     }
 
     /// Builds the periodic station report ("reporting periodically the state
-    /// of the device").
+    /// of the device"): a full `Report`, or a `ReportDelta` frame when delta
+    /// reporting is enabled. Either way the station state is assembled into
+    /// the persistent scratch buffer, not a fresh allocation per interval.
     pub fn make_report(&mut self, now: SimTime) -> AgentToManager {
         self.reports_sent += 1;
+        self.fill_scratch_report(now);
+        match &mut self.delta {
+            None => AgentToManager::Report(self.scratch.clone()),
+            Some(encoder) => {
+                let frame = encoder.encode_with_hints(&self.scratch, self.report_hints);
+                if frame.is_keyframe() {
+                    // The keyframe snapshot now equals the current state:
+                    // every section is clean until the next mutation.
+                    self.report_hints = SectionHints::none();
+                }
+                AgentToManager::ReportDelta(Box::new(frame))
+            }
+        }
+    }
+
+    /// Refreshes the scratch report in place with the station's current
+    /// state, reusing the buffer's vector capacity across intervals.
+    fn fill_scratch_report(&mut self, now: SimTime) {
         let capacity = self.runtime.capacity();
         let used = self.runtime.used();
         let counters = self.switch.aggregate_counters(|_| true);
-        let usage = ResourceUsage {
+        let report = &mut *self.scratch;
+        report.station = self.config.station;
+        report.agent = self.config.agent;
+        report.produced_at = now;
+        report.host_class = self.config.host_class;
+        report.capacity = capacity;
+        report.usage = ResourceUsage {
             cpu_fraction: (used.cpu_millicores as f64 / capacity.cpu_millicores.max(1) as f64)
                 .min(1.0),
             memory_mb: used.memory_mb,
@@ -608,27 +694,43 @@ impl Agent {
             rx_bps: counters.rx_bytes as f64 * 8.0 / now.as_secs_f64().max(1e-9),
             tx_bps: counters.tx_bytes as f64 * 8.0 / now.as_secs_f64().max(1e-9),
         };
-        AgentToManager::Report(Box::new(StationReport {
-            station: self.config.station,
-            agent: self.config.agent,
-            produced_at: now,
-            host_class: self.config.host_class,
-            capacity,
-            usage,
-            connected_clients: self.connected_clients(),
-            running_nfs: self.runtime.running_count(),
-            cached_images: self
-                .repository
-                .images()
+        report.connected_clients.clear();
+        report
+            .connected_clients
+            .extend(self.clients.keys().copied());
+        report.connected_clients.sort();
+        report.running_nfs = self.runtime.running_count();
+        report.cached_images = self
+            .repository
+            .images()
+            .iter()
+            .filter(|i| self.runtime.is_image_cached(i))
+            .count();
+        report.flow_cache = gnf_telemetry::FlowCacheTelemetry {
+            stats: self.switch.flow_cache_stats(),
+            entries: self.switch.flow_cache_len(),
+        };
+        report.megaflow = gnf_telemetry::MegaflowTelemetry {
+            stats: self.switch.megaflow_stats(),
+            entries: self.switch.megaflow_len(),
+            masks: self.switch.megaflow_mask_count(),
+        };
+        report.batches = self.batch_sizes.clone();
+        report.shards.clear();
+        report.shards.extend(
+            self.switch
+                .flow_cache_shard_stats()
                 .iter()
-                .filter(|i| self.runtime.is_image_cached(i))
-                .count(),
-            flow_cache: self.flow_cache_telemetry(),
-            megaflow: self.megaflow_telemetry(),
-            batches: self.batch_sizes.clone(),
-            shards: self.shard_telemetry(),
-            chaos: self.chaos_telemetry(),
-        }))
+                .zip(self.switch.megaflow_shard_stats())
+                .map(|(flow, megaflow)| gnf_telemetry::ShardTelemetry {
+                    flow: *flow,
+                    megaflow: *megaflow,
+                }),
+        );
+        report.chaos = ChaosTelemetry {
+            generation: self.generation,
+            ..self.chaos
+        };
     }
 
     /// Per-RSS-shard cache counters of this station's switch, in shard-index
@@ -680,6 +782,7 @@ impl Agent {
 
     /// Processes a packet arriving from a client (upstream) at this station.
     pub fn process_upstream_packet(&mut self, packet: Packet, now: SimTime) -> PacketOutcome {
+        self.report_hints.traffic = true;
         let port = self.switch.client_port();
         self.process_packet(packet, port, now)
     }
@@ -687,6 +790,7 @@ impl Agent {
     /// Processes a packet arriving from the uplink (downstream, towards a
     /// client) at this station.
     pub fn process_downstream_packet(&mut self, packet: Packet, now: SimTime) -> PacketOutcome {
+        self.report_hints.traffic = true;
         let port = self.switch.uplink_port();
         self.process_packet(packet, port, now)
     }
@@ -703,6 +807,7 @@ impl Agent {
         batch: PacketBatch,
         now: SimTime,
     ) -> Vec<PacketOutcome> {
+        self.report_hints.traffic = true;
         let port = self.switch.client_port();
         self.process_packet_batch(batch, port, now)
     }
@@ -717,6 +822,7 @@ impl Agent {
         batch: PacketBatch,
         now: SimTime,
     ) -> Vec<PacketOutcome> {
+        self.report_hints.traffic = true;
         let port = self.switch.uplink_port();
         self.process_packet_batch(batch, port, now)
     }
@@ -1393,6 +1499,8 @@ impl Agent {
         if self.chains.contains_key(&chain_id) {
             return Err(GnfError::already_exists("chain", chain_id));
         }
+        self.report_hints.nfs = true;
+        self.report_hints.traffic = true;
         let mut total_latency = SimDuration::ZERO;
         let mut all_cached = true;
         let mut containers = Vec::with_capacity(specs.len());
@@ -1467,6 +1575,8 @@ impl Agent {
         selector: TrafficSelector,
         precopy_state: Vec<NfStateSnapshot>,
     ) -> GnfResult<(SimDuration, bool)> {
+        self.report_hints.nfs = true;
+        self.report_hints.traffic = true;
         let state_bytes: usize = precopy_state
             .iter()
             .map(|s| s.approximate_size_bytes())
@@ -1517,6 +1627,8 @@ impl Agent {
     /// Tears a chain down: removes steering, stops and removes its containers
     /// and drops the NF instances.
     fn remove_chain(&mut self, chain_id: ChainId) -> GnfResult<()> {
+        self.report_hints.nfs = true;
+        self.report_hints.traffic = true;
         let deployed = self
             .chains
             .remove(&chain_id)
@@ -1610,6 +1722,8 @@ impl Agent {
         chain_id: ChainId,
         deltas: Vec<NfStateDelta>,
     ) -> GnfResult<SimDuration> {
+        self.report_hints.nfs = true;
+        self.report_hints.traffic = true;
         let deployed = self
             .chains
             .get_mut(&chain_id)
@@ -2300,5 +2414,89 @@ mod tests {
         let replies = agent.handle_manager_msg(ManagerToAgent::Ping, SimTime::ZERO);
         assert_eq!(replies, vec![AgentToManager::Pong]);
         assert_eq!(agent.commands_handled(), 1);
+    }
+
+    /// Two identically-driven agents — one sending full reports, one delta
+    /// frames — must describe the identical station state at every interval
+    /// once the delta stream is reassembled.
+    #[test]
+    fn delta_reports_reconstruct_byte_identically() {
+        use gnf_telemetry::ReportReassembler;
+        let (mut full, _) = agent();
+        let (mut delta, _) = agent();
+        delta.set_delta_reporting(2);
+        assert!(delta.delta_reporting());
+        let mut reassembler = ReportReassembler::new();
+
+        let drive = |a: &mut Agent, step: u64| {
+            let now = SimTime::from_secs(step * 2);
+            match step {
+                1 => {
+                    a.client_associated(ClientId::new(0), client_mac(), client_ip());
+                }
+                2 => {
+                    a.handle_manager_msg(deploy_msg(1, sample_specs()), now);
+                }
+                3 => {
+                    let pkt = builder::udp_packet(
+                        client_mac(),
+                        MacAddr::derived(0xA0, 0),
+                        Ipv4Addr::new(172, 16, 0, 2),
+                        Ipv4Addr::new(93, 184, 216, 34),
+                        4444,
+                        53,
+                        b"x",
+                    );
+                    let _ = a.process_upstream_packet(pkt, now);
+                }
+                5 => a.crash(),
+                _ => {}
+            }
+        };
+
+        for step in 0..8u64 {
+            let now = SimTime::from_secs(step * 2 + 1);
+            drive(&mut full, step);
+            drive(&mut delta, step);
+            let AgentToManager::Report(expected) = full.make_report(now) else {
+                panic!("expected a full report");
+            };
+            let AgentToManager::ReportDelta(frame) = delta.make_report(now) else {
+                panic!("expected a delta frame");
+            };
+            if step == 5 {
+                // First frame after the crash: a forced keyframe.
+                assert!(frame.is_keyframe());
+                assert!(frame.forced);
+            }
+            let rebuilt = reassembler.apply(&frame).expect("in-order frame");
+            assert_eq!(
+                serde_json::to_string(&rebuilt).unwrap(),
+                serde_json::to_string(&*expected).unwrap(),
+                "step {step}"
+            );
+        }
+        assert!(reassembler.stats().deltas_applied > 0);
+        assert_eq!(reassembler.stats().forced_resyncs, 1);
+    }
+
+    /// The scratch buffer must not leak state between intervals: a section
+    /// that shrinks (clients leaving, shards resetting) shrinks in the next
+    /// report too.
+    #[test]
+    fn scratch_report_does_not_leak_previous_intervals() {
+        let (mut agent, _) = agent();
+        agent.client_associated(ClientId::new(3), client_mac(), client_ip());
+        agent.client_associated(ClientId::new(7), MacAddr::derived(1, 1), client_ip());
+        let AgentToManager::Report(first) = agent.make_report(SimTime::from_secs(2)) else {
+            panic!("expected a report");
+        };
+        assert_eq!(first.connected_clients.len(), 2);
+        agent.client_disassociated(ClientId::new(3));
+        agent.client_disassociated(ClientId::new(7));
+        let AgentToManager::Report(second) = agent.make_report(SimTime::from_secs(4)) else {
+            panic!("expected a report");
+        };
+        assert!(second.connected_clients.is_empty());
     }
 }

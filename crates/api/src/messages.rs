@@ -8,7 +8,7 @@
 
 use gnf_nf::{NfEvent, NfSpec, NfStateDelta, NfStateSnapshot};
 use gnf_switch::TrafficSelector;
-use gnf_telemetry::StationReport;
+use gnf_telemetry::{ReportDelta, StationReport};
 use gnf_types::{
     AgentId, ChainId, ClientId, GnfError, HostClass, MacAddr, MigrationId, ResourceSpec,
     SimDuration, StationId,
@@ -149,6 +149,11 @@ pub enum AgentToManager {
     /// Periodic station state report (boxed: the report dwarfs every other
     /// message, and boxing keeps the enum small for the common variants).
     Report(Box<StationReport>),
+    /// Delta-encoded periodic report: a keyframe or a cumulative delta
+    /// against the current keyframe (see `gnf_telemetry::delta`). Replaces
+    /// `Report` when delta reporting is enabled; the receiver reconstructs
+    /// the identical full report through a `ReportReassembler`.
+    ReportDelta(Box<ReportDelta>),
     /// A chain finished deploying.
     ChainDeployed {
         /// The chain.
@@ -277,6 +282,7 @@ impl AgentToManager {
             AgentToManager::ClientConnected { .. } => "client-connected",
             AgentToManager::ClientDisconnected { .. } => "client-disconnected",
             AgentToManager::Report(_) => "report",
+            AgentToManager::ReportDelta(_) => "report-delta",
             AgentToManager::ChainDeployed { .. } => "chain-deployed",
             AgentToManager::ChainRemoved { .. } => "chain-removed",
             AgentToManager::ChainState { .. } => "chain-state",
@@ -294,6 +300,7 @@ impl AgentToManager {
 mod tests {
     use super::*;
     use gnf_nf::testing::sample_specs;
+    use gnf_types::SimTime;
 
     #[test]
     fn messages_roundtrip_through_json() {
@@ -400,10 +407,53 @@ mod tests {
                 error: GnfError::internal("x"),
                 migration: None,
             },
+            AgentToManager::ReportDelta(Box::new(ReportDelta {
+                station: StationId::new(1),
+                agent: AgentId::new(1),
+                produced_at: SimTime::from_secs(1),
+                generation: 1,
+                seq: 1,
+                forced: false,
+                identity: None,
+                usage: None,
+                clients: None,
+                nfs: None,
+                flow_cache: None,
+                megaflow: None,
+                batches: None,
+                shards: None,
+                chaos: None,
+            })),
         ];
         for msg in a2m {
             assert!(!msg.label().is_empty());
         }
+    }
+
+    #[test]
+    fn report_delta_roundtrips_through_json() {
+        let frame = ReportDelta {
+            station: StationId::new(9),
+            agent: AgentId::new(9),
+            produced_at: SimTime::from_secs(4),
+            generation: 3,
+            seq: 2,
+            forced: false,
+            identity: None,
+            usage: None,
+            clients: Some(vec![ClientId::new(1), ClientId::new(2)]),
+            nfs: None,
+            flow_cache: None,
+            megaflow: None,
+            batches: None,
+            shards: None,
+            chaos: None,
+        };
+        let msg = AgentToManager::ReportDelta(Box::new(frame));
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: AgentToManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(msg, back);
+        assert_eq!(back.label(), "report-delta");
     }
 
     #[test]

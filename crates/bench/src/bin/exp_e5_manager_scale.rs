@@ -1,20 +1,93 @@
-//! Experiment E5 — Manager monitoring scalability and hotspot detection: the
-//! control-message load as the number of stations grows, and whether the
-//! hotspot detector flags exactly the overloaded stations.
+//! Experiment E5 — fleet-scale control plane: Manager reconciliation cost,
+//! delta vs full report transport, hotspot detection and the region
+//! aggregation tier, from 100 stations up to 10 000.
+//!
+//! Sections:
+//!
+//! * **manager cost vs fleet size** — 10 minutes of virtual reporting over
+//!   fleets of 100 → 10 000 stations, on both transports. Prints wall-clock,
+//!   the per-station drive cost (which must stay flat as the fleet grows —
+//!   the reconciliation loop does `O(dirty)` work, not `O(fleet)`) and the
+//!   reconciliation `tick()` latency percentiles.
+//! * **bytes/station** — what one steady-state reporting interval costs on
+//!   the wire: a full report vs an idle/churn delta frame, with the ≥5×
+//!   steady-state guardrail asserted on the 5 %-hot blend.
+//! * **region aggregation** — the fleet rolled into per-region summaries:
+//!   the Manager sees `O(regions)` messages per interval instead of
+//!   `O(stations)`, and still raises hotspot and offline alerts.
+//! * **RunReport byte-identity** — a 4-station emulator scenario with a
+//!   mid-run station crash, replayed on the delta transport across a
+//!   workers {1,2,4} × station-shards {1,4} matrix: every cell must produce
+//!   a byte-identical `RunReport` to the full-transport baseline, with
+//!   nonzero delta traffic and at least one forced keyframe resync.
+//!
+//! `--stations N` caps the fleet curve (CI smoke runs `--stations 2000`);
+//! `--seed N` reproduces a run exactly.
 
+use gnf_api::codec;
 use gnf_api::messages::AgentToManager;
-use gnf_bench::section;
-use gnf_manager::Manager;
+use gnf_bench::{arg_value, section};
+use gnf_core::{Emulator, FaultKind, FaultSchedule, Mobility, Scenario};
+use gnf_edge::{RoamTrace, TrafficProfile};
+use gnf_manager::{ControlPlaneStats, Manager};
+use gnf_nf::testing::sample_specs;
+use gnf_sim::Histogram;
+use gnf_switch::TrafficSelector;
 use gnf_telemetry::{
-    MetricsSeries, StationReport, TraceLog, TraceScope, TraceSink, DEFAULT_TRACE_CAPACITY,
+    DeltaEncoder, MetricsSeries, NotificationSeverity, RegionAggregator, StationReport, TraceLog,
+    TraceScope, TraceSink, DEFAULT_TRACE_CAPACITY,
 };
 use gnf_types::{
-    AgentId, ClientId, GnfConfig, HostClass, ResourceUsage, SimDuration, SimTime, StationId,
+    AgentId, CellId, ClientId, GnfConfig, HostClass, ResourceUsage, SimDuration, SimTime, StationId,
 };
 use std::time::Instant;
 
-fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
-    AgentToManager::Report(Box::new(StationReport {
+const FLEETS: [u64; 5] = [100, 1_000, 2_000, 5_000, 10_000];
+const CURVE_DURATION: SimDuration = SimDuration::from_secs(600);
+
+/// A realistic steady-state station report: populated cache counters, a
+/// batch distribution and four RSS shard blocks — what a full report
+/// re-ships every interval regardless of what changed, and what the delta
+/// transport avoids re-shipping.
+fn station_report(station: u64, cpu: f64, at: SimTime) -> StationReport {
+    let flow_cache = gnf_telemetry::FlowCacheTelemetry {
+        stats: gnf_types::FlowCacheStats {
+            hits: 1_000_000 + station,
+            misses: 40_000,
+            evictions: 1_200,
+            ..Default::default()
+        },
+        entries: 4_096,
+    };
+    let megaflow = gnf_telemetry::MegaflowTelemetry {
+        stats: gnf_types::MegaflowStats {
+            hits: 30_000,
+            misses: 10_000,
+            installs: 600,
+            ..Default::default()
+        },
+        entries: 512,
+        masks: 3,
+    };
+    let batches = gnf_telemetry::BatchTelemetry {
+        batches: 80_000,
+        packets: 1_070_000,
+        max_batch: 210,
+        size_buckets: [10, 20, 300, 4_000, 30_000, 40_000, 5_000, 600, 70],
+    };
+    let shard = gnf_telemetry::ShardTelemetry {
+        flow: gnf_types::ShardCacheStats {
+            hits: 250_000,
+            misses: 10_000,
+            entries: 1_024,
+        },
+        megaflow: gnf_types::ShardCacheStats {
+            hits: 7_500,
+            misses: 2_500,
+            entries: 128,
+        },
+    };
+    StationReport {
         station: StationId::new(station),
         agent: AgentId::new(station),
         produced_at: at,
@@ -30,65 +103,345 @@ fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
         connected_clients: (0..10).map(|c| ClientId::new(station * 100 + c)).collect(),
         running_nfs: 12,
         cached_images: 4,
-        flow_cache: Default::default(),
-        megaflow: Default::default(),
-        batches: Default::default(),
-        shards: Vec::new(),
+        flow_cache,
+        megaflow,
+        batches,
+        shards: vec![shard; 4],
         chaos: Default::default(),
-    }))
+    }
+}
+
+fn report(station: u64, cpu: f64, at: SimTime) -> AgentToManager {
+    AgentToManager::Report(Box::new(station_report(station, cpu, at)))
+}
+
+fn register_fleet(manager: &mut Manager, stations: u64) {
+    for s in 0..stations {
+        manager.handle_agent_msg(
+            StationId::new(s),
+            AgentToManager::Register {
+                agent: AgentId::new(s),
+                station: StationId::new(s),
+                host_class: HostClass::EdgeServer,
+                capacity: HostClass::EdgeServer.capacity(),
+            },
+            SimTime::ZERO,
+        );
+    }
+}
+
+struct FleetOutcome {
+    reports: u64,
+    wall_ms: f64,
+    per_station_us: f64,
+    ticks: Histogram,
+    hotspots: usize,
+    stats: ControlPlaneStats,
+}
+
+/// Drives `stations` through 10 virtual minutes of reporting (5 % of the
+/// fleet hot) on one transport, ticking the Manager every interval. On the
+/// delta transport, station 0's agent restarts mid-run and must force a
+/// keyframe resync.
+fn run_fleet(config: &GnfConfig, stations: u64, delta: bool) -> FleetOutcome {
+    let mut manager = Manager::new(config.clone());
+    register_fleet(&mut manager, stations);
+    let hot = (stations / 20).max(1);
+    let cpu_of = |s: u64| if s < hot { 0.95 } else { 0.30 };
+
+    let mut encoders: Vec<DeltaEncoder> = Vec::new();
+    let mut live: Vec<StationReport> = Vec::new();
+    if delta {
+        encoders = (0..stations)
+            .map(|_| DeltaEncoder::new(config.report_keyframe_interval))
+            .collect();
+        live = (0..stations)
+            .map(|s| station_report(s, cpu_of(s), SimTime::ZERO))
+            .collect();
+    }
+
+    let interval = config.agent_report_interval;
+    let mut ticks = Histogram::new();
+    let mut now = SimTime::ZERO;
+    let mut reports = 0u64;
+    let mut intervals = 0u64;
+    let start = Instant::now();
+    while now.duration_since(SimTime::ZERO) < CURVE_DURATION {
+        now += interval;
+        intervals += 1;
+        for s in 0..stations {
+            let msg = if delta {
+                let s_ix = s as usize;
+                if s < hot {
+                    // Hot stations churn their flow cache every interval;
+                    // idle stations ship header-only frames.
+                    live[s_ix].flow_cache.stats.hits += 7;
+                }
+                if intervals == 150 && s == 0 {
+                    // Mid-run agent restart: volatile counters lost, the
+                    // encoder must open a new generation with a forced
+                    // keyframe.
+                    live[s_ix].flow_cache = Default::default();
+                    live[s_ix].chaos.crashes += 1;
+                    live[s_ix].chaos.generation += 1;
+                    encoders[s_ix].force_resync();
+                }
+                live[s_ix].produced_at = now;
+                AgentToManager::ReportDelta(Box::new(encoders[s_ix].encode(&live[s_ix])))
+            } else {
+                report(s, cpu_of(s), now)
+            };
+            manager.handle_agent_msg(StationId::new(s), msg, now);
+            reports += 1;
+        }
+        let t0 = Instant::now();
+        manager.tick(now);
+        ticks.record(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let hotspots = manager
+        .notifications()
+        .entries()
+        .filter(|n| n.category == "hotspot")
+        .count();
+    FleetOutcome {
+        reports,
+        wall_ms,
+        per_station_us: wall_ms * 1e3 / (stations * intervals) as f64,
+        ticks,
+        hotspots,
+        stats: manager.control_plane_stats(),
+    }
+}
+
+/// The emulator scenario for the byte-identity matrix: four stations, six
+/// stateful clients that roam at t=25 s, after station 0 crashed at t=10 s
+/// and rejoined — so the delta stream sees churn, a crash and a rejoin.
+fn matrix_scenario(seed: u64, delta: bool) -> Scenario {
+    let config = GnfConfig {
+        migration_precopy: true,
+        delta_reports: delta,
+        report_keyframe_interval: 4,
+        ..GnfConfig::default().with_seed(seed)
+    };
+    let mut builder = Scenario::builder(4, HostClass::EdgeServer);
+    let clients = builder.add_clients(6, TrafficProfile::smartphone());
+    let mut sb = builder
+        .with_config(config)
+        .with_duration(SimDuration::from_secs(40));
+    for client in &clients {
+        sb = sb.attach_policy(
+            *client,
+            vec![sample_specs()[0].clone()],
+            TrafficSelector::all(),
+            SimTime::from_secs(1),
+        );
+    }
+    let mut trace = RoamTrace::new();
+    for (ix, client) in clients.iter().enumerate() {
+        trace = trace.roam(
+            SimTime::from_secs(25),
+            *client,
+            CellId::new(((ix + 1) % 4) as u64),
+        );
+    }
+    sb.with_mobility(Mobility::Trace(trace)).build()
+}
+
+fn crash_fault() -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    schedule.push(
+        SimTime::from_secs(10),
+        FaultKind::StationCrash {
+            station: StationId::new(0),
+            down_for: SimDuration::from_secs(5),
+        },
+    );
+    schedule
 }
 
 fn main() {
-    println!("E5 — Manager monitoring scale and hotspot detection");
+    println!("E5 — fleet-scale control plane: reconciliation, delta telemetry, regions");
     let seed = gnf_bench::seed_arg();
     let config = GnfConfig::default().with_seed(seed);
+    let cap: u64 = arg_value("--stations").unwrap_or(10_000);
+    let fleets: Vec<u64> = FLEETS.iter().copied().filter(|&s| s <= cap).collect();
+    let fleets = if fleets.is_empty() {
+        vec![cap.max(10)]
+    } else {
+        fleets
+    };
+    let top = *fleets.last().unwrap();
+    println!("fleet curve up to {top} stations  (override with --stations N)");
 
-    section("control-plane load vs fleet size (10 minutes of virtual time)");
+    section("manager cost vs fleet size (10 minutes of virtual time, 5% hot)");
     println!(
-        "{:>10} {:>16} {:>16} {:>18} {:>14}",
-        "stations", "reports", "msgs/station/min", "wall-clock (ms)", "hotspots"
+        "{:>10} {:>7} {:>10} {:>12} {:>14} {:>24} {:>9}",
+        "stations",
+        "wire",
+        "reports",
+        "wall (ms)",
+        "us/stn/intvl",
+        "tick p50/p99/max (us)",
+        "hotspots"
     );
-    for stations in [10u64, 50, 100, 500, 1_000] {
-        let mut manager = Manager::new(config.clone());
-        for s in 0..stations {
-            manager.handle_agent_msg(
-                StationId::new(s),
-                AgentToManager::Register {
-                    agent: AgentId::new(s),
-                    station: StationId::new(s),
-                    host_class: HostClass::EdgeServer,
-                    capacity: HostClass::EdgeServer.capacity(),
-                },
-                SimTime::ZERO,
+    for &stations in &fleets {
+        for delta in [false, true] {
+            let out = run_fleet(&config, stations, delta);
+            println!(
+                "{:>10} {:>7} {:>10} {:>12.1} {:>14.2} {:>24} {:>9}",
+                stations,
+                if delta { "delta" } else { "full" },
+                out.reports,
+                out.wall_ms,
+                out.per_station_us,
+                format!(
+                    "{:.0} / {:.0} / {:.0}",
+                    out.ticks.median(),
+                    out.ticks.p99(),
+                    out.ticks.max()
+                ),
+                out.hotspots,
             );
+            if delta {
+                assert_eq!(
+                    out.stats.full_reports, 0,
+                    "delta mode sends no full reports"
+                );
+                assert!(out.stats.deltas_applied > 0, "steady state rides deltas");
+                assert!(out.stats.delta_keyframes > 0, "keyframes open generations");
+                assert!(
+                    out.stats.delta_forced_resyncs >= 1,
+                    "the mid-run agent restart must force a resync"
+                );
+            } else {
+                assert_eq!(out.stats.full_reports, out.reports);
+            }
         }
-        // 5% of the stations run hot.
-        let hot_threshold = (stations / 20).max(1);
-        let start = Instant::now();
+    }
+    println!(
+        "per-station cost and tick percentiles stay flat as the fleet grows: \
+         the reconciliation loop is O(dirty), not O(fleet)"
+    );
+
+    section("control-plane bytes/station (one steady-state reporting interval)");
+    let mut encoder = DeltaEncoder::new(u64::MAX);
+    let mut probe = station_report(0, 0.30, SimTime::from_secs(10));
+    let _ = encoder.encode(&probe); // keyframe opens the stream
+    probe.produced_at = SimTime::from_secs(12);
+    let idle_frame = AgentToManager::ReportDelta(Box::new(encoder.encode(&probe)));
+    probe.flow_cache.stats.hits += 7;
+    probe.produced_at = SimTime::from_secs(14);
+    let churn_frame = AgentToManager::ReportDelta(Box::new(encoder.encode(&probe)));
+    let full_bytes = codec::encode_to_vec(&report(0, 0.30, SimTime::from_secs(14)))
+        .unwrap()
+        .len() as f64;
+    let idle_bytes = codec::encode_to_vec(&idle_frame).unwrap().len() as f64;
+    let churn_bytes = codec::encode_to_vec(&churn_frame).unwrap().len() as f64;
+    let blended = 0.95 * idle_bytes + 0.05 * churn_bytes;
+    println!("full report:       {full_bytes:>6.0} B  (re-shipped every interval)");
+    println!(
+        "idle delta frame:  {idle_bytes:>6.0} B  ({:.1}x smaller)",
+        full_bytes / idle_bytes
+    );
+    println!(
+        "churn delta frame: {churn_bytes:>6.0} B  ({:.1}x smaller)",
+        full_bytes / churn_bytes
+    );
+    println!(
+        "5%-hot fleet blend: {blended:>5.0} B/station/interval ({:.1}x, guardrail >=5x)",
+        full_bytes / blended
+    );
+    assert!(
+        full_bytes / blended >= 5.0,
+        "steady-state delta transport must cut control-plane bytes at least 5x \
+         (full={full_bytes} B, blended delta={blended:.0} B)"
+    );
+
+    let region_size = if top >= 1_000 { 100 } else { 10 };
+    let regions = top.div_ceil(region_size);
+    section(&format!(
+        "region aggregation: {top} stations -> {regions} regions (region size {region_size})"
+    ));
+    {
+        let mut manager = Manager::new(config.clone());
+        register_fleet(&mut manager, top);
+        let mut aggregators: Vec<RegionAggregator> = (0..regions)
+            .map(|r| {
+                RegionAggregator::new(
+                    r,
+                    config.hotspot_threshold,
+                    config.agent_report_interval,
+                    config.missed_reports_for_offline,
+                )
+            })
+            .collect();
+        for s in 0..top {
+            aggregators[(s / region_size) as usize].register_station(StationId::new(s));
+        }
+        let hot = (top / 20).max(1);
         let mut now = SimTime::ZERO;
-        let interval = config.agent_report_interval;
-        let duration = SimDuration::from_secs(600);
-        let mut reports = 0u64;
-        while now.duration_since(SimTime::ZERO) < duration {
-            now += interval;
-            for s in 0..stations {
-                let cpu = if s < hot_threshold { 0.95 } else { 0.30 };
-                manager.handle_agent_msg(StationId::new(s), report(s, cpu, now), now);
-                reports += 1;
+        let mut absorbed = 0u64;
+        let start = Instant::now();
+        for interval in 0..60u64 {
+            now += config.agent_report_interval;
+            for s in 0..top {
+                // The last station goes dark halfway through the run: after
+                // `missed_reports_for_offline` silent intervals its region
+                // must carry it as offline and the Manager must alert.
+                if interval >= 30 && s == top - 1 {
+                    continue;
+                }
+                let cpu = if s < hot { 0.95 } else { 0.30 };
+                aggregators[(s / region_size) as usize]
+                    .ingest_report(station_report(s, cpu, now), now);
+                absorbed += 1;
+            }
+            for aggregator in &aggregators {
+                manager.ingest_region_summary(aggregator.summary(now), now);
             }
             manager.tick(now);
         }
-        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-        let hotspots = manager
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = manager.control_plane_stats();
+        // The hotspot flood rotates older entries out of the bounded
+        // notification ring, so count through the unbounded totals: offline
+        // transitions are the only Critical alerts this drive raises.
+        let offline_alerts = manager
             .notifications()
-            .entries()
-            .filter(|n| n.category == "hotspot")
-            .count();
-        let msgs_per_station_per_min =
-            manager.stats().messages_received as f64 / stations as f64 / 10.0;
+            .total(NotificationSeverity::Critical);
+        let hotspot_alerts = manager.stats().hotspot_alerts;
         println!(
-            "{:>10} {:>16} {:>16.1} {:>18.1} {:>14}",
-            stations, reports, msgs_per_station_per_min, elapsed_ms, hotspots
+            "station reports absorbed by the tier: {absorbed} | summaries to the Manager: {}",
+            stats.region_summaries
+        );
+        println!(
+            "manager-visible messages cut {:.0}x ({} stations -> {regions} regions); wall-clock {wall_ms:.1} ms",
+            absorbed as f64 / stats.region_summaries as f64,
+            top
+        );
+        println!(
+            "alerts still flow through summaries: {hotspot_alerts} hotspot, {offline_alerts} station-offline"
+        );
+        assert!(stats.region_summaries > 0);
+        assert_eq!(
+            stats.full_reports, 0,
+            "no station report reached the Manager"
+        );
+        assert!(
+            offline_alerts >= 1,
+            "the dark station must surface as a region offline alert"
+        );
+        assert!(
+            hotspot_alerts >= 1,
+            "hot stations must surface via summaries"
+        );
+        let dark = StationId::new(top - 1);
+        assert!(
+            manager
+                .region_summaries()
+                .any(|summary| summary.offline.contains(&dark)),
+            "the final summary of the dark station's region must list it offline"
         );
     }
 
@@ -101,18 +454,7 @@ fn main() {
             DEFAULT_TRACE_CAPACITY,
         ));
     }
-    for s in 0..100u64 {
-        manager.handle_agent_msg(
-            StationId::new(s),
-            AgentToManager::Register {
-                agent: AgentId::new(s),
-                station: StationId::new(s),
-                host_class: HostClass::EdgeServer,
-                capacity: HostClass::EdgeServer.capacity(),
-            },
-            SimTime::ZERO,
-        );
-    }
+    register_fleet(&mut manager, 100);
     let now = SimTime::from_secs(10);
     for s in 0..100u64 {
         let cpu = if s < 7 { 0.9 + (s as f64) * 0.01 } else { 0.4 };
@@ -130,10 +472,50 @@ fn main() {
         println!("  {f}");
     }
 
-    // This harness drives the Manager directly (no emulator), so the trace
-    // artifact carries the Manager-scope events of the precision run only
-    // (empty when no migration runs) and the metrics CSV is header-only —
-    // both still valid for downstream tooling.
+    section("RunReport byte-identity: delta vs full transport (crash at t=10 s)");
+    let mut full = Emulator::new(matrix_scenario(seed, false));
+    full.set_fault_schedule(crash_fault());
+    let full_report = full.run();
+    let full_report_bytes = serde_json::to_string(&full_report).expect("report serializes");
+    let full_stats = full.manager().control_plane_stats();
+    assert!(full_stats.full_reports > 0);
+    assert_eq!(full_stats.deltas_applied, 0);
+    let mut cells = 0;
+    for workers in [1usize, 2, 4] {
+        for shards in [1usize, 4] {
+            let mut emulator = Emulator::new(matrix_scenario(seed, true));
+            emulator.set_workers(workers);
+            emulator.set_station_shards(shards);
+            emulator.set_fault_schedule(crash_fault());
+            let delta_bytes = serde_json::to_string(&emulator.run()).expect("report serializes");
+            assert_eq!(
+                full_report_bytes, delta_bytes,
+                "delta transport changed the RunReport at workers={workers}, shards={shards}"
+            );
+            let stats = emulator.manager().control_plane_stats();
+            assert_eq!(stats.full_reports, 0, "delta mode sends no full reports");
+            assert!(stats.deltas_applied > 0, "steady state rides delta frames");
+            assert!(stats.delta_keyframes > 0, "keyframes open each generation");
+            assert!(
+                stats.delta_forced_resyncs >= 1,
+                "the crashed station must force a keyframe resync"
+            );
+            println!(
+                "  workers={workers} shards={shards}: byte-identical \
+                 ({} deltas, {} keyframes, {} forced resyncs)",
+                stats.deltas_applied, stats.delta_keyframes, stats.delta_forced_resyncs
+            );
+            cells += 1;
+        }
+    }
+    println!(
+        "\nE5 PASS: {top}-station curve, >=5x wire reduction, {cells} byte-identical matrix cells"
+    );
+
+    // This harness drives the Manager directly (no emulator) for the fleet
+    // curve, so the trace artifact carries the Manager-scope events of the
+    // precision run only (empty when no migration runs) and the metrics CSV
+    // is header-only — both still valid for downstream tooling.
     if obs.any() {
         let mut log = TraceLog::new();
         log.absorb(manager.trace_mut());

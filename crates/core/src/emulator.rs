@@ -22,9 +22,9 @@ use gnf_packet::{Packet, PacketBatch};
 use gnf_sim::{EventQueue, Histogram, Rng};
 use gnf_telemetry::{
     FlightRecorder, FlowCacheTelemetry, FlowRecord, MegaflowTelemetry, MetricsSample,
-    MetricsSeries, MigrationPoolTelemetry, NotificationSeverity, TraceKind, TraceLog, TraceScope,
-    TraceSink, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_SAMPLE_RATE, DEFAULT_TRACE_CAPACITY,
-    VIRTUAL_SHARDS,
+    MetricsSeries, MigrationPoolTelemetry, NotificationSeverity, RegionAggregator, TraceKind,
+    TraceLog, TraceScope, TraceSink, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_SAMPLE_RATE,
+    DEFAULT_TRACE_CAPACITY, VIRTUAL_SHARDS,
 };
 use gnf_types::{
     AgentId, CellId, ChainId, ClientId, FlowCacheStats, MegaflowStats, SimDuration, SimTime,
@@ -82,6 +82,12 @@ enum EmuEvent {
     },
     /// The Manager's periodic housekeeping timer fires.
     ManagerTick,
+    /// A region aggregator's flush timer fires: roll the region's station
+    /// telemetry into one summary for the Manager.
+    RegionFlush {
+        /// The region being flushed.
+        region: u64,
+    },
     /// The operator attaches an NF policy (from the scenario description).
     OperatorAttach {
         /// Index into the scenario's policy list.
@@ -230,6 +236,10 @@ pub struct Emulator {
     /// The virtual-time metrics sampler, armed by
     /// [`Emulator::enable_metrics`].
     sampler: Option<MetricsSampler>,
+    /// The region aggregation tier (one aggregator per region), built when
+    /// `GnfConfig::region_size > 0`. Station reports are absorbed here and
+    /// reach the Manager as per-region summaries on the flush timer.
+    regions: BTreeMap<u64, RegionAggregator>,
 }
 
 /// Bound on retained fleet metrics samples.
@@ -273,6 +283,9 @@ impl Emulator {
             );
             agent.set_megaflow_enabled(true);
             agent.set_station_shards(config.station_shards);
+            if config.delta_reports {
+                agent.set_delta_reporting(config.report_keyframe_interval);
+            }
             agents.insert(site.station, agent);
             queue.schedule_at(
                 SimTime::ZERO + site.control_latency,
@@ -296,6 +309,38 @@ impl Emulator {
             SimTime::ZERO + config.hotspot_scan_interval,
             EmuEvent::ManagerTick,
         );
+
+        // Region aggregation tier: group stations into regions of
+        // `region_size` consecutive station ids, each with an aggregator
+        // that absorbs the region's reports and flushes one summary per
+        // report interval to the Manager.
+        let mut regions: BTreeMap<u64, RegionAggregator> = BTreeMap::new();
+        if config.region_size > 0 {
+            for site in scenario.topology.sites() {
+                let region = site.station.raw() / config.region_size as u64;
+                regions
+                    .entry(region)
+                    .or_insert_with(|| {
+                        RegionAggregator::new(
+                            region,
+                            config.hotspot_threshold,
+                            config.agent_report_interval,
+                            config.missed_reports_for_offline,
+                        )
+                    })
+                    .register_station(site.station);
+            }
+            for &region in regions.keys() {
+                // Flush after the stations' staggered report timers have
+                // fired, staggered per region for the same reason.
+                queue.schedule_at(
+                    SimTime::ZERO
+                        + config.agent_report_interval
+                        + SimDuration::from_millis(200 + region % 89),
+                    EmuEvent::RegionFlush { region },
+                );
+            }
+        }
 
         // Initial client associations.
         for device in scenario.topology.clients() {
@@ -423,6 +468,7 @@ impl Emulator {
             trace: TraceSink::default(),
             flight: FlightRecorder::default(),
             sampler: None,
+            regions,
         }
     }
 
@@ -928,12 +974,54 @@ impl Emulator {
                 if !self.dead.contains_key(&station) {
                     if let Some(agent) = self.agents.get_mut(&station) {
                         let report = agent.make_report(now);
-                        self.dispatch_agent_messages(station, vec![report], now, SimDuration::ZERO);
+                        let region_size = self.scenario.config.region_size;
+                        if region_size > 0 {
+                            // Region tier: the report is absorbed by the
+                            // station's (co-located) region aggregator and
+                            // reaches the Manager as part of the region's
+                            // next summary instead of travelling itself.
+                            let region = station.raw() / region_size as u64;
+                            match (self.regions.get_mut(&region), report) {
+                                (Some(aggregator), AgentToManager::Report(full)) => {
+                                    aggregator.ingest_report(*full, now);
+                                }
+                                (Some(aggregator), AgentToManager::ReportDelta(delta)) => {
+                                    // Rejections heal at the next keyframe,
+                                    // exactly as on the direct path.
+                                    let _ = aggregator.ingest_delta(&delta, now);
+                                }
+                                (_, report) => {
+                                    self.dispatch_agent_messages(
+                                        station,
+                                        vec![report],
+                                        now,
+                                        SimDuration::ZERO,
+                                    );
+                                }
+                            }
+                        } else {
+                            self.dispatch_agent_messages(
+                                station,
+                                vec![report],
+                                now,
+                                SimDuration::ZERO,
+                            );
+                        }
                     }
                 }
                 self.queue.schedule_at(
                     now + self.scenario.config.agent_report_interval,
                     EmuEvent::ReportTimer { station },
+                );
+            }
+            EmuEvent::RegionFlush { region } => {
+                if let Some(aggregator) = self.regions.get(&region) {
+                    let summary = aggregator.summary(now);
+                    self.manager.ingest_region_summary(summary, now);
+                }
+                self.queue.schedule_at(
+                    now + self.scenario.config.agent_report_interval,
+                    EmuEvent::RegionFlush { region },
                 );
             }
             EmuEvent::ManagerTick => {
@@ -2365,5 +2453,74 @@ mod tests {
         assert_eq!(report.packets.dropped_in_gap, 0);
         assert_eq!(report.packets.dropped_by_nf, 0);
         assert_eq!(report.packets.generated, report.packets.forwarded);
+    }
+
+    /// The observability scenario with delta reporting switched on.
+    fn delta_scenario() -> Scenario {
+        let mut scenario = observability_scenario();
+        scenario.config.delta_reports = true;
+        scenario.config.report_keyframe_interval = 4;
+        scenario
+    }
+
+    #[test]
+    fn delta_reports_preserve_the_run_report_byte_for_byte() {
+        // Full-report baseline, crash fault included.
+        let mut full = Emulator::new(observability_scenario());
+        full.set_fault_schedule(observability_fault_schedule());
+        let full_bytes = serde_json::to_string(&full.run()).unwrap();
+        let full_stats = full.manager().control_plane_stats();
+        assert!(full_stats.full_reports > 0);
+        assert_eq!(full_stats.deltas_applied, 0);
+
+        // Same scenario over the delta transport: one frame per report
+        // interval either way, so the RunReport must not change at all —
+        // across the workers x station-shards matrix.
+        for workers in [1usize, 2, 4] {
+            for shards in [1usize, 4] {
+                let mut delta = Emulator::new(delta_scenario());
+                delta.set_workers(workers);
+                delta.set_station_shards(shards);
+                delta.set_fault_schedule(observability_fault_schedule());
+                let delta_bytes = serde_json::to_string(&delta.run()).unwrap();
+                assert_eq!(
+                    full_bytes, delta_bytes,
+                    "delta transport changed the RunReport @ {workers}/{shards}"
+                );
+                let stats = delta.manager().control_plane_stats();
+                assert_eq!(stats.full_reports, 0, "delta mode sends no full reports");
+                assert!(stats.delta_keyframes > 0, "keyframes open each generation");
+                assert!(stats.deltas_applied > 0, "steady state rides delta frames");
+                assert!(
+                    stats.delta_forced_resyncs >= 1,
+                    "the crashed station must force a keyframe resync"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_mode_rolls_reports_into_summaries_for_the_manager() {
+        let mut scenario = observability_scenario();
+        scenario.config.region_size = 2; // 4 stations -> 2 regions
+        scenario.config.delta_reports = true;
+        let mut emulator = Emulator::new(scenario);
+        emulator.set_fault_schedule(observability_fault_schedule());
+        let report = emulator.run();
+        assert!(report.all_migrations_completed());
+
+        let manager = emulator.manager();
+        let stats = manager.control_plane_stats();
+        assert!(stats.region_summaries > 0, "summaries reached the Manager");
+        // Reports were absorbed by the tier, not ingested directly.
+        assert_eq!(stats.full_reports, 0);
+        assert_eq!(stats.deltas_applied, 0);
+        let summaries: Vec<_> = manager.region_summaries().collect();
+        assert_eq!(summaries.len(), 2, "one summary per region");
+        for summary in summaries {
+            assert_eq!(summary.stations, 2);
+            assert!(summary.reports_ingested > 0, "stations fed the aggregator");
+            assert!(summary.connected_clients > 0 || summary.running_nfs > 0);
+        }
     }
 }

@@ -1,0 +1,260 @@
+//! The desired-state store behind the Manager's reconciliation loop.
+//!
+//! [`DesiredState`] owns every [`AttachmentRecord`] — the *desired* placement
+//! of each chain — together with the secondary indexes that make
+//! reconciliation cheap at fleet scale:
+//!
+//! * `by_client` — which chains follow each client, so a roam touches only
+//!   that client's chains instead of scanning the fleet;
+//! * `by_station` — which chains the Manager believes are *observed* on each
+//!   station, so a crash/rejoin resets only that station's chains;
+//! * `window_events` — the future activation-window boundaries, ordered by
+//!   virtual time, so `tick()` pops only the boundaries that are due;
+//! * `dirty` — the chains whose desired and observed placement may disagree
+//!   and must be reconciled on the next tick.
+//!
+//! Every mutation goes through [`DesiredState::insert`],
+//! [`DesiredState::remove`] or [`DesiredState::update`]; the store re-derives
+//! the indexes itself, so they can never drift from the records. The Manager's
+//! `tick()` therefore does `O(due events + dirty chains)` work, not
+//! `O(attachments)`.
+
+use crate::manager::AttachmentRecord;
+use gnf_types::{ChainId, ClientId, SimTime, StationId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The attachment table plus the reconciliation indexes.
+#[derive(Debug, Default)]
+pub(crate) struct DesiredState {
+    attachments: BTreeMap<ChainId, AttachmentRecord>,
+    by_client: BTreeMap<ClientId, BTreeSet<ChainId>>,
+    by_station: BTreeMap<StationId, BTreeSet<ChainId>>,
+    window_events: BTreeSet<(SimTime, ChainId)>,
+    dirty: BTreeSet<ChainId>,
+}
+
+impl DesiredState {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// One attachment, by chain.
+    pub(crate) fn get(&self, chain: ChainId) -> Option<&AttachmentRecord> {
+        self.attachments.get(&chain)
+    }
+
+    /// All attachments, in chain order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &AttachmentRecord> {
+        self.attachments.values()
+    }
+
+    /// Inserts (or replaces) an attachment, maintaining every index. New
+    /// window boundaries are scheduled as reconciliation events.
+    pub(crate) fn insert(&mut self, attachment: AttachmentRecord) {
+        let chain = attachment.chain;
+        if let Some(old) = self.attachments.remove(&chain) {
+            self.unindex(&old);
+        }
+        self.by_client
+            .entry(attachment.client)
+            .or_default()
+            .insert(chain);
+        if let Some(station) = attachment.station {
+            self.by_station.entry(station).or_default().insert(chain);
+        }
+        if let Some((from, to)) = attachment.window {
+            self.window_events.insert((from, chain));
+            self.window_events.insert((to, chain));
+        }
+        self.attachments.insert(chain, attachment);
+    }
+
+    /// Removes an attachment and every index entry pointing at it.
+    pub(crate) fn remove(&mut self, chain: ChainId) -> Option<AttachmentRecord> {
+        let old = self.attachments.remove(&chain)?;
+        self.unindex(&old);
+        self.dirty.remove(&chain);
+        Some(old)
+    }
+
+    fn unindex(&mut self, old: &AttachmentRecord) {
+        if let Some(set) = self.by_client.get_mut(&old.client) {
+            set.remove(&old.chain);
+            if set.is_empty() {
+                self.by_client.remove(&old.client);
+            }
+        }
+        if let Some(station) = old.station {
+            if let Some(set) = self.by_station.get_mut(&station) {
+                set.remove(&old.chain);
+                if set.is_empty() {
+                    self.by_station.remove(&station);
+                }
+            }
+        }
+        if let Some((from, to)) = old.window {
+            self.window_events.remove(&(from, old.chain));
+            self.window_events.remove(&(to, old.chain));
+        }
+    }
+
+    /// Applies `f` to the attachment (if present) and re-syncs the observed
+    /// `by_station` index against whatever `f` did to `station`. The closure
+    /// must not change `chain`, `client` or `window` (the Manager never
+    /// does).
+    pub(crate) fn update<R>(
+        &mut self,
+        chain: ChainId,
+        f: impl FnOnce(&mut AttachmentRecord) -> R,
+    ) -> Option<R> {
+        let record = self.attachments.get_mut(&chain)?;
+        let before = record.station;
+        let result = f(record);
+        let after = record.station;
+        if before != after {
+            if let Some(station) = before {
+                if let Some(set) = self.by_station.get_mut(&station) {
+                    set.remove(&chain);
+                    if set.is_empty() {
+                        self.by_station.remove(&station);
+                    }
+                }
+            }
+            if let Some(station) = after {
+                self.by_station.entry(station).or_default().insert(chain);
+            }
+        }
+        Some(result)
+    }
+
+    /// Chains attached to `client`, in chain order.
+    pub(crate) fn chains_of_client(&self, client: ClientId) -> Vec<ChainId> {
+        self.by_client
+            .get(&client)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Chains the Manager believes are placed on `station`, in chain order.
+    pub(crate) fn chains_on_station(&self, station: StationId) -> Vec<ChainId> {
+        self.by_station
+            .get(&station)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Flags a chain for reconciliation on the next tick.
+    pub(crate) fn mark_dirty(&mut self, chain: ChainId) {
+        self.dirty.insert(chain);
+    }
+
+    /// Pops every window boundary that is due and returns the dirty set to
+    /// reconcile this tick (due-boundary chains plus chains flagged since the
+    /// last tick). The set is drained; reconciliation re-flags with
+    /// [`DesiredState::mark_dirty`] anything that must be looked at again.
+    pub(crate) fn take_dirty(&mut self, now: SimTime) -> Vec<ChainId> {
+        while let Some(&(at, chain)) = self.window_events.iter().next() {
+            if at > now {
+                break;
+            }
+            self.window_events.remove(&(at, chain));
+            self.dirty.insert(chain);
+        }
+        let due = self.dirty.iter().copied().collect();
+        self.dirty.clear();
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnf_switch::TrafficSelector;
+
+    fn attachment(chain: u64, client: u64, station: Option<u64>) -> AttachmentRecord {
+        AttachmentRecord {
+            chain: ChainId::new(chain),
+            client: ClientId::new(client),
+            specs: Vec::new(),
+            selector: TrafficSelector::all(),
+            station: station.map(StationId::new),
+            active: station.is_some(),
+            last_deploy_latency: None,
+            last_images_cached: None,
+            window: None,
+        }
+    }
+
+    #[test]
+    fn indexes_track_insert_update_remove() {
+        let mut state = DesiredState::new();
+        state.insert(attachment(1, 10, Some(5)));
+        state.insert(attachment(2, 10, Some(6)));
+        state.insert(attachment(3, 11, None));
+
+        assert_eq!(
+            state.chains_of_client(ClientId::new(10)),
+            vec![ChainId::new(1), ChainId::new(2)]
+        );
+        assert_eq!(
+            state.chains_on_station(StationId::new(5)),
+            vec![ChainId::new(1)]
+        );
+
+        // Moving a chain between stations re-points the observed index.
+        state.update(ChainId::new(1), |a| a.station = Some(StationId::new(6)));
+        assert!(state.chains_on_station(StationId::new(5)).is_empty());
+        assert_eq!(
+            state.chains_on_station(StationId::new(6)),
+            vec![ChainId::new(1), ChainId::new(2)]
+        );
+
+        state.remove(ChainId::new(1));
+        assert_eq!(
+            state.chains_of_client(ClientId::new(10)),
+            vec![ChainId::new(2)]
+        );
+        assert_eq!(
+            state.chains_on_station(StationId::new(6)),
+            vec![ChainId::new(2)]
+        );
+    }
+
+    #[test]
+    fn window_boundaries_become_dirty_when_due() {
+        let mut state = DesiredState::new();
+        let mut windowed = attachment(1, 10, None);
+        windowed.window = Some((SimTime::from_secs(100), SimTime::from_secs(200)));
+        state.insert(windowed);
+
+        assert!(state.take_dirty(SimTime::from_secs(50)).is_empty());
+        // The open boundary pops exactly once.
+        assert_eq!(
+            state.take_dirty(SimTime::from_secs(100)),
+            vec![ChainId::new(1)]
+        );
+        assert!(state.take_dirty(SimTime::from_secs(150)).is_empty());
+        // The close boundary pops later, and stay-dirty re-flagging works.
+        assert_eq!(
+            state.take_dirty(SimTime::from_secs(210)),
+            vec![ChainId::new(1)]
+        );
+        state.mark_dirty(ChainId::new(1));
+        assert_eq!(
+            state.take_dirty(SimTime::from_secs(211)),
+            vec![ChainId::new(1)]
+        );
+        assert!(state.take_dirty(SimTime::from_secs(212)).is_empty());
+    }
+
+    #[test]
+    fn removing_a_chain_drops_its_window_events_and_dirty_flag() {
+        let mut state = DesiredState::new();
+        let mut windowed = attachment(1, 10, None);
+        windowed.window = Some((SimTime::from_secs(100), SimTime::from_secs(200)));
+        state.insert(windowed);
+        state.mark_dirty(ChainId::new(1));
+        state.remove(ChainId::new(1));
+        assert!(state.take_dirty(SimTime::from_secs(300)).is_empty());
+    }
+}

@@ -15,10 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod desired;
 pub mod manager;
 pub mod migration;
 
 pub use manager::{
-    AttachmentRecord, ClientRecord, Manager, ManagerAction, ManagerStats, StationRecord,
+    AttachmentRecord, ClientRecord, ControlPlaneStats, Manager, ManagerAction, ManagerStats,
+    StationRecord,
 };
 pub use migration::{MigrationPhase, MigrationRecord};

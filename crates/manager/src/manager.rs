@@ -1,12 +1,13 @@
 //! The Manager state machine.
 
+use crate::desired::DesiredState;
 use crate::migration::{MigrationPhase, MigrationRecord};
 use gnf_api::messages::{AgentToManager, ManagerToAgent};
 use gnf_nf::{NfEventSeverity, NfSpec, NfStateDelta, NfStateSnapshot};
 use gnf_switch::TrafficSelector;
 use gnf_telemetry::{
     HotspotDetector, MonitoringStore, NotificationLog, NotificationSeverity, NotificationSource,
-    TraceKind, TraceSink,
+    RegionSummary, ReportReassembler, TraceKind, TraceSink,
 };
 use gnf_types::ids::IdAllocator;
 use gnf_types::{
@@ -14,7 +15,7 @@ use gnf_types::{
     NfInstanceId, ResourceSpec, SimDuration, SimTime, StationId,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// An output of the Manager: a message that must be delivered to the Agent of
@@ -113,6 +114,27 @@ pub struct ManagerStats {
     pub hotspot_alerts: u64,
 }
 
+/// Control-plane transport statistics: how station telemetry reached the
+/// Manager. Kept out of [`ManagerStats`] on purpose — the `RunReport` must
+/// stay byte-identical whether the fleet sends full reports, delta frames or
+/// region summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlPlaneStats {
+    /// Full `StationReport`s ingested directly.
+    pub full_reports: u64,
+    /// Delta keyframes accepted (each opens a new generation).
+    pub delta_keyframes: u64,
+    /// Keyframes that were agent-forced resyncs (crash/rejoin recovery).
+    pub delta_forced_resyncs: u64,
+    /// Delta frames applied on top of a held keyframe.
+    pub deltas_applied: u64,
+    /// Delta frames rejected (stale generation, stale sequence, unknown
+    /// station) — each rejection heals at the sender's next keyframe.
+    pub deltas_rejected: u64,
+    /// Region summaries ingested from the aggregation tier.
+    pub region_summaries: u64,
+}
+
 /// A scheduled retry of a timed-out/failed migration: re-examined when due,
 /// and skipped if the fleet moved on in the meantime (client roamed again,
 /// chain detached, or a late success landed).
@@ -131,16 +153,34 @@ pub struct Manager {
     config: GnfConfig,
     stations: BTreeMap<StationId, StationRecord>,
     clients: BTreeMap<ClientId, ClientRecord>,
-    attachments: BTreeMap<ChainId, AttachmentRecord>,
+    /// Desired placement of every chain, plus the reconciliation indexes
+    /// (by-client, by-station, window boundaries, dirty set).
+    desired: DesiredState,
     migrations: BTreeMap<MigrationId, MigrationRecord>,
+    /// In-flight migration deadlines ordered by expiry: the tick-time
+    /// timeout scan pops only due entries instead of filtering the whole
+    /// migration table. Entries are validated lazily against the live
+    /// record (finished or superseded migrations just drop theirs).
+    deadline_index: BTreeSet<(SimTime, MigrationId)>,
     monitoring: MonitoringStore,
+    /// Reconstructs full reports from delta frames (fleet-scale transport).
+    reassembler: ReportReassembler,
     hotspot_detector: HotspotDetector,
     notifications: NotificationLog,
     chain_ids: IdAllocator,
     migration_ids: IdAllocator,
     last_hotspot_scan: SimTime,
-    pending_retries: Vec<RetryPlan>,
+    /// Backoff retries keyed by `(due, seq)` so the tick-time drain pops
+    /// only due plans in deterministic order.
+    pending_retries: BTreeMap<(SimTime, u64), RetryPlan>,
+    retry_seq: u64,
     stats: ManagerStats,
+    full_reports: u64,
+    region_summaries_ingested: u64,
+    /// Latest summary per region, from the aggregation tier.
+    region_summaries: BTreeMap<u64, RegionSummary>,
+    /// Stations last reported offline per region, to notify only on edges.
+    region_offline: BTreeMap<u64, BTreeSet<StationId>>,
     /// Migration-lifecycle event sink: one span per phase a migration
     /// passes through, one instant per terminal outcome. Disabled by
     /// default (a single branch per phase transition).
@@ -163,16 +203,23 @@ impl Manager {
             config,
             stations: BTreeMap::new(),
             clients: BTreeMap::new(),
-            attachments: BTreeMap::new(),
+            desired: DesiredState::new(),
             migrations: BTreeMap::new(),
+            deadline_index: BTreeSet::new(),
             monitoring,
+            reassembler: ReportReassembler::new(),
             hotspot_detector,
             notifications: NotificationLog::default(),
             chain_ids: IdAllocator::new(),
             migration_ids: IdAllocator::new(),
             last_hotspot_scan: SimTime::ZERO,
-            pending_retries: Vec::new(),
+            pending_retries: BTreeMap::new(),
+            retry_seq: 0,
             stats: ManagerStats::default(),
+            full_reports: 0,
+            region_summaries_ingested: 0,
+            region_summaries: BTreeMap::new(),
+            region_offline: BTreeMap::new(),
             trace: TraceSink::default(),
             phase_entered: BTreeMap::new(),
         }
@@ -317,7 +364,7 @@ impl Manager {
                 actions.push(self.deploy_action(&mut attachment, station, None));
             }
         }
-        self.attachments.insert(chain, attachment);
+        self.desired.insert(attachment);
         self.stats.messages_sent += actions.len() as u64;
         Ok((chain, actions))
     }
@@ -325,8 +372,8 @@ impl Manager {
     /// Detaches (removes) a chain from its client.
     pub fn detach_chain(&mut self, chain: ChainId, _now: SimTime) -> GnfResult<Vec<ManagerAction>> {
         let attachment = self
-            .attachments
-            .get(&chain)
+            .desired
+            .get(chain)
             .ok_or_else(|| GnfError::not_found("chain", chain))?
             .clone();
         let mut actions = Vec::new();
@@ -340,7 +387,7 @@ impl Manager {
                 },
             ));
         } else {
-            self.attachments.remove(&chain);
+            self.desired.remove(chain);
         }
         self.stats.messages_sent += actions.len() as u64;
         Ok(actions)
@@ -383,11 +430,15 @@ impl Manager {
                     // Manager believed was deployed there. The chains are
                     // redeployed when their clients re-associate.
                     self.stats.station_rejoins += 1;
-                    for attachment in self.attachments.values_mut() {
-                        if attachment.station == Some(station) {
+                    for chain in self.desired.chains_on_station(station) {
+                        self.desired.update(chain, |attachment| {
                             attachment.station = None;
                             attachment.active = false;
-                        }
+                        });
+                        // Windowed chains are repaired by the next tick's
+                        // reconciliation; plain chains redeploy when their
+                        // client re-associates.
+                        self.desired.mark_dirty(chain);
                     }
                     self.notifications.raise(
                         now,
@@ -424,7 +475,18 @@ impl Manager {
                 Vec::new()
             }
             AgentToManager::Report(report) => {
+                self.full_reports += 1;
                 self.monitoring.ingest(*report, now);
+                Vec::new()
+            }
+            AgentToManager::ReportDelta(delta) => {
+                // Rejections (stale generation/sequence, unknown station)
+                // are counted by the reassembler and heal at the sender's
+                // next keyframe — the protocol is one-way on purpose, so
+                // message counts match full-report mode exactly.
+                if let Ok(report) = self.reassembler.apply(&delta) {
+                    self.monitoring.ingest(report, now);
+                }
                 Vec::new()
             }
             AgentToManager::ChainDeployed {
@@ -534,14 +596,18 @@ impl Manager {
             }
         }
 
-        // Scheduled activation windows.
-        let chains: Vec<ChainId> = self.attachments.keys().copied().collect();
-        for chain in chains {
+        // Reconcile scheduled activation windows: pop the window boundaries
+        // that are due (plus anything flagged dirty since the last tick) and
+        // correct only those chains — desired placement for a windowed chain
+        // is "on its client's station" inside the window, "nowhere" outside.
+        for chain in self.desired.take_dirty(now) {
             // A concurrent detach/crash may have removed the attachment.
-            let Some(attachment) = self.attachments.get(&chain).cloned() else {
+            let Some(attachment) = self.desired.get(chain).cloned() else {
                 continue;
             };
             let Some((from, to)) = attachment.window else {
+                // Plain chains are reconciled by client events (connect,
+                // roam, rejoin-then-reconnect), not by the clock.
                 continue;
             };
             let in_window = now >= from && now < to;
@@ -551,13 +617,14 @@ impl Manager {
                 {
                     let mut updated = attachment.clone();
                     let action = self.deploy_action(&mut updated, station, None);
-                    self.attachments.insert(chain, updated);
+                    self.desired.insert(updated);
                     actions.push(action);
                 }
-            } else if !in_window {
+            } else if !in_window && now >= from {
                 if let Some(station) = attachment.station {
                     // Window closed: remove the chain but keep the attachment
-                    // for the next window.
+                    // for the next window. Stays dirty — the removal is
+                    // re-sent every tick until the Agent confirms it.
                     actions.push(ManagerAction::send(
                         station,
                         ManagerToAgent::RemoveChain {
@@ -566,29 +633,39 @@ impl Manager {
                             migration: None,
                         },
                     ));
+                    self.desired.mark_dirty(chain);
                 }
             }
         }
 
         // Migration deadlines: abort (and roll back) anything still waiting
         // for its checkpoint or deployment past the deadline, then schedule a
-        // backoff retry while attempts remain.
-        let overdue: Vec<MigrationId> = self
-            .migrations
-            .iter()
-            .filter(|(_, r)| {
-                matches!(
-                    r.phase,
+        // backoff retry while attempts remain. The deadline-ordered index
+        // pops only due entries — O(overdue), not O(in-flight) — and each is
+        // validated against the live record before acting.
+        let mut overdue: Vec<MigrationId> = Vec::new();
+        while let Some(&(at, id)) = self.deadline_index.iter().next() {
+            if at > now {
+                break;
+            }
+            self.deadline_index.remove(&(at, id));
+            let Some(record) = self.migrations.get(&id) else {
+                continue;
+            };
+            if record.deadline == Some(at)
+                && matches!(
+                    record.phase,
                     MigrationPhase::AwaitingState
                         | MigrationPhase::Deploying
                         | MigrationPhase::AwaitingPreCopy
                         | MigrationPhase::Preparing
                         | MigrationPhase::AwaitingDelta
                         | MigrationPhase::SwitchingOver
-                ) && r.deadline.is_some_and(|d| now >= d)
-            })
-            .map(|(id, _)| *id)
-            .collect();
+                )
+            {
+                overdue.push(id);
+            }
+        }
         for id in overdue {
             let Some(record) = self.migrations.get_mut(&id) else {
                 continue;
@@ -605,12 +682,12 @@ impl Manager {
             // stateless redeploy has no source to fall back to — the
             // retry simply deploys again.
             if record.with_state {
-                if let Some(attachment) = self.attachments.get_mut(&record.chain) {
+                self.desired.update(record.chain, |attachment| {
                     if attachment.station == Some(record.to) {
                         attachment.station = Some(record.from);
                         attachment.active = true;
                     }
-                }
+                });
             }
             // A pre-copy migration aborted once `PrepareChain` went out may
             // have left a staged (steering-less) chain on the target; tear it
@@ -648,7 +725,7 @@ impl Manager {
                 Some(record.client),
             );
             if record.attempt < self.config.migration_max_retries {
-                self.pending_retries.push(RetryPlan {
+                self.push_retry(RetryPlan {
                     chain: record.chain,
                     client: record.client,
                     from: record.from,
@@ -661,19 +738,22 @@ impl Manager {
 
         // Launch due retries — unless the fleet moved on while the plan
         // waited (client roamed again, chain detached, late success landed).
-        let due: Vec<RetryPlan> = {
-            let (due, pending) = self
-                .pending_retries
-                .drain(..)
-                .partition(|plan| now >= plan.at);
-            self.pending_retries = pending;
-            due
-        };
+        // The `(due, seq)` key orders the drain by due time, then by the
+        // order the plans were scheduled.
+        let mut due: Vec<RetryPlan> = Vec::new();
+        while let Some((&(at, seq), _)) = self.pending_retries.iter().next() {
+            if at > now {
+                break;
+            }
+            if let Some(plan) = self.pending_retries.remove(&(at, seq)) {
+                due.push(plan);
+            }
+        }
         for plan in due {
             if self.clients.get(&plan.client).and_then(|c| c.station) != Some(plan.to) {
                 continue;
             }
-            let Some(attachment) = self.attachments.get(&plan.chain).cloned() else {
+            let Some(attachment) = self.desired.get(plan.chain).cloned() else {
                 continue;
             };
             if attachment.active && attachment.station == Some(plan.to) {
@@ -708,7 +788,9 @@ impl Manager {
                         false,
                     );
                     record.attempt = plan.attempt;
-                    record.deadline = Some(now + self.config.migration_deadline);
+                    let deadline = now + self.config.migration_deadline;
+                    record.deadline = Some(deadline);
+                    self.deadline_index.insert((deadline, id));
                     // Nothing to tear down on the old side: the deploy
                     // confirmation alone completes this record (the
                     // timestamp is bumped then).
@@ -717,7 +799,7 @@ impl Manager {
                     self.stats.migrations_started += 1;
                     let mut updated = attachment;
                     let action = self.deploy_action(&mut updated, plan.to, Some((id, Vec::new())));
-                    self.attachments.insert(plan.chain, updated);
+                    self.desired.insert(updated);
                     actions.push(action);
                 }
             }
@@ -731,6 +813,57 @@ impl Manager {
     fn retry_backoff(&self, attempt: u32) -> SimDuration {
         let factor = 1u64 << attempt.min(16);
         (self.config.migration_backoff_base * factor).min(self.config.migration_backoff_cap)
+    }
+
+    /// Schedules a retry plan in the due-time-ordered index.
+    fn push_retry(&mut self, plan: RetryPlan) {
+        let key = (plan.at, self.retry_seq);
+        self.retry_seq += 1;
+        self.pending_retries.insert(key, plan);
+    }
+
+    /// Ingests one summary from the region aggregation tier. Hotspots and
+    /// newly-offline stations surface as notifications exactly as they would
+    /// from direct per-station reports; the summary itself replaces the
+    /// region's previous one.
+    pub fn ingest_region_summary(&mut self, summary: RegionSummary, now: SimTime) {
+        self.region_summaries_ingested += 1;
+        for &station in &summary.offline {
+            let already = self
+                .region_offline
+                .get(&summary.region)
+                .is_some_and(|prev| prev.contains(&station));
+            if !already {
+                self.notifications.raise(
+                    now,
+                    NotificationSeverity::Critical,
+                    NotificationSource::Station { station },
+                    "station-offline",
+                    format!(
+                        "station {station} stopped reporting (region {})",
+                        summary.region
+                    ),
+                    None,
+                );
+            }
+        }
+        self.region_offline
+            .insert(summary.region, summary.offline.iter().copied().collect());
+        for &(station, utilisation) in &summary.hotspots {
+            self.stats.hotspot_alerts += 1;
+            self.notifications.raise(
+                now,
+                NotificationSeverity::Warning,
+                NotificationSource::Manager,
+                "hotspot",
+                format!(
+                    "station {station} at {:.0}% of capacity — consider upgrading",
+                    utilisation * 100.0
+                ),
+                None,
+            );
+        }
+        self.region_summaries.insert(summary.region, summary);
     }
 
     // ------------------------------------------------------------------
@@ -749,12 +882,12 @@ impl Manager {
 
     /// Chain attachments.
     pub fn attachments(&self) -> impl Iterator<Item = &AttachmentRecord> {
-        self.attachments.values()
+        self.desired.iter()
     }
 
     /// One attachment.
     pub fn attachment(&self, chain: ChainId) -> Option<&AttachmentRecord> {
-        self.attachments.get(&chain)
+        self.desired.get(chain)
     }
 
     /// Migration history (including in-flight migrations).
@@ -775,6 +908,26 @@ impl Manager {
     /// Aggregate statistics.
     pub fn stats(&self) -> ManagerStats {
         self.stats
+    }
+
+    /// Control-plane transport statistics (full reports vs delta frames vs
+    /// region summaries). Deliberately separate from [`ManagerStats`], so the
+    /// `RunReport` stays byte-identical across transport modes.
+    pub fn control_plane_stats(&self) -> ControlPlaneStats {
+        let r = self.reassembler.stats();
+        ControlPlaneStats {
+            full_reports: self.full_reports,
+            delta_keyframes: r.keyframes,
+            delta_forced_resyncs: r.forced_resyncs,
+            deltas_applied: r.deltas_applied,
+            deltas_rejected: r.deltas_rejected,
+            region_summaries: self.region_summaries_ingested,
+        }
+    }
+
+    /// Latest summary ingested for each region, in region order.
+    pub fn region_summaries(&self) -> impl Iterator<Item = &RegionSummary> {
+        self.region_summaries.values()
     }
 
     /// The configuration in effect.
@@ -867,17 +1020,12 @@ impl Manager {
         );
         let mut actions = Vec::new();
 
-        // Every chain attached to this client must now run on `station`.
-        let chains: Vec<ChainId> = self
-            .attachments
-            .values()
-            .filter(|a| a.client == client)
-            .map(|a| a.chain)
-            .collect();
-        for chain in chains {
+        // Every chain attached to this client must now run on `station` —
+        // found through the by-client index, not a fleet scan.
+        for chain in self.desired.chains_of_client(client) {
             // A chain collected above may have been detached by an earlier
             // iteration's actions; skip rather than panic.
-            let Some(attachment) = self.attachments.get(&chain).cloned() else {
+            let Some(attachment) = self.desired.get(chain).cloned() else {
                 continue;
             };
             // Respect scheduling windows.
@@ -897,7 +1045,7 @@ impl Manager {
                 None => {
                     let mut updated = attachment;
                     let action = self.deploy_action(&mut updated, station, None);
-                    self.attachments.insert(chain, updated);
+                    self.desired.insert(updated);
                     actions.push(action);
                 }
             }
@@ -927,7 +1075,7 @@ impl Manager {
         attempt: u32,
     ) -> Vec<ManagerAction> {
         // A concurrent detach may have removed the attachment.
-        let Some(attachment) = self.attachments.get(&chain).cloned() else {
+        let Some(attachment) = self.desired.get(chain).cloned() else {
             return Vec::new();
         };
         let id: MigrationId = self.migration_ids.next_id();
@@ -935,7 +1083,9 @@ impl Manager {
         let precopy = with_state && self.config.migration_precopy;
         let mut record = MigrationRecord::new(id, chain, client, from, to, now, with_state);
         record.attempt = attempt;
-        record.deadline = Some(now + self.config.migration_deadline);
+        let deadline = now + self.config.migration_deadline;
+        record.deadline = Some(deadline);
+        self.deadline_index.insert((deadline, id));
         if precopy {
             record.precopy = true;
             record.phase = MigrationPhase::AwaitingPreCopy;
@@ -980,7 +1130,7 @@ impl Manager {
             // deploy a fresh (stateless) chain on the target in parallel.
             let mut attachment = attachment;
             let deploy = self.deploy_action(&mut attachment, to, Some((id, Vec::new())));
-            self.attachments.insert(chain, attachment);
+            self.desired.insert(attachment);
             vec![
                 ManagerAction::send(
                     from,
@@ -1021,7 +1171,7 @@ impl Manager {
         // (on_chain_deployed). Claiming the attachment for the whole
         // checkpoint/restore round-trip would mark the chain inactive — and
         // mis-route concurrent steering decisions — for the entire window.
-        let Some(attachment) = self.attachments.get(&chain) else {
+        let Some(attachment) = self.desired.get(chain) else {
             return Vec::new();
         };
         let action = self.deploy_action_keep_serving(attachment, to, migration, state);
@@ -1049,7 +1199,7 @@ impl Manager {
         Self::trace_phase_left(&mut self.trace, &mut self.phase_entered, record, now);
         record.phase = MigrationPhase::Preparing;
         let to = record.to;
-        let Some(attachment) = self.attachments.get(&chain) else {
+        let Some(attachment) = self.desired.get(chain) else {
             return Vec::new();
         };
         let client_mac = self
@@ -1140,12 +1290,12 @@ impl Manager {
         migration: Option<MigrationId>,
         now: SimTime,
     ) -> Vec<ManagerAction> {
-        if let Some(attachment) = self.attachments.get_mut(&chain) {
+        self.desired.update(chain, |attachment| {
             attachment.station = Some(from);
             attachment.active = true;
             attachment.last_deploy_latency = Some(latency);
             attachment.last_images_cached = Some(images_cached);
-        }
+        });
         self.notifications.raise(
             now,
             NotificationSeverity::Info,
@@ -1155,7 +1305,7 @@ impl Manager {
             Some(client),
         );
         // Any deploy confirmation for this chain supersedes pending retries.
-        self.pending_retries.retain(|plan| plan.chain != chain);
+        self.pending_retries.retain(|_, plan| plan.chain != chain);
         let mut actions = Vec::new();
         if let Some(id) = migration {
             if let Some(record) = self.migrations.get_mut(&id) {
@@ -1276,12 +1426,14 @@ impl Manager {
             }
             None => {
                 // A plain detach (or a scheduling window closing).
-                if let Some(attachment) = self.attachments.get_mut(&chain) {
+                if let Some(attachment) = self.desired.get(chain) {
                     if attachment.window.is_some() {
-                        attachment.station = None;
-                        attachment.active = false;
+                        self.desired.update(chain, |attachment| {
+                            attachment.station = None;
+                            attachment.active = false;
+                        });
                     } else {
-                        self.attachments.remove(&chain);
+                        self.desired.remove(chain);
                     }
                 }
                 let _ = from;
@@ -1360,12 +1512,12 @@ impl Manager {
                     // Roll back exactly as a timeout would, and retry with
                     // backoff while attempts remain.
                     if record.with_state {
-                        if let Some(attachment) = self.attachments.get_mut(&record.chain) {
+                        self.desired.update(record.chain, |attachment| {
                             if attachment.station == Some(record.to) {
                                 attachment.station = Some(record.from);
                                 attachment.active = true;
                             }
-                        }
+                        });
                     }
                     // A source-side failure after the target confirmed its
                     // staging (pre-copy) leaves a staged chain behind there;
@@ -1387,7 +1539,7 @@ impl Manager {
                         ));
                     }
                     if record.attempt < self.config.migration_max_retries {
-                        self.pending_retries.push(RetryPlan {
+                        self.push_retry(RetryPlan {
                             chain: record.chain,
                             client: record.client,
                             from: record.from,

@@ -16,6 +16,15 @@
 //! ([`report::BatchTelemetry`]); the emulator aggregates all three across
 //! stations into the `RunReport`.
 //!
+//! Fleet-scale transport lives in [`delta`]: cumulative-since-keyframe
+//! [`delta::ReportDelta`] frames that carry only the sections that changed,
+//! with a one-way resync protocol that is chaos-safe (a crash or rejoin
+//! forces a keyframe), and the receiver-side [`delta::ReportReassembler`]
+//! that reconstructs byte-identical full reports. [`region`] stacks a
+//! hierarchical tier on top: [`region::RegionAggregator`] rolls a region's
+//! reports (full or delta) into one [`region::RegionSummary`] feed for the
+//! Manager.
+//!
 //! Time-resolved observability lives in three further modules, all driven by
 //! **virtual time** so the determinism contract survives: [`trace`] (typed
 //! spans/instants merged in deterministic `(timestamp, scope, seq)` order,
@@ -27,17 +36,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod flight;
 pub mod metrics;
 pub mod monitor;
 pub mod notification;
+pub mod region;
 pub mod report;
 pub mod trace;
 
+pub use delta::{
+    DeltaEncoder, DeltaReject, IdentitySection, NfSection, ReassemblerStats, ReportDelta,
+    ReportReassembler, SectionHints,
+};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_SAMPLE_RATE};
 pub use metrics::{LogHistogram, MetricsSample, MetricsSeries, RingSeries, VIRTUAL_SHARDS};
 pub use monitor::{HotspotDetector, MonitoringStore, StationHealth, StationStatus};
 pub use notification::{Notification, NotificationLog, NotificationSeverity, NotificationSource};
+pub use region::{RegionAggregator, RegionSummary};
 pub use report::{
     BatchTelemetry, ChaosTelemetry, FlowCacheTelemetry, MegaflowTelemetry, MigrationPoolTelemetry,
     ShardTelemetry, StationReport,

@@ -73,6 +73,22 @@ pub struct GnfConfig {
     /// serving, then replay only the dirty delta at cutover. When false the
     /// classic monolithic checkpoint/restore path is used.
     pub migration_precopy: bool,
+    /// Whether Agents send delta-encoded reports (`ReportDelta` frames:
+    /// periodic keyframes plus cumulative per-section deltas) instead of a
+    /// full `StationReport` every interval. Message *count* is unchanged —
+    /// one frame per report interval — so the `RunReport` stays
+    /// byte-identical to full-report mode; only bytes on the wire shrink.
+    pub delta_reports: bool,
+    /// With `delta_reports` on: how many cumulative deltas are sent between
+    /// keyframes (0 makes every frame a keyframe). Crashes and rejoins force
+    /// an immediate keyframe regardless of this cadence.
+    pub report_keyframe_interval: u64,
+    /// Hierarchical aggregation: stations per region aggregator. When
+    /// non-zero, agents report to an emulator-driven per-region
+    /// `RegionAggregator` (region = station id / `region_size`) and the
+    /// Manager ingests one `RegionSummary` feed per region instead of every
+    /// station's report. 0 (the default) disables the tier.
+    pub region_size: usize,
     /// Sampling period of the virtual-time metrics sampler: when metrics
     /// collection is enabled, the emulator snapshots the fleet's counters at
     /// every multiple of this interval. Purely observational — sampling
@@ -100,6 +116,9 @@ impl Default for GnfConfig {
             migration_workers: 1,
             migration_queue_size: 32,
             migration_precopy: false,
+            delta_reports: false,
+            report_keyframe_interval: 16,
+            region_size: 0,
             metrics_interval: SimDuration::from_secs(1),
         }
     }
@@ -201,6 +220,26 @@ impl GnfConfig {
     /// Returns a copy with pre-copy state transfer toggled.
     pub fn with_migration_precopy(mut self, precopy: bool) -> Self {
         self.migration_precopy = precopy;
+        self
+    }
+
+    /// Returns a copy with delta-encoded reporting toggled.
+    pub fn with_delta_reports(mut self, enabled: bool) -> Self {
+        self.delta_reports = enabled;
+        self
+    }
+
+    /// Returns a copy with a different keyframe cadence (deltas between
+    /// keyframes; 0 sends only keyframes).
+    pub fn with_report_keyframe_interval(mut self, interval: u64) -> Self {
+        self.report_keyframe_interval = interval;
+        self
+    }
+
+    /// Returns a copy with a different region-aggregator fan-in (stations
+    /// per region; 0 disables the aggregation tier).
+    pub fn with_region_size(mut self, region_size: usize) -> Self {
+        self.region_size = region_size;
         self
     }
 }
@@ -329,6 +368,24 @@ mod tests {
                 .with_migration_precopy(true)
                 .migration_precopy
         );
+    }
+
+    #[test]
+    fn control_plane_builders_set_their_knobs() {
+        let cfg = GnfConfig::default()
+            .with_delta_reports(true)
+            .with_report_keyframe_interval(4)
+            .with_region_size(100);
+        assert!(cfg.delta_reports);
+        assert_eq!(cfg.report_keyframe_interval, 4);
+        assert_eq!(cfg.region_size, 100);
+        assert!(cfg.validate().is_ok());
+        // Every-frame-a-keyframe and no-region-tier are both valid.
+        assert!(GnfConfig::default()
+            .with_report_keyframe_interval(0)
+            .with_region_size(0)
+            .validate()
+            .is_ok());
     }
 
     #[test]
